@@ -1,0 +1,292 @@
+//! Naive distributed baselines: Δ+1 coloring, global-stalling Δ-coloring,
+//! and the stuck demonstration for one-round color trials.
+
+use graphgen::{Color, Coloring, Graph, NodeId};
+use localsim::{RoundLedger, SimError};
+use primitives::Timed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The greedy-regime contrast: a `(Δ+1)`-coloring (always easy).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn delta_plus_one(g: &Graph) -> Result<Timed<Coloring>, SimError> {
+    primitives::linial::delta_plus_one_coloring(g, None)
+}
+
+/// Why the global-stalling baseline failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StallError {
+    /// No slack source exists (graph is `K_{Δ+1}`-like or an odd cycle).
+    NoSlackSource,
+    /// Subroutine failure.
+    Subroutine(String),
+}
+
+impl std::fmt::Display for StallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StallError::NoSlackSource => write!(f, "no slack source found"),
+            StallError::Subroutine(e) => write!(f, "subroutine failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StallError {}
+
+/// The naive distributed Δ-coloring: elect a *single* slack source per
+/// component (a low-degree vertex, or one same-colored non-adjacent pair),
+/// BFS-layer the whole component around it, and color inward.
+///
+/// Correct on every Brooks-colorable graph, but takes `Θ(diameter)` rounds
+/// (leader election + one `(deg+1)` instance per BFS layer) — the strawman
+/// that motivates the paper's `O(log n)` machinery.
+///
+/// # Errors
+///
+/// Returns [`StallError::NoSlackSource`] on Brooks-excluded components and
+/// wraps subroutine failures.
+pub fn global_stalling(g: &Graph) -> Result<(Timed<Coloring>, RoundLedger), StallError> {
+    let delta = g.max_degree() as u32;
+    let mut coloring = Coloring::empty(g.n());
+    let mut ledger = RoundLedger::new();
+    for comp in g.components() {
+        color_component_stalling(g, &comp, delta, &mut coloring, &mut ledger)?;
+    }
+    let rounds = ledger.total();
+    Ok((Timed::new(coloring, rounds), ledger))
+}
+
+fn color_component_stalling(
+    g: &Graph,
+    comp: &[NodeId],
+    delta: u32,
+    coloring: &mut Coloring,
+    ledger: &mut RoundLedger,
+) -> Result<(), StallError> {
+    // Slack source: a low-degree vertex, else a same-colorable non-adjacent
+    // pair with a common neighbor (slack triad). Electing it costs a
+    // diameter's worth of rounds (flood the candidate ids).
+    let diameter_bound = {
+        let dist = g.bfs_distances(&[comp[0]]);
+        comp.iter().map(|v| dist[v.index()]).max().unwrap_or(0) as u64
+    };
+    ledger.charge("stalling/leader election (flood)", diameter_bound);
+
+    let mut sources: Vec<NodeId> = Vec::new();
+    if let Some(&low) = comp.iter().find(|&&v| g.degree(v) < delta as usize) {
+        sources.push(low);
+    } else {
+        let mut found = None;
+        'outer: for &u in comp {
+            let nbrs = g.neighbors(u);
+            for (i, &a) in nbrs.iter().enumerate() {
+                for &b in &nbrs[i + 1..] {
+                    if !g.has_edge(a, b) {
+                        found = Some((u, a, b));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let Some((u, a, b)) = found else {
+            return Err(StallError::NoSlackSource);
+        };
+        coloring.set(a, Color(0));
+        coloring.set(b, Color(0));
+        sources.push(u);
+    }
+
+    // Layer the whole component and color inward. The BFS must avoid the
+    // pre-colored pair so that every layered vertex keeps an *uncolored*
+    // parent toward the source (its slack) until its own turn.
+    let dist = {
+        let mut dist = vec![usize::MAX; g.n()];
+        let mut q = std::collections::VecDeque::new();
+        for &s in &sources {
+            dist[s.index()] = 0;
+            q.push_back(s);
+        }
+        while let Some(v) = q.pop_front() {
+            for &w in g.neighbors(v) {
+                if dist[w.index()] == usize::MAX && !coloring.is_colored(w) {
+                    dist[w.index()] = dist[v.index()] + 1;
+                    q.push_back(w);
+                }
+            }
+        }
+        dist
+    };
+    let max_layer = comp
+        .iter()
+        .filter(|v| !coloring.is_colored(**v))
+        .map(|v| dist[v.index()])
+        .max()
+        .unwrap_or(0);
+    for l in (0..=max_layer).rev() {
+        let active: Vec<NodeId> = comp
+            .iter()
+            .copied()
+            .filter(|&v| dist[v.index()] == l && !coloring.is_colored(v))
+            .collect();
+        if active.is_empty() {
+            continue;
+        }
+        let palettes: Vec<Vec<Color>> = active
+            .iter()
+            .map(|&v| {
+                let used: std::collections::HashSet<Color> =
+                    g.neighbors(v).iter().filter_map(|&w| coloring.get(w)).collect();
+                (0..delta).map(Color).filter(|c| !used.contains(c)).collect()
+            })
+            .collect();
+        let timed =
+            primitives::list_coloring::deg_plus_one_list_color_subset(g, &active, &palettes, None)
+                .map_err(|e| StallError::Subroutine(e.to_string()))?;
+        ledger.charge(format!("stalling/layer {l}"), timed.rounds);
+        for (v, c) in timed.value {
+            coloring.set(v, c);
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of running one-round random Δ-color trials to exhaustion.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StuckReport {
+    /// Trial rounds executed.
+    pub rounds: u64,
+    /// Vertices that ended up colored.
+    pub colored: usize,
+    /// Vertices left uncolored with an **empty** palette — the process is
+    /// permanently stuck for them; no greedy completion exists.
+    pub stuck: usize,
+}
+
+/// Runs the greedy process the paper's introduction warns about: color
+/// vertices one by one in a random order, each taking a uniformly random
+/// *free* color among the Δ available. On dense graphs some vertices are
+/// reached with an **empty** palette — greedy cannot Δ-color, which is
+/// exactly why the slack machinery exists. (`max_rounds` caps the number
+/// of vertices processed and is reported as `rounds`.)
+pub fn random_trial_stuck(g: &Graph, seed: u64, max_rounds: u64) -> StuckReport {
+    let delta = g.max_degree() as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coloring = Coloring::empty(g.n());
+    let mut order: Vec<NodeId> = g.vertices().collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let mut rounds = 0;
+    let mut stuck = 0;
+    for &v in order.iter().take(max_rounds as usize) {
+        rounds += 1;
+        let used: std::collections::HashSet<Color> =
+            g.neighbors(v).iter().filter_map(|&w| coloring.get(w)).collect();
+        let free: Vec<Color> = (0..delta).map(Color).filter(|c| !used.contains(c)).collect();
+        if free.is_empty() {
+            stuck += 1;
+        } else {
+            coloring.set(v, free[rng.gen_range(0..free.len())]);
+        }
+    }
+    StuckReport { rounds, colored: coloring.colored_count(), stuck }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::coloring::verify_delta_coloring;
+    use graphgen::generators;
+
+    #[test]
+    fn delta_plus_one_easy() {
+        let g = generators::random_regular(80, 6, 4);
+        let out = delta_plus_one(&g).unwrap();
+        out.value.check_complete(&g, 7).unwrap();
+    }
+
+    #[test]
+    fn stalling_colors_hard_instance() {
+        let inst = generators::hard_cliques(&generators::HardCliqueParams {
+            cliques: 34,
+            delta: 16,
+            external_per_vertex: 1,
+            seed: 51,
+        })
+        .unwrap();
+        let (timed, _ledger) = global_stalling(&inst.graph).unwrap();
+        verify_delta_coloring(&inst.graph, &timed.value).unwrap();
+    }
+
+    #[test]
+    fn stalling_rounds_grow_with_size() {
+        let small = generators::hard_cliques(&generators::HardCliqueParams {
+            cliques: 34,
+            delta: 16,
+            external_per_vertex: 1,
+            seed: 52,
+        })
+        .unwrap();
+        let large = generators::hard_cliques(&generators::HardCliqueParams {
+            cliques: 136,
+            delta: 16,
+            external_per_vertex: 1,
+            seed: 52,
+        })
+        .unwrap();
+        let (ts, _) = global_stalling(&small.graph).unwrap();
+        let (tl, _) = global_stalling(&large.graph).unwrap();
+        assert!(
+            tl.rounds > ts.rounds,
+            "stalling should scale with size: {} vs {}",
+            ts.rounds,
+            tl.rounds
+        );
+    }
+
+    #[test]
+    fn stalling_rejects_k5() {
+        let g = generators::complete(5);
+        assert_eq!(global_stalling(&g).unwrap_err(), StallError::NoSlackSource);
+    }
+
+    #[test]
+    fn stalling_handles_low_degree() {
+        let g = generators::random_tree(50, 9);
+        let (timed, _) = global_stalling(&g).unwrap();
+        verify_delta_coloring(&g, &timed.value).unwrap();
+    }
+
+    #[test]
+    fn trials_get_stuck_on_cliques() {
+        // Disjoint Δ-cliques where each vertex has one external edge:
+        // random Δ-trials usually jam somewhere.
+        let inst = generators::hard_cliques(&generators::HardCliqueParams {
+            cliques: 200,
+            delta: 16,
+            external_per_vertex: 1,
+            seed: 53,
+        })
+        .unwrap();
+        // Each clique jams with probability ~1/(2Δ); over 200 cliques and
+        // a few seeds, some jam essentially surely.
+        let stuck: usize =
+            (0..4).map(|s| random_trial_stuck(&inst.graph, s, u64::MAX).stuck).sum();
+        assert!(
+            stuck > 0,
+            "expected stuck vertices over 4 seeds (greedy would mean Δ-coloring is easy)"
+        );
+    }
+
+    #[test]
+    fn trials_finish_on_easy_graphs() {
+        // A tree has max degree Δ and plenty of slack: trials finish.
+        let g = generators::star(5);
+        let report = random_trial_stuck(&g, 1, u64::MAX);
+        assert_eq!(report.stuck, 0, "{report:?}");
+        assert_eq!(report.colored, 6);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests for the baselines: the Brooks oracle and the stalling
+//! baseline color everything Brooks permits.
+
+use baselines::{brooks_sequential, global_stalling, random_trial_stuck};
+use graphgen::coloring::verify_delta_coloring;
+use graphgen::generators;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Brooks oracle colors random regular graphs (never K_{Δ+1}, never an
+    /// odd cycle for d >= 3).
+    #[test]
+    fn brooks_on_regular(n_half in 8usize..50, d in 3usize..8, seed in 0u64..100) {
+        let n = 2 * n_half;
+        prop_assume!(n > d + 1);
+        let g = generators::random_regular(n, d, seed);
+        let c = brooks_sequential(&g).unwrap();
+        verify_delta_coloring(&g, &c).unwrap();
+    }
+
+    /// Brooks oracle on trees.
+    #[test]
+    fn brooks_on_trees(n in 5usize..80, seed in 0u64..100) {
+        let g = generators::random_tree(n, seed);
+        if g.max_degree() >= 1 {
+            let c = brooks_sequential(&g).unwrap();
+            verify_delta_coloring(&g, &c).unwrap();
+        }
+    }
+
+    /// Global stalling colors dense hard instances for any seed.
+    #[test]
+    fn stalling_on_dense(seed in 0u64..300) {
+        let inst = generators::hard_cliques(&generators::HardCliqueParams {
+            cliques: 34,
+            delta: 16,
+            external_per_vertex: 1,
+            seed,
+        }).unwrap();
+        let (timed, _) = global_stalling(&inst.graph).unwrap();
+        verify_delta_coloring(&inst.graph, &timed.value).unwrap();
+    }
+
+    /// The greedy demonstration accounts for every vertex: colored or
+    /// jammed, nothing in between.
+    #[test]
+    fn greedy_partial_accounts_all(seed in 0u64..100) {
+        let inst = generators::hard_cliques(&generators::HardCliqueParams {
+            cliques: 34,
+            delta: 16,
+            external_per_vertex: 1,
+            seed,
+        }).unwrap();
+        let report = random_trial_stuck(&inst.graph, seed, u64::MAX);
+        prop_assert_eq!(report.colored + report.stuck, inst.graph.n());
+    }
+}

@@ -1,0 +1,122 @@
+//! Criterion wall-time benchmarks: one group per experiment family.
+//!
+//! Round counts are the primary reproduction metric (see the `experiments`
+//! binary); these benches track the *wall time* of the implementations so
+//! regressions in the substrates are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delta_core::{color_deterministic, color_randomized, Config, RandConfig};
+use graphgen::generators::{self, HardCliqueParams};
+use hypergraph::generators::random_hypergraph;
+
+fn hard(cliques: usize, delta: usize, seed: u64) -> generators::HardCliqueInstance {
+    generators::hard_cliques(&HardCliqueParams {
+        cliques,
+        delta,
+        external_per_vertex: 1,
+        seed,
+    })
+    .expect("bench instance")
+}
+
+/// E1/E3 wall time: the full pipelines on a small hard instance.
+fn bench_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for m in [34usize, 68] {
+        let inst = hard(m, 16, 7);
+        group.bench_with_input(BenchmarkId::new("deterministic", m), &inst, |b, inst| {
+            b.iter(|| color_deterministic(&inst.graph, &Config::for_delta(16)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("randomized", m), &inst, |b, inst| {
+            b.iter(|| {
+                color_randomized(&inst.graph, &RandConfig::for_delta(16, 3)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// E4 wall time: HEG solvers.
+fn bench_heg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heg");
+    group.sample_size(10);
+    for n in [1024usize, 8192] {
+        let h = random_hypergraph(n, 8, 4, 5).unwrap();
+        group.bench_with_input(BenchmarkId::new("augmenting", n), &h, |b, h| {
+            b.iter(|| hypergraph::heg_augmenting(h).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("token_walk", n), &h, |b, h| {
+            b.iter(|| hypergraph::heg_token_walk(h, 3).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// E9/E10 wall time: the distributed primitives.
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(10);
+    let g = generators::random_regular(2048, 8, 11);
+    group.bench_function("maximal_matching_det_direct", |b| {
+        b.iter(|| primitives::matching::maximal_matching_det_direct(&g).unwrap());
+    });
+    group.bench_function("mis_luby", |b| {
+        b.iter(|| primitives::mis::mis_luby(&g, 5).unwrap());
+    });
+    group.bench_function("delta_plus_one_coloring", |b| {
+        b.iter(|| primitives::linial::delta_plus_one_coloring(&g, None).unwrap());
+    });
+    group.bench_function("degree_split", |b| {
+        b.iter(|| primitives::split::degree_split(&g, 8).unwrap());
+    });
+    group.finish();
+}
+
+/// E6 wall time: baselines on the same instance.
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    let inst = hard(34, 16, 9);
+    group.bench_function("delta_plus_one", |b| {
+        b.iter(|| baselines::delta_plus_one(&inst.graph).unwrap());
+    });
+    group.bench_function("global_stalling", |b| {
+        b.iter(|| baselines::global_stalling(&inst.graph).unwrap());
+    });
+    group.bench_function("brooks_sequential", |b| {
+        b.iter(|| baselines::brooks_sequential(&inst.graph).unwrap());
+    });
+    group.finish();
+}
+
+/// Network decomposition and CONGEST variants.
+fn bench_extras(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extras");
+    group.sample_size(10);
+    let g = generators::random_regular(1024, 6, 13);
+    group.bench_function("linial_saks_decomposition", |b| {
+        b.iter(|| primitives::netdecomp::linial_saks(&g, 3));
+    });
+    group.bench_function("congest_delta_plus_one", |b| {
+        b.iter(|| primitives::congest_coloring::congest_delta_plus_one(&g, 3).unwrap());
+    });
+    group.bench_function("congest_mis", |b| {
+        b.iter(|| primitives::congest_mis::congest_mis(&g, 3).unwrap());
+    });
+    group.bench_function("heg_blocking", |b| {
+        let h = random_hypergraph(2048, 8, 4, 5).unwrap();
+        b.iter(|| hypergraph::heg_blocking(&h).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipelines,
+    bench_heg,
+    bench_primitives,
+    bench_baselines,
+    bench_extras
+);
+criterion_main!(benches);

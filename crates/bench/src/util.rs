@@ -1,0 +1,91 @@
+//! Table building and curve fitting for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// A Markdown table under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(ToString::to_string).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity must match header");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders as Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(out, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for r in &self.rows {
+            let _ = writeln!(out, "| {} |", r.join(" | "));
+        }
+        out
+    }
+}
+
+/// Least-squares fit `y ≈ a·x + b`; returns `(a, b, r²)`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return (0.0, sy / n, 0.0);
+    }
+    let a = (n * sxy - sx * sy) / denom;
+    let b = (sy - a * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = xs.iter().zip(ys).map(|(x, y)| (y - (a * x + b)).powi(2)).sum();
+    let r2 = if ss_tot.abs() < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (a, b, r2)
+}
+
+/// `log2` as f64, for fitting rounds against `log n`.
+pub fn log2(x: usize) -> f64 {
+    (x as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new(&["n", "rounds"]);
+        t.row(&["10".into(), "42".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| n | rounds |"));
+        assert!(md.contains("| 10 | 42 |"));
+    }
+
+    #[test]
+    fn fit_recovers_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let (a, b, r2) = linear_fit(&xs, &ys);
+        assert!((a - 2.0).abs() < 1e-9);
+        assert!((b - 1.0).abs() < 1e-9);
+        assert!(r2 > 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        Table::new(&["a", "b"]).row(&["1".into()]);
+    }
+}

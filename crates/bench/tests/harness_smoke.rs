@@ -1,0 +1,33 @@
+//! Smoke tests for the experiment harness: each quick-mode experiment
+//! produces a Markdown section with its header and at least one table row.
+
+fn check(id: &str, section: &str) {
+    assert!(
+        section.starts_with(&format!("## {}", id.to_uppercase())),
+        "{id}: section must start with its header, got: {:.60}",
+        section
+    );
+    let rows = section.lines().filter(|l| l.starts_with('|')).count();
+    assert!(rows >= 3, "{id}: expected a table with rows, got {rows} pipe lines");
+}
+
+#[test]
+fn quick_experiments_produce_tables() {
+    // The cheap experiments in quick mode; the expensive ones (e1-e4) are
+    // exercised by the `experiments` binary runs recorded in EXPERIMENTS.md.
+    for (id, f) in delta_bench::experiments::all() {
+        if ["e6", "e7", "e9", "e12"].contains(&id) {
+            check(id, &f(true));
+        }
+    }
+}
+
+#[test]
+fn experiment_registry_is_complete_and_unique() {
+    let all = delta_bench::experiments::all();
+    assert_eq!(all.len(), 12);
+    let mut ids: Vec<&str> = all.iter().map(|(id, _)| *id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 12, "duplicate experiment ids");
+}

@@ -1,0 +1,212 @@
+//! Algorithm 3 — Coloring loopholes and easy cliques (§3.9, Lemma 20).
+//!
+//! Every uncolored loophole vertex votes for one of its loopholes; a
+//! ruling set of the voted loopholes (computed on the virtual intersection
+//! /adjacency graph `G_L`) selects pairwise non-interfering loopholes; a
+//! BFS layering of the remaining uncolored vertices around the selected
+//! loopholes is colored outermost-first (every vertex keeps an uncolored
+//! neighbor one layer below, hence slack); and finally the selected
+//! loopholes themselves are colored by brute force (deg-list colorability,
+//! Lemma 7).
+
+use graphgen::{Coloring, Graph, NodeId};
+use localsim::RoundLedger;
+use primitives::ruling::{ruling_set, RulingStyle};
+use serde::{Deserialize, Serialize};
+
+use crate::error::DeltaColoringError;
+use crate::loophole::{brute_force_color_loophole, Loophole, LoopholeReport};
+use crate::phase4::run_list_instance;
+
+/// Dilation for one `G_L` round on the real network (loophole diameter ≤ 3
+/// plus one connecting edge).
+const LOOPHOLE_DILATION: u64 = 4;
+
+/// Statistics of the easy-clique sweep (experiment E7).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EasyStats {
+    /// Distinct voted loopholes.
+    pub voted: usize,
+    /// Loopholes selected by the ruling set.
+    pub selected: usize,
+    /// Number of BFS layers used (paper bound: 25 at `ε = 1/63`).
+    pub layers: usize,
+    /// Vertices colored by this sweep.
+    pub colored: usize,
+}
+
+/// Colors every remaining uncolored vertex (easy cliques and loopholes).
+///
+/// `ruling_r` selects the ruling-set radius (`1` = MIS; the paper's
+/// Lemma 19 uses up to 6 to trade rounds for Δ-dependence).
+///
+/// # Errors
+///
+/// [`DeltaColoringError::UnsupportedStructure`] if uncolored vertices
+/// remain that no loophole can reach — on valid dense inputs Lemma 20
+/// excludes this.
+pub fn color_easy_and_loopholes(
+    g: &Graph,
+    loopholes: &LoopholeReport,
+    ruling_r: usize,
+    ruling_style: RulingStyle,
+    coloring: &mut Coloring,
+    ledger: &mut RoundLedger,
+) -> Result<EasyStats, DeltaColoringError> {
+    color_easy_and_loopholes_scoped(g, loopholes, ruling_r, ruling_style, None, coloring, ledger)
+}
+
+/// Scoped variant of [`color_easy_and_loopholes`]: only vertices with
+/// `scope[v]` are colored (the randomized pipeline uses this to sweep one
+/// shattered component at a time). `None` means every uncolored vertex.
+///
+/// # Errors
+///
+/// As [`color_easy_and_loopholes`].
+pub fn color_easy_and_loopholes_scoped(
+    g: &Graph,
+    loopholes: &LoopholeReport,
+    ruling_r: usize,
+    ruling_style: RulingStyle,
+    scope: Option<&[bool]>,
+    coloring: &mut Coloring,
+    ledger: &mut RoundLedger,
+) -> Result<EasyStats, DeltaColoringError> {
+    let delta = g.max_degree() as u32;
+    let in_scope = |v: NodeId| scope.is_none_or(|s| s[v.index()]);
+    let uncolored_before: Vec<NodeId> =
+        g.vertices().filter(|&v| !coloring.is_colored(v) && in_scope(v)).collect();
+    if uncolored_before.is_empty() {
+        return Ok(EasyStats::default());
+    }
+
+    // --- Step 1: votes, deduplicated by vertex set. ---
+    let mut voted: Vec<Loophole> = Vec::new();
+    let mut seen: std::collections::HashSet<Vec<NodeId>> = std::collections::HashSet::new();
+    for &v in &uncolored_before {
+        if let Some(lh) = &loopholes.vote[v.index()] {
+            let mut key = lh.vertices();
+            if key.iter().any(|&x| coloring.is_colored(x) || !in_scope(x)) {
+                continue; // stale vote: the loophole lost a vertex already
+            }
+            key.sort_unstable();
+            if seen.insert(key) {
+                voted.push(lh.clone());
+            }
+        }
+    }
+    if voted.is_empty() {
+        return Err(DeltaColoringError::UnsupportedStructure(format!(
+            "{} uncolored vertices remain but no loophole is available",
+            uncolored_before.len()
+        )));
+    }
+    ledger.charge_constant("easy/loophole voting", 1);
+
+    // --- Step 2: virtual graph G_L. ---
+    let mut holders: Vec<Vec<u32>> = vec![Vec::new(); g.n()];
+    for (i, lh) in voted.iter().enumerate() {
+        for v in lh.vertices() {
+            holders[v.index()].push(i as u32);
+        }
+    }
+    let mut gl_edges: Vec<(u32, u32)> = Vec::new();
+    for v in g.vertices() {
+        let hv = &holders[v.index()];
+        // Intersection at v.
+        for (a, &i) in hv.iter().enumerate() {
+            for &j in &hv[a + 1..] {
+                gl_edges.push((i.min(j), i.max(j)));
+            }
+        }
+        // Adjacency across graph edges.
+        for &w in g.neighbors(v) {
+            if v < w {
+                for &i in hv {
+                    for &j in &holders[w.index()] {
+                        if i != j {
+                            gl_edges.push((i.min(j), i.max(j)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gl_edges.sort_unstable();
+    gl_edges.dedup();
+    let gl = Graph::from_edges(voted.len(), gl_edges).expect("G_L is valid");
+
+    // --- Step 3: ruling set on G_L. ---
+    let rs = ruling_set(&gl, ruling_r, ruling_style)?;
+    ledger.charge_virtual("easy/loophole ruling set", rs.rounds, LOOPHOLE_DILATION);
+    let selected: Vec<&Loophole> = voted
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| rs.value[i])
+        .map(|(_, lh)| lh)
+        .collect();
+
+    // --- Step 4: BFS layering through uncolored vertices. ---
+    let mut layer: Vec<Option<usize>> = vec![None; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    for lh in &selected {
+        for v in lh.vertices() {
+            if layer[v.index()].is_none() {
+                layer[v.index()] = Some(0);
+                queue.push_back(v);
+            }
+        }
+    }
+    let mut max_layer = 0;
+    while let Some(v) = queue.pop_front() {
+        let d = layer[v.index()].expect("queued vertices are layered");
+        for &w in g.neighbors(v) {
+            if !coloring.is_colored(w) && in_scope(w) && layer[w.index()].is_none() {
+                layer[w.index()] = Some(d + 1);
+                max_layer = max_layer.max(d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    if let Some(v) = uncolored_before.iter().find(|v| layer[v.index()].is_none()) {
+        return Err(DeltaColoringError::UnsupportedStructure(format!(
+            "uncolored vertex {v} is unreachable from every selected loophole              (scoped={}, voted={}, selected={}, uncolored={})",
+            scope.is_some(),
+            voted.len(),
+            selected.len(),
+            uncolored_before.len()
+        )));
+    }
+    ledger.charge("easy/BFS layering", max_layer as u64);
+
+    // --- Steps 5-7: color layers outermost-first. ---
+    for l in (1..=max_layer).rev() {
+        let active: Vec<NodeId> = g
+            .vertices()
+            .filter(|&v| layer[v.index()] == Some(l) && !coloring.is_colored(v))
+            .collect();
+        run_list_instance(g, &active, delta, coloring, format!("easy/layer {l}"), ledger)?;
+    }
+
+    // --- Step 8: brute-force the selected loopholes. ---
+    for lh in &selected {
+        let vs = lh.vertices();
+        let Some(colors) = brute_force_color_loophole(g, coloring, &vs, delta) else {
+            return Err(DeltaColoringError::InvariantViolated(format!(
+                "Lemma 7 violated: loophole {vs:?} admits no deg-list coloring"
+            )));
+        };
+        for (i, &v) in vs.iter().enumerate() {
+            coloring.set(v, colors[i]);
+        }
+    }
+    ledger.charge_constant("easy/loophole brute force", 1);
+
+    let colored = uncolored_before.iter().filter(|&&v| coloring.is_colored(v)).count();
+    Ok(EasyStats {
+        voted: voted.len(),
+        selected: selected.len(),
+        layers: max_layer,
+        colored,
+    })
+}

@@ -1,0 +1,74 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+use localsim::SimError;
+use primitives::list_coloring::ListColoringError;
+
+/// Why a Δ-coloring run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaColoringError {
+    /// The almost-clique decomposition classified vertices as sparse; the
+    /// paper's algorithm only covers dense graphs (Definition 4).
+    NotDense {
+        /// Number of sparse vertices found.
+        sparse: usize,
+    },
+    /// Δ-coloring a `K_{Δ+1}` is impossible (Brooks' theorem precondition).
+    ContainsMaxClique,
+    /// An almost-clique fails the hard-clique structure (Lemma 9) yet
+    /// contains no detectable constant-size loophole — outside the
+    /// algorithm's (and the paper's) structural assumptions.
+    UnsupportedStructure(String),
+    /// A structural invariant the paper proves (Lemmas 9–17) failed at
+    /// runtime — indicates a bug or an invalid input.
+    InvariantViolated(String),
+    /// A distributed subroutine failed.
+    Sim(SimError),
+    /// A `(deg+1)`-list coloring instance was infeasible.
+    ListColoring(String),
+    /// The hyperedge-grabbing instance was infeasible or over budget.
+    Heg(String),
+}
+
+impl fmt::Display for DeltaColoringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaColoringError::NotDense { sparse } => {
+                write!(f, "graph is not dense: {sparse} sparse vertices in the ACD")
+            }
+            DeltaColoringError::ContainsMaxClique => {
+                write!(f, "graph contains a clique on Δ+1 vertices; no Δ-coloring exists")
+            }
+            DeltaColoringError::UnsupportedStructure(msg) => {
+                write!(f, "unsupported structure: {msg}")
+            }
+            DeltaColoringError::InvariantViolated(msg) => {
+                write!(f, "invariant violated: {msg}")
+            }
+            DeltaColoringError::Sim(e) => write!(f, "simulation error: {e}"),
+            DeltaColoringError::ListColoring(msg) => write!(f, "list coloring failed: {msg}"),
+            DeltaColoringError::Heg(msg) => write!(f, "hyperedge grabbing failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaColoringError {}
+
+impl From<SimError> for DeltaColoringError {
+    fn from(e: SimError) -> Self {
+        DeltaColoringError::Sim(e)
+    }
+}
+
+impl From<ListColoringError> for DeltaColoringError {
+    fn from(e: ListColoringError) -> Self {
+        DeltaColoringError::ListColoring(e.to_string())
+    }
+}
+
+impl From<hypergraph::HegError> for DeltaColoringError {
+    fn from(e: hypergraph::HegError) -> Self {
+        DeltaColoringError::Heg(e.to_string())
+    }
+}

@@ -1,0 +1,64 @@
+//! Distributed Δ-coloring of dense graphs — the primary contribution of
+//! *Towards Optimal Distributed Δ-Coloring* (Jakob & Maus, PODC 2025).
+//!
+//! Brooks' theorem says every connected graph with maximum degree Δ that is
+//! neither a `K_{Δ+1}` nor an odd cycle admits a proper Δ-coloring. This
+//! crate reproduces the paper's LOCAL-model algorithms for computing such a
+//! coloring on **dense** graphs (graphs whose almost-clique decomposition
+//! has no sparse vertices, Definition 4):
+//!
+//! * [`color_deterministic`] — Theorem 1's deterministic pipeline
+//!   (Algorithms 1–3): classify almost-cliques into *easy* (touching a
+//!   constant-size loophole) and *hard*; give every hard clique a *slack
+//!   triad* via maximal matching + hyperedge grabbing + degree splitting;
+//!   same-color the slack pairs; finish with `(deg+1)`-list coloring
+//!   instances; and finally sweep easy cliques and loopholes by layered
+//!   coloring around a ruling set of loopholes.
+//! * [`color_randomized`] — Theorem 2's shattering pipeline (Algorithm 4):
+//!   randomly placed T-nodes provide slack almost everywhere, leaving
+//!   small leftover components that are solved in parallel by a modified
+//!   deterministic pipeline with pair palette `{2..Δ}`.
+//!
+//! Every phase charges its measured LOCAL rounds to a
+//! [`localsim::RoundLedger`] returned in the [`Report`], and (with
+//! [`Config::check_invariants`]) asserts the paper's structural lemmas
+//! (9–17) at runtime.
+//!
+//! # Example
+//!
+//! ```
+//! use graphgen::generators::{hard_cliques, HardCliqueParams};
+//! use delta_core::{color_deterministic, Config};
+//!
+//! let inst = hard_cliques(&HardCliqueParams {
+//!     cliques: 34, delta: 16, external_per_vertex: 1, seed: 3,
+//! })?;
+//! let report = color_deterministic(&inst.graph, &Config::for_delta(16))?;
+//! graphgen::coloring::verify_delta_coloring(&inst.graph, &report.coloring)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod classify;
+mod deterministic;
+mod extension;
+mod easy;
+mod error;
+mod loophole;
+mod phase1;
+mod phase2;
+mod phase3;
+mod phase4;
+mod randomized;
+pub mod render;
+
+pub use classify::{classify_cliques, CliqueKind, Classification};
+pub use deterministic::{color_deterministic, Config, HegAlgo, MatchingAlgo, PipelineStats, Report};
+pub use easy::{color_easy_and_loopholes, color_easy_and_loopholes_scoped, EasyStats};
+pub use error::DeltaColoringError;
+pub use extension::{color_sparse_dense, SparseDenseReport, SparseDenseStats};
+pub use loophole::{detect_loopholes, brute_force_color_loophole, Loophole, LoopholeReport};
+pub use phase1::{balanced_matching, BalancedMatching, Phase1Stats};
+pub use phase2::{sparsify_matching, SparsifiedMatching};
+pub use phase3::{form_slack_triads, SlackTriad, TriadSet};
+pub use phase4::{color_hard_cliques_phase4, Phase4Stats};
+pub use randomized::{color_randomized, RandConfig, RandReport, ShatterStats};

@@ -1,0 +1,404 @@
+//! Loopholes (Definition 6): constant-size structures that make Δ-coloring
+//! locally easy — a vertex of degree `< Δ`, or a non-clique even cycle on
+//! at most 6 vertices.
+//!
+//! Detection is a constant-radius computation (each pattern lives inside a
+//! radius-3 ball), so it charges `O(1)` LOCAL rounds. Coloring a loophole
+//! once all outside neighbors are colored is a *deg-list coloring* of a
+//! 2-connected non-complete subgraph, which always exists (Lemma 7 /
+//! [ERT79]); [`brute_force_color_loophole`] finds it by backtracking over
+//! degree-truncated palettes.
+
+use graphgen::{Color, Coloring, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// LOCAL rounds charged for loophole detection (radius-3 ball collection).
+pub const LOOPHOLE_ROUNDS: u64 = 3;
+
+/// A loophole per Definition 6.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Loophole {
+    /// A vertex with degree `< Δ`.
+    LowDegree(NodeId),
+    /// A non-clique even cycle on 4 or 6 vertices, in cyclic order.
+    EvenCycle(Vec<NodeId>),
+}
+
+impl Loophole {
+    /// The vertices of the loophole.
+    pub fn vertices(&self) -> Vec<NodeId> {
+        match self {
+            Loophole::LowDegree(v) => vec![*v],
+            Loophole::EvenCycle(vs) => vs.clone(),
+        }
+    }
+}
+
+/// Output of [`detect_loopholes`].
+#[derive(Debug, Clone, Default)]
+pub struct LoopholeReport {
+    /// One representative loophole per *loophole vertex* (a vertex's "vote"
+    /// in Algorithm 3); indexed per vertex, `None` = in no detected
+    /// loophole.
+    pub vote: Vec<Option<Loophole>>,
+    /// LOCAL rounds charged.
+    pub rounds: u64,
+}
+
+impl LoopholeReport {
+    /// Whether vertex `v` lies in a detected loophole.
+    pub fn is_loophole_vertex(&self, v: NodeId) -> bool {
+        self.vote[v.index()].is_some()
+    }
+
+    /// Number of loophole vertices.
+    pub fn count(&self) -> usize {
+        self.vote.iter().filter(|v| v.is_some()).count()
+    }
+}
+
+/// Detects, for every vertex, one loophole containing it (if any).
+///
+/// `cluster_of[v]` is the vertex's almost-clique id (used to organize the
+/// search; `None` entries are treated as their own singleton cluster).
+/// The search covers: low-degree vertices; all non-clique 4-cycles
+/// (inside clusters via non-adjacent co-members, across clusters via
+/// external edges); and non-clique 6-cycles visible through a vertex with
+/// two external edges (the pattern Lemma 10's proof relies on).
+pub fn detect_loopholes(g: &Graph, cluster_of: &[Option<u32>]) -> LoopholeReport {
+    let n = g.n();
+    let delta = g.max_degree();
+    let mut vote: Vec<Option<Loophole>> = vec![None; n];
+
+    let assign = |vote: &mut Vec<Option<Loophole>>, lh: Loophole| {
+        for v in lh.vertices() {
+            if vote[v.index()].is_none() {
+                vote[v.index()] = Some(lh.clone());
+            }
+        }
+    };
+
+    // Case 1: low degree.
+    for v in g.vertices() {
+        if g.degree(v) < delta {
+            assign(&mut vote, Loophole::LowDegree(v));
+        }
+    }
+
+    // Cluster member lists.
+    let num_clusters = cluster_of.iter().flatten().copied().max().map_or(0, |m| m as usize + 1);
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); num_clusters];
+    for v in g.vertices() {
+        if let Some(c) = cluster_of[v.index()] {
+            members[c as usize].push(v);
+        }
+    }
+    let same_cluster = |a: NodeId, b: NodeId| {
+        cluster_of[a.index()].is_some() && cluster_of[a.index()] == cluster_of[b.index()]
+    };
+
+    // Case 2: intra-cluster non-clique 4-cycles — non-adjacent co-members
+    // with two common neighbors.
+    for ms in &members {
+        for (i, &u) in ms.iter().enumerate() {
+            for &w in &ms[i + 1..] {
+                if g.has_edge(u, w) {
+                    continue;
+                }
+                let common = graphgen::analysis::common_neighbors(g, u, w);
+                if common.len() >= 2 {
+                    let cyc = vec![u, common[0], w, common[1]];
+                    assign(&mut vote, Loophole::EvenCycle(cyc));
+                }
+            }
+        }
+    }
+
+    // Case 3: 4-cycles through an external edge u–v: u, v, x ∈ N(v), and a
+    // common neighbor w of u and x.
+    for u in g.vertices() {
+        for &v in g.neighbors(u) {
+            if same_cluster(u, v) || u > v {
+                continue;
+            }
+            for &x in g.neighbors(v) {
+                if x == u {
+                    continue;
+                }
+                for &w in &graphgen::analysis::common_neighbors(g, u, x) {
+                    if w == v {
+                        continue;
+                    }
+                    let cyc = vec![u, v, x, w];
+                    if !graphgen::analysis::is_clique(g, &cyc) {
+                        assign(&mut vote, Loophole::EvenCycle(cyc));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Case 4: 6-cycles via a wedge of two external edges x–v–y plus a path
+    // of length 4 from x to y with no two consecutive intra-cluster edges.
+    for v in g.vertices() {
+        let ext: Vec<NodeId> =
+            g.neighbors(v).iter().copied().filter(|&w| !same_cluster(v, w)).collect();
+        for (i, &x) in ext.iter().enumerate() {
+            for &y in &ext[i + 1..] {
+                if let Some(mut path) = six_cycle_path(g, cluster_of, x, y, v) {
+                    let mut cyc = vec![v];
+                    cyc.append(&mut path);
+                    if !graphgen::analysis::is_clique(g, &cyc) {
+                        assign(&mut vote, Loophole::EvenCycle(cyc));
+                    }
+                }
+            }
+        }
+    }
+
+    LoopholeReport { vote, rounds: LOOPHOLE_ROUNDS }
+}
+
+/// Path x → … → y of length exactly 4, avoiding `apex`, with no two
+/// consecutive intra-cluster edges (which would re-enter the same cluster
+/// and be covered by the 4-cycle searches).
+fn six_cycle_path(
+    g: &Graph,
+    cluster_of: &[Option<u32>],
+    x: NodeId,
+    y: NodeId,
+    apex: NodeId,
+) -> Option<Vec<NodeId>> {
+    let same = |a: NodeId, b: NodeId| {
+        cluster_of[a.index()].is_some() && cluster_of[a.index()] == cluster_of[b.index()]
+    };
+    for &a in g.neighbors(x) {
+        if a == apex || a == y {
+            continue;
+        }
+        let xa_intra = same(x, a);
+        for &b in g.neighbors(a) {
+            if b == apex || b == x || b == y {
+                continue;
+            }
+            if xa_intra && same(a, b) {
+                continue;
+            }
+            let ab_intra = same(a, b);
+            for &c in g.neighbors(b) {
+                if c == apex || c == x || c == a || c == y {
+                    continue;
+                }
+                if ab_intra && same(b, c) {
+                    continue;
+                }
+                if g.has_edge(c, y) {
+                    return Some(vec![x, a, b, c, y]);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Colors the vertex set of a loophole given that all outside neighbors
+/// are already colored: a deg-list instance solved by backtracking over
+/// degree-truncated palettes.
+///
+/// Returns the chosen colors (parallel to `vertices`), or `None` if no
+/// proper extension exists — which Lemma 7 guarantees cannot happen for
+/// genuine loopholes.
+pub fn brute_force_color_loophole(
+    g: &Graph,
+    coloring: &Coloring,
+    vertices: &[NodeId],
+    palette: u32,
+) -> Option<Vec<Color>> {
+    // Free colors per vertex, truncated to induced-degree + 1 (degree-
+    // choosability makes any such truncation sufficient).
+    let induced_deg = |v: NodeId| {
+        g.neighbors(v).iter().filter(|w| vertices.contains(w)).count()
+    };
+    let mut lists: Vec<Vec<Color>> = Vec::with_capacity(vertices.len());
+    for &v in vertices {
+        let used: std::collections::HashSet<Color> = g
+            .neighbors(v)
+            .iter()
+            .filter_map(|&w| coloring.get(w))
+            .collect();
+        let list: Vec<Color> = (0..palette)
+            .map(Color)
+            .filter(|c| !used.contains(c))
+            .take(induced_deg(v) + 1)
+            .collect();
+        lists.push(list);
+    }
+    let mut chosen: Vec<Option<Color>> = vec![None; vertices.len()];
+    if backtrack(g, vertices, &lists, &mut chosen, 0) {
+        Some(chosen.into_iter().map(|c| c.expect("backtracking filled all")).collect())
+    } else {
+        None
+    }
+}
+
+fn backtrack(
+    g: &Graph,
+    vertices: &[NodeId],
+    lists: &[Vec<Color>],
+    chosen: &mut Vec<Option<Color>>,
+    i: usize,
+) -> bool {
+    if i == vertices.len() {
+        return true;
+    }
+    'colors: for &c in &lists[i] {
+        for (j, &w) in vertices.iter().enumerate() {
+            if j < i && chosen[j] == Some(c) && g.has_edge(vertices[i], w) {
+                continue 'colors;
+            }
+        }
+        chosen[i] = Some(c);
+        if backtrack(g, vertices, lists, chosen, i + 1) {
+            return true;
+        }
+        chosen[i] = None;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::generators;
+
+    fn no_clusters(n: usize) -> Vec<Option<u32>> {
+        vec![None; n]
+    }
+
+    #[test]
+    fn low_degree_detected() {
+        let g = generators::star(4); // leaves have degree 1 < Δ=4
+        let rep = detect_loopholes(&g, &no_clusters(5));
+        assert!(rep.is_loophole_vertex(NodeId(1)));
+        // The center has degree Δ and lies on no even cycle: not a loophole.
+        assert!(!rep.is_loophole_vertex(NodeId(0)));
+    }
+
+    #[test]
+    fn four_cycle_detected() {
+        // C4 is 2-regular: no low-degree vertices; it is its own loophole.
+        let g = generators::cycle(4);
+        let rep = detect_loopholes(&g, &no_clusters(4));
+        for v in g.vertices() {
+            assert!(rep.is_loophole_vertex(v), "{v}");
+            assert!(matches!(rep.vote[v.index()], Some(Loophole::EvenCycle(_))));
+        }
+    }
+
+    #[test]
+    fn clique_has_no_loopholes() {
+        let g = generators::complete(6);
+        // K6: Δ = 5, all degrees Δ; every 4-cycle is inside the clique.
+        let clusters = vec![Some(0); 6];
+        let rep = detect_loopholes(&g, &clusters);
+        assert_eq!(rep.count(), 0);
+    }
+
+    #[test]
+    fn odd_cycle_not_a_loophole() {
+        let g = generators::cycle(5);
+        let rep = detect_loopholes(&g, &no_clusters(5));
+        assert_eq!(rep.count(), 0, "C5 is 2-regular and has no even cycle");
+    }
+
+    #[test]
+    fn hard_instance_has_no_loopholes() {
+        let inst = generators::hard_cliques(&generators::HardCliqueParams {
+            cliques: 34,
+            delta: 16,
+            external_per_vertex: 1,
+            seed: 11,
+        })
+        .unwrap();
+        let clusters: Vec<Option<u32>> = inst.clique_of.iter().map(|&c| Some(c)).collect();
+        let rep = detect_loopholes(&inst.graph, &clusters);
+        assert_eq!(rep.count(), 0, "hard instances are loophole-free by construction");
+    }
+
+    #[test]
+    fn planted_low_degree_found() {
+        let inst = generators::easy_cliques(&generators::EasyCliqueParams {
+            base: generators::HardCliqueParams {
+                cliques: 34,
+                delta: 16,
+                external_per_vertex: 1,
+                seed: 12,
+            },
+            easy: 2,
+            kind: generators::LoopholeKind::LowDegree,
+        })
+        .unwrap();
+        let clusters: Vec<Option<u32>> = inst.clique_of.iter().map(|&c| Some(c)).collect();
+        let rep = detect_loopholes(&inst.graph, &clusters);
+        assert!(rep.count() >= 4, "two deleted edges give four low-degree vertices");
+        for k in &inst.planted_easy {
+            assert!(
+                inst.cliques[*k].iter().any(|&v| rep.is_loophole_vertex(v)),
+                "planted clique {k} has a loophole vertex"
+            );
+        }
+    }
+
+    #[test]
+    fn planted_four_cycle_found() {
+        let inst = generators::easy_cliques(&generators::EasyCliqueParams {
+            base: generators::HardCliqueParams {
+                cliques: 34,
+                delta: 16,
+                external_per_vertex: 1,
+                seed: 13,
+            },
+            easy: 1,
+            kind: generators::LoopholeKind::FourCycle,
+        })
+        .unwrap();
+        let clusters: Vec<Option<u32>> = inst.clique_of.iter().map(|&c| Some(c)).collect();
+        let rep = detect_loopholes(&inst.graph, &clusters);
+        assert!(rep.count() >= 4, "a planted 4-cycle has at least 4 loophole vertices");
+    }
+
+    #[test]
+    fn brute_force_colors_even_cycle_with_two_lists() {
+        let g = generators::cycle(4);
+        let coloring = Coloring::empty(4);
+        let vs: Vec<NodeId> = g.vertices().collect();
+        let colors = brute_force_color_loophole(&g, &coloring, &vs, 2).unwrap();
+        let mut full = Coloring::empty(4);
+        for (i, &v) in vs.iter().enumerate() {
+            full.set(v, colors[i]);
+        }
+        full.check_complete(&g, 2).unwrap();
+    }
+
+    #[test]
+    fn brute_force_respects_outside_colors() {
+        // Path a-b where a's other neighbor forces a color.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let mut coloring = Coloring::empty(3);
+        coloring.set(NodeId(0), Color(0));
+        let colors =
+            brute_force_color_loophole(&g, &coloring, &[NodeId(1), NodeId(2)], 2).unwrap();
+        assert_ne!(colors[0], Color(0));
+        assert_ne!(colors[0], colors[1]);
+    }
+
+    #[test]
+    fn brute_force_reports_impossible() {
+        // Triangle with palette 2 cannot be colored.
+        let g = generators::complete(3);
+        let coloring = Coloring::empty(3);
+        let vs: Vec<NodeId> = g.vertices().collect();
+        assert!(brute_force_color_loophole(&g, &coloring, &vs, 2).is_none());
+    }
+}

@@ -1,0 +1,94 @@
+//! Phase 3 — Forming slack triads (§3.5, Definition 14, Lemma 15).
+
+use acd::AcdResult;
+use graphgen::{Graph, NodeId};
+use localsim::RoundLedger;
+use serde::{Deserialize, Serialize};
+
+use crate::error::DeltaColoringError;
+use crate::phase2::SparsifiedMatching;
+
+/// A slack triad `(u, v, w)`: `v, w ∈ N(u)` and `v ≁ w`. Same-coloring the
+/// slack pair `{v, w}` gives the slack vertex `u` one unit of permanent
+/// slack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlackTriad {
+    /// The slack vertex (stays uncolored until the very end of Phase 4).
+    pub slack: NodeId,
+    /// The internal slack-pair vertex (tail of the clique's second edge).
+    pub pair_in: NodeId,
+    /// The external slack-pair vertex (head of the clique's first edge).
+    pub pair_out: NodeId,
+    /// The clique this triad serves.
+    pub clique: u32,
+}
+
+/// The collection of slack triads.
+#[derive(Debug, Clone, Default)]
+pub struct TriadSet {
+    /// One triad per Type-I⁺ clique.
+    pub triads: Vec<SlackTriad>,
+    /// Per-vertex triad membership (index into `triads`).
+    pub triad_of: Vec<Option<u32>>,
+}
+
+/// Forms one slack triad per Type-I⁺ clique from its two outgoing `F3`
+/// edges, and verifies Lemma 15: triads are genuinely slack triads (the
+/// pair is non-adjacent) and pairwise vertex-disjoint.
+///
+/// # Errors
+///
+/// Reports invariant violations (which the paper's Lemmas 9/15 exclude).
+pub fn form_slack_triads(
+    g: &Graph,
+    acd: &AcdResult,
+    f3: &SparsifiedMatching,
+    ledger: &mut RoundLedger,
+) -> Result<TriadSet, DeltaColoringError> {
+    let clique_of = |v: NodeId| acd.clique_of[v.index()].expect("F3 touches hard cliques only");
+    // Group F3 edges by tail clique.
+    let mut by_clique: std::collections::HashMap<u32, Vec<(NodeId, NodeId)>> =
+        std::collections::HashMap::new();
+    for &(t, h) in &f3.edges {
+        by_clique.entry(clique_of(t)).or_default().push((t, h));
+    }
+    let mut triads = Vec::new();
+    let mut triad_of: Vec<Option<u32>> = vec![None; g.n()];
+    let mut cids: Vec<u32> = by_clique.keys().copied().collect();
+    cids.sort_unstable();
+    for cid in cids {
+        let edges = &by_clique[&cid];
+        if edges.len() != 2 {
+            return Err(DeltaColoringError::InvariantViolated(format!(
+                "clique {cid} has {} outgoing F3 edges, expected exactly 2",
+                edges.len()
+            )));
+        }
+        let (u, w) = edges[0]; // e1: slack vertex u, external pair vertex w
+        let (v, _v2) = edges[1]; // e2: internal pair vertex v
+        if !g.has_edge(u, v) {
+            return Err(DeltaColoringError::InvariantViolated(format!(
+                "triad of clique {cid}: slack {u} and internal pair {v} are not adjacent"
+            )));
+        }
+        if g.has_edge(v, w) {
+            // Lemma 15 property (i), via Lemma 9.3.
+            return Err(DeltaColoringError::InvariantViolated(format!(
+                "triad of clique {cid}: pair vertices {v} and {w} are adjacent"
+            )));
+        }
+        let idx = triads.len() as u32;
+        for x in [u, v, w] {
+            if triad_of[x.index()].is_some() {
+                // Lemma 15 property (ii).
+                return Err(DeltaColoringError::InvariantViolated(format!(
+                    "vertex {x} appears in two slack triads"
+                )));
+            }
+            triad_of[x.index()] = Some(idx);
+        }
+        triads.push(SlackTriad { slack: u, pair_in: v, pair_out: w, clique: cid });
+    }
+    ledger.charge_constant("phase3/slack triad formation", 1);
+    Ok(TriadSet { triads, triad_of })
+}

@@ -1,0 +1,781 @@
+//! Algorithm 4 — the randomized Δ-coloring pipeline (Theorem 2).
+//!
+//! The shattering framework, following [GHKM21] with this paper's new
+//! post-shattering phase:
+//!
+//! 1. **Large Δ**: for `Δ ≥ threshold` a dense-specific randomized routine
+//!    is used (substituting [FHM23]'s `O(log* n)` algorithm; see
+//!    DESIGN.md): every hard clique samples a slack triad, pairs are
+//!    colored by parallel random trials, and the rest follows by stalled
+//!    trials.
+//! 2. **Pre-processing**: loopholes and easy cliques are set aside — they
+//!    are colored at the very end by Algorithm 3 (its layering provides
+//!    the slack ordering).
+//! 3. **Pre-shattering**: every hard clique proposes a *T-node* (a slack
+//!    triad) with probability `p`; proposals closer than `b` hops in the
+//!    clique graph are dropped; surviving pairs are same-colored with
+//!    color 0, and a radius-`R` ball around each slack vertex is
+//!    *deferred*.
+//! 4. **Post-shattering (the paper's new step)**: the remaining uncolored
+//!    hard vertices split into small components (w.h.p. `poly Δ · log n`),
+//!    each solved **in parallel** by the deterministic pipeline with pair
+//!    palette `{1..Δ-1}` (color 0 stays reserved) and the *extended
+//!    loophole* rule: a vertex adjacent to an uncolored vertex outside the
+//!    component — a deferred vertex or an easy clique — has slack and
+//!    anchors its clique. The paper's "useless vertices" (members whose
+//!    only external neighbors are colored T-pairs) are excluded from
+//!    proposing, exactly as §4 prescribes.
+//! 5. **Post-processing**: deferred rings are colored inward, slack
+//!    vertices last (they enjoy permanent slack from their same-colored
+//!    pair); finally Algorithm 3 sweeps the easy cliques and loopholes.
+
+use acd::{compute_acd, AcdResult};
+use graphgen::{Color, Coloring, Graph, NodeId};
+use localsim::RoundLedger;
+use primitives::ruling::RulingStyle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::classify::{classify_cliques, Classification, CliqueKind};
+use crate::deterministic::{run_hard_phases, Config, PipelineStats};
+use crate::easy::color_easy_and_loopholes_scoped;
+use crate::error::DeltaColoringError;
+use crate::loophole::{detect_loopholes, Loophole, LoopholeReport};
+use crate::phase4::run_list_instance;
+
+/// Configuration of the randomized pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandConfig {
+    /// Deterministic pipeline configuration for the post-shattering phase.
+    pub base: Config,
+    /// RNG seed.
+    pub seed: u64,
+    /// T-node placement probability per hard clique.
+    pub placement_prob: f64,
+    /// Minimum clique-graph spacing between placed T-nodes (the paper's
+    /// adjustable constant `b`; ≥ 4 keeps distinct T-node triads
+    /// non-adjacent and limits useless vertices to one clique boundary).
+    pub spacing: usize,
+    /// Radius of the deferred ball around each slack vertex. Must exceed
+    /// the vertex-level reach of `spacing` (≈ spacing + 2) so that the
+    /// deferred balls cover the graph between T-nodes and the leftover
+    /// truly shatters.
+    pub defer_radius: usize,
+    /// Use the large-Δ routine when `Δ ≥` this threshold (the paper's
+    /// `Δ = ω(log²¹ n)` branch; `None` disables it).
+    pub large_delta_threshold: Option<usize>,
+}
+
+impl RandConfig {
+    /// Defaults scaled for the instance's Δ.
+    pub fn for_delta(delta: usize, seed: u64) -> Self {
+        RandConfig {
+            base: Config::for_delta(delta),
+            seed,
+            placement_prob: 0.5,
+            spacing: 4,
+            defer_radius: 7,
+            large_delta_threshold: None,
+        }
+    }
+}
+
+/// Shattering statistics (experiments E3/E8).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ShatterStats {
+    /// T-nodes proposed before spacing was enforced.
+    pub proposed: usize,
+    /// T-nodes placed.
+    pub t_nodes: usize,
+    /// Vertices deferred around slack vertices.
+    pub deferred: usize,
+    /// Leftover components solved by the deterministic pipeline.
+    pub components: usize,
+    /// Largest leftover component (vertices).
+    pub max_component: usize,
+    /// Whether the large-Δ branch ran instead of shattering.
+    pub large_delta_branch: bool,
+}
+
+/// Outcome of a randomized run.
+#[derive(Debug, Clone)]
+pub struct RandReport {
+    /// The proper Δ-coloring.
+    pub coloring: Coloring,
+    /// Round accounting (parallel components charged by maximum).
+    pub ledger: RoundLedger,
+    /// Shattering statistics.
+    pub shatter: ShatterStats,
+}
+
+impl RandReport {
+    /// Total LOCAL rounds.
+    pub fn rounds(&self) -> u64 {
+        self.ledger.total()
+    }
+}
+
+/// Runs Theorem 2's randomized Δ-coloring pipeline on a dense graph.
+///
+/// # Examples
+///
+/// ```
+/// use delta_core::{color_randomized, RandConfig};
+/// use graphgen::generators::{hard_cliques, HardCliqueParams};
+/// let inst = hard_cliques(&HardCliqueParams {
+///     cliques: 34, delta: 16, external_per_vertex: 1, seed: 2,
+/// })?;
+/// let report = color_randomized(&inst.graph, &RandConfig::for_delta(16, 7))?;
+/// graphgen::coloring::verify_delta_coloring(&inst.graph, &report.coloring)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// Mirrors [`crate::color_deterministic`].
+#[allow(clippy::too_many_lines)]
+pub fn color_randomized(g: &Graph, config: &RandConfig) -> Result<RandReport, DeltaColoringError> {
+    let delta = g.max_degree();
+    if delta < 4 {
+        return Err(DeltaColoringError::UnsupportedStructure(format!(
+            "maximum degree {delta} is below the supported minimum of 4"
+        )));
+    }
+    if let Some(th) = config.large_delta_threshold {
+        if delta >= th {
+            return color_large_delta(g, config);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut ledger = RoundLedger::new();
+    let mut coloring = Coloring::empty(g.n());
+    let mut shatter = ShatterStats::default();
+
+    // --- ACD, loopholes, classification (as in Algorithm 1). ---
+    let acd = compute_acd(g, &config.base.acd);
+    ledger.charge_constant("acd computation", acd.rounds);
+    if !acd.is_dense() {
+        return Err(DeltaColoringError::NotDense { sparse: acd.sparse.len() });
+    }
+    let loopholes = detect_loopholes(g, &acd.clique_of);
+    ledger.charge_constant("loophole detection", loopholes.rounds);
+    let cls = classify_cliques(g, &acd, &loopholes)?;
+    ledger.charge_constant("hard/easy classification", cls.rounds);
+
+    // --- Pre-shattering: T-node placement with spacing. ---
+    let clique_graph = build_clique_graph(g, &acd, &cls);
+    let proposers: Vec<u32> = cls
+        .hard_ids
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_bool(config.placement_prob))
+        .collect();
+    shatter.proposed = proposers.len();
+    let accepted = enforce_spacing(&clique_graph, &proposers, config.spacing);
+    ledger.charge_constant("pre-shattering/T-node spacing", config.spacing as u64);
+
+    // Choose a triad per accepted clique and same-color its pair with 0.
+    let mut slack_vertices: Vec<NodeId> = Vec::new();
+    for &cid in &accepted {
+        let members = &acd.cliques[cid as usize].vertices;
+        let mut triad = None;
+        'search: for &u in members {
+            for &w in g.neighbors(u) {
+                if !cls.is_hard_vertex[w.index()]
+                    || acd.clique_of[w.index()] == Some(cid)
+                    || coloring.is_colored(w)
+                {
+                    continue;
+                }
+                if let Some(&v) =
+                    members.iter().find(|&&v| v != u && !g.has_edge(v, w))
+                {
+                    triad = Some((u, v, w));
+                    break 'search;
+                }
+            }
+        }
+        let Some((u, v, w)) = triad else {
+            continue; // no usable external hard edge: skip this T-node
+        };
+        // All pairs share color 0, so a pair adjacent to an earlier pair
+        // must be dropped. Spacing >= 4 prevents this entirely; smaller
+        // spacings (the E8 ablation) rely on this local O(1) conflict
+        // check instead.
+        let clash = [v, w].iter().any(|&x| {
+            g.neighbors(x).iter().any(|&y| coloring.get(y) == Some(Color(0)))
+        });
+        if clash {
+            continue;
+        }
+        coloring.set(v, Color(0));
+        coloring.set(w, Color(0));
+        slack_vertices.push(u);
+    }
+    shatter.t_nodes = slack_vertices.len();
+    ledger.charge_constant("pre-shattering/pair coloring", 2);
+
+    // Defer a radius-R ball of uncolored hard vertices around every slack
+    // vertex; ring index = BFS distance (ring 0 = the slack vertex).
+    let mut ring: Vec<Option<usize>> = vec![None; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    for &u in &slack_vertices {
+        ring[u.index()] = Some(0);
+        queue.push_back(u);
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = ring[v.index()].expect("queued vertices have rings");
+        if d == config.defer_radius {
+            continue;
+        }
+        for &w in g.neighbors(v) {
+            if cls.is_hard_vertex[w.index()]
+                && !coloring.is_colored(w)
+                && ring[w.index()].is_none()
+            {
+                ring[w.index()] = Some(d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    shatter.deferred = ring.iter().flatten().count();
+
+    // --- Post-shattering: solve leftover components in parallel. ---
+    let leftover = |v: NodeId| {
+        cls.is_hard_vertex[v.index()] && !coloring.is_colored(v) && ring[v.index()].is_none()
+    };
+    let components = leftover_components(g, &leftover);
+    shatter.components = components.len();
+    shatter.max_component = components.iter().map(Vec::len).max().unwrap_or(0);
+    let mut component_ledgers = Vec::with_capacity(components.len());
+    for (i, comp) in components.iter().enumerate() {
+        let mut comp_ledger = RoundLedger::new();
+        solve_component(
+            g,
+            &acd,
+            &cls,
+            comp,
+            &config.base,
+            config.seed.wrapping_add(i as u64),
+            &mut coloring,
+            &mut comp_ledger,
+        )?;
+        component_ledgers.push(comp_ledger);
+    }
+    ledger.absorb_parallel_max("post-shattering", component_ledgers);
+
+    // --- Post-processing I: deferred rings inward, slack vertices last. ---
+    for l in (1..=config.defer_radius).rev() {
+        let active: Vec<NodeId> = g
+            .vertices()
+            .filter(|&v| ring[v.index()] == Some(l) && !coloring.is_colored(v))
+            .collect();
+        run_list_instance(
+            g,
+            &active,
+            delta as u32,
+            &mut coloring,
+            format!("post-processing/T ring {l}"),
+            &mut ledger,
+        )?;
+    }
+    let slack_uncolored: Vec<NodeId> =
+        slack_vertices.iter().copied().filter(|&v| !coloring.is_colored(v)).collect();
+    run_list_instance(
+        g,
+        &slack_uncolored,
+        delta as u32,
+        &mut coloring,
+        "post-processing/slack vertices",
+        &mut ledger,
+    )?;
+
+    // --- Post-processing II: easy cliques and loopholes (Algorithm 3). ---
+    color_easy_and_loopholes_scoped(
+        g,
+        &loopholes,
+        config.base.ruling_r,
+        RulingStyle::Randomized(config.seed ^ 0xE457_0000),
+        None,
+        &mut coloring,
+        &mut ledger,
+    )?;
+
+    coloring
+        .check_complete(g, delta as u32)
+        .map_err(|e| DeltaColoringError::InvariantViolated(format!("final coloring: {e}")))?;
+    Ok(RandReport { coloring, ledger, shatter })
+}
+
+/// Adjacency graph of hard cliques (an edge when any member edge crosses).
+fn build_clique_graph(g: &Graph, acd: &AcdResult, cls: &Classification) -> Graph {
+    let mut edges = Vec::new();
+    for (u, v) in g.edges() {
+        let (cu, cv) = (acd.clique_of[u.index()], acd.clique_of[v.index()]);
+        if let (Some(a), Some(b)) = (cu, cv) {
+            if a != b
+                && cls.kinds[a as usize] == CliqueKind::Hard
+                && cls.kinds[b as usize] == CliqueKind::Hard
+            {
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_edges(acd.cliques.len(), edges).expect("clique graph is valid")
+}
+
+/// Greedy spacing: accept proposers in id order, dropping any within
+/// clique-graph distance `< b` of an accepted one.
+fn enforce_spacing(clique_graph: &Graph, proposers: &[u32], b: usize) -> Vec<u32> {
+    let mut accepted: Vec<u32> = Vec::new();
+    let mut blocked = vec![false; clique_graph.n()];
+    let mut sorted = proposers.to_vec();
+    sorted.sort_unstable();
+    for &c in &sorted {
+        if blocked[c as usize] {
+            continue;
+        }
+        accepted.push(c);
+        // Block the (b-1)-ball around c.
+        let mut dist = vec![usize::MAX; clique_graph.n()];
+        dist[c as usize] = 0;
+        let mut q = std::collections::VecDeque::from([NodeId(c)]);
+        blocked[c as usize] = true;
+        while let Some(v) = q.pop_front() {
+            let d = dist[v.index()];
+            if d + 1 >= b {
+                continue;
+            }
+            for &w in clique_graph.neighbors(v) {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = d + 1;
+                    blocked[w.index()] = true;
+                    q.push_back(w);
+                }
+            }
+        }
+    }
+    accepted
+}
+
+/// Connected components of the leftover predicate.
+fn leftover_components(g: &Graph, leftover: &impl Fn(NodeId) -> bool) -> Vec<Vec<NodeId>> {
+    let mut seen = vec![false; g.n()];
+    let mut out = Vec::new();
+    for s in g.vertices() {
+        if seen[s.index()] || !leftover(s) {
+            continue;
+        }
+        seen[s.index()] = true;
+        let mut comp = vec![s];
+        let mut stack = vec![s];
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                if !seen[w.index()] && leftover(w) {
+                    seen[w.index()] = true;
+                    comp.push(w);
+                    stack.push(w);
+                }
+            }
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out
+}
+
+/// Solves one leftover component with the modified deterministic pipeline.
+#[allow(clippy::too_many_arguments)]
+fn solve_component(
+    g: &Graph,
+    acd: &AcdResult,
+    cls: &Classification,
+    comp: &[NodeId],
+    base: &Config,
+    seed: u64,
+    coloring: &mut Coloring,
+    ledger: &mut RoundLedger,
+) -> Result<(), DeltaColoringError> {
+    let delta = g.max_degree();
+    let mut in_comp = vec![false; g.n()];
+    for &v in comp {
+        in_comp[v.index()] = true;
+    }
+    // Anchors: extended loopholes — a neighbor that is uncolored and
+    // outside the component (deferred or easy), or two same-colored
+    // neighbors (permanent slack from adjacent T-pairs).
+    let mut anchor_votes: Vec<Option<Loophole>> = vec![None; g.n()];
+    for &v in comp {
+        let mut outside_uncolored = false;
+        let mut colors_seen: std::collections::HashSet<Color> = std::collections::HashSet::new();
+        let mut repeat_color = false;
+        for &w in g.neighbors(v) {
+            match coloring.get(w) {
+                None if !in_comp[w.index()] => outside_uncolored = true,
+                Some(c) if !colors_seen.insert(c) => repeat_color = true,
+                _ => {}
+            }
+        }
+        if outside_uncolored || repeat_color {
+            anchor_votes[v.index()] = Some(Loophole::LowDegree(v));
+        }
+    }
+
+    // Component cliques: a clique is *scope-hard* when all of its
+    // uncolored members lie in this component and none is anchored —
+    // already-colored pair vertices are simply dropped from the clique
+    // (the §4 "useless vertex" adjustment). Cliques with anchored or
+    // deferred members are easy-like and colored by the scoped sweep.
+    let mut comp_cliques: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    for &v in comp {
+        comp_cliques.insert(acd.clique_of[v.index()].expect("hard vertices lie in cliques"));
+    }
+    let mut scope_hard: Vec<u32> = Vec::new();
+    let mut is_scope_hard_vertex = vec![false; g.n()];
+    for &cid in &comp_cliques {
+        let members = &acd.cliques[cid as usize].vertices;
+        let uncolored: Vec<NodeId> =
+            members.iter().copied().filter(|&v| !coloring.is_colored(v)).collect();
+        let contained = uncolored.iter().all(|&v| in_comp[v.index()]);
+        let anchored = uncolored.iter().any(|&v| anchor_votes[v.index()].is_some());
+        if contained && !anchored && uncolored.len() >= base.subcliques {
+            scope_hard.push(cid);
+            for &v in &uncolored {
+                is_scope_hard_vertex[v.index()] = true;
+            }
+        }
+    }
+    // Scoped C_HEG: every sub-clique (same chunking over *active* members
+    // as Phase 1) must field at least one member with an external
+    // scope-hard neighbor.
+    let mut heg_ids = Vec::new();
+    for &cid in &scope_hard {
+        let members: Vec<NodeId> = acd.cliques[cid as usize]
+            .vertices
+            .iter()
+            .copied()
+            .filter(|&v| is_scope_hard_vertex[v.index()])
+            .collect();
+        let k = base.subcliques.min(members.len());
+        let mut sub_ok = vec![false; k];
+        for (j, &v) in members.iter().enumerate() {
+            let part = j * k / members.len();
+            if g.neighbors(v).iter().any(|&w| {
+                is_scope_hard_vertex[w.index()] && acd.clique_of[w.index()] != Some(cid)
+            }) {
+                sub_ok[part] = true;
+            }
+        }
+        if sub_ok.iter().all(|&b| b) {
+            heg_ids.push(cid);
+        }
+        // Cliques failing the sub-clique rule stay scope-hard but outside
+        // C_HEG: Phase 4 treats them as Type II, stalling on a member with
+        // an uncolored easy-like neighbor inside the component.
+    }
+    let scoped_cls = Classification {
+        kinds: cls.kinds.clone(),
+        hard_ids: scope_hard,
+        heg_ids,
+        is_hard_vertex: is_scope_hard_vertex,
+        rounds: 1,
+    };
+    let scoped_votes = LoopholeReport { vote: anchor_votes, rounds: 1 };
+
+    if !scoped_cls.hard_ids.is_empty() {
+        let pair_palette: Vec<Color> = (1..delta as u32).map(Color).collect();
+        let mut stats = PipelineStats::default();
+        run_hard_phases(
+            g,
+            acd,
+            &scoped_cls,
+            base,
+            coloring,
+            ledger,
+            &mut stats,
+            Some(pair_palette),
+            true,
+        )?;
+    }
+    // Scoped easy sweep for the easy-like remainder, anchored at the
+    // extended loopholes.
+    color_easy_and_loopholes_scoped(
+        g,
+        &scoped_votes,
+        1,
+        RulingStyle::Randomized(seed),
+        Some(&in_comp),
+        coloring,
+        ledger,
+    )?;
+    Ok(())
+}
+
+/// The large-Δ branch: a dense-specific randomized routine substituting
+/// [FHM23]'s `O(log* n)` algorithm (see DESIGN.md). Every hard clique
+/// samples a slack triad; pairs are colored by parallel random trials on
+/// the conflict graph; the remainder follows by stalled trials and the
+/// easy sweep.
+fn color_large_delta(g: &Graph, config: &RandConfig) -> Result<RandReport, DeltaColoringError> {
+    let delta = g.max_degree();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1A26_00E0);
+    let mut ledger = RoundLedger::new();
+    let mut coloring = Coloring::empty(g.n());
+    let mut shatter = ShatterStats { large_delta_branch: true, ..ShatterStats::default() };
+
+    let acd = compute_acd(g, &config.base.acd);
+    ledger.charge_constant("acd computation", acd.rounds);
+    if !acd.is_dense() {
+        return Err(DeltaColoringError::NotDense { sparse: acd.sparse.len() });
+    }
+    let loopholes = detect_loopholes(g, &acd.clique_of);
+    ledger.charge_constant("loophole detection", loopholes.rounds);
+    let cls = classify_cliques(g, &acd, &loopholes)?;
+    ledger.charge_constant("hard/easy classification", cls.rounds);
+
+    // Sample one triad per hard clique; pairs must be mutually non-adjacent
+    // across cliques only in the conflict-graph sense (handled by trials).
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut slack: Vec<NodeId> = Vec::new();
+    let mut used = vec![false; g.n()];
+    for &cid in &cls.hard_ids {
+        let members = &acd.cliques[cid as usize].vertices;
+        let mut triad = None;
+        for _ in 0..32 {
+            let u = members[rng.gen_range(0..members.len())];
+            if used[u.index()] {
+                continue;
+            }
+            let externals: Vec<NodeId> = g
+                .neighbors(u)
+                .iter()
+                .copied()
+                .filter(|&w| {
+                    cls.is_hard_vertex[w.index()]
+                        && acd.clique_of[w.index()] != Some(cid)
+                        && !used[w.index()]
+                })
+                .collect();
+            if externals.is_empty() {
+                continue;
+            }
+            let w = externals[rng.gen_range(0..externals.len())];
+            if let Some(&v) = members
+                .iter()
+                .find(|&&v| v != u && !used[v.index()] && !g.has_edge(v, w))
+            {
+                triad = Some((u, v, w));
+                break;
+            }
+        }
+        if let Some((u, v, w)) = triad {
+            for x in [u, v, w] {
+                used[x.index()] = true;
+            }
+            pairs.push((v, w));
+            slack.push(u);
+        }
+    }
+    shatter.t_nodes = pairs.len();
+    ledger.charge_constant("large-delta/triad sampling", 2);
+
+    // Color pairs by parallel random trials on the pair-conflict graph.
+    let trial_rounds = random_pair_trials(g, &pairs, delta as u32, &mut rng, &mut coloring)?;
+    ledger.charge_virtual("large-delta/pair trials", trial_rounds, 3);
+
+    // Color everything else: non-slack hard vertices by stalled trials,
+    // then slack vertices (permanent slack), then the easy sweep.
+    let mut is_slack = vec![false; g.n()];
+    for &u in &slack {
+        is_slack[u.index()] = true;
+    }
+    let stage1: Vec<NodeId> = g
+        .vertices()
+        .filter(|&v| {
+            cls.is_hard_vertex[v.index()] && !coloring.is_colored(v) && !is_slack[v.index()]
+        })
+        .collect();
+    // A vertex without a slack source in stage 1 stalls on its clique's
+    // slack vertex; cliques without a triad stall on an easy neighbor the
+    // same way the deterministic pipeline's Type II handling does. Use the
+    // generic instance machinery (which validates palettes).
+    run_list_instance(g, &stage1, delta as u32, &mut coloring, "large-delta/hard body", &mut ledger)?;
+    let stage2: Vec<NodeId> =
+        g.vertices().filter(|&v| is_slack[v.index()] && !coloring.is_colored(v)).collect();
+    run_list_instance(g, &stage2, delta as u32, &mut coloring, "large-delta/slack", &mut ledger)?;
+    color_easy_and_loopholes_scoped(
+        g,
+        &loopholes,
+        config.base.ruling_r,
+        RulingStyle::Randomized(config.seed ^ 0x1A26_00E1),
+        None,
+        &mut coloring,
+        &mut ledger,
+    )?;
+    coloring
+        .check_complete(g, delta as u32)
+        .map_err(|e| DeltaColoringError::InvariantViolated(format!("final coloring: {e}")))?;
+    Ok(RandReport { coloring, ledger, shatter })
+}
+
+/// Parallel random color trials for slack pairs: each round every
+/// uncolored pair draws a uniform free color; a pair keeps its draw if no
+/// conflicting pair drew the same color. Returns the number of trial
+/// rounds.
+fn random_pair_trials(
+    g: &Graph,
+    pairs: &[(NodeId, NodeId)],
+    palette: u32,
+    rng: &mut StdRng,
+    coloring: &mut Coloring,
+) -> Result<u64, DeltaColoringError> {
+    // Conflict graph over pairs.
+    let mut pair_of: Vec<Option<u32>> = vec![None; g.n()];
+    for (i, &(v, w)) in pairs.iter().enumerate() {
+        pair_of[v.index()] = Some(i as u32);
+        pair_of[w.index()] = Some(i as u32);
+    }
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); pairs.len()];
+    for (i, &(v, w)) in pairs.iter().enumerate() {
+        for x in [v, w] {
+            for &y in g.neighbors(x) {
+                if let Some(j) = pair_of[y.index()] {
+                    if j != i as u32 {
+                        adj[i].push(j);
+                    }
+                }
+            }
+        }
+    }
+    for a in &mut adj {
+        a.sort_unstable();
+        a.dedup();
+    }
+    let mut color: Vec<Option<Color>> = vec![None; pairs.len()];
+    let budget = 100 + 8 * (usize::BITS - g.n().leading_zeros()) as u64;
+    let mut rounds = 0;
+    while color.iter().any(Option::is_none) {
+        if rounds >= budget {
+            return Err(DeltaColoringError::InvariantViolated(
+                "pair trials failed to converge within the w.h.p. budget".to_string(),
+            ));
+        }
+        rounds += 1;
+        let mut draw: Vec<Option<Color>> = vec![None; pairs.len()];
+        for i in 0..pairs.len() {
+            if color[i].is_some() {
+                continue;
+            }
+            let taken: std::collections::HashSet<Color> =
+                adj[i].iter().filter_map(|&j| color[j as usize]).collect();
+            let free: Vec<Color> =
+                (0..palette).map(Color).filter(|c| !taken.contains(c)).collect();
+            if free.is_empty() {
+                return Err(DeltaColoringError::InvariantViolated(
+                    "a slack pair ran out of colors (Lemma 16 violated)".to_string(),
+                ));
+            }
+            draw[i] = Some(free[rng.gen_range(0..free.len())]);
+        }
+        for i in 0..pairs.len() {
+            let Some(c) = draw[i] else { continue };
+            let clash = adj[i]
+                .iter()
+                .any(|&j| draw[j as usize] == Some(c) || color[j as usize] == Some(c));
+            if !clash {
+                color[i] = Some(c);
+            }
+        }
+    }
+    for (i, &(v, w)) in pairs.iter().enumerate() {
+        let c = color[i].expect("all pairs colored");
+        coloring.set(v, c);
+        coloring.set(w, c);
+    }
+    Ok(rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::coloring::verify_delta_coloring;
+    use graphgen::generators;
+
+    fn hard(cliques: usize, delta: usize, seed: u64) -> generators::HardCliqueInstance {
+        generators::hard_cliques(&generators::HardCliqueParams {
+            cliques,
+            delta,
+            external_per_vertex: 1,
+            seed,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn randomized_colors_hard_instance() {
+        let inst = hard(34, 16, 41);
+        let report = color_randomized(&inst.graph, &RandConfig::for_delta(16, 1)).unwrap();
+        verify_delta_coloring(&inst.graph, &report.coloring).unwrap();
+        assert!(report.shatter.t_nodes >= 1);
+    }
+
+    #[test]
+    fn randomized_seeds_differ_but_both_valid() {
+        let inst = hard(60, 16, 42);
+        let a = color_randomized(&inst.graph, &RandConfig::for_delta(16, 1)).unwrap();
+        let b = color_randomized(&inst.graph, &RandConfig::for_delta(16, 2)).unwrap();
+        verify_delta_coloring(&inst.graph, &a.coloring).unwrap();
+        verify_delta_coloring(&inst.graph, &b.coloring).unwrap();
+    }
+
+    #[test]
+    fn randomized_on_mixed_instance() {
+        let inst = generators::mixed_dense(&generators::MixedParams {
+            base: generators::HardCliqueParams {
+                cliques: 34,
+                delta: 16,
+                external_per_vertex: 1,
+                seed: 43,
+            },
+            easy_low_degree: 2,
+            easy_four_cycle: 1,
+        })
+        .unwrap();
+        let report = color_randomized(&inst.graph, &RandConfig::for_delta(16, 7)).unwrap();
+        verify_delta_coloring(&inst.graph, &report.coloring).unwrap();
+    }
+
+    #[test]
+    fn shattering_components_reported() {
+        let inst = hard(120, 16, 44);
+        let mut config = RandConfig::for_delta(16, 3);
+        config.placement_prob = 0.3;
+        let report = color_randomized(&inst.graph, &config).unwrap();
+        verify_delta_coloring(&inst.graph, &report.coloring).unwrap();
+        // With low placement probability something is usually left over.
+        assert!(report.shatter.components > 0 || report.shatter.deferred > 0);
+    }
+
+    #[test]
+    fn large_delta_branch_works() {
+        let inst = hard(34, 16, 45);
+        let mut config = RandConfig::for_delta(16, 5);
+        config.large_delta_threshold = Some(4);
+        let report = color_randomized(&inst.graph, &config).unwrap();
+        verify_delta_coloring(&inst.graph, &report.coloring).unwrap();
+        assert!(report.shatter.large_delta_branch);
+    }
+
+    #[test]
+    fn many_seeds_never_fail() {
+        let inst = hard(60, 16, 46);
+        for seed in 0..8 {
+            let report =
+                color_randomized(&inst.graph, &RandConfig::for_delta(16, seed)).unwrap();
+            verify_delta_coloring(&inst.graph, &report.coloring).unwrap();
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Failure injection: corrupted inputs and outputs are rejected with
+//! structured errors — never silently accepted, never panicking across the
+//! public API boundary.
+
+use delta_core::{
+    brute_force_color_loophole, color_deterministic, color_randomized, Config,
+    DeltaColoringError, Loophole, RandConfig,
+};
+use graphgen::coloring::{verify_delta_coloring, ColoringError};
+use graphgen::generators::{self, HardCliqueParams};
+use graphgen::{Color, Coloring, Graph, GraphBuilder, NodeId};
+
+fn hard_instance(seed: u64) -> generators::HardCliqueInstance {
+    generators::hard_cliques(&HardCliqueParams {
+        cliques: 34,
+        delta: 16,
+        external_per_vertex: 1,
+        seed,
+    })
+    .unwrap()
+}
+
+#[test]
+fn corrupted_coloring_rejected_by_validator() {
+    let inst = hard_instance(90);
+    let report = color_deterministic(&inst.graph, &Config::for_delta(16)).unwrap();
+    // Flip one vertex to a neighbor's color.
+    let v = NodeId(0);
+    let w = inst.graph.neighbors(v)[0];
+    let mut bad = report.coloring.clone();
+    bad.unset(v);
+    bad.set(v, bad.get(w).unwrap());
+    assert!(matches!(
+        verify_delta_coloring(&inst.graph, &bad),
+        Err(ColoringError::Monochromatic(..))
+    ));
+    // Erase one vertex.
+    let mut partial = report.coloring.clone();
+    partial.unset(NodeId(3));
+    assert!(matches!(
+        verify_delta_coloring(&inst.graph, &partial),
+        Err(ColoringError::Uncolored(_))
+    ));
+    // Out-of-palette color.
+    let mut wide = report.coloring;
+    wide.unset(NodeId(5));
+    wide.set(NodeId(5), Color(999));
+    assert!(matches!(
+        verify_delta_coloring(&inst.graph, &wide),
+        Err(ColoringError::ColorOutOfRange { .. })
+    ));
+}
+
+#[test]
+fn hidden_max_clique_is_caught() {
+    // Embed a K17 (Δ+1 at Δ=16) alongside a hard instance: the pipeline
+    // must detect impossibility rather than emit a bad coloring.
+    let inst = hard_instance(91);
+    let n0 = inst.graph.n();
+    let mut b = GraphBuilder::new(n0 + 17);
+    b.add_graph(&inst.graph, 0);
+    let clique: Vec<NodeId> = (n0..n0 + 17).map(NodeId::from).collect();
+    b.add_clique(&clique);
+    let g = b.build().unwrap();
+    let err = color_deterministic(&g, &Config::for_delta(16)).unwrap_err();
+    assert_eq!(err, DeltaColoringError::ContainsMaxClique);
+}
+
+#[test]
+fn odd_cycle_like_graphs_are_refused_not_miscolored() {
+    // An odd cycle has Δ = 2 < 4: refused as unsupported (the paper's
+    // algorithm targets larger Δ; Brooks itself excludes odd cycles).
+    let g = generators::cycle(9);
+    assert!(matches!(
+        color_deterministic(&g, &Config::for_delta(2)),
+        Err(DeltaColoringError::UnsupportedStructure(_))
+    ));
+}
+
+#[test]
+fn loophole_brute_force_reports_unsolvable() {
+    // Complete K5 with only four colors available: no deg-list extension.
+    let g = generators::complete(5);
+    let coloring = Coloring::empty(5);
+    let vs: Vec<NodeId> = g.vertices().collect();
+    assert!(brute_force_color_loophole(&g, &coloring, &vs, 4).is_none());
+}
+
+#[test]
+fn loophole_vertices_api_is_total() {
+    // Both loophole shapes expose their vertex sets coherently.
+    let single = Loophole::LowDegree(NodeId(7));
+    assert_eq!(single.vertices(), vec![NodeId(7)]);
+    let cyc = Loophole::EvenCycle(vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+    assert_eq!(cyc.vertices().len(), 4);
+}
+
+#[test]
+fn disconnected_inputs_are_handled() {
+    // Two disjoint hard instances in one graph: still colorable.
+    let a = hard_instance(92);
+    let b2 = hard_instance(93);
+    let mut b = GraphBuilder::new(a.graph.n() + b2.graph.n());
+    b.add_graph(&a.graph, 0);
+    b.add_graph(&b2.graph, a.graph.n() as u32);
+    let g = b.build().unwrap();
+    let report = color_deterministic(&g, &Config::for_delta(16)).unwrap();
+    verify_delta_coloring(&g, &report.coloring).unwrap();
+    let report = color_randomized(&g, &RandConfig::for_delta(16, 5)).unwrap();
+    verify_delta_coloring(&g, &report.coloring).unwrap();
+}
+
+#[test]
+fn empty_and_trivial_graphs_error_cleanly() {
+    let empty = Graph::from_edges(0, []).unwrap();
+    assert!(color_deterministic(&empty, &Config::for_delta(4)).is_err());
+    let lone = Graph::from_edges(3, []).unwrap();
+    assert!(color_deterministic(&lone, &Config::for_delta(4)).is_err());
+}
+
+#[test]
+fn randomized_rejects_what_deterministic_rejects() {
+    let g = generators::random_regular(80, 8, 4); // sparse
+    let det = color_deterministic(&g, &Config::for_delta(8));
+    let rand = color_randomized(&g, &RandConfig::for_delta(8, 1));
+    assert!(matches!(det, Err(DeltaColoringError::NotDense { .. })));
+    assert!(matches!(rand, Err(DeltaColoringError::NotDense { .. })));
+}

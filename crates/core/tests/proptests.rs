@@ -1,0 +1,101 @@
+//! End-to-end property tests: both pipelines always emit proper
+//! Δ-colorings across randomized dense families, seeds, and planting
+//! parameters — the crate's central invariant.
+
+use delta_core::{color_deterministic, color_randomized, Config, RandConfig};
+use graphgen::coloring::verify_delta_coloring;
+use graphgen::generators::{
+    self, BlueprintKind, EasyCliqueParams, HardCliqueParams, LoopholeKind, MixedParams,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The deterministic pipeline Δ-colors every pure hard instance.
+    #[test]
+    fn det_pipeline_on_hard(seed in 0u64..10_000, m_half in 17usize..40) {
+        let inst = generators::hard_cliques(&HardCliqueParams {
+            cliques: 2 * m_half,
+            delta: 16,
+            external_per_vertex: 1,
+            seed,
+        }).unwrap();
+        let report = color_deterministic(&inst.graph, &Config::for_delta(16)).unwrap();
+        verify_delta_coloring(&inst.graph, &report.coloring).unwrap();
+    }
+
+    /// ... and every mixed instance with planted loopholes of both kinds.
+    #[test]
+    fn det_pipeline_on_mixed(
+        seed in 0u64..10_000, low in 0usize..4, cyc in 0usize..3
+    ) {
+        let inst = generators::mixed_dense(&MixedParams {
+            base: HardCliqueParams {
+                cliques: 40,
+                delta: 16,
+                external_per_vertex: 1,
+                seed,
+            },
+            easy_low_degree: low,
+            easy_four_cycle: cyc,
+        }).unwrap();
+        let report = color_deterministic(&inst.graph, &Config::for_delta(16)).unwrap();
+        verify_delta_coloring(&inst.graph, &report.coloring).unwrap();
+    }
+
+    /// The randomized pipeline Δ-colors across seeds, placement
+    /// probabilities, and spacings (including degenerate small spacing).
+    #[test]
+    fn rand_pipeline_parameter_space(
+        seed in 0u64..10_000,
+        p in 0.05f64..0.95,
+        spacing in 2usize..7,
+        blueprint in 0u8..2
+    ) {
+        let kind = if blueprint == 0 { BlueprintKind::Random } else { BlueprintKind::Circulant };
+        let inst = generators::hard_cliques_with_blueprint(
+            &HardCliqueParams { cliques: 40, delta: 16, external_per_vertex: 1, seed },
+            kind,
+        ).unwrap();
+        let mut config = RandConfig::for_delta(16, seed ^ 0xABCD);
+        config.placement_prob = p;
+        config.spacing = spacing;
+        let report = color_randomized(&inst.graph, &config).unwrap();
+        verify_delta_coloring(&inst.graph, &report.coloring).unwrap();
+    }
+
+    /// Easy instances with aggressive planting still color.
+    #[test]
+    fn det_pipeline_heavy_planting(seed in 0u64..10_000, kind in 0u8..2) {
+        let kind = if kind == 0 { LoopholeKind::LowDegree } else { LoopholeKind::FourCycle };
+        let inst = generators::easy_cliques(&EasyCliqueParams {
+            base: HardCliqueParams {
+                cliques: 40,
+                delta: 16,
+                external_per_vertex: 1,
+                seed,
+            },
+            easy: 10,
+            kind,
+        }).unwrap();
+        let report = color_deterministic(&inst.graph, &Config::for_delta(16)).unwrap();
+        verify_delta_coloring(&inst.graph, &report.coloring).unwrap();
+    }
+
+    /// Determinism: the deterministic pipeline is a pure function of the
+    /// input graph and configuration.
+    #[test]
+    fn det_pipeline_reproducible(seed in 0u64..10_000) {
+        let inst = generators::hard_cliques(&HardCliqueParams {
+            cliques: 34,
+            delta: 16,
+            external_per_vertex: 1,
+            seed,
+        }).unwrap();
+        let a = color_deterministic(&inst.graph, &Config::for_delta(16)).unwrap();
+        let b = color_deterministic(&inst.graph, &Config::for_delta(16)).unwrap();
+        prop_assert_eq!(a.rounds(), b.rounds());
+        prop_assert_eq!(a.coloring, b.coloring);
+    }
+}

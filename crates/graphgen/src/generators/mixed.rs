@@ -1,0 +1,148 @@
+//! Sparse + dense mixtures: instances with both almost-cliques and
+//! genuinely sparse Δ-regular regions, for the paper's future-work
+//! direction (§1.1: extending the slack-triad machinery beyond dense
+//! graphs).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use super::classic::random_regular;
+use super::dense::{hard_cliques, HardCliqueParams};
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// Parameters for [`sparse_dense_mix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparseDenseParams {
+    /// Hard cliques in the dense region.
+    pub cliques: usize,
+    /// Maximum degree Δ (the sparse region is Δ-regular too, so no vertex
+    /// gets a trivial low-degree loophole).
+    pub delta: usize,
+    /// Vertices in the sparse region.
+    pub sparse: usize,
+    /// Cross links: each swaps one dense external edge with one sparse
+    /// edge, preserving all degrees.
+    pub cross: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A generated mixture.
+#[derive(Debug, Clone)]
+pub struct SparseDenseInstance {
+    /// The combined graph (dense vertices first, then sparse).
+    pub graph: Graph,
+    /// Vertex sets of the dense cliques.
+    pub cliques: Vec<Vec<NodeId>>,
+    /// The sparse vertices.
+    pub sparse_vertices: Vec<NodeId>,
+    /// Maximum degree Δ.
+    pub delta: usize,
+}
+
+/// Builds a Δ-regular graph whose ACD has both almost-cliques and sparse
+/// vertices: a hard-clique instance glued to a random Δ-regular region by
+/// degree-preserving edge swaps (dense external edge `{u,v}` + sparse edge
+/// `{a,b}` become `{u,a}` and `{v,b}`).
+///
+/// # Errors
+///
+/// Propagates generation errors; reports infeasible parameters (too many
+/// cross links, sparse region too small).
+pub fn sparse_dense_mix(params: &SparseDenseParams) -> Result<SparseDenseInstance, GraphError> {
+    let &SparseDenseParams { cliques: m, delta, sparse, cross, seed } = params;
+    if sparse * delta % 2 != 0 || sparse <= delta {
+        return Err(GraphError::InfeasibleParameters(format!(
+            "sparse region of {sparse} vertices cannot be {delta}-regular"
+        )));
+    }
+    let dense = hard_cliques(&HardCliqueParams {
+        cliques: m,
+        delta,
+        external_per_vertex: 1,
+        seed,
+    })?;
+    let sparse_part = random_regular(sparse, delta, seed ^ 0x5BA2_5E00);
+    let n_dense = dense.graph.n();
+    let offset = n_dense as u32;
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0C10_55E5);
+    let mut dense_external: Vec<(NodeId, NodeId)> = dense.external_edges();
+    dense_external.shuffle(&mut rng);
+    let mut sparse_edges: Vec<(NodeId, NodeId)> = sparse_part.edges().collect();
+    sparse_edges.shuffle(&mut rng);
+    if cross > dense_external.len() || cross > sparse_edges.len() {
+        return Err(GraphError::InfeasibleParameters(format!(
+            "cannot place {cross} cross links: only {} external and {} sparse edges",
+            dense_external.len(),
+            sparse_edges.len()
+        )));
+    }
+
+    let mut b = GraphBuilder::new(n_dense + sparse);
+    let removed_dense: std::collections::HashSet<(NodeId, NodeId)> =
+        dense_external[..cross].iter().copied().collect();
+    let removed_sparse: std::collections::HashSet<(NodeId, NodeId)> =
+        sparse_edges[..cross].iter().copied().collect();
+    for (u, v) in dense.graph.edges() {
+        if !removed_dense.contains(&(u, v)) {
+            b.add_edge(u, v);
+        }
+    }
+    for (a, c) in sparse_part.edges() {
+        if !removed_sparse.contains(&(a, c)) {
+            b.add_edge(a.0 + offset, c.0 + offset);
+        }
+    }
+    for i in 0..cross {
+        let (u, v) = dense_external[i];
+        let (a, c) = sparse_edges[i];
+        b.add_edge(u, NodeId(a.0 + offset));
+        b.add_edge(v, NodeId(c.0 + offset));
+    }
+    let graph = b.build()?;
+    Ok(SparseDenseInstance {
+        graph,
+        cliques: dense.cliques,
+        sparse_vertices: (0..sparse).map(|i| NodeId(offset + i as u32)).collect(),
+        delta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    fn params() -> SparseDenseParams {
+        SparseDenseParams { cliques: 34, delta: 16, sparse: 120, cross: 12, seed: 9 }
+    }
+
+    #[test]
+    fn mixture_is_delta_regular() {
+        let inst = sparse_dense_mix(&params()).unwrap();
+        assert!(analysis::is_regular(&inst.graph, 16));
+        assert_eq!(inst.graph.n(), 34 * 16 + 120);
+        assert_eq!(inst.sparse_vertices.len(), 120);
+    }
+
+    #[test]
+    fn cross_links_connect_regions() {
+        let inst = sparse_dense_mix(&params()).unwrap();
+        let n_dense = 34 * 16;
+        let crossing = inst
+            .graph
+            .edges()
+            .filter(|&(u, v)| (u.index() < n_dense) != (v.index() < n_dense))
+            .count();
+        assert_eq!(crossing, 2 * 12, "each cross link contributes two crossing edges");
+    }
+
+    #[test]
+    fn infeasible_parameters_rejected() {
+        let p = SparseDenseParams { sparse: 10, ..params() };
+        assert!(sparse_dense_mix(&p).is_err());
+    }
+}

@@ -1,0 +1,419 @@
+//! The immutable CSR graph type shared by the whole workspace.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vertex: an index into the graph's vertex set.
+///
+/// Node identifiers are dense (`0..n`). Distributed algorithms that need
+/// large, arbitrary identifiers for symmetry breaking use a separate
+/// relabeling (see `localsim::NodeCtx::uid`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node index as a `usize`, for indexing per-node state vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(u32::try_from(v).expect("node index exceeds u32"))
+    }
+}
+
+impl From<i32> for NodeId {
+    /// Convenience for integer literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is negative.
+    fn from(v: i32) -> Self {
+        NodeId(u32::try_from(v).expect("node index must be non-negative"))
+    }
+}
+
+/// Errors produced when constructing a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint is `>= n`.
+    EndpointOutOfRange { edge: (u32, u32), n: usize },
+    /// An edge connects a vertex to itself.
+    SelfLoop(u32),
+    /// The same undirected edge was listed twice.
+    DuplicateEdge(u32, u32),
+    /// A generator was asked for parameters it cannot satisfy.
+    InfeasibleParameters(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EndpointOutOfRange { edge, n } => {
+                write!(f, "edge ({}, {}) has endpoint outside 0..{}", edge.0, edge.1, n)
+            }
+            GraphError::SelfLoop(v) => write!(f, "self loop at vertex {v}"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::InfeasibleParameters(msg) => write!(f, "infeasible parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An immutable, simple, undirected graph in compressed sparse row form.
+///
+/// Adjacency lists are sorted, enabling `O(log Δ)` [`Graph::has_edge`]
+/// queries and linear-time sorted-list intersections in
+/// [`crate::analysis::common_neighbors`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    adj: Vec<NodeId>,
+    m: usize,
+    max_degree: usize,
+}
+
+impl Graph {
+    /// Builds a graph on `n` vertices from an undirected edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range, an edge is a self
+    /// loop, or the same undirected edge appears twice.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Result<Self, GraphError> {
+        let mut deg = vec![0usize; n];
+        let mut list: Vec<(u32, u32)> = Vec::new();
+        for (a, b) in edges {
+            if a as usize >= n || b as usize >= n {
+                return Err(GraphError::EndpointOutOfRange { edge: (a, b), n });
+            }
+            if a == b {
+                return Err(GraphError::SelfLoop(a));
+            }
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+            list.push((a.min(b), a.max(b)));
+        }
+        list.sort_unstable();
+        for w in list.windows(2) {
+            if w[0] == w[1] {
+                return Err(GraphError::DuplicateEdge(w[0].0, w[0].1));
+            }
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + deg[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![NodeId(0); offsets[n]];
+        for &(a, b) in &list {
+            adj[cursor[a as usize]] = NodeId(b);
+            cursor[a as usize] += 1;
+            adj[cursor[b as usize]] = NodeId(a);
+            cursor[b as usize] += 1;
+        }
+        for v in 0..n {
+            adj[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        let max_degree = deg.iter().copied().max().unwrap_or(0);
+        Ok(Graph { offsets, adj, m: list.len(), max_degree })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Maximum degree Δ of the graph.
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// The sorted adjacency list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n() as u32).map(NodeId)
+    }
+
+    /// Iterator over all undirected edges, each reported once with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+            .filter(|&(u, v)| u < v)
+    }
+
+    /// The subgraph induced by `nodes`.
+    ///
+    /// Returns the induced graph (with vertices renumbered `0..nodes.len()`
+    /// in the order given) and the back-map from new ids to original ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` contains a duplicate.
+    pub fn induced(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut fwd = vec![u32::MAX; self.n()];
+        for (i, v) in nodes.iter().enumerate() {
+            assert!(fwd[v.index()] == u32::MAX, "duplicate node {v} in induced set");
+            fwd[v.index()] = i as u32;
+        }
+        let mut edges = Vec::new();
+        for (i, &v) in nodes.iter().enumerate() {
+            for &w in self.neighbors(v) {
+                let j = fwd[w.index()];
+                if j != u32::MAX && (i as u32) < j {
+                    edges.push((i as u32, j));
+                }
+            }
+        }
+        let g = Graph::from_edges(nodes.len(), edges).expect("induced subgraph is valid");
+        (g, nodes.to_vec())
+    }
+
+    /// The `k`-th power of the graph: `u ~ v` iff their distance is in `1..=k`.
+    ///
+    /// Used to reduce `(2, r)`-ruling sets to MIS. Cost is O(n · Δ^k); only
+    /// call with small `k` on bounded-degree (virtual) graphs.
+    pub fn power(&self, k: usize) -> Graph {
+        assert!(k >= 1, "graph power requires k >= 1");
+        let mut edges = Vec::new();
+        let n = self.n();
+        let mut seen = vec![u32::MAX; n];
+        let mut frontier = Vec::new();
+        let mut next = Vec::new();
+        for u in 0..n as u32 {
+            seen[u as usize] = u;
+            frontier.clear();
+            frontier.push(NodeId(u));
+            for _ in 0..k {
+                next.clear();
+                for &x in &frontier {
+                    for &y in self.neighbors(x) {
+                        if seen[y.index()] != u {
+                            seen[y.index()] = u;
+                            next.push(y);
+                            if u < y.0 {
+                                edges.push((u, y.0));
+                            }
+                        }
+                    }
+                }
+                std::mem::swap(&mut frontier, &mut next);
+            }
+        }
+        Graph::from_edges(n, edges).expect("power graph is valid")
+    }
+
+    /// Breadth-first distances from all of `sources` (multi-source BFS).
+    ///
+    /// Unreachable vertices get `usize::MAX`.
+    pub fn bfs_distances(&self, sources: &[NodeId]) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n()];
+        let mut queue = std::collections::VecDeque::new();
+        for &s in sources {
+            if dist[s.index()] == usize::MAX {
+                dist[s.index()] = 0;
+                queue.push_back(s);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v.index()];
+            for &w in self.neighbors(v) {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = d + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Whether the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        if self.n() == 0 {
+            return true;
+        }
+        let dist = self.bfs_distances(&[NodeId(0)]);
+        dist.iter().all(|&d| d != usize::MAX)
+    }
+
+    /// Connected components; each component is a sorted list of vertices.
+    pub fn components(&self) -> Vec<Vec<NodeId>> {
+        let mut comp = vec![u32::MAX; self.n()];
+        let mut out: Vec<Vec<NodeId>> = Vec::new();
+        for s in self.vertices() {
+            if comp[s.index()] != u32::MAX {
+                continue;
+            }
+            let c = out.len() as u32;
+            let mut members = vec![s];
+            comp[s.index()] = c;
+            let mut stack = vec![s];
+            while let Some(v) = stack.pop() {
+                for &w in self.neighbors(v) {
+                    if comp[w.index()] == u32::MAX {
+                        comp[w.index()] = c;
+                        members.push(w);
+                        stack.push(w);
+                    }
+                }
+            }
+            members.sort_unstable();
+            out.push(members);
+        }
+        out
+    }
+
+    /// Exact eccentricity-based diameter of the component containing `v0`.
+    ///
+    /// Intended for tests and small control graphs: O(n·m).
+    pub fn diameter_from(&self, v0: NodeId) -> usize {
+        let dist0 = self.bfs_distances(&[v0]);
+        let mut diam = 0;
+        for v in self.vertices() {
+            if dist0[v.index()] == usize::MAX {
+                continue;
+            }
+            let d = self.bfs_distances(&[v]);
+            diam = diam.max(d.iter().filter(|&&x| x != usize::MAX).max().copied().unwrap_or(0));
+        }
+        diam
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn csr_basics() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(NodeId(2)), 3);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.neighbors(NodeId(2)), &[NodeId(0), NodeId(1), NodeId(3)]);
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(Graph::from_edges(2, [(0, 0)]), Err(GraphError::SelfLoop(0)));
+    }
+
+    #[test]
+    fn rejects_duplicate_even_reversed() {
+        assert_eq!(
+            Graph::from_edges(2, [(0, 1), (1, 0)]),
+            Err(GraphError::DuplicateEdge(0, 1))
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(matches!(
+            Graph::from_edges(2, [(0, 5)]),
+            Err(GraphError::EndpointOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn edges_reported_once() {
+        let g = triangle_plus_pendant();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es.len(), 4);
+        assert!(es.contains(&(NodeId(0), NodeId(1))));
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        let g = triangle_plus_pendant();
+        let (h, back) = g.induced(&[NodeId(2), NodeId(3), NodeId(0)]);
+        assert_eq!(h.n(), 3);
+        // edges {2,3} and {2,0} survive; {0,1},{1,2} dropped with vertex 1.
+        assert_eq!(h.m(), 2);
+        assert!(h.has_edge(NodeId(0), NodeId(1))); // 2-3
+        assert!(h.has_edge(NodeId(0), NodeId(2))); // 2-0
+        assert_eq!(back, vec![NodeId(2), NodeId(3), NodeId(0)]);
+    }
+
+    #[test]
+    fn power_two_of_path() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let p = g.power(2);
+        assert!(p.has_edge(NodeId(0), NodeId(2)));
+        assert!(p.has_edge(NodeId(1), NodeId(3)));
+        assert!(!p.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn bfs_and_diameter() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let d = g.bfs_distances(&[NodeId(0)]);
+        assert_eq!(d[3], 3);
+        assert_eq!(d[4], usize::MAX);
+        assert!(!g.is_connected());
+        assert_eq!(g.diameter_from(NodeId(0)), 3);
+    }
+
+    #[test]
+    fn components_found() {
+        let g = Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap();
+        let comps = g.components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![NodeId(0), NodeId(1)]);
+        assert_eq!(comps[1], vec![NodeId(2), NodeId(3)]);
+        assert_eq!(comps[2], vec![NodeId(4)]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Plain-text graph and coloring I/O.
+//!
+//! The edge-list format is one `u v` pair per line (whitespace separated,
+//! 0-based vertex ids); blank lines and `#` comments are ignored. The
+//! vertex count is `max id + 1` unless a `n <count>` header line raises it.
+//!
+//! ```text
+//! # a triangle plus an isolated vertex
+//! n 4
+//! 0 1
+//! 1 2
+//! 2 0
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::{Coloring, Graph, GraphError};
+
+/// Errors from parsing graph text.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based number.
+    Parse { line: usize, content: String },
+    /// The edges do not form a valid simple graph.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "cannot parse line {line}: {content:?}")
+            }
+            IoError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Graph(e)
+    }
+}
+
+/// Parses the edge-list format from a string.
+///
+/// # Errors
+///
+/// Returns a parse error with the offending line, or a graph-validity
+/// error (self loop, duplicate edge).
+pub fn parse_edge_list(text: &str) -> Result<Graph, IoError> {
+    let mut n = 0usize;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (a, b) = (parts.next(), parts.next());
+        match (a, b, parts.next()) {
+            (Some("n"), Some(count), None) => {
+                let c: usize = count
+                    .parse()
+                    .map_err(|_| IoError::Parse { line: i + 1, content: raw.to_string() })?;
+                n = n.max(c);
+            }
+            (Some(a), Some(b), None) => {
+                let (u, v): (u32, u32) = match (a.parse(), b.parse()) {
+                    (Ok(u), Ok(v)) => (u, v),
+                    _ => return Err(IoError::Parse { line: i + 1, content: raw.to_string() }),
+                };
+                n = n.max(u.max(v) as usize + 1);
+                edges.push((u, v));
+            }
+            _ => return Err(IoError::Parse { line: i + 1, content: raw.to_string() }),
+        }
+    }
+    Ok(Graph::from_edges(n, edges)?)
+}
+
+/// Reads a graph from an edge-list file.
+///
+/// # Errors
+///
+/// As [`parse_edge_list`], plus I/O failures.
+pub fn read_edge_list(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    parse_edge_list(&std::fs::read_to_string(path)?)
+}
+
+/// Serializes a graph to the edge-list format.
+pub fn write_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "n {}", g.n());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{} {}", u.0, v.0);
+    }
+    out
+}
+
+/// Serializes a complete coloring as one `vertex color` pair per line.
+pub fn write_coloring(coloring: &Coloring) -> String {
+    let mut out = String::new();
+    for i in 0..coloring.len() {
+        match coloring.get(crate::NodeId::from(i)) {
+            Some(c) => {
+                let _ = writeln!(out, "{i} {}", c.0);
+            }
+            None => {
+                let _ = writeln!(out, "{i} -");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Color, NodeId};
+
+    #[test]
+    fn parses_with_comments_and_header() {
+        let g = parse_edge_list("# triangle\nn 4\n0 1\n1 2 # closing\n2 0\n").unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn roundtrips() {
+        let g = crate::generators::hypercube(3);
+        let text = write_edge_list(&g);
+        let h = parse_edge_list(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(parse_edge_list("0 x"), Err(IoError::Parse { line: 1, .. })));
+        assert!(matches!(parse_edge_list("1 2 3"), Err(IoError::Parse { .. })));
+        assert!(matches!(parse_edge_list("0 0"), Err(IoError::Graph(_))));
+    }
+
+    #[test]
+    fn coloring_output_format() {
+        let mut c = Coloring::empty(3);
+        c.set(NodeId(0), Color(5));
+        c.set(NodeId(2), Color(1));
+        assert_eq!(write_coloring(&c), "0 5\n1 -\n2 1\n");
+    }
+}

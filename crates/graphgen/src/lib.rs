@@ -1,0 +1,46 @@
+//! Graph substrate and generators for distributed Δ-coloring experiments.
+//!
+//! This crate provides the static, immutable graph type every other crate in
+//! the workspace runs on ([`Graph`]), vertex colorings and their validators
+//! ([`coloring`]), structural analysis helpers ([`analysis`]), and — most
+//! importantly for the reproduction — generators for the *dense* graph
+//! families the paper reasons about ([`generators`]):
+//!
+//! * [`generators::hard_cliques`] builds graphs whose almost-clique
+//!   decomposition consists exclusively of **hard cliques**
+//!   (Definition 8 of the paper): Δ-regular graphs made of cliques with at
+//!   most one edge between any pair of cliques and no loophole on at most
+//!   six vertices.
+//! * [`generators::easy_cliques`] and [`generators::mixed_dense`] plant
+//!   controlled loopholes (low-degree vertices, non-clique four-cycles) to
+//!   exercise the easy-clique pipeline.
+//! * Classic families (paths, cycles, regular graphs, hypercubes, trees)
+//!   serve as controls for the baselines and subroutine benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use graphgen::generators;
+//!
+//! let inst = generators::hard_cliques(&generators::HardCliqueParams {
+//!     cliques: 70,
+//!     delta: 32,
+//!     external_per_vertex: 1,
+//!     seed: 7,
+//! })?;
+//! assert!(inst.graph.n() > 0);
+//! assert_eq!(inst.graph.max_degree(), 32);
+//! # Ok::<(), graphgen::GraphError>(())
+//! ```
+
+mod builder;
+mod graph;
+
+pub mod analysis;
+pub mod coloring;
+pub mod generators;
+pub mod io;
+
+pub use builder::GraphBuilder;
+pub use coloring::{Color, Coloring, ColoringError};
+pub use graph::{Graph, GraphError, NodeId};

@@ -1,0 +1,193 @@
+//! Property-based tests for the graph substrate and generators.
+
+use graphgen::generators::{self, HardCliqueParams};
+use graphgen::{analysis, Color, Coloring, Graph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+/// Arbitrary small simple graph as an edge set over `n ≤ 24` vertices.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..24).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_edges.min(60)).prop_map(
+            move |pairs| {
+                let mut b = GraphBuilder::new(n);
+                for (a, c) in pairs {
+                    if a != c {
+                        b.add_edge(a, c);
+                    }
+                }
+                b.build().expect("builder dedups")
+            },
+        )
+    })
+}
+
+proptest! {
+    /// Degrees sum to twice the edge count.
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, 2 * g.m());
+    }
+
+    /// `has_edge` agrees with the adjacency lists, both directions.
+    #[test]
+    fn has_edge_symmetric(g in arb_graph()) {
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.has_edge(u, v));
+                prop_assert!(g.has_edge(v, u));
+            }
+        }
+    }
+
+    /// The induced subgraph on all vertices is the graph itself.
+    #[test]
+    fn induced_identity(g in arb_graph()) {
+        let all: Vec<NodeId> = g.vertices().collect();
+        let (h, back) = g.induced(&all);
+        prop_assert_eq!(h.m(), g.m());
+        prop_assert_eq!(back.len(), g.n());
+    }
+
+    /// BFS distances satisfy the triangle property along edges.
+    #[test]
+    fn bfs_lipschitz(g in arb_graph()) {
+        if g.n() == 0 { return Ok(()); }
+        let dist = g.bfs_distances(&[NodeId(0)]);
+        for (u, v) in g.edges() {
+            let (du, dv) = (dist[u.index()], dist[v.index()]);
+            if du != usize::MAX && dv != usize::MAX {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            } else {
+                prop_assert_eq!(du, dv, "reachability must agree across an edge");
+            }
+        }
+    }
+
+    /// Graph power only adds edges, and P^1 = G.
+    #[test]
+    fn power_one_is_identity(g in arb_graph()) {
+        let p1 = g.power(1);
+        prop_assert_eq!(p1.m(), g.m());
+        let p2 = g.power(2);
+        for (u, v) in g.edges() {
+            prop_assert!(p2.has_edge(u, v));
+        }
+    }
+
+    /// Common-neighbor counting matches the set computation.
+    #[test]
+    fn common_neighbors_consistent(g in arb_graph()) {
+        for u in g.vertices() {
+            for v in g.vertices() {
+                if u < v {
+                    let set = analysis::common_neighbors(&g, u, v);
+                    prop_assert_eq!(set.len(), analysis::common_neighbor_count(&g, u, v));
+                }
+            }
+        }
+    }
+
+    /// Partial-coloring validation accepts exactly proper partial colorings.
+    #[test]
+    fn coloring_checker_sound(g in arb_graph(), colors in proptest::collection::vec(0u32..6, 0..24)) {
+        let mut coloring = Coloring::empty(g.n());
+        for (i, c) in colors.iter().enumerate().take(g.n()) {
+            coloring.unset(NodeId::from(i));
+            coloring.set(NodeId::from(i), Color(*c));
+        }
+        let manual_ok = g.edges().all(|(u, v)| {
+            match (coloring.get(u), coloring.get(v)) {
+                (Some(a), Some(b)) => a != b,
+                _ => true,
+            }
+        });
+        prop_assert_eq!(coloring.check_partial(&g, 6).is_ok(), manual_ok);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every generated hard instance verifies all hard-clique invariants.
+    #[test]
+    fn hard_instances_verify(seed in 0u64..500, m_half in 17usize..28) {
+        let inst = generators::hard_cliques(&HardCliqueParams {
+            cliques: 2 * m_half,
+            delta: 16,
+            external_per_vertex: 1,
+            seed,
+        }).unwrap();
+        generators::verify_hard_instance(&inst).unwrap();
+    }
+
+    /// Random regular graphs are simple and regular for feasible (n, d).
+    #[test]
+    fn random_regular_valid(seed in 0u64..200, n_half in 10usize..40, d in 2usize..6) {
+        let n = 2 * n_half;
+        let g = generators::random_regular(n, d, seed);
+        prop_assert!(analysis::is_regular(&g, d));
+        prop_assert_eq!(g.m(), n * d / 2);
+    }
+
+    /// Bipartite regular blueprints are simple and regular.
+    #[test]
+    fn blueprint_valid(seed in 0u64..200, half in 8usize..40, d in 2usize..8) {
+        prop_assume!(d < half);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let edges = generators::bipartite_regular_blueprint(half, d, &mut rng).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut ldeg = vec![0usize; half];
+        let mut rdeg = vec![0usize; half];
+        for (l, r) in edges {
+            prop_assert!(seen.insert((l, r)), "duplicate edge");
+            ldeg[l as usize] += 1;
+            rdeg[r as usize] += 1;
+        }
+        prop_assert!(ldeg.iter().chain(&rdeg).all(|&x| x == d));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Clique rings are Δ-regular, connected, and loophole-rich.
+    #[test]
+    fn clique_rings_regular(m in 3usize..20, half_delta in 2usize..9) {
+        let delta = 2 * half_delta;
+        let g = generators::clique_ring(m, delta);
+        prop_assert!(analysis::is_regular(&g, delta));
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g.n(), m * delta);
+    }
+
+    /// Sparse+dense mixtures stay Δ-regular with the requested shape.
+    #[test]
+    fn mixtures_regular(seed in 0u64..50, cross in 1usize..12) {
+        let inst = generators::sparse_dense_mix(&generators::SparseDenseParams {
+            cliques: 34,
+            delta: 16,
+            sparse: 100,
+            cross,
+            seed,
+        }).unwrap();
+        prop_assert!(analysis::is_regular(&inst.graph, 16));
+        prop_assert_eq!(inst.sparse_vertices.len(), 100);
+    }
+
+    /// Circulant blueprints give verified hard instances too.
+    #[test]
+    fn circulant_hard_instances_verify(seed in 0u64..30, m_half in 20usize..35) {
+        let inst = generators::hard_cliques_with_blueprint(
+            &HardCliqueParams {
+                cliques: 2 * m_half,
+                delta: 16,
+                external_per_vertex: 1,
+                seed,
+            },
+            generators::BlueprintKind::Circulant,
+        ).unwrap();
+        generators::verify_hard_instance(&inst).unwrap();
+    }
+}

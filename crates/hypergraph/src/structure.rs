@@ -1,0 +1,159 @@
+//! The multihypergraph incidence structure.
+
+use std::fmt;
+
+/// Errors constructing a [`Hypergraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HypergraphError {
+    /// A hyperedge member is `>= n`.
+    MemberOutOfRange { edge: usize, member: u32, n: usize },
+    /// A hyperedge lists the same vertex twice.
+    DuplicateMember { edge: usize, member: u32 },
+    /// A hyperedge is empty.
+    EmptyEdge(usize),
+}
+
+impl fmt::Display for HypergraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HypergraphError::MemberOutOfRange { edge, member, n } => {
+                write!(f, "hyperedge {edge} contains vertex {member} outside 0..{n}")
+            }
+            HypergraphError::DuplicateMember { edge, member } => {
+                write!(f, "hyperedge {edge} lists vertex {member} twice")
+            }
+            HypergraphError::EmptyEdge(e) => write!(f, "hyperedge {e} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for HypergraphError {}
+
+/// An immutable multihypergraph: `n` vertices and a list of hyperedges.
+///
+/// Distinct hyperedges may have identical member sets (multi-edges); within
+/// one hyperedge members are distinct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    n: usize,
+    edges: Vec<Vec<u32>>,
+    incident: Vec<Vec<u32>>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph, validating every hyperedge.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range members, duplicate members inside
+    /// one hyperedge, or empty hyperedges.
+    pub fn new(n: usize, edges: Vec<Vec<u32>>) -> Result<Self, HypergraphError> {
+        let mut incident: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            if e.is_empty() {
+                return Err(HypergraphError::EmptyEdge(i));
+            }
+            let mut sorted = e.clone();
+            sorted.sort_unstable();
+            for w in sorted.windows(2) {
+                if w[0] == w[1] {
+                    return Err(HypergraphError::DuplicateMember { edge: i, member: w[0] });
+                }
+            }
+            for &m in e {
+                if m as usize >= n {
+                    return Err(HypergraphError::MemberOutOfRange { edge: i, member: m, n });
+                }
+                incident[m as usize].push(i as u32);
+            }
+        }
+        Ok(Hypergraph { n, edges, incident })
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hyperedges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Members of hyperedge `e`.
+    pub fn edge(&self, e: u32) -> &[u32] {
+        &self.edges[e as usize]
+    }
+
+    /// Hyperedges incident to vertex `v`.
+    pub fn incident(&self, v: u32) -> &[u32] {
+        &self.incident[v as usize]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.incident[v as usize].len()
+    }
+
+    /// Maximum rank (largest hyperedge size); 0 if there are no edges.
+    pub fn rank(&self) -> usize {
+        self.edges.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Minimum vertex degree; 0 for an empty vertex set is reported as 0.
+    pub fn min_degree(&self) -> usize {
+        self.incident.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// The expansion margin `δ / r` as a float (∞ if there are no edges).
+    pub fn expansion(&self) -> f64 {
+        let r = self.rank();
+        if r == 0 {
+            f64::INFINITY
+        } else {
+            self.min_degree() as f64 / r as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let h = Hypergraph::new(4, vec![vec![0, 1, 2], vec![2, 3], vec![0, 3]]).unwrap();
+        assert_eq!(h.n(), 4);
+        assert_eq!(h.edge_count(), 3);
+        assert_eq!(h.rank(), 3);
+        assert_eq!(h.min_degree(), 1); // vertex 1 only lies on the first edge
+        assert_eq!(h.incident(2), &[0, 1]);
+        assert_eq!(h.degree(0), 2);
+    }
+
+    #[test]
+    fn multi_edges_allowed() {
+        let h = Hypergraph::new(2, vec![vec![0, 1], vec![0, 1]]).unwrap();
+        assert_eq!(h.edge_count(), 2);
+        assert_eq!(h.degree(0), 2);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        assert!(matches!(
+            Hypergraph::new(2, vec![vec![0, 5]]),
+            Err(HypergraphError::MemberOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Hypergraph::new(2, vec![vec![0, 0]]),
+            Err(HypergraphError::DuplicateMember { .. })
+        ));
+        assert!(matches!(Hypergraph::new(2, vec![vec![]]), Err(HypergraphError::EmptyEdge(0))));
+    }
+
+    #[test]
+    fn expansion_margin() {
+        let h = Hypergraph::new(2, vec![vec![0, 1], vec![0, 1], vec![0, 1]]).unwrap();
+        assert!((h.expansion() - 1.5).abs() < 1e-9);
+    }
+}

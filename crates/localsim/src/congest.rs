@@ -1,0 +1,246 @@
+//! CONGEST-mode accounting: run a [`MessageProgram`] while *metering* the
+//! size of every message against a per-edge bandwidth budget.
+//!
+//! The CONGEST model restricts each per-edge message to `O(log n)` bits.
+//! The paper's companion results ([MU21], [HM24] in the related work) live
+//! in CONGEST; this module lets any per-port algorithm declare its message
+//! widths and verifies the budget mechanically, reporting the maximum
+//! width observed.
+//!
+//! ```
+//! use graphgen::Graph;
+//! use localsim::{broadcast, CongestExecutor, MessageProgram, MsgTransition, NodeCtx, Outgoing};
+//!
+//! struct MinId;
+//! impl MessageProgram for MinId {
+//!     type State = u64;
+//!     type Msg = u64;
+//!     type Output = u64;
+//!     fn init(&self, ctx: &NodeCtx) -> (u64, Vec<Outgoing<u64>>) {
+//!         (ctx.uid, broadcast(ctx.degree(), &ctx.uid))
+//!     }
+//!     fn step(&self, ctx: &NodeCtx, state: &mut u64, inbox: &[Option<u64>])
+//!         -> MsgTransition<u64, u64>
+//!     {
+//!         let m = inbox.iter().flatten().copied().min().unwrap_or(*state).min(*state);
+//!         if ctx.round >= 3 {
+//!             MsgTransition::HaltAfter(Vec::new(), m)
+//!         } else {
+//!             *state = m;
+//!             MsgTransition::Continue(broadcast(ctx.degree(), &m))
+//!         }
+//!     }
+//! }
+//!
+//! let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+//! // ids fit in log2(n) = 2 bits... but the type is u64, so we declare
+//! // the width as the bits needed for the value.
+//! let ex = CongestExecutor::new(&g, 32, |m: &u64| 64 - m.leading_zeros() as usize);
+//! let run = ex.run(&MinId, 10)?;
+//! assert!(run.max_message_bits <= 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use graphgen::Graph;
+
+use crate::exec::{RunResult, SimError};
+use crate::msg::{MessageExecutor, MessageProgram, MsgTransition, Outgoing};
+use crate::NodeCtx;
+
+/// Outcome of a metered run.
+#[derive(Debug, Clone)]
+pub struct CongestResult<O> {
+    /// Per-node outputs.
+    pub outputs: Vec<O>,
+    /// Communication rounds.
+    pub rounds: u64,
+    /// Largest message width observed (bits).
+    pub max_message_bits: usize,
+    /// Total bits sent over the whole run.
+    pub total_bits: u64,
+}
+
+/// Errors from a metered run.
+#[derive(Debug)]
+pub enum CongestError {
+    /// A message exceeded the bandwidth budget.
+    BandwidthExceeded {
+        /// Observed width (bits).
+        bits: usize,
+        /// The budget.
+        budget: usize,
+        /// Round in which it happened.
+        round: u64,
+    },
+    /// Plain simulator failure.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for CongestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CongestError::BandwidthExceeded { bits, budget, round } => {
+                write!(f, "round {round}: a {bits}-bit message exceeds the {budget}-bit budget")
+            }
+            CongestError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CongestError {}
+
+impl From<SimError> for CongestError {
+    fn from(e: SimError) -> Self {
+        CongestError::Sim(e)
+    }
+}
+
+/// A [`MessageExecutor`] wrapper that meters message widths.
+pub struct CongestExecutor<'g, F> {
+    graph: &'g Graph,
+    budget_bits: usize,
+    size_of: F,
+}
+
+impl<'g, F> CongestExecutor<'g, F> {
+    /// An executor over `graph` with the given per-message bit budget and
+    /// width function.
+    pub fn new(graph: &'g Graph, budget_bits: usize, size_of: F) -> Self {
+        CongestExecutor { graph, budget_bits, size_of }
+    }
+}
+
+/// Internal wrapper program that meters the inner program's messages.
+struct Metered<'p, P, F> {
+    inner: &'p P,
+    size_of: F,
+    budget: usize,
+    stats: std::cell::RefCell<MeterStats>,
+}
+
+#[derive(Default)]
+struct MeterStats {
+    max_bits: usize,
+    total_bits: u64,
+    violation: Option<(usize, u64)>,
+}
+
+impl<P: MessageProgram, F: Fn(&P::Msg) -> usize> Metered<'_, P, F> {
+    fn meter(&self, outs: &[Outgoing<P::Msg>], round: u64) {
+        let mut stats = self.stats.borrow_mut();
+        for o in outs {
+            let bits = (self.size_of)(&o.msg);
+            stats.max_bits = stats.max_bits.max(bits);
+            stats.total_bits += bits as u64;
+            if bits > self.budget && stats.violation.is_none() {
+                stats.violation = Some((bits, round));
+            }
+        }
+    }
+}
+
+impl<P: MessageProgram, F: Fn(&P::Msg) -> usize> MessageProgram for Metered<'_, P, F> {
+    type State = P::State;
+    type Msg = P::Msg;
+    type Output = P::Output;
+
+    fn init(&self, ctx: &NodeCtx) -> (Self::State, Vec<Outgoing<Self::Msg>>) {
+        let (st, outs) = self.inner.init(ctx);
+        self.meter(&outs, 0);
+        (st, outs)
+    }
+
+    fn step(
+        &self,
+        ctx: &NodeCtx,
+        state: &mut Self::State,
+        inbox: &[Option<Self::Msg>],
+    ) -> MsgTransition<Self::Msg, Self::Output> {
+        let t = self.inner.step(ctx, state, inbox);
+        match &t {
+            MsgTransition::Continue(outs) | MsgTransition::HaltAfter(outs, _) => {
+                self.meter(outs, ctx.round);
+            }
+        }
+        t
+    }
+}
+
+impl<'g, F> CongestExecutor<'g, F> {
+    /// Runs `prog` with metering.
+    ///
+    /// # Errors
+    ///
+    /// [`CongestError::BandwidthExceeded`] on the first over-budget
+    /// message; simulator errors otherwise.
+    pub fn run<P>(&self, prog: &P, max_rounds: u64) -> Result<CongestResult<P::Output>, CongestError>
+    where
+        P: MessageProgram,
+        F: Fn(&P::Msg) -> usize + Clone,
+    {
+        let metered = Metered {
+            inner: prog,
+            size_of: self.size_of.clone(),
+            budget: self.budget_bits,
+            stats: std::cell::RefCell::new(MeterStats::default()),
+        };
+        let run: RunResult<P::Output> =
+            MessageExecutor::new(self.graph).run(&metered, max_rounds)?;
+        let stats = metered.stats.into_inner();
+        if let Some((bits, round)) = stats.violation {
+            return Err(CongestError::BandwidthExceeded {
+                bits,
+                budget: self.budget_bits,
+                round,
+            });
+        }
+        Ok(CongestResult {
+            outputs: run.outputs,
+            rounds: run.rounds,
+            max_message_bits: stats.max_bits,
+            total_bits: stats.total_bits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::broadcast;
+    use graphgen::Graph;
+
+    /// Each node broadcasts its uid once; width = significant bits.
+    struct Ids;
+    impl MessageProgram for Ids {
+        type State = ();
+        type Msg = u64;
+        type Output = ();
+        fn init(&self, ctx: &NodeCtx) -> ((), Vec<Outgoing<u64>>) {
+            ((), broadcast(ctx.degree(), &ctx.uid))
+        }
+        fn step(&self, _c: &NodeCtx, _s: &mut (), _i: &[Option<u64>]) -> MsgTransition<u64, ()> {
+            MsgTransition::HaltAfter(Vec::new(), ())
+        }
+    }
+
+    fn width(m: &u64) -> usize {
+        (64 - m.leading_zeros()) as usize
+    }
+
+    #[test]
+    fn within_budget_reports_stats() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let ex = CongestExecutor::new(&g, 8, width);
+        let out = ex.run(&Ids, 5).unwrap();
+        assert_eq!(out.max_message_bits, 2); // uid 3 = 0b11
+        assert!(out.total_bits > 0);
+    }
+
+    #[test]
+    fn over_budget_rejected() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let ex = CongestExecutor::new(&g, 0, width);
+        let err = ex.run(&Ids, 5).unwrap_err();
+        assert!(matches!(err, CongestError::BandwidthExceeded { bits: 1, budget: 0, .. }));
+    }
+}

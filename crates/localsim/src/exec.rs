@@ -1,0 +1,326 @@
+//! The synchronous state-exchange executor.
+
+use std::fmt;
+
+use graphgen::{Graph, NodeId};
+
+/// Per-node context visible to a [`LocalAlgorithm`] in every round.
+#[derive(Debug)]
+pub struct NodeCtx<'a> {
+    /// The node being stepped.
+    pub node: NodeId,
+    /// A globally unique identifier for symmetry breaking. Defaults to the
+    /// node index; [`Executor::with_uids`] installs arbitrary ids (e.g. for
+    /// running a subroutine on a virtual graph whose nodes inherit ids).
+    pub uid: u64,
+    /// The sorted adjacency list of `node`.
+    pub neighbors: &'a [NodeId],
+    /// The current round number, starting at 1 for the first step.
+    pub round: u64,
+    /// Number of vertices in the network (global knowledge of `n` is the
+    /// standard assumption in the LOCAL model).
+    pub n: usize,
+    /// Maximum degree Δ of the network (also standard global knowledge).
+    pub max_degree: usize,
+}
+
+impl NodeCtx<'_> {
+    /// Degree of the node.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+}
+
+/// The result of one node step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transition<S, O> {
+    /// Keep running with a new state (sent to neighbors next round).
+    Continue(S),
+    /// Halt with an output. The node's last state stays visible to
+    /// neighbors, matching a terminated node whose output is known locally.
+    Halt(O),
+}
+
+/// A distributed algorithm in synchronous state-exchange form.
+///
+/// Each round, every live node observes the previous-round states of all
+/// neighbors (halted neighbors keep their final state visible) and either
+/// continues with a new state or halts with an output. This formulation is
+/// universal for the LOCAL model because messages are unbounded.
+pub trait LocalAlgorithm {
+    /// Per-node state, broadcast to neighbors each round.
+    type State: Clone;
+    /// Per-node output on halting.
+    type Output;
+
+    /// The state a node holds before the first communication round.
+    fn init(&self, ctx: &NodeCtx) -> Self::State;
+
+    /// One synchronous round at one node.
+    fn step(
+        &self,
+        ctx: &NodeCtx,
+        state: &Self::State,
+        neighbor_states: &[Self::State],
+    ) -> Transition<Self::State, Self::Output>;
+}
+
+/// Why a simulation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Not all nodes halted within the round budget.
+    RoundLimitExceeded { limit: u64, still_running: usize },
+    /// `with_uids` received a vector of the wrong length or with duplicates.
+    BadUids(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RoundLimitExceeded { limit, still_running } => write!(
+                f,
+                "{still_running} nodes still running after the {limit}-round budget"
+            ),
+            SimError::BadUids(msg) => write!(f, "bad uid vector: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Outcome of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct RunResult<O> {
+    /// Output of every node, indexed by node id.
+    pub outputs: Vec<O>,
+    /// Number of communication rounds executed until the last node halted.
+    /// A node that halts during round `r` has communicated `r` times.
+    pub rounds: u64,
+}
+
+/// Runs [`LocalAlgorithm`]s over a graph.
+#[derive(Debug)]
+pub struct Executor<'g> {
+    graph: &'g Graph,
+    uids: Option<Vec<u64>>,
+}
+
+impl<'g> Executor<'g> {
+    /// An executor over `graph` with default uids (the node indices).
+    pub fn new(graph: &'g Graph) -> Self {
+        Executor { graph, uids: None }
+    }
+
+    /// Installs explicit unique identifiers (one per node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadUids`] if the vector length differs from `n`
+    /// or contains duplicates.
+    pub fn with_uids(graph: &'g Graph, uids: Vec<u64>) -> Result<Self, SimError> {
+        if uids.len() != graph.n() {
+            return Err(SimError::BadUids(format!(
+                "{} uids for {} nodes",
+                uids.len(),
+                graph.n()
+            )));
+        }
+        let mut sorted = uids.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(SimError::BadUids("duplicate uid".to_string()));
+        }
+        Ok(Executor { graph, uids: Some(uids) })
+    }
+
+    fn ctx<'a>(&'a self, v: NodeId, round: u64) -> NodeCtx<'a> {
+        NodeCtx {
+            node: v,
+            uid: self.uids.as_ref().map_or(v.0 as u64, |u| u[v.index()]),
+            neighbors: self.graph.neighbors(v),
+            round,
+            n: self.graph.n(),
+            max_degree: self.graph.max_degree(),
+        }
+    }
+
+    /// Runs `algo` until every node halts, or fails after `max_rounds`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RoundLimitExceeded`] if nodes are still running
+    /// after `max_rounds` communication rounds.
+    pub fn run<A: LocalAlgorithm>(
+        &self,
+        algo: &A,
+        max_rounds: u64,
+    ) -> Result<RunResult<A::Output>, SimError> {
+        let n = self.graph.n();
+        let mut states: Vec<A::State> = Vec::with_capacity(n);
+        for v in self.graph.vertices() {
+            states.push(algo.init(&self.ctx(v, 0)));
+        }
+        let mut outputs: Vec<Option<A::Output>> = (0..n).map(|_| None).collect();
+        let mut live = n;
+        let mut rounds = 0;
+        if n == 0 {
+            return Ok(RunResult { outputs: Vec::new(), rounds: 0 });
+        }
+        while live > 0 {
+            if rounds >= max_rounds {
+                return Err(SimError::RoundLimitExceeded { limit: max_rounds, still_running: live });
+            }
+            rounds += 1;
+            let mut next_states = states.clone();
+            let mut nbr_buf: Vec<A::State> = Vec::new();
+            for v in self.graph.vertices() {
+                if outputs[v.index()].is_some() {
+                    continue;
+                }
+                nbr_buf.clear();
+                nbr_buf.extend(self.graph.neighbors(v).iter().map(|w| states[w.index()].clone()));
+                let ctx = self.ctx(v, rounds);
+                match algo.step(&ctx, &states[v.index()], &nbr_buf) {
+                    Transition::Continue(s) => next_states[v.index()] = s,
+                    Transition::Halt(o) => {
+                        outputs[v.index()] = Some(o);
+                        live -= 1;
+                    }
+                }
+            }
+            states = next_states;
+        }
+        Ok(RunResult {
+            outputs: outputs.into_iter().map(|o| o.expect("all nodes halted")).collect(),
+            rounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::Graph;
+
+    /// Counts down from the node index, demonstrating asynchronous halting.
+    struct Countdown;
+
+    impl LocalAlgorithm for Countdown {
+        type State = u32;
+        type Output = u64;
+
+        fn init(&self, ctx: &NodeCtx) -> u32 {
+            ctx.node.0
+        }
+
+        fn step(&self, ctx: &NodeCtx, state: &u32, _nbrs: &[u32]) -> Transition<u32, u64> {
+            if *state == 0 {
+                Transition::Halt(ctx.round)
+            } else {
+                Transition::Continue(state - 1)
+            }
+        }
+    }
+
+    #[test]
+    fn countdown_rounds() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let run = Executor::new(&g).run(&Countdown, 100).unwrap();
+        assert_eq!(run.rounds, 4); // node 3 halts in round 4
+        assert_eq!(run.outputs, vec![1, 2, 3, 4]);
+    }
+
+    /// Flood-max: every node learns the maximum uid within its r-ball after
+    /// r rounds; halting after `target` rounds.
+    struct FloodMax {
+        target: u64,
+    }
+
+    impl LocalAlgorithm for FloodMax {
+        type State = u64;
+        type Output = u64;
+
+        fn init(&self, ctx: &NodeCtx) -> u64 {
+            ctx.uid
+        }
+
+        fn step(&self, ctx: &NodeCtx, state: &u64, nbrs: &[u64]) -> Transition<u64, u64> {
+            let m = nbrs.iter().copied().chain([*state]).max().unwrap();
+            if ctx.round >= self.target {
+                Transition::Halt(m)
+            } else {
+                Transition::Continue(m)
+            }
+        }
+    }
+
+    #[test]
+    fn flood_max_spreads_one_hop_per_round() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        // After 2 rounds node 0 knows the max within distance 2 = uid 2.
+        let run = Executor::new(&g).run(&FloodMax { target: 2 }, 10).unwrap();
+        assert_eq!(run.outputs[0], 2);
+        assert_eq!(run.outputs[2], 4);
+        assert_eq!(run.rounds, 2);
+    }
+
+    #[test]
+    fn custom_uids_respected() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let ex = Executor::with_uids(&g, vec![100, 50]).unwrap();
+        let run = ex.run(&FloodMax { target: 1 }, 10).unwrap();
+        assert_eq!(run.outputs, vec![100, 100]);
+    }
+
+    #[test]
+    fn bad_uids_rejected() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        assert!(Executor::with_uids(&g, vec![1]).is_err());
+        assert!(Executor::with_uids(&g, vec![1, 1]).is_err());
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let err = Executor::new(&g).run(&Countdown, 1).unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 1, still_running: 1 });
+    }
+
+    #[test]
+    fn empty_graph_runs_zero_rounds() {
+        let g = Graph::from_edges(0, []).unwrap();
+        let run = Executor::new(&g).run(&Countdown, 1).unwrap();
+        assert_eq!(run.rounds, 0);
+        assert!(run.outputs.is_empty());
+    }
+
+    /// Halted nodes keep their final state visible to running neighbors.
+    struct WatchNeighbor;
+
+    impl LocalAlgorithm for WatchNeighbor {
+        type State = u32;
+        type Output = u32;
+
+        fn init(&self, ctx: &NodeCtx) -> u32 {
+            ctx.node.0 * 10
+        }
+
+        fn step(&self, ctx: &NodeCtx, _state: &u32, nbrs: &[u32]) -> Transition<u32, u32> {
+            if ctx.node.0 == 0 {
+                // Node 0 halts immediately; its state 0 remains visible.
+                Transition::Halt(99)
+            } else if ctx.round == 3 {
+                Transition::Halt(nbrs[0])
+            } else {
+                Transition::Continue(7)
+            }
+        }
+    }
+
+    #[test]
+    fn halted_state_stays_visible() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let run = Executor::new(&g).run(&WatchNeighbor, 10).unwrap();
+        assert_eq!(run.outputs[1], 0); // sees node 0's frozen init state
+    }
+}

@@ -1,0 +1,193 @@
+//! Round accounting for composite algorithms.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One charged item on a [`RoundLedger`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// Which phase or subroutine incurred the cost.
+    pub phase: String,
+    /// LOCAL rounds charged.
+    pub rounds: u64,
+}
+
+/// Accumulates the LOCAL-round cost of a composite algorithm, phase by
+/// phase.
+///
+/// Three kinds of charges exist, mirroring how the paper accounts rounds:
+///
+/// * [`RoundLedger::charge`] — rounds measured by an [`crate::Executor`]
+///   run on the real communication graph.
+/// * [`RoundLedger::charge_constant`] — a documented `O(1)` cost for a
+///   constant-radius local computation (collecting the radius-`r` ball
+///   costs `r` rounds; everything computed from it is free).
+/// * [`RoundLedger::charge_virtual`] — rounds of a subroutine run on a
+///   virtual graph, multiplied by the constant dilation of simulating one
+///   virtual round on the real network.
+///
+/// # Example
+///
+/// ```
+/// use localsim::RoundLedger;
+///
+/// let mut ledger = RoundLedger::new();
+/// ledger.charge("maximal matching", 12);
+/// ledger.charge_constant("ACD computation", 2);
+/// ledger.charge_virtual("pair coloring", 5, 3);
+/// assert_eq!(ledger.total(), 12 + 2 + 15);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundLedger {
+    entries: Vec<LedgerEntry>,
+}
+
+impl RoundLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `rounds` measured rounds to `phase`.
+    pub fn charge(&mut self, phase: impl Into<String>, rounds: u64) {
+        self.entries.push(LedgerEntry { phase: phase.into(), rounds });
+    }
+
+    /// Charges a documented constant cost for an `O(1)`-local step.
+    pub fn charge_constant(&mut self, phase: impl Into<String>, rounds: u64) {
+        self.charge(phase, rounds);
+    }
+
+    /// Charges `rounds` virtual-graph rounds at the given `dilation`.
+    pub fn charge_virtual(&mut self, phase: impl Into<String>, rounds: u64, dilation: u64) {
+        self.charge(phase, rounds * dilation);
+    }
+
+    /// Appends every entry of `other`, prefixing phases with `prefix/`.
+    pub fn absorb(&mut self, prefix: &str, other: RoundLedger) {
+        for e in other.entries {
+            self.entries.push(LedgerEntry {
+                phase: format!("{prefix}/{}", e.phase),
+                rounds: e.rounds,
+            });
+        }
+    }
+
+    /// Merges `other` taking the per-entry *maximum* against this ledger's
+    /// running total under the same prefix. Used when independent
+    /// components run the same pipeline in parallel: the network-wide cost
+    /// of a phase is the maximum over components, not the sum.
+    pub fn absorb_parallel_max(&mut self, prefix: &str, others: Vec<RoundLedger>) {
+        let max_total = others.iter().map(RoundLedger::total).max().unwrap_or(0);
+        self.entries.push(LedgerEntry { phase: format!("{prefix} (max component)"), rounds: max_total });
+    }
+
+    /// All entries in charge order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Total rounds charged.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|e| e.rounds).sum()
+    }
+
+    /// Total rounds charged to phases whose name contains `needle`.
+    pub fn total_for(&self, needle: &str) -> u64 {
+        self.entries.iter().filter(|e| e.phase.contains(needle)).map(|e| e.rounds).sum()
+    }
+
+    /// Totals grouped by phase prefix (the part before the first `/`),
+    /// in first-charge order.
+    pub fn grouped(&self) -> Vec<(String, u64)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut totals: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+        for e in &self.entries {
+            let prefix = e.phase.split('/').next().unwrap_or(&e.phase).to_string();
+            if !totals.contains_key(&prefix) {
+                order.push(prefix.clone());
+            }
+            *totals.entry(prefix).or_default() += e.rounds;
+        }
+        order.into_iter().map(|p| {
+            let t = totals[&p];
+            (p, t)
+        }).collect()
+    }
+}
+
+impl fmt::Display for RoundLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<52} {:>8}", "phase", "rounds")?;
+        for e in &self.entries {
+            writeln!(f, "{:<52} {:>8}", e.phase, e.rounds)?;
+        }
+        write!(f, "{:<52} {:>8}", "TOTAL", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_filters() {
+        let mut l = RoundLedger::new();
+        l.charge("mm", 10);
+        l.charge("heg", 20);
+        l.charge("mm-cleanup", 5);
+        assert_eq!(l.total(), 35);
+        assert_eq!(l.total_for("mm"), 15);
+        assert_eq!(l.entries().len(), 3);
+    }
+
+    #[test]
+    fn virtual_charge_multiplies() {
+        let mut l = RoundLedger::new();
+        l.charge_virtual("pairs", 7, 3);
+        assert_eq!(l.total(), 21);
+    }
+
+    #[test]
+    fn absorb_prefixes() {
+        let mut inner = RoundLedger::new();
+        inner.charge("matching", 4);
+        let mut outer = RoundLedger::new();
+        outer.absorb("phase1", inner);
+        assert_eq!(outer.entries()[0].phase, "phase1/matching");
+        assert_eq!(outer.total(), 4);
+    }
+
+    #[test]
+    fn parallel_max_takes_max() {
+        let mut a = RoundLedger::new();
+        a.charge("x", 4);
+        let mut b = RoundLedger::new();
+        b.charge("x", 9);
+        let mut outer = RoundLedger::new();
+        outer.absorb_parallel_max("post-shattering", vec![a, b]);
+        assert_eq!(outer.total(), 9);
+    }
+
+    #[test]
+    fn grouped_by_prefix() {
+        let mut l = RoundLedger::new();
+        l.charge("phase1/matching", 5);
+        l.charge("phase1/heg", 7);
+        l.charge("phase2/split", 3);
+        assert_eq!(
+            l.grouped(),
+            vec![("phase1".to_string(), 12), ("phase2".to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let mut l = RoundLedger::new();
+        l.charge("abc", 2);
+        let s = l.to_string();
+        assert!(s.contains("abc"));
+        assert!(s.contains("TOTAL"));
+    }
+}

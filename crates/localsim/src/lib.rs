@@ -1,0 +1,65 @@
+//! A synchronous simulator for the LOCAL model of distributed computing.
+//!
+//! In the LOCAL model ([Lin92]) a communication network is an `n`-node
+//! graph; computation proceeds in synchronous rounds in which every node
+//! exchanges *unbounded* messages with its neighbors and performs unbounded
+//! local computation. The complexity measure is the number of rounds until
+//! every node has produced its output.
+//!
+//! Because messages are unbounded, a node may always transmit its entire
+//! local state; any LOCAL algorithm can be written in the
+//! *state-exchange* form this crate executes: in each round every node
+//! reads the current state of each neighbor and computes its next state (or
+//! halts with an output). [`Executor`] runs such a [`LocalAlgorithm`] over a
+//! [`graphgen::Graph`] with double-buffered states — all nodes step against
+//! the *previous* round's states, exactly matching synchronous message
+//! delivery — and counts the rounds.
+//!
+//! Composite algorithms charge their subroutine costs to a [`RoundLedger`],
+//! including `O(1)`-local steps (constant-radius computations the model
+//! allows for free beyond the communication needed to collect the ball) and
+//! virtual-graph executions (which multiply rounds by a constant dilation).
+//!
+//! # Example: every node halts with the maximum id in its 1-ball
+//!
+//! ```
+//! use graphgen::{Graph, NodeId};
+//! use localsim::{Executor, LocalAlgorithm, NodeCtx, Transition};
+//!
+//! struct MaxOfBall;
+//!
+//! impl LocalAlgorithm for MaxOfBall {
+//!     type State = u64;
+//!     type Output = u64;
+//!
+//!     fn init(&self, ctx: &NodeCtx) -> u64 {
+//!         ctx.uid
+//!     }
+//!
+//!     fn step(
+//!         &self,
+//!         ctx: &NodeCtx,
+//!         state: &u64,
+//!         neighbors: &[u64],
+//!     ) -> Transition<u64, u64> {
+//!         let _ = ctx;
+//!         Transition::Halt(neighbors.iter().copied().chain([*state]).max().unwrap())
+//!     }
+//! }
+//!
+//! let g = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+//! let run = Executor::new(&g).run(&MaxOfBall, 10)?;
+//! assert_eq!(run.rounds, 1);
+//! assert_eq!(run.outputs[1], 2); // node 1 sees ids {0, 1, 2}
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod congest;
+mod exec;
+mod ledger;
+mod msg;
+
+pub use congest::{CongestError, CongestExecutor, CongestResult};
+pub use exec::{Executor, LocalAlgorithm, NodeCtx, RunResult, SimError, Transition};
+pub use ledger::{LedgerEntry, RoundLedger};
+pub use msg::{broadcast, MessageExecutor, MessageProgram, MsgTransition, Outgoing};

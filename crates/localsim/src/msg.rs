@@ -1,0 +1,293 @@
+//! The per-port message-passing executor: the LOCAL model's native
+//! interface, one message per incident edge per round.
+//!
+//! [`crate::Executor`] runs algorithms in *state-exchange* form (each node
+//! broadcasts its whole state), which is universal for the LOCAL model but
+//! obscures what is actually communicated. [`MessageExecutor`] runs
+//! [`MessageProgram`]s that keep private per-node state and address
+//! individual ports — the right level for algorithms whose analysis counts
+//! *messages* (and the basis for a CONGEST mode, where per-port messages
+//! would be size-capped).
+
+use graphgen::{Graph, NodeId};
+
+use crate::exec::{NodeCtx, RunResult, SimError};
+
+/// What a node does after processing one round of messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsgTransition<M, O> {
+    /// Keep running, sending the given messages next round.
+    Continue(Vec<Outgoing<M>>),
+    /// Send the given messages, then halt with an output.
+    HaltAfter(Vec<Outgoing<M>>, O),
+}
+
+/// An outgoing message: which port (index into the node's adjacency list)
+/// and the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outgoing<M> {
+    /// Index into the sender's sorted adjacency list.
+    pub port: usize,
+    /// The payload.
+    pub msg: M,
+}
+
+impl<M> Outgoing<M> {
+    /// Convenience constructor.
+    pub fn new(port: usize, msg: M) -> Self {
+        Outgoing { port, msg }
+    }
+}
+
+/// Broadcast helper: the same message on every port.
+pub fn broadcast<M: Clone>(degree: usize, msg: &M) -> Vec<Outgoing<M>> {
+    (0..degree).map(|p| Outgoing::new(p, msg.clone())).collect()
+}
+
+/// A distributed algorithm in stateful per-port message form.
+pub trait MessageProgram {
+    /// Private per-node state.
+    type State;
+    /// Message payload.
+    type Msg: Clone;
+    /// Per-node output on halting.
+    type Output;
+
+    /// Initial state and the messages sent before the first round.
+    fn init(&self, ctx: &NodeCtx) -> (Self::State, Vec<Outgoing<Self::Msg>>);
+
+    /// Processes one round's inbox (`inbox[p]` = message received on port
+    /// `p`, if any) and decides what to send next.
+    fn step(
+        &self,
+        ctx: &NodeCtx,
+        state: &mut Self::State,
+        inbox: &[Option<Self::Msg>],
+    ) -> MsgTransition<Self::Msg, Self::Output>;
+}
+
+/// Runs [`MessageProgram`]s over a graph with synchronous delivery.
+#[derive(Debug)]
+pub struct MessageExecutor<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> MessageExecutor<'g> {
+    /// An executor over `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        MessageExecutor { graph }
+    }
+
+    fn ctx<'a>(&'a self, v: NodeId, round: u64) -> NodeCtx<'a> {
+        NodeCtx {
+            node: v,
+            uid: v.0 as u64,
+            neighbors: self.graph.neighbors(v),
+            round,
+            n: self.graph.n(),
+            max_degree: self.graph.max_degree(),
+        }
+    }
+
+    /// Port of `v` that leads to `w`.
+    fn port_of(&self, v: NodeId, w: NodeId) -> usize {
+        self.graph.neighbors(v).binary_search(&w).expect("w is a neighbor of v")
+    }
+
+    /// Runs `prog` until every node halts; counts communication rounds.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RoundLimitExceeded`] past `max_rounds`.
+    pub fn run<P: MessageProgram>(
+        &self,
+        prog: &P,
+        max_rounds: u64,
+    ) -> Result<RunResult<P::Output>, SimError> {
+        let n = self.graph.n();
+        if n == 0 {
+            return Ok(RunResult { outputs: Vec::new(), rounds: 0 });
+        }
+        let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+        let mut inboxes: Vec<Vec<Option<P::Msg>>> =
+            self.graph.vertices().map(|v| vec![None; self.graph.degree(v)]).collect();
+        let deliver = |inboxes: &mut Vec<Vec<Option<P::Msg>>>,
+                           v: NodeId,
+                           outs: Vec<Outgoing<P::Msg>>| {
+            for out in outs {
+                let w = self.graph.neighbors(v)[out.port];
+                let back = self.port_of(w, v);
+                inboxes[w.index()][back] = Some(out.msg);
+            }
+        };
+        let mut states: Vec<P::State> = Vec::with_capacity(n);
+        {
+            let mut first_outs = Vec::with_capacity(n);
+            for v in self.graph.vertices() {
+                let (st, outs) = prog.init(&self.ctx(v, 0));
+                states.push(st);
+                first_outs.push(outs);
+            }
+            for (v, outs) in self.graph.vertices().zip(first_outs) {
+                deliver(&mut inboxes, v, outs);
+            }
+        }
+        let mut live = n;
+        let mut rounds = 0u64;
+        while live > 0 {
+            if rounds >= max_rounds {
+                return Err(SimError::RoundLimitExceeded { limit: max_rounds, still_running: live });
+            }
+            rounds += 1;
+            let mut next: Vec<Vec<Option<P::Msg>>> =
+                self.graph.vertices().map(|v| vec![None; self.graph.degree(v)]).collect();
+            for v in self.graph.vertices() {
+                if outputs[v.index()].is_some() {
+                    continue;
+                }
+                let ctx = self.ctx(v, rounds);
+                match prog.step(&ctx, &mut states[v.index()], &inboxes[v.index()]) {
+                    MsgTransition::Continue(outs) => deliver(&mut next, v, outs),
+                    MsgTransition::HaltAfter(outs, o) => {
+                        deliver(&mut next, v, outs);
+                        outputs[v.index()] = Some(o);
+                        live -= 1;
+                    }
+                }
+            }
+            inboxes = next;
+        }
+        Ok(RunResult {
+            outputs: outputs.into_iter().map(|o| o.expect("all halted")).collect(),
+            rounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::Graph;
+
+    /// Relaying BFS from node 0: each node forwards the wave once and
+    /// halts with its BFS distance.
+    struct RelayBfs;
+
+    impl MessageProgram for RelayBfs {
+        type State = ();
+        type Msg = u64;
+        type Output = u64;
+
+        fn init(&self, ctx: &NodeCtx) -> ((), Vec<Outgoing<u64>>) {
+            if ctx.node == NodeId(0) {
+                ((), broadcast(ctx.degree(), &1))
+            } else {
+                ((), Vec::new())
+            }
+        }
+
+        fn step(&self, ctx: &NodeCtx, _state: &mut (), inbox: &[Option<u64>]) -> MsgTransition<u64, u64> {
+            if ctx.node == NodeId(0) {
+                return MsgTransition::HaltAfter(Vec::new(), 0);
+            }
+            if let Some(&d) = inbox.iter().flatten().min() {
+                MsgTransition::HaltAfter(broadcast(ctx.degree(), &(d + 1)), d)
+            } else {
+                MsgTransition::Continue(Vec::new())
+            }
+        }
+    }
+
+    #[test]
+    fn relay_bfs_computes_distances() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (1, 4)]).unwrap();
+        let run = MessageExecutor::new(&g).run(&RelayBfs, 10).unwrap();
+        assert_eq!(run.outputs, vec![0, 1, 2, 3, 2]);
+        assert_eq!(run.rounds, 3, "last node hears the wave in round 3");
+    }
+
+    /// Token accumulation with private state: each node counts distinct
+    /// rounds in which it received anything, for three rounds.
+    struct CountRounds;
+
+    impl MessageProgram for CountRounds {
+        type State = u32;
+        type Msg = ();
+        type Output = u32;
+
+        fn init(&self, ctx: &NodeCtx) -> (u32, Vec<Outgoing<()>>) {
+            (0, broadcast(ctx.degree(), &()))
+        }
+
+        fn step(&self, ctx: &NodeCtx, state: &mut u32, inbox: &[Option<()>]) -> MsgTransition<(), u32> {
+            if inbox.iter().any(Option::is_some) {
+                *state += 1;
+            }
+            if ctx.round >= 3 {
+                MsgTransition::HaltAfter(Vec::new(), *state)
+            } else {
+                MsgTransition::Continue(broadcast(ctx.degree(), &()))
+            }
+        }
+    }
+
+    #[test]
+    fn private_state_persists() {
+        let g = graphgen::generators::cycle(6);
+        let run = MessageExecutor::new(&g).run(&CountRounds, 10).unwrap();
+        assert!(run.outputs.iter().all(|&c| c == 3));
+    }
+
+    /// Ports deliver to the right neighbor: sum of leaf uids at the center.
+    struct PingPong;
+
+    impl MessageProgram for PingPong {
+        type State = ();
+        type Msg = u64;
+        type Output = u64;
+
+        fn init(&self, ctx: &NodeCtx) -> ((), Vec<Outgoing<u64>>) {
+            ((), broadcast(ctx.degree(), &ctx.uid))
+        }
+
+        fn step(&self, _ctx: &NodeCtx, _state: &mut (), inbox: &[Option<u64>]) -> MsgTransition<u64, u64> {
+            MsgTransition::HaltAfter(Vec::new(), inbox.iter().flatten().sum())
+        }
+    }
+
+    #[test]
+    fn ports_deliver_to_the_right_neighbor() {
+        let g = graphgen::generators::star(3);
+        let run = MessageExecutor::new(&g).run(&PingPong, 5).unwrap();
+        assert_eq!(run.outputs[0], 1 + 2 + 3);
+        assert_eq!(run.outputs[1], 0);
+    }
+
+    #[test]
+    fn round_budget_enforced() {
+        struct Forever;
+        impl MessageProgram for Forever {
+            type State = ();
+            type Msg = ();
+            type Output = ();
+            fn init(&self, _ctx: &NodeCtx) -> ((), Vec<Outgoing<()>>) {
+                ((), Vec::new())
+            }
+            fn step(&self, _ctx: &NodeCtx, _s: &mut (), _i: &[Option<()>]) -> MsgTransition<(), ()> {
+                MsgTransition::Continue(Vec::new())
+            }
+        }
+        let g = graphgen::generators::cycle(4);
+        assert!(matches!(
+            MessageExecutor::new(&g).run(&Forever, 3),
+            Err(SimError::RoundLimitExceeded { limit: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = Graph::from_edges(0, []).unwrap();
+        let run = MessageExecutor::new(&g).run(&PingPong, 1).unwrap();
+        assert!(run.outputs.is_empty());
+    }
+}

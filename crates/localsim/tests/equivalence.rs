@@ -1,0 +1,96 @@
+//! Equivalence of the two executor levels: the state-exchange
+//! [`localsim::Executor`] and the per-port [`localsim::MessageExecutor`]
+//! compute the same function when given the same algorithm in both forms.
+
+use graphgen::{Graph, GraphBuilder};
+use localsim::{
+    broadcast, Executor, LocalAlgorithm, MessageExecutor, MessageProgram, MsgTransition, NodeCtx,
+    Outgoing, Transition,
+};
+use proptest::prelude::*;
+
+/// Flood-max for `t` rounds, state-exchange form.
+struct FloodState {
+    t: u64,
+}
+
+impl LocalAlgorithm for FloodState {
+    type State = u64;
+    type Output = u64;
+
+    fn init(&self, ctx: &NodeCtx) -> u64 {
+        ctx.uid
+    }
+
+    fn step(&self, ctx: &NodeCtx, state: &u64, nbrs: &[u64]) -> Transition<u64, u64> {
+        let m = nbrs.iter().copied().chain([*state]).max().unwrap_or(*state);
+        if ctx.round >= self.t {
+            Transition::Halt(m)
+        } else {
+            Transition::Continue(m)
+        }
+    }
+}
+
+/// Flood-max for `t` rounds, per-port message form.
+struct FloodMsg {
+    t: u64,
+}
+
+impl MessageProgram for FloodMsg {
+    type State = u64;
+    type Msg = u64;
+    type Output = u64;
+
+    fn init(&self, ctx: &NodeCtx) -> (u64, Vec<Outgoing<u64>>) {
+        (ctx.uid, broadcast(ctx.degree(), &ctx.uid))
+    }
+
+    fn step(&self, ctx: &NodeCtx, state: &mut u64, inbox: &[Option<u64>]) -> MsgTransition<u64, u64> {
+        let m = inbox.iter().flatten().copied().chain([*state]).max().unwrap_or(*state);
+        *state = m;
+        if ctx.round >= self.t {
+            MsgTransition::HaltAfter(Vec::new(), m)
+        } else {
+            MsgTransition::Continue(broadcast(ctx.degree(), &m))
+        }
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..20).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..40).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            for (a, c) in pairs {
+                if a != c {
+                    b.add_edge(a, c);
+                }
+            }
+            b.build().expect("builder dedups")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After t rounds both executors agree on every node's t-ball maximum.
+    #[test]
+    fn executors_agree_on_flood_max(g in arb_graph(), t in 1u64..5) {
+        let a = Executor::new(&g).run(&FloodState { t }, t + 2).unwrap();
+        let b = MessageExecutor::new(&g).run(&FloodMsg { t }, t + 2).unwrap();
+        prop_assert_eq!(&a.outputs, &b.outputs);
+        prop_assert_eq!(a.rounds, b.rounds);
+        // Ground truth: the max uid within distance t.
+        for v in g.vertices() {
+            let dist = g.bfs_distances(&[v]);
+            let expect = g
+                .vertices()
+                .filter(|w| dist[w.index()] != usize::MAX && dist[w.index()] as u64 <= t)
+                .map(|w| u64::from(w.0))
+                .max()
+                .unwrap();
+            prop_assert_eq!(a.outputs[v.index()], expect, "node {}", v);
+        }
+    }
+}

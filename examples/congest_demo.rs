@@ -1,0 +1,44 @@
+//! CONGEST demo: the symmetry-breaking toolbox under metered bandwidth.
+//!
+//! The LOCAL model allows unbounded messages; the CONGEST model caps each
+//! per-edge message at O(log n) bits. This demo runs the per-port
+//! implementations through the metering executor and prints rounds and
+//! message widths — the regime of the paper's bandwidth-restricted
+//! companions ([MU21], [HM24]).
+//!
+//! ```text
+//! cargo run --release --example congest_demo
+//! ```
+
+use delta_coloring::graphs::generators;
+use delta_coloring::subroutines::{congest_coloring, congest_mis, mis};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>7} {:>14} {:>9} {:>11} {:>9} {:>15} {:>9}",
+        "n", "Δ+1 rounds", "bits", "MIS rounds", "bits", "match rounds", "bits"
+    );
+    for n in [256usize, 1024, 4096] {
+        let g = generators::random_regular(n, 8, 2026);
+        let col = congest_coloring::congest_delta_plus_one(&g, 1)?;
+        col.coloring.check_complete(&g, 9)?;
+        let m = congest_mis::congest_mis(&g, 2)?;
+        assert!(mis::is_mis(&g, &m.value));
+        let mat = congest_mis::congest_matching(&g, 3)?;
+        println!(
+            "{n:>7} {:>14} {:>9} {:>11} {:>9} {:>15} {:>9}",
+            col.rounds,
+            col.max_message_bits,
+            m.rounds,
+            m.max_message_bits,
+            mat.rounds,
+            mat.max_message_bits
+        );
+    }
+    println!(
+        "\nMessage widths stay at O(log Δ) / O(log n) / 2 bits while rounds grow \
+         logarithmically — the toolbox the Δ-coloring pipeline builds on is \
+         bandwidth-friendly."
+    );
+    Ok(())
+}

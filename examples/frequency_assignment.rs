@@ -1,0 +1,70 @@
+//! Frequency assignment: Δ-coloring as radio channel allocation.
+//!
+//! Base stations packed into dense urban cells interfere with every other
+//! station in their cell and with one station of an adjacent cell (a
+//! directional backhaul link). The regulator licensed exactly Δ channels —
+//! one *fewer* than the classic greedy guarantee of Δ+1. Brooks' theorem
+//! says Δ channels suffice; this example assigns them with the paper's
+//! distributed algorithm, so every station decides its channel after a
+//! logarithmic number of message exchanges with its neighbors.
+//!
+//! ```text
+//! cargo run --release --example frequency_assignment
+//! ```
+
+use delta_coloring::coloring::{color_deterministic, Config};
+use delta_coloring::graphs::coloring::verify_delta_coloring;
+use delta_coloring::graphs::generators::{hard_cliques, HardCliqueParams};
+use delta_coloring::graphs::{Color, NodeId};
+use delta_coloring::reference::random_trial_stuck;
+
+const CHANNELS: usize = 16; // Δ: licensed spectrum slots
+const CELLS: usize = 34;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let city = hard_cliques(&HardCliqueParams {
+        cliques: CELLS,
+        delta: CHANNELS,
+        external_per_vertex: 1,
+        seed: 2026,
+    })?;
+    println!(
+        "{} stations in {} cells; interference degree Δ = {CHANNELS}, {CHANNELS} channels licensed",
+        city.graph.n(),
+        CELLS
+    );
+
+    // First, why not greedy? Assign channels station by station.
+    let greedy = random_trial_stuck(&city.graph, 1, u64::MAX);
+    println!(
+        "greedy assignment: {} stations served, {} stations BLOCKED (no channel left)",
+        greedy.colored, greedy.stuck
+    );
+
+    // The paper's algorithm: every station gets a channel.
+    let report = color_deterministic(&city.graph, &Config::for_delta(CHANNELS))?;
+    verify_delta_coloring(&city.graph, &report.coloring)?;
+    println!(
+        "slack-triad assignment: all {} stations served in {} message rounds",
+        city.graph.n(),
+        report.rounds()
+    );
+
+    // Channel usage histogram.
+    let mut usage = [0usize; CHANNELS];
+    for v in city.graph.vertices() {
+        usage[report.coloring.get(v).expect("complete").index()] += 1;
+    }
+    println!("\nchannel usage:");
+    for (ch, count) in usage.iter().enumerate() {
+        println!("  channel {ch:>2}: {}", "#".repeat(count / 4).as_str());
+    }
+
+    // Spot-check one cell: all its stations hold distinct channels.
+    let cell0: Vec<(NodeId, Color)> = city.cliques[0]
+        .iter()
+        .map(|&v| (v, report.coloring.get(v).expect("complete")))
+        .collect();
+    println!("\ncell 0 assignment: {cell0:?}");
+    Ok(())
+}

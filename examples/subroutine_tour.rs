@@ -1,0 +1,78 @@
+//! A tour of the distributed substrates the pipeline composes: the
+//! almost-clique decomposition, maximal matching, hyperedge grabbing, and
+//! degree splitting — each run standalone with its LOCAL round count.
+//!
+//! ```text
+//! cargo run --release --example subroutine_tour
+//! ```
+
+use delta_coloring::decomposition::{compute_acd, verify_acd, AcdParams};
+use delta_coloring::grabbing::generators::random_hypergraph;
+use delta_coloring::grabbing::{heg_augmenting, heg_token_walk, sinkless_orientation, verify_heg};
+use delta_coloring::graphs::generators;
+use delta_coloring::subroutines::{matching, mis, split};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Almost-clique decomposition (Lemma 2). ---
+    let inst = generators::hard_cliques(&generators::HardCliqueParams {
+        cliques: 68,
+        delta: 16,
+        external_per_vertex: 1,
+        seed: 5,
+    })?;
+    let acd = compute_acd(&inst.graph, &AcdParams::for_delta(16));
+    verify_acd(&inst.graph, &acd).map_err(|e| format!("ACD invalid: {e}"))?;
+    println!(
+        "ACD: {} almost-cliques, {} sparse vertices => graph is {} ({} rounds)",
+        acd.cliques.len(),
+        acd.sparse.len(),
+        if acd.is_dense() { "DENSE" } else { "not dense" },
+        acd.rounds
+    );
+
+    // --- Maximal matching (Phase 1's first step). ---
+    let g = generators::random_regular(4096, 8, 1);
+    let det = matching::maximal_matching_det_direct(&g)?;
+    let rnd = matching::maximal_matching_rand(&g, 2)?;
+    println!(
+        "maximal matching on 8-regular n=4096: det {} edges / {} rounds, rand {} edges / {} rounds",
+        det.value.edges.len(),
+        det.rounds,
+        rnd.value.edges.len(),
+        rnd.rounds
+    );
+
+    // --- MIS (drives ruling sets and schedules). ---
+    let m = mis::mis_deterministic(&g, None)?;
+    println!(
+        "deterministic MIS: {} members / {} rounds",
+        m.value.iter().filter(|&&b| b).count(),
+        m.rounds
+    );
+
+    // --- Hyperedge grabbing (Lemma 5). ---
+    let h = random_hypergraph(8192, 8, 4, 3)?;
+    let aug = heg_augmenting(&h).map_err(|e| format!("HEG: {e}"))?;
+    assert!(verify_heg(&h, &aug.value));
+    let tok = heg_token_walk(&h, 9).map_err(|e| format!("HEG: {e}"))?;
+    assert!(verify_heg(&h, &tok.value));
+    println!(
+        "hyperedge grabbing (n=8192, δ/r=2): augmenting {} rounds, token walk {} rounds",
+        aug.rounds, tok.rounds
+    );
+
+    // --- Sinkless orientation: the rank-2 special case (§1.1). ---
+    let so = sinkless_orientation(&g, None).map_err(|e| format!("sinkless: {e}"))?;
+    let sinks = so.value.out_degrees(g.n()).iter().filter(|&&d| d == 0).count();
+    println!("sinkless orientation: {} sinks (must be 0), {} rounds", sinks, so.rounds);
+
+    // --- Degree splitting (Lemma 21). ---
+    let s = split::degree_split(&g, 8)?;
+    let disc = s.value.discrepancies(&g);
+    println!(
+        "degree splitting: max |#red - #blue| per vertex = {} ({} rounds)",
+        disc.iter().max().copied().unwrap_or(0),
+        s.rounds
+    );
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Command-line Δ-coloring tool.
+//!
+//! ```text
+//! delta-color gen --cliques 68 --delta 16 --seed 1 > graph.txt
+//! delta-color color graph.txt                  # deterministic (Theorem 1)
+//! delta-color color graph.txt --randomized 7   # randomized (Theorem 2)
+//! delta-color color graph.txt --general 7      # sparse+dense extension
+//! ```
+//!
+//! `color` reads the edge-list format (see `graphgen::io`), writes the
+//! coloring (`vertex color` per line) to stdout and the round ledger to
+//! stderr.
+
+use delta_coloring::coloring::{
+    color_deterministic, color_randomized, color_sparse_dense, Config, RandConfig,
+};
+use delta_coloring::graphs::coloring::verify_delta_coloring;
+use delta_coloring::graphs::generators::{hard_cliques, HardCliqueParams};
+use delta_coloring::graphs::io;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let cliques = arg_value(&args, "--cliques").map_or(Ok(68), |v| v.parse())?;
+            let delta = arg_value(&args, "--delta").map_or(Ok(16), |v| v.parse())?;
+            let seed = arg_value(&args, "--seed").map_or(Ok(1), |v| v.parse())?;
+            let inst = hard_cliques(&HardCliqueParams {
+                cliques,
+                delta,
+                external_per_vertex: 1,
+                seed,
+            })?;
+            print!("{}", io::write_edge_list(&inst.graph));
+            eprintln!(
+                "generated {} vertices / {} edges (Δ = {delta}, {cliques} hard cliques)",
+                inst.graph.n(),
+                inst.graph.m()
+            );
+            Ok(())
+        }
+        Some("color") => {
+            let path = args
+                .get(1)
+                .ok_or("usage: delta-color color <file> [--randomized SEED | --general SEED]")?;
+            let g = io::read_edge_list(path)?;
+            let delta = g.max_degree();
+            eprintln!("read {} vertices / {} edges, Δ = {delta}", g.n(), g.m());
+            let (coloring, ledger) = if let Some(seed) = arg_value(&args, "--randomized") {
+                let report = color_randomized(&g, &RandConfig::for_delta(delta, seed.parse()?))?;
+                (report.coloring, report.ledger)
+            } else if let Some(seed) = arg_value(&args, "--general") {
+                let report = color_sparse_dense(&g, &RandConfig::for_delta(delta, seed.parse()?))?;
+                (report.coloring, report.ledger)
+            } else {
+                let report = color_deterministic(&g, &Config::for_delta(delta))?;
+                (report.coloring, report.ledger)
+            };
+            verify_delta_coloring(&g, &coloring)?;
+            eprintln!("{ledger}");
+            print!("{}", io::write_coloring(&coloring));
+            Ok(())
+        }
+        _ => {
+            eprintln!(
+                "usage:\n  delta-color gen [--cliques N] [--delta D] [--seed S]\n  \
+                 delta-color color <file> [--randomized SEED | --general SEED]"
+            );
+            Err("unknown command".into())
+        }
+    }
+}
