@@ -56,7 +56,10 @@ impl AcdParams {
     /// The paper's parameters: `ε = 1/63`, `η = ε/2`.
     pub fn paper() -> Self {
         let eps = 1.0 / 63.0;
-        AcdParams { eps, eta: eps / 2.0 }
+        AcdParams {
+            eps,
+            eta: eps / 2.0,
+        }
     }
 
     /// Parameters scaled for a given Δ: the paper values for `Δ ≥ 63`,
@@ -69,13 +72,19 @@ impl AcdParams {
             Self::paper()
         } else {
             let eps = (4.5 / delta.max(4) as f64).min(0.45);
-            AcdParams { eps, eta: eps / 2.0 }
+            AcdParams {
+                eps,
+                eta: eps / 2.0,
+            }
         }
     }
 
     /// Explicit ε (η defaults to ε/2). For experiment sweeps.
     pub fn with_eps(eps: f64) -> Self {
-        AcdParams { eps, eta: eps / 2.0 }
+        AcdParams {
+            eps,
+            eta: eps / 2.0,
+        }
     }
 }
 
@@ -141,7 +150,11 @@ pub fn compute_acd(g: &Graph, params: &AcdParams) -> AcdResult {
     // neighbors (each has (1−ε)Δ inside a set of ≤ (1+ε)Δ vertices), and
     // in a true Δ-clique exactly Δ − 2 — so friendship must tolerate
     // η_eff ≥ max(3.5ε, 2.5/Δ), clamped away from degeneracy.
-    let eta_eff = params.eta.max(3.5 * params.eps).max(2.5 / delta.max(1.0)).min(0.5);
+    let eta_eff = params
+        .eta
+        .max(3.5 * params.eps)
+        .max(2.5 / delta.max(1.0))
+        .min(0.5);
     let friend_threshold = ((1.0 - eta_eff) * delta).ceil() as usize;
     let dense_threshold = ((1.0 - eta_eff) * delta).ceil() as usize;
 
@@ -196,7 +209,10 @@ pub fn compute_acd(g: &Graph, params: &AcdParams) -> AcdResult {
         let mut changed = false;
         // Count neighbors inside each clique for all vertices.
         let count_in = |v: NodeId, c: u32, in_clique: &[Option<u32>]| {
-            g.neighbors(v).iter().filter(|w| in_clique[w.index()] == Some(c)).count()
+            g.neighbors(v)
+                .iter()
+                .filter(|w| in_clique[w.index()] == Some(c))
+                .count()
         };
         // Evict.
         for v in g.vertices() {
@@ -250,7 +266,10 @@ pub fn compute_acd(g: &Graph, params: &AcdParams) -> AcdResult {
         match in_clique[v.index()] {
             Some(c) if sizes[&c] >= min_size && sizes[&c] <= max_size => {
                 let id = *remap.entry(c).or_insert_with(|| {
-                    cliques.push(AlmostClique { id: cliques.len() as u32, vertices: Vec::new() });
+                    cliques.push(AlmostClique {
+                        id: cliques.len() as u32,
+                        vertices: Vec::new(),
+                    });
                     (cliques.len() - 1) as u32
                 });
                 cliques[id as usize].vertices.push(v);
@@ -259,7 +278,13 @@ pub fn compute_acd(g: &Graph, params: &AcdParams) -> AcdResult {
             _ => sparse.push(v),
         }
     }
-    AcdResult { params: *params, sparse, cliques, clique_of, rounds: ACD_ROUNDS }
+    AcdResult {
+        params: *params,
+        sparse,
+        cliques,
+        clique_of,
+        rounds: ACD_ROUNDS,
+    }
 }
 
 /// Errors reported by [`verify_acd`].
@@ -268,9 +293,17 @@ pub enum AcdViolation {
     /// Property (i): clique size outside `[(1−ε/4)Δ, (1+ε)Δ]`.
     Size { clique: u32, size: usize },
     /// Property (ii): a member with too few internal neighbors.
-    WeakMember { clique: u32, node: NodeId, inside: usize },
+    WeakMember {
+        clique: u32,
+        node: NodeId,
+        inside: usize,
+    },
     /// Property (iii): an outsider with too many neighbors inside.
-    StrongOutsider { clique: u32, node: NodeId, inside: usize },
+    StrongOutsider {
+        clique: u32,
+        node: NodeId,
+        inside: usize,
+    },
     /// The partition is inconsistent (memberships disagree).
     Inconsistent,
 }
@@ -281,11 +314,25 @@ impl std::fmt::Display for AcdViolation {
             AcdViolation::Size { clique, size } => {
                 write!(f, "clique {clique} has out-of-range size {size}")
             }
-            AcdViolation::WeakMember { clique, node, inside } => {
-                write!(f, "vertex {node} has only {inside} neighbors inside its clique {clique}")
+            AcdViolation::WeakMember {
+                clique,
+                node,
+                inside,
+            } => {
+                write!(
+                    f,
+                    "vertex {node} has only {inside} neighbors inside its clique {clique}"
+                )
             }
-            AcdViolation::StrongOutsider { clique, node, inside } => {
-                write!(f, "outsider {node} has {inside} neighbors inside clique {clique}")
+            AcdViolation::StrongOutsider {
+                clique,
+                node,
+                inside,
+            } => {
+                write!(
+                    f,
+                    "outsider {node} has {inside} neighbors inside clique {clique}"
+                )
             }
             AcdViolation::Inconsistent => write!(f, "partition bookkeeping is inconsistent"),
         }
@@ -325,13 +372,23 @@ pub fn verify_acd(g: &Graph, acd: &AcdResult) -> Result<(), AcdViolation> {
 
     for c in &acd.cliques {
         if c.len() < min_size || c.len() > max_size {
-            return Err(AcdViolation::Size { clique: c.id, size: c.len() });
+            return Err(AcdViolation::Size {
+                clique: c.id,
+                size: c.len(),
+            });
         }
         for &v in &c.vertices {
-            let inside =
-                g.neighbors(v).iter().filter(|w| acd.clique_of[w.index()] == Some(c.id)).count();
+            let inside = g
+                .neighbors(v)
+                .iter()
+                .filter(|w| acd.clique_of[w.index()] == Some(c.id))
+                .count();
             if inside < member_min {
-                return Err(AcdViolation::WeakMember { clique: c.id, node: v, inside });
+                return Err(AcdViolation::WeakMember {
+                    clique: c.id,
+                    node: v,
+                    inside,
+                });
             }
         }
     }
@@ -347,7 +404,11 @@ pub fn verify_acd(g: &Graph, acd: &AcdResult) -> Result<(), AcdViolation> {
         }
         for (c, cnt) in counts {
             if cnt > outsider_max {
-                return Err(AcdViolation::StrongOutsider { clique: c, node: v, inside: cnt });
+                return Err(AcdViolation::StrongOutsider {
+                    clique: c,
+                    node: v,
+                    inside: cnt,
+                });
             }
         }
     }
@@ -429,7 +490,10 @@ mod tests {
         })
         .unwrap();
         let acd = compute_acd(&inst.graph, &AcdParams::for_delta(16));
-        assert!(acd.is_dense(), "deleting one intra edge keeps everyone dense");
+        assert!(
+            acd.is_dense(),
+            "deleting one intra edge keeps everyone dense"
+        );
         verify_acd(&inst.graph, &acd).unwrap();
     }
 

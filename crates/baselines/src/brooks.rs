@@ -182,7 +182,11 @@ mod tests {
 
     #[test]
     fn colors_low_degree_graphs() {
-        for g in [generators::path(10), generators::random_tree(40, 1), generators::star(6)] {
+        for g in [
+            generators::path(10),
+            generators::random_tree(40, 1),
+            generators::star(6),
+        ] {
             let c = brooks_sequential(&g).unwrap();
             verify_delta_coloring(&g, &c).unwrap();
         }

@@ -137,9 +137,15 @@ fn color_component_stalling(
         let palettes: Vec<Vec<Color>> = active
             .iter()
             .map(|&v| {
-                let used: std::collections::HashSet<Color> =
-                    g.neighbors(v).iter().filter_map(|&w| coloring.get(w)).collect();
-                (0..delta).map(Color).filter(|c| !used.contains(c)).collect()
+                let used: std::collections::HashSet<Color> = g
+                    .neighbors(v)
+                    .iter()
+                    .filter_map(|&w| coloring.get(w))
+                    .collect();
+                (0..delta)
+                    .map(Color)
+                    .filter(|c| !used.contains(c))
+                    .collect()
             })
             .collect();
         let timed =
@@ -183,16 +189,26 @@ pub fn random_trial_stuck(g: &Graph, seed: u64, max_rounds: u64) -> StuckReport 
     let mut stuck = 0;
     for &v in order.iter().take(max_rounds as usize) {
         rounds += 1;
-        let used: std::collections::HashSet<Color> =
-            g.neighbors(v).iter().filter_map(|&w| coloring.get(w)).collect();
-        let free: Vec<Color> = (0..delta).map(Color).filter(|c| !used.contains(c)).collect();
+        let used: std::collections::HashSet<Color> = g
+            .neighbors(v)
+            .iter()
+            .filter_map(|&w| coloring.get(w))
+            .collect();
+        let free: Vec<Color> = (0..delta)
+            .map(Color)
+            .filter(|c| !used.contains(c))
+            .collect();
         if free.is_empty() {
             stuck += 1;
         } else {
             coloring.set(v, free[rng.gen_range(0..free.len())]);
         }
     }
-    StuckReport { rounds, colored: coloring.colored_count(), stuck }
+    StuckReport {
+        rounds,
+        colored: coloring.colored_count(),
+        stuck,
+    }
 }
 
 #[cfg(test)]
@@ -273,8 +289,9 @@ mod tests {
         .unwrap();
         // Each clique jams with probability ~1/(2Δ); over 200 cliques and
         // a few seeds, some jam essentially surely.
-        let stuck: usize =
-            (0..4).map(|s| random_trial_stuck(&inst.graph, s, u64::MAX).stuck).sum();
+        let stuck: usize = (0..4)
+            .map(|s| random_trial_stuck(&inst.graph, s, u64::MAX).stuck)
+            .sum();
         assert!(
             stuck > 0,
             "expected stuck vertices over 4 seeds (greedy would mean Δ-coloring is easy)"

@@ -5,9 +5,12 @@
 //! regressions in the substrates are visible.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use delta_core::{color_deterministic, color_randomized, Config, RandConfig};
+use delta_core::{
+    color_deterministic, color_deterministic_probed, color_randomized, Config, RandConfig,
+};
 use graphgen::generators::{self, HardCliqueParams};
 use hypergraph::generators::random_hypergraph;
+use localsim::{NullSink, Probe, RecordingSink};
 
 fn hard(cliques: usize, delta: usize, seed: u64) -> generators::HardCliqueInstance {
     generators::hard_cliques(&HardCliqueParams {
@@ -29,9 +32,7 @@ fn bench_pipelines(c: &mut Criterion) {
             b.iter(|| color_deterministic(&inst.graph, &Config::for_delta(16)).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("randomized", m), &inst, |b, inst| {
-            b.iter(|| {
-                color_randomized(&inst.graph, &RandConfig::for_delta(16, 3)).unwrap()
-            });
+            b.iter(|| color_randomized(&inst.graph, &RandConfig::for_delta(16, 3)).unwrap());
         });
     }
     group.finish();
@@ -90,6 +91,32 @@ fn bench_baselines(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry overhead: the deterministic pipeline probe-free, with a
+/// probe nobody listens to (NullSink), and with full in-memory recording.
+/// The first two must be indistinguishable; the third bounds the cost of
+/// `--profile`.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10);
+    let inst = hard(34, 16, 7);
+    group.bench_function("probe_free", |b| {
+        b.iter(|| color_deterministic(&inst.graph, &Config::for_delta(16)).unwrap());
+    });
+    group.bench_function("null_sink", |b| {
+        b.iter(|| {
+            let probe = Probe::from_sink(NullSink);
+            color_deterministic_probed(&inst.graph, &Config::for_delta(16), &probe).unwrap()
+        });
+    });
+    group.bench_function("recording_sink", |b| {
+        b.iter(|| {
+            let probe = Probe::from_sink(RecordingSink::new());
+            color_deterministic_probed(&inst.graph, &Config::for_delta(16), &probe).unwrap()
+        });
+    });
+    group.finish();
+}
+
 /// Network decomposition and CONGEST variants.
 fn bench_extras(c: &mut Criterion) {
     let mut group = c.benchmark_group("extras");
@@ -117,6 +144,7 @@ criterion_group!(
     bench_heg,
     bench_primitives,
     bench_baselines,
+    bench_telemetry_overhead,
     bench_extras
 );
 criterion_main!(benches);

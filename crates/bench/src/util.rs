@@ -2,6 +2,8 @@
 
 use std::fmt::Write as _;
 
+use serde::Value;
+
 /// A Markdown table under construction.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -12,12 +14,19 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(ToString::to_string).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (stringified cells).
     pub fn row(&mut self, cells: &[String]) -> &mut Self {
-        assert_eq!(cells.len(), self.header.len(), "row arity must match header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity must match header"
+        );
         self.rows.push(cells.to_vec());
         self
     }
@@ -26,11 +35,41 @@ impl Table {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "| {} |", self.header.join(" | "));
-        let _ = writeln!(out, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for r in &self.rows {
             let _ = writeln!(out, "| {} |", r.join(" | "));
         }
         out
+    }
+
+    /// Renders as a JSON value: `{"columns": [...], "rows": [[...]]}`.
+    /// Cells stay strings — the table is the already-formatted view; the
+    /// raw numbers an analysis needs live in the experiment's own fields.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "columns".to_string(),
+                Value::Seq(self.header.iter().map(|h| Value::Str(h.clone())).collect()),
+            ),
+            (
+                "rows".to_string(),
+                Value::Seq(
+                    self.rows
+                        .iter()
+                        .map(|r| Value::Seq(r.iter().map(|c| Value::Str(c.clone())).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
@@ -50,8 +89,16 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     let b = (sy - a * sx) / n;
     let mean_y = sy / n;
     let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
-    let ss_res: f64 = xs.iter().zip(ys).map(|(x, y)| (y - (a * x + b)).powi(2)).sum();
-    let r2 = if ss_tot.abs() < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (a * x + b)).powi(2))
+        .sum();
+    let r2 = if ss_tot.abs() < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (a, b, r2)
 }
 
@@ -71,6 +118,16 @@ mod tests {
         let md = t.to_markdown();
         assert!(md.contains("| n | rounds |"));
         assert!(md.contains("| 10 | 42 |"));
+    }
+
+    #[test]
+    fn table_to_value_round_trips_through_json() {
+        let mut t = Table::new(&["n", "rounds"]);
+        t.row(&["10".into(), "42".into()]);
+        let json = serde::json::to_string(&t.to_value());
+        let back = serde::json::parse(&json).unwrap();
+        assert_eq!(back.field("columns").unwrap().as_seq(2).unwrap().len(), 2);
+        assert_eq!(back.field("rows").unwrap().as_seq(1).unwrap().len(), 1);
     }
 
     #[test]

@@ -78,16 +78,22 @@ pub fn classify_cliques(
     let mut heg_ids = Vec::new();
     for &cid in &hard_ids {
         let all_have = acd.cliques[cid as usize].vertices.iter().all(|&v| {
-            g.neighbors(v).iter().any(|&w| {
-                is_hard_vertex[w.index()] && acd.clique_of[w.index()] != Some(cid)
-            })
+            g.neighbors(v)
+                .iter()
+                .any(|&w| is_hard_vertex[w.index()] && acd.clique_of[w.index()] != Some(cid))
         });
         if all_have {
             heg_ids.push(cid);
         }
     }
 
-    Ok(Classification { kinds, hard_ids, heg_ids, is_hard_vertex, rounds: 2 })
+    Ok(Classification {
+        kinds,
+        hard_ids,
+        heg_ids,
+        is_hard_vertex,
+        rounds: 2,
+    })
 }
 
 /// Lemma 9 for a loophole-free clique: (1) it is a true clique, (2) every
@@ -214,7 +220,10 @@ mod tests {
         })
         .unwrap();
         let (_, cls) = classify(&inst);
-        assert!(cls.heg_ids.len() < cls.hard_count(), "some hard clique must be Type II");
+        assert!(
+            cls.heg_ids.len() < cls.hard_count(),
+            "some hard clique must be Type II"
+        );
     }
 
     #[test]

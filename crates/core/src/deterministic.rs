@@ -2,7 +2,7 @@
 
 use acd::{compute_acd, AcdParams, AcdResult};
 use graphgen::{Color, Coloring, Graph};
-use localsim::RoundLedger;
+use localsim::{Probe, RoundLedger};
 use primitives::ruling::RulingStyle;
 use serde::{Deserialize, Serialize};
 
@@ -137,27 +137,53 @@ impl Report {
 /// * [`DeltaColoringError::ContainsMaxClique`] on a `K_{Δ+1}`.
 /// * Invariant/structure errors on inputs outside the paper's assumptions.
 pub fn color_deterministic(g: &Graph, config: &Config) -> Result<Report, DeltaColoringError> {
+    color_deterministic_probed(g, config, &Probe::disabled())
+}
+
+/// [`color_deterministic`] with structured telemetry: every pipeline step
+/// opens a span on `probe`, every ledger charge surfaces as a `charge`
+/// event, and every simulator round executed by a subroutine surfaces as a
+/// `round` event.
+///
+/// # Errors
+///
+/// As [`color_deterministic`].
+pub fn color_deterministic_probed(
+    g: &Graph,
+    config: &Config,
+    probe: &Probe,
+) -> Result<Report, DeltaColoringError> {
     let delta = g.max_degree();
     if delta < 4 {
         return Err(DeltaColoringError::UnsupportedStructure(format!(
             "maximum degree {delta} is below the supported minimum of 4"
         )));
     }
-    let mut ledger = RoundLedger::new();
+    let mut ledger = RoundLedger::with_probe(probe.clone());
     let mut coloring = Coloring::empty(g.n());
 
     // Step 0: ACD and density check.
-    let acd = compute_acd(g, &config.acd);
-    ledger.charge_constant("acd computation", acd.rounds);
+    let acd = {
+        let mut span = probe.span("pipeline/acd");
+        let acd = compute_acd(g, &config.acd);
+        ledger.charge_constant("acd computation", acd.rounds);
+        span.add_rounds(acd.rounds);
+        acd
+    };
     if !acd.is_dense() {
-        return Err(DeltaColoringError::NotDense { sparse: acd.sparse.len() });
+        return Err(DeltaColoringError::NotDense {
+            sparse: acd.sparse.len(),
+        });
     }
 
     // Loophole detection and hard/easy classification.
+    let mut span = probe.span("pipeline/classification");
     let loopholes = detect_loopholes(g, &acd.clique_of);
     ledger.charge_constant("loophole detection", loopholes.rounds);
     let cls = classify_cliques(g, &acd, &loopholes)?;
     ledger.charge_constant("hard/easy classification", cls.rounds);
+    span.add_rounds(loopholes.rounds + cls.rounds);
+    span.finish();
 
     let mut stats = PipelineStats {
         cliques: acd.cliques.len(),
@@ -170,11 +196,21 @@ pub fn color_deterministic(g: &Graph, config: &Config) -> Result<Report, DeltaCo
     // Step 2 (Algorithm 2): color vertices in hard cliques.
     if !cls.hard_ids.is_empty() {
         run_hard_phases(
-            g, &acd, &cls, config, &mut coloring, &mut ledger, &mut stats, None, false,
+            g,
+            &acd,
+            &cls,
+            config,
+            &mut coloring,
+            &mut ledger,
+            &mut stats,
+            None,
+            false,
         )?;
     }
 
     // Step 3 (Algorithm 3): easy cliques and loopholes.
+    let before = ledger.total();
+    let mut span = probe.span("pipeline/easy sweep");
     stats.easy = color_easy_and_loopholes(
         g,
         &loopholes,
@@ -183,11 +219,17 @@ pub fn color_deterministic(g: &Graph, config: &Config) -> Result<Report, DeltaCo
         &mut coloring,
         &mut ledger,
     )?;
+    span.add_rounds(ledger.total() - before);
+    span.finish();
 
     coloring
         .check_complete(g, delta as u32)
         .map_err(|e| DeltaColoringError::InvariantViolated(format!("final coloring: {e}")))?;
-    Ok(Report { coloring, ledger, stats })
+    Ok(Report {
+        coloring,
+        ledger,
+        stats,
+    })
 }
 
 /// Algorithm 2 (phases 1–4), shared with the randomized pipeline.
@@ -207,6 +249,10 @@ pub(crate) fn run_hard_phases(
     allow_useless: bool,
 ) -> Result<(), DeltaColoringError> {
     let delta = g.max_degree();
+    let probe = ledger.probe().clone();
+
+    let before = ledger.total();
+    let mut span = probe.span("pipeline/phase1 balanced matching");
     let f2 = balanced_matching(
         g,
         acd,
@@ -217,13 +263,36 @@ pub(crate) fn run_hard_phases(
         allow_useless,
         ledger,
     )?;
+    span.add_rounds(ledger.total() - before);
+    span.finish();
     stats.phase1 = f2.stats.clone();
-    let f3 = sparsify_matching(g, acd, cls, &f2, config.acd.eps, config.split_segment, ledger)?;
+
+    let before = ledger.total();
+    let mut span = probe.span("pipeline/phase2 sparsify matching");
+    let f3 = sparsify_matching(
+        g,
+        acd,
+        cls,
+        &f2,
+        config.acd.eps,
+        config.split_segment,
+        ledger,
+    )?;
+    span.add_rounds(ledger.total() - before);
+    span.finish();
     stats.max_incoming = f3.incoming.iter().copied().max().unwrap_or(0);
     stats.incoming_bound = f3.incoming_bound;
+
+    let before = ledger.total();
+    let mut span = probe.span("pipeline/phase3 slack triads");
     let triads = form_slack_triads(g, acd, &f3, ledger)?;
-    let pair_palette = pair_palette_override
-        .unwrap_or_else(|| (0..delta as u32).map(Color).collect());
+    span.add_rounds(ledger.total() - before);
+    span.finish();
+
+    let pair_palette =
+        pair_palette_override.unwrap_or_else(|| (0..delta as u32).map(Color).collect());
+    let before = ledger.total();
+    let mut span = probe.span("pipeline/phase4 coloring");
     stats.phase4 = color_hard_cliques_phase4(
         g,
         acd,
@@ -234,6 +303,8 @@ pub(crate) fn run_hard_phases(
         config.enforce_paper_bounds,
         ledger,
     )?;
+    span.add_rounds(ledger.total() - before);
+    span.finish();
     Ok(())
 }
 
@@ -345,7 +416,11 @@ mod tests {
             (MatchingAlgo::Rand(7), HegAlgo::TokenWalk(9)),
             (MatchingAlgo::DetLineGraph, HegAlgo::Sequential),
         ] {
-            let config = Config { matching, heg, ..Config::for_delta(16) };
+            let config = Config {
+                matching,
+                heg,
+                ..Config::for_delta(16)
+            };
             let report = color_deterministic(&inst.graph, &config).unwrap();
             verify_delta_coloring(&inst.graph, &report.coloring).unwrap();
         }

@@ -11,7 +11,7 @@
 
 use graphgen::{Coloring, Graph, NodeId};
 use localsim::RoundLedger;
-use primitives::ruling::{ruling_set, RulingStyle};
+use primitives::ruling::{ruling_set_probed, RulingStyle};
 use serde::{Deserialize, Serialize};
 
 use crate::error::DeltaColoringError;
@@ -74,8 +74,10 @@ pub fn color_easy_and_loopholes_scoped(
 ) -> Result<EasyStats, DeltaColoringError> {
     let delta = g.max_degree() as u32;
     let in_scope = |v: NodeId| scope.is_none_or(|s| s[v.index()]);
-    let uncolored_before: Vec<NodeId> =
-        g.vertices().filter(|&v| !coloring.is_colored(v) && in_scope(v)).collect();
+    let uncolored_before: Vec<NodeId> = g
+        .vertices()
+        .filter(|&v| !coloring.is_colored(v) && in_scope(v))
+        .collect();
     if uncolored_before.is_empty() {
         return Ok(EasyStats::default());
     }
@@ -137,7 +139,8 @@ pub fn color_easy_and_loopholes_scoped(
     let gl = Graph::from_edges(voted.len(), gl_edges).expect("G_L is valid");
 
     // --- Step 3: ruling set on G_L. ---
-    let rs = ruling_set(&gl, ruling_r, ruling_style)?;
+    let probe = ledger.probe().clone();
+    let rs = ruling_set_probed(&gl, ruling_r, ruling_style, &probe)?;
     ledger.charge_virtual("easy/loophole ruling set", rs.rounds, LOOPHOLE_DILATION);
     let selected: Vec<&Loophole> = voted
         .iter()
@@ -185,7 +188,14 @@ pub fn color_easy_and_loopholes_scoped(
             .vertices()
             .filter(|&v| layer[v.index()] == Some(l) && !coloring.is_colored(v))
             .collect();
-        run_list_instance(g, &active, delta, coloring, format!("easy/layer {l}"), ledger)?;
+        run_list_instance(
+            g,
+            &active,
+            delta,
+            coloring,
+            format!("easy/layer {l}"),
+            ledger,
+        )?;
     }
 
     // --- Step 8: brute-force the selected loopholes. ---
@@ -202,7 +212,10 @@ pub fn color_easy_and_loopholes_scoped(
     }
     ledger.charge_constant("easy/loophole brute force", 1);
 
-    let colored = uncolored_before.iter().filter(|&&v| coloring.is_colored(v)).count();
+    let colored = uncolored_before
+        .iter()
+        .filter(|&&v| coloring.is_colored(v))
+        .count();
     Ok(EasyStats {
         voted: voted.len(),
         selected: selected.len(),

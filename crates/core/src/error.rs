@@ -38,7 +38,10 @@ impl fmt::Display for DeltaColoringError {
                 write!(f, "graph is not dense: {sparse} sparse vertices in the ACD")
             }
             DeltaColoringError::ContainsMaxClique => {
-                write!(f, "graph contains a clique on Δ+1 vertices; no Δ-coloring exists")
+                write!(
+                    f,
+                    "graph contains a clique on Δ+1 vertices; no Δ-coloring exists"
+                )
             }
             DeltaColoringError::UnsupportedStructure(msg) => {
                 write!(f, "unsupported structure: {msg}")

@@ -23,7 +23,7 @@
 
 use acd::compute_acd;
 use graphgen::{Color, Coloring, Graph, NodeId};
-use localsim::RoundLedger;
+use localsim::{Probe, RoundLedger};
 use primitives::ruling::RulingStyle;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -67,7 +67,10 @@ pub struct SparseDenseReport {
 /// a color.
 fn has_permanent_slack(g: &Graph, coloring: &Coloring, v: NodeId) -> bool {
     let mut seen = std::collections::HashSet::new();
-    g.neighbors(v).iter().filter_map(|&w| coloring.get(w)).any(|c| !seen.insert(c))
+    g.neighbors(v)
+        .iter()
+        .filter_map(|&w| coloring.get(w))
+        .any(|c| !seen.insert(c))
 }
 
 /// Randomized Δ-coloring of a graph whose ACD has sparse vertices.
@@ -91,10 +94,25 @@ fn has_permanent_slack(g: &Graph, coloring: &Coloring, v: NodeId) -> bool {
 /// * [`DeltaColoringError::UnsupportedStructure`] when slack generation
 ///   fails for some sparse vertex within the round budget — the regime the
 ///   paper leaves open (small Δ, adversarial sparse structure).
-#[allow(clippy::too_many_lines)]
 pub fn color_sparse_dense(
     g: &Graph,
     config: &RandConfig,
+) -> Result<SparseDenseReport, DeltaColoringError> {
+    color_sparse_dense_probed(g, config, &Probe::disabled())
+}
+
+/// [`color_sparse_dense`] with a telemetry probe attached: phase spans,
+/// ledger charges, and per-round executor series are emitted to the
+/// probe's sink.
+///
+/// # Errors
+///
+/// As [`color_sparse_dense`].
+#[allow(clippy::too_many_lines)]
+pub fn color_sparse_dense_probed(
+    g: &Graph,
+    config: &RandConfig,
+    probe: &Probe,
 ) -> Result<SparseDenseReport, DeltaColoringError> {
     let delta = g.max_degree();
     if delta < 4 {
@@ -103,17 +121,20 @@ pub fn color_sparse_dense(
         )));
     }
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5BA2);
-    let mut ledger = RoundLedger::new();
+    let mut ledger = RoundLedger::with_probe(probe.clone());
     let mut coloring = Coloring::empty(g.n());
     let mut stats = SparseDenseStats::default();
 
+    let mut span = probe.span("pipeline/acd");
     let acd = compute_acd(g, &config.base.acd);
     ledger.charge_constant("acd computation", acd.rounds);
-    let is_sparse: Vec<bool> =
-        (0..g.n()).map(|v| acd.clique_of[v].is_none()).collect();
+    span.add_rounds(acd.rounds);
+    span.finish();
+    let is_sparse: Vec<bool> = (0..g.n()).map(|v| acd.clique_of[v].is_none()).collect();
     stats.sparse = acd.sparse.len();
 
     // --- Step 1: slack generation among sparse vertices. ---
+    let mut span = probe.span("pipeline/sparse trials");
     let budget = 6 + (usize::BITS - g.n().leading_zeros()) as u64;
     let mut trial_rounds = 0u64;
     loop {
@@ -145,10 +166,15 @@ pub fn color_sparse_dense(
             .collect();
         let mut draw: Vec<Option<Color>> = vec![None; g.n()];
         for &v in &active {
-            let used: std::collections::HashSet<Color> =
-                g.neighbors(v).iter().filter_map(|&w| coloring.get(w)).collect();
-            let free: Vec<Color> =
-                (0..delta as u32).map(Color).filter(|c| !used.contains(c)).collect();
+            let used: std::collections::HashSet<Color> = g
+                .neighbors(v)
+                .iter()
+                .filter_map(|&w| coloring.get(w))
+                .collect();
+            let free: Vec<Color> = (0..delta as u32)
+                .map(Color)
+                .filter(|c| !used.contains(c))
+                .collect();
             if !free.is_empty() {
                 draw[v.index()] = Some(free[rng.gen_range(0..free.len())]);
             }
@@ -162,15 +188,23 @@ pub fn color_sparse_dense(
         }
     }
     stats.trial_rounds = trial_rounds;
-    stats.trial_colored =
-        g.vertices().filter(|&v| is_sparse[v.index()] && coloring.is_colored(v)).count();
+    stats.trial_colored = g
+        .vertices()
+        .filter(|&v| is_sparse[v.index()] && coloring.is_colored(v))
+        .count();
     ledger.charge("sparse/slack-generation trials", trial_rounds);
+    span.add_rounds(trial_rounds);
+    span.finish();
 
     // --- Step 2: dense machinery. ---
+    let before = ledger.total();
+    let mut span = probe.span("pipeline/classification");
     let loopholes = detect_loopholes(g, &acd.clique_of);
     ledger.charge_constant("loophole detection", loopholes.rounds);
     let cls = classify_cliques(g, &acd, &loopholes)?;
     ledger.charge_constant("hard/easy classification", cls.rounds);
+    span.add_rounds(ledger.total() - before);
+    span.finish();
 
     // Stall assistance: a Type-II clique stalls on an uncolored non-hard
     // neighbor; if a candidate's outside neighbors were all trial-colored,
@@ -263,8 +297,7 @@ pub fn color_sparse_dense(
                     .all(|&x| !coloring.is_colored(x) && easy_scope[x.index()])
             });
             valid_vote
-                || g
-                    .neighbors(v)
+                || g.neighbors(v)
                     .iter()
                     .any(|&w| easy_scope[w.index()] && !coloring.is_colored(w))
         });
@@ -288,8 +321,13 @@ pub fn color_sparse_dense(
         votes[w.index()] = Some(Loophole::LowDegree(w));
         stats.assists += 1;
     }
-    let merged = crate::loophole::LoopholeReport { vote: votes, rounds: 0 };
+    let merged = crate::loophole::LoopholeReport {
+        vote: votes,
+        rounds: 0,
+    };
     if easy_scope.iter().any(|&b| b) {
+        let before = ledger.total();
+        let mut span = probe.span("pipeline/easy sweep");
         stats.dense.easy = color_easy_and_loopholes_scoped(
             g,
             &merged,
@@ -299,17 +337,33 @@ pub fn color_sparse_dense(
             &mut coloring,
             &mut ledger,
         )?;
+        span.add_rounds(ledger.total() - before);
+        span.finish();
     }
 
     // --- Step 4: the sparse finish (anything the sweep did not touch). ---
-    let remaining: Vec<NodeId> =
-        g.vertices().filter(|&v| !coloring.is_colored(v)).collect();
-    run_list_instance(g, &remaining, delta as u32, &mut coloring, "sparse/finish", &mut ledger)?;
+    let before = ledger.total();
+    let mut span = probe.span("pipeline/sparse finish");
+    let remaining: Vec<NodeId> = g.vertices().filter(|&v| !coloring.is_colored(v)).collect();
+    run_list_instance(
+        g,
+        &remaining,
+        delta as u32,
+        &mut coloring,
+        "sparse/finish",
+        &mut ledger,
+    )?;
+    span.add_rounds(ledger.total() - before);
+    span.finish();
 
     coloring
         .check_complete(g, delta as u32)
         .map_err(|e| DeltaColoringError::InvariantViolated(format!("final coloring: {e}")))?;
-    Ok(SparseDenseReport { coloring, ledger, stats })
+    Ok(SparseDenseReport {
+        coloring,
+        ledger,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -344,8 +398,7 @@ mod tests {
         let inst = mix(2);
         for seed in 0..4 {
             let report =
-                color_sparse_dense(&inst.graph, &RandConfig::for_delta(inst.delta, seed))
-                    .unwrap();
+                color_sparse_dense(&inst.graph, &RandConfig::for_delta(inst.delta, seed)).unwrap();
             verify_delta_coloring(&inst.graph, &report.coloring).unwrap();
         }
     }

@@ -40,9 +40,9 @@
 
 mod classify;
 mod deterministic;
-mod extension;
 mod easy;
 mod error;
+mod extension;
 mod loophole;
 mod phase1;
 mod phase2;
@@ -51,14 +51,21 @@ mod phase4;
 mod randomized;
 pub mod render;
 
-pub use classify::{classify_cliques, CliqueKind, Classification};
-pub use deterministic::{color_deterministic, Config, HegAlgo, MatchingAlgo, PipelineStats, Report};
+pub use classify::{classify_cliques, Classification, CliqueKind};
+pub use deterministic::{
+    color_deterministic, color_deterministic_probed, Config, HegAlgo, MatchingAlgo, PipelineStats,
+    Report,
+};
 pub use easy::{color_easy_and_loopholes, color_easy_and_loopholes_scoped, EasyStats};
 pub use error::DeltaColoringError;
-pub use extension::{color_sparse_dense, SparseDenseReport, SparseDenseStats};
-pub use loophole::{detect_loopholes, brute_force_color_loophole, Loophole, LoopholeReport};
+pub use extension::{
+    color_sparse_dense, color_sparse_dense_probed, SparseDenseReport, SparseDenseStats,
+};
+pub use loophole::{brute_force_color_loophole, detect_loopholes, Loophole, LoopholeReport};
 pub use phase1::{balanced_matching, BalancedMatching, Phase1Stats};
 pub use phase2::{sparsify_matching, SparsifiedMatching};
 pub use phase3::{form_slack_triads, SlackTriad, TriadSet};
 pub use phase4::{color_hard_cliques_phase4, Phase4Stats};
-pub use randomized::{color_randomized, RandConfig, RandReport, ShatterStats};
+pub use randomized::{
+    color_randomized, color_randomized_probed, RandConfig, RandReport, ShatterStats,
+};

@@ -86,7 +86,12 @@ pub fn detect_loopholes(g: &Graph, cluster_of: &[Option<u32>]) -> LoopholeReport
     }
 
     // Cluster member lists.
-    let num_clusters = cluster_of.iter().flatten().copied().max().map_or(0, |m| m as usize + 1);
+    let num_clusters = cluster_of
+        .iter()
+        .flatten()
+        .copied()
+        .max()
+        .map_or(0, |m| m as usize + 1);
     let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); num_clusters];
     for v in g.vertices() {
         if let Some(c) = cluster_of[v.index()] {
@@ -142,8 +147,12 @@ pub fn detect_loopholes(g: &Graph, cluster_of: &[Option<u32>]) -> LoopholeReport
     // Case 4: 6-cycles via a wedge of two external edges x–v–y plus a path
     // of length 4 from x to y with no two consecutive intra-cluster edges.
     for v in g.vertices() {
-        let ext: Vec<NodeId> =
-            g.neighbors(v).iter().copied().filter(|&w| !same_cluster(v, w)).collect();
+        let ext: Vec<NodeId> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| !same_cluster(v, w))
+            .collect();
         for (i, &x) in ext.iter().enumerate() {
             for &y in &ext[i + 1..] {
                 if let Some(mut path) = six_cycle_path(g, cluster_of, x, y, v) {
@@ -157,7 +166,10 @@ pub fn detect_loopholes(g: &Graph, cluster_of: &[Option<u32>]) -> LoopholeReport
         }
     }
 
-    LoopholeReport { vote, rounds: LOOPHOLE_ROUNDS }
+    LoopholeReport {
+        vote,
+        rounds: LOOPHOLE_ROUNDS,
+    }
 }
 
 /// Path x → … → y of length exactly 4, avoiding `apex`, with no two
@@ -218,7 +230,10 @@ pub fn brute_force_color_loophole(
     // Free colors per vertex, truncated to induced-degree + 1 (degree-
     // choosability makes any such truncation sufficient).
     let induced_deg = |v: NodeId| {
-        g.neighbors(v).iter().filter(|w| vertices.contains(w)).count()
+        g.neighbors(v)
+            .iter()
+            .filter(|w| vertices.contains(w))
+            .count()
     };
     let mut lists: Vec<Vec<Color>> = Vec::with_capacity(vertices.len());
     for &v in vertices {
@@ -236,7 +251,12 @@ pub fn brute_force_color_loophole(
     }
     let mut chosen: Vec<Option<Color>> = vec![None; vertices.len()];
     if backtrack(g, vertices, &lists, &mut chosen, 0) {
-        Some(chosen.into_iter().map(|c| c.expect("backtracking filled all")).collect())
+        Some(
+            chosen
+                .into_iter()
+                .map(|c| c.expect("backtracking filled all"))
+                .collect(),
+        )
     } else {
         None
     }
@@ -323,7 +343,11 @@ mod tests {
         .unwrap();
         let clusters: Vec<Option<u32>> = inst.clique_of.iter().map(|&c| Some(c)).collect();
         let rep = detect_loopholes(&inst.graph, &clusters);
-        assert_eq!(rep.count(), 0, "hard instances are loophole-free by construction");
+        assert_eq!(
+            rep.count(),
+            0,
+            "hard instances are loophole-free by construction"
+        );
     }
 
     #[test]
@@ -341,7 +365,10 @@ mod tests {
         .unwrap();
         let clusters: Vec<Option<u32>> = inst.clique_of.iter().map(|&c| Some(c)).collect();
         let rep = detect_loopholes(&inst.graph, &clusters);
-        assert!(rep.count() >= 4, "two deleted edges give four low-degree vertices");
+        assert!(
+            rep.count() >= 4,
+            "two deleted edges give four low-degree vertices"
+        );
         for k in &inst.planted_easy {
             assert!(
                 inst.cliques[*k].iter().any(|&v| rep.is_loophole_vertex(v)),
@@ -365,7 +392,10 @@ mod tests {
         .unwrap();
         let clusters: Vec<Option<u32>> = inst.clique_of.iter().map(|&c| Some(c)).collect();
         let rep = detect_loopholes(&inst.graph, &clusters);
-        assert!(rep.count() >= 4, "a planted 4-cycle has at least 4 loophole vertices");
+        assert!(
+            rep.count() >= 4,
+            "a planted 4-cycle has at least 4 loophole vertices"
+        );
     }
 
     #[test]
@@ -387,8 +417,7 @@ mod tests {
         let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
         let mut coloring = Coloring::empty(3);
         coloring.set(NodeId(0), Color(0));
-        let colors =
-            brute_force_color_loophole(&g, &coloring, &[NodeId(1), NodeId(2)], 2).unwrap();
+        let colors = brute_force_color_loophole(&g, &coloring, &[NodeId(1), NodeId(2)], 2).unwrap();
         assert_ne!(colors[0], Color(0));
         assert_ne!(colors[0], colors[1]);
     }

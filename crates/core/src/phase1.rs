@@ -80,8 +80,10 @@ pub fn balanced_matching(
     ledger: &mut RoundLedger,
 ) -> Result<BalancedMatching, DeltaColoringError> {
     // --- Step 1: maximal matching F1 on (V_hard, E_hard). ---
-    let hard_vertices: Vec<NodeId> =
-        g.vertices().filter(|&v| cls.is_hard_vertex[v.index()]).collect();
+    let hard_vertices: Vec<NodeId> = g
+        .vertices()
+        .filter(|&v| cls.is_hard_vertex[v.index()])
+        .collect();
     let mut to_sub = vec![u32::MAX; g.n()];
     for (i, &v) in hard_vertices.iter().enumerate() {
         to_sub[v.index()] = i as u32;
@@ -97,12 +99,19 @@ pub fn balanced_matching(
             }
         }
     }
-    let hgraph = Graph::from_edges(hard_vertices.len(), match_edges)
-        .expect("hard-edge subgraph is valid");
+    let hgraph =
+        Graph::from_edges(hard_vertices.len(), match_edges).expect("hard-edge subgraph is valid");
+    let probe = ledger.probe().clone();
     let timed = match matching {
-        MatchingAlgo::DetDirect => primitives::matching::maximal_matching_det_direct(&hgraph)?,
-        MatchingAlgo::DetLineGraph => primitives::matching::maximal_matching_det(&hgraph)?,
-        MatchingAlgo::Rand(seed) => primitives::matching::maximal_matching_rand(&hgraph, seed)?,
+        MatchingAlgo::DetDirect => {
+            primitives::matching::maximal_matching_det_direct_probed(&hgraph, &probe)?
+        }
+        MatchingAlgo::DetLineGraph => {
+            primitives::matching::maximal_matching_det_probed(&hgraph, &probe)?
+        }
+        MatchingAlgo::Rand(seed) => {
+            primitives::matching::maximal_matching_rand_probed(&hgraph, seed, &probe)?
+        }
     };
     ledger.charge("phase1/maximal matching F1", timed.rounds);
     let matching_rounds = timed.rounds;
@@ -164,8 +173,7 @@ pub fn balanced_matching(
                     .neighbors(v)
                     .iter()
                     .filter(|&&w| {
-                        cls.is_hard_vertex[w.index()]
-                            && acd.clique_of[w.index()] != Some(cid)
+                        cls.is_hard_vertex[w.index()] && acd.clique_of[w.index()] != Some(cid)
                     })
                     .min()
                     .copied();
@@ -287,8 +295,12 @@ pub fn balanced_matching(
     for &(t, _) in &f2 {
         outgoing[acd.clique_of[t.index()].expect("tails are hard") as usize] += 1;
     }
-    let min_outgoing =
-        cls.heg_ids.iter().map(|&c| outgoing[c as usize]).min().unwrap_or(0);
+    let min_outgoing = cls
+        .heg_ids
+        .iter()
+        .map(|&c| outgoing[c as usize])
+        .min()
+        .unwrap_or(0);
     if min_outgoing < subcliques && !cls.heg_ids.is_empty() {
         return Err(DeltaColoringError::InvariantViolated(format!(
             "Lemma 12 violated: a C_HEG clique has only {min_outgoing} outgoing F2 edges"

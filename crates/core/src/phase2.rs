@@ -82,7 +82,8 @@ pub fn sparsify_matching(
         .map(|&(t, h)| (2 * clique_of(t), 2 * clique_of(h) + 1))
         .collect();
     let gq = Graph::from_edges(2 * n_cliques, gq_edges).expect("G_Q is a simple graph");
-    let split = primitives::split::split_into_parts(&gq, 2, segment)?;
+    let probe = ledger.probe().clone();
+    let split = primitives::split::split_into_parts_probed(&gq, 2, segment, &probe)?;
     ledger.charge("phase2/degree splitting (2 levels)", split.rounds);
 
     // Keep F2 edges whose G_Q edge landed in part 0. `Graph::edges()`

@@ -87,7 +87,12 @@ pub fn form_slack_triads(
             }
             triad_of[x.index()] = Some(idx);
         }
-        triads.push(SlackTriad { slack: u, pair_in: v, pair_out: w, clique: cid });
+        triads.push(SlackTriad {
+            slack: u,
+            pair_in: v,
+            pair_out: w,
+            clique: cid,
+        });
     }
     ledger.charge_constant("phase3/slack triad formation", 1);
     Ok(TriadSet { triads, triad_of })

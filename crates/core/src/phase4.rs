@@ -108,10 +108,16 @@ pub fn color_hard_cliques_phase4(
             )));
         }
         let palettes: Vec<Vec<Color>> = (0..gv.n()).map(|_| pair_palette.to_vec()).collect();
-        let timed = primitives::list_coloring::deg_plus_one_list_color(&gv, &palettes, None)?;
+        let probe = ledger.probe().clone();
+        let timed = primitives::list_coloring::deg_plus_one_list_color_probed(
+            &gv, &palettes, None, &probe,
+        )?;
         ledger.charge_virtual("phase4a/slack pair coloring", timed.rounds, PAIR_DILATION);
         for (i, t) in triads.triads.iter().enumerate() {
-            let c = timed.value.get(NodeId::from(i)).expect("complete pair coloring");
+            let c = timed
+                .value
+                .get(NodeId::from(i))
+                .expect("complete pair coloring");
             coloring.set(t.pair_in, c);
             coloring.set(t.pair_out, c);
         }
@@ -142,12 +148,11 @@ pub fn color_hard_cliques_phase4(
             .find(|&v| {
                 triads.triad_of[v.index()].is_none()
                     && !g.neighbors(v).iter().any(|&w| {
-                        cls.is_hard_vertex[w.index()]
-                            && acd.clique_of[w.index()] != Some(cid)
+                        cls.is_hard_vertex[w.index()] && acd.clique_of[w.index()] != Some(cid)
                     })
-                    && g.neighbors(v).iter().any(|&w| {
-                        !cls.is_hard_vertex[w.index()] && !coloring.is_colored(w)
-                    })
+                    && g.neighbors(v)
+                        .iter()
+                        .any(|&w| !cls.is_hard_vertex[w.index()] && !coloring.is_colored(w))
             });
         let Some(stall) = stall else {
             return Err(DeltaColoringError::InvariantViolated(format!(
@@ -195,13 +200,21 @@ pub(crate) fn run_list_instance(
     let palettes: Vec<Vec<Color>> = active
         .iter()
         .map(|&v| {
-            let used: std::collections::HashSet<Color> =
-                g.neighbors(v).iter().filter_map(|&w| coloring.get(w)).collect();
-            (0..delta).map(Color).filter(|c| !used.contains(c)).collect()
+            let used: std::collections::HashSet<Color> = g
+                .neighbors(v)
+                .iter()
+                .filter_map(|&w| coloring.get(w))
+                .collect();
+            (0..delta)
+                .map(Color)
+                .filter(|c| !used.contains(c))
+                .collect()
         })
         .collect();
-    let timed =
-        primitives::list_coloring::deg_plus_one_list_color_subset(g, active, &palettes, None)?;
+    let probe = ledger.probe().clone();
+    let timed = primitives::list_coloring::deg_plus_one_list_color_subset_probed(
+        g, active, &palettes, None, &probe,
+    )?;
     ledger.charge(phase, timed.rounds);
     for (v, c) in timed.value {
         coloring.set(v, c);

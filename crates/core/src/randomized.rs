@@ -31,7 +31,7 @@
 
 use acd::{compute_acd, AcdResult};
 use graphgen::{Color, Coloring, Graph, NodeId};
-use localsim::RoundLedger;
+use localsim::{Probe, RoundLedger};
 use primitives::ruling::RulingStyle;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -136,6 +136,23 @@ impl RandReport {
 /// Mirrors [`crate::color_deterministic`].
 #[allow(clippy::too_many_lines)]
 pub fn color_randomized(g: &Graph, config: &RandConfig) -> Result<RandReport, DeltaColoringError> {
+    color_randomized_probed(g, config, &Probe::disabled())
+}
+
+/// [`color_randomized`] with structured telemetry: the shattering steps
+/// open spans on `probe`, every ledger charge surfaces as a `charge`
+/// event, and simulator rounds executed by subroutines surface as `round`
+/// events.
+///
+/// # Errors
+///
+/// As [`color_randomized`].
+#[allow(clippy::too_many_lines)]
+pub fn color_randomized_probed(
+    g: &Graph,
+    config: &RandConfig,
+    probe: &Probe,
+) -> Result<RandReport, DeltaColoringError> {
     let delta = g.max_degree();
     if delta < 4 {
         return Err(DeltaColoringError::UnsupportedStructure(format!(
@@ -144,26 +161,36 @@ pub fn color_randomized(g: &Graph, config: &RandConfig) -> Result<RandReport, De
     }
     if let Some(th) = config.large_delta_threshold {
         if delta >= th {
-            return color_large_delta(g, config);
+            return color_large_delta(g, config, probe);
         }
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut ledger = RoundLedger::new();
+    let mut ledger = RoundLedger::with_probe(probe.clone());
     let mut coloring = Coloring::empty(g.n());
     let mut shatter = ShatterStats::default();
 
     // --- ACD, loopholes, classification (as in Algorithm 1). ---
+    let mut span = probe.span("pipeline/acd");
     let acd = compute_acd(g, &config.base.acd);
     ledger.charge_constant("acd computation", acd.rounds);
+    span.add_rounds(acd.rounds);
+    span.finish();
     if !acd.is_dense() {
-        return Err(DeltaColoringError::NotDense { sparse: acd.sparse.len() });
+        return Err(DeltaColoringError::NotDense {
+            sparse: acd.sparse.len(),
+        });
     }
+    let mut span = probe.span("pipeline/classification");
     let loopholes = detect_loopholes(g, &acd.clique_of);
     ledger.charge_constant("loophole detection", loopholes.rounds);
     let cls = classify_cliques(g, &acd, &loopholes)?;
     ledger.charge_constant("hard/easy classification", cls.rounds);
+    span.add_rounds(loopholes.rounds + cls.rounds);
+    span.finish();
 
     // --- Pre-shattering: T-node placement with spacing. ---
+    let before = ledger.total();
+    let mut span = probe.span("pipeline/pre-shattering");
     let clique_graph = build_clique_graph(g, &acd, &cls);
     let proposers: Vec<u32> = cls
         .hard_ids
@@ -188,9 +215,7 @@ pub fn color_randomized(g: &Graph, config: &RandConfig) -> Result<RandReport, De
                 {
                     continue;
                 }
-                if let Some(&v) =
-                    members.iter().find(|&&v| v != u && !g.has_edge(v, w))
-                {
+                if let Some(&v) = members.iter().find(|&&v| v != u && !g.has_edge(v, w)) {
                     triad = Some((u, v, w));
                     break 'search;
                 }
@@ -204,7 +229,9 @@ pub fn color_randomized(g: &Graph, config: &RandConfig) -> Result<RandReport, De
         // spacings (the E8 ablation) rely on this local O(1) conflict
         // check instead.
         let clash = [v, w].iter().any(|&x| {
-            g.neighbors(x).iter().any(|&y| coloring.get(y) == Some(Color(0)))
+            g.neighbors(x)
+                .iter()
+                .any(|&y| coloring.get(y) == Some(Color(0)))
         });
         if clash {
             continue;
@@ -230,9 +257,7 @@ pub fn color_randomized(g: &Graph, config: &RandConfig) -> Result<RandReport, De
             continue;
         }
         for &w in g.neighbors(v) {
-            if cls.is_hard_vertex[w.index()]
-                && !coloring.is_colored(w)
-                && ring[w.index()].is_none()
+            if cls.is_hard_vertex[w.index()] && !coloring.is_colored(w) && ring[w.index()].is_none()
             {
                 ring[w.index()] = Some(d + 1);
                 queue.push_back(w);
@@ -240,8 +265,12 @@ pub fn color_randomized(g: &Graph, config: &RandConfig) -> Result<RandReport, De
         }
     }
     shatter.deferred = ring.iter().flatten().count();
+    span.add_rounds(ledger.total() - before);
+    span.finish();
 
     // --- Post-shattering: solve leftover components in parallel. ---
+    let before = ledger.total();
+    let mut span = probe.span("pipeline/post-shattering");
     let leftover = |v: NodeId| {
         cls.is_hard_vertex[v.index()] && !coloring.is_colored(v) && ring[v.index()].is_none()
     };
@@ -250,7 +279,7 @@ pub fn color_randomized(g: &Graph, config: &RandConfig) -> Result<RandReport, De
     shatter.max_component = components.iter().map(Vec::len).max().unwrap_or(0);
     let mut component_ledgers = Vec::with_capacity(components.len());
     for (i, comp) in components.iter().enumerate() {
-        let mut comp_ledger = RoundLedger::new();
+        let mut comp_ledger = RoundLedger::with_probe(probe.clone());
         solve_component(
             g,
             &acd,
@@ -264,8 +293,12 @@ pub fn color_randomized(g: &Graph, config: &RandConfig) -> Result<RandReport, De
         component_ledgers.push(comp_ledger);
     }
     ledger.absorb_parallel_max("post-shattering", component_ledgers);
+    span.add_rounds(ledger.total() - before);
+    span.finish();
 
     // --- Post-processing I: deferred rings inward, slack vertices last. ---
+    let before = ledger.total();
+    let mut span = probe.span("pipeline/post-processing");
     for l in (1..=config.defer_radius).rev() {
         let active: Vec<NodeId> = g
             .vertices()
@@ -280,8 +313,11 @@ pub fn color_randomized(g: &Graph, config: &RandConfig) -> Result<RandReport, De
             &mut ledger,
         )?;
     }
-    let slack_uncolored: Vec<NodeId> =
-        slack_vertices.iter().copied().filter(|&v| !coloring.is_colored(v)).collect();
+    let slack_uncolored: Vec<NodeId> = slack_vertices
+        .iter()
+        .copied()
+        .filter(|&v| !coloring.is_colored(v))
+        .collect();
     run_list_instance(
         g,
         &slack_uncolored,
@@ -290,8 +326,12 @@ pub fn color_randomized(g: &Graph, config: &RandConfig) -> Result<RandReport, De
         "post-processing/slack vertices",
         &mut ledger,
     )?;
+    span.add_rounds(ledger.total() - before);
+    span.finish();
 
     // --- Post-processing II: easy cliques and loopholes (Algorithm 3). ---
+    let before = ledger.total();
+    let mut span = probe.span("pipeline/easy sweep");
     color_easy_and_loopholes_scoped(
         g,
         &loopholes,
@@ -301,11 +341,17 @@ pub fn color_randomized(g: &Graph, config: &RandConfig) -> Result<RandReport, De
         &mut coloring,
         &mut ledger,
     )?;
+    span.add_rounds(ledger.total() - before);
+    span.finish();
 
     coloring
         .check_complete(g, delta as u32)
         .map_err(|e| DeltaColoringError::InvariantViolated(format!("final coloring: {e}")))?;
-    Ok(RandReport { coloring, ledger, shatter })
+    Ok(RandReport {
+        coloring,
+        ledger,
+        shatter,
+    })
 }
 
 /// Adjacency graph of hard cliques (an edge when any member edge crosses).
@@ -437,8 +483,11 @@ fn solve_component(
     let mut is_scope_hard_vertex = vec![false; g.n()];
     for &cid in &comp_cliques {
         let members = &acd.cliques[cid as usize].vertices;
-        let uncolored: Vec<NodeId> =
-            members.iter().copied().filter(|&v| !coloring.is_colored(v)).collect();
+        let uncolored: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|&v| !coloring.is_colored(v))
+            .collect();
         let contained = uncolored.iter().all(|&v| in_comp[v.index()]);
         let anchored = uncolored.iter().any(|&v| anchor_votes[v.index()].is_some());
         if contained && !anchored && uncolored.len() >= base.subcliques {
@@ -463,9 +512,10 @@ fn solve_component(
         let mut sub_ok = vec![false; k];
         for (j, &v) in members.iter().enumerate() {
             let part = j * k / members.len();
-            if g.neighbors(v).iter().any(|&w| {
-                is_scope_hard_vertex[w.index()] && acd.clique_of[w.index()] != Some(cid)
-            }) {
+            if g.neighbors(v)
+                .iter()
+                .any(|&w| is_scope_hard_vertex[w.index()] && acd.clique_of[w.index()] != Some(cid))
+            {
                 sub_ok[part] = true;
             }
         }
@@ -483,7 +533,10 @@ fn solve_component(
         is_hard_vertex: is_scope_hard_vertex,
         rounds: 1,
     };
-    let scoped_votes = LoopholeReport { vote: anchor_votes, rounds: 1 };
+    let scoped_votes = LoopholeReport {
+        vote: anchor_votes,
+        rounds: 1,
+    };
 
     if !scoped_cls.hard_ids.is_empty() {
         let pair_palette: Vec<Color> = (1..delta as u32).map(Color).collect();
@@ -519,17 +572,28 @@ fn solve_component(
 /// samples a slack triad; pairs are colored by parallel random trials on
 /// the conflict graph; the remainder follows by stalled trials and the
 /// easy sweep.
-fn color_large_delta(g: &Graph, config: &RandConfig) -> Result<RandReport, DeltaColoringError> {
+fn color_large_delta(
+    g: &Graph,
+    config: &RandConfig,
+    probe: &Probe,
+) -> Result<RandReport, DeltaColoringError> {
     let delta = g.max_degree();
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1A26_00E0);
-    let mut ledger = RoundLedger::new();
+    let mut ledger = RoundLedger::with_probe(probe.clone());
     let mut coloring = Coloring::empty(g.n());
-    let mut shatter = ShatterStats { large_delta_branch: true, ..ShatterStats::default() };
+    let mut shatter = ShatterStats {
+        large_delta_branch: true,
+        ..ShatterStats::default()
+    };
+    let before = ledger.total();
+    let mut span = probe.span("pipeline/large-delta branch");
 
     let acd = compute_acd(g, &config.base.acd);
     ledger.charge_constant("acd computation", acd.rounds);
     if !acd.is_dense() {
-        return Err(DeltaColoringError::NotDense { sparse: acd.sparse.len() });
+        return Err(DeltaColoringError::NotDense {
+            sparse: acd.sparse.len(),
+        });
     }
     let loopholes = detect_loopholes(g, &acd.clique_of);
     ledger.charge_constant("loophole detection", loopholes.rounds);
@@ -602,10 +666,26 @@ fn color_large_delta(g: &Graph, config: &RandConfig) -> Result<RandReport, Delta
     // slack vertex; cliques without a triad stall on an easy neighbor the
     // same way the deterministic pipeline's Type II handling does. Use the
     // generic instance machinery (which validates palettes).
-    run_list_instance(g, &stage1, delta as u32, &mut coloring, "large-delta/hard body", &mut ledger)?;
-    let stage2: Vec<NodeId> =
-        g.vertices().filter(|&v| is_slack[v.index()] && !coloring.is_colored(v)).collect();
-    run_list_instance(g, &stage2, delta as u32, &mut coloring, "large-delta/slack", &mut ledger)?;
+    run_list_instance(
+        g,
+        &stage1,
+        delta as u32,
+        &mut coloring,
+        "large-delta/hard body",
+        &mut ledger,
+    )?;
+    let stage2: Vec<NodeId> = g
+        .vertices()
+        .filter(|&v| is_slack[v.index()] && !coloring.is_colored(v))
+        .collect();
+    run_list_instance(
+        g,
+        &stage2,
+        delta as u32,
+        &mut coloring,
+        "large-delta/slack",
+        &mut ledger,
+    )?;
     color_easy_and_loopholes_scoped(
         g,
         &loopholes,
@@ -615,10 +695,16 @@ fn color_large_delta(g: &Graph, config: &RandConfig) -> Result<RandReport, Delta
         &mut coloring,
         &mut ledger,
     )?;
+    span.add_rounds(ledger.total() - before);
+    span.finish();
     coloring
         .check_complete(g, delta as u32)
         .map_err(|e| DeltaColoringError::InvariantViolated(format!("final coloring: {e}")))?;
-    Ok(RandReport { coloring, ledger, shatter })
+    Ok(RandReport {
+        coloring,
+        ledger,
+        shatter,
+    })
 }
 
 /// Parallel random color trials for slack pairs: each round every
@@ -671,8 +757,10 @@ fn random_pair_trials(
             }
             let taken: std::collections::HashSet<Color> =
                 adj[i].iter().filter_map(|&j| color[j as usize]).collect();
-            let free: Vec<Color> =
-                (0..palette).map(Color).filter(|c| !taken.contains(c)).collect();
+            let free: Vec<Color> = (0..palette)
+                .map(Color)
+                .filter(|c| !taken.contains(c))
+                .collect();
             if free.is_empty() {
                 return Err(DeltaColoringError::InvariantViolated(
                     "a slack pair ran out of colors (Lemma 16 violated)".to_string(),
@@ -773,8 +861,7 @@ mod tests {
     fn many_seeds_never_fail() {
         let inst = hard(60, 16, 46);
         for seed in 0..8 {
-            let report =
-                color_randomized(&inst.graph, &RandConfig::for_delta(16, seed)).unwrap();
+            let report = color_randomized(&inst.graph, &RandConfig::for_delta(16, seed)).unwrap();
             verify_delta_coloring(&inst.graph, &report.coloring).unwrap();
         }
     }

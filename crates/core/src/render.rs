@@ -82,9 +82,15 @@ pub fn render_triads(g: &Graph, acd: &AcdResult, triads: &TriadSet) -> String {
 /// Figure 3: the virtual graph `G_V` — one box per slack pair, an edge
 /// whenever any of the underlying vertices are adjacent.
 pub fn render_pair_graph(g: &Graph, triads: &TriadSet) -> String {
-    let mut out = String::from("graph pair_conflicts {\n  node [shape=box, style=filled, fillcolor=orange, fontsize=9];\n");
+    let mut out = String::from(
+        "graph pair_conflicts {\n  node [shape=box, style=filled, fillcolor=orange, fontsize=9];\n",
+    );
     for (i, t) in triads.triads.iter().enumerate() {
-        let _ = writeln!(out, "  p{} [label=\"{{{}, {}}}\"];", i, t.pair_in, t.pair_out);
+        let _ = writeln!(
+            out,
+            "  p{} [label=\"{{{}, {}}}\"];",
+            i, t.pair_in, t.pair_out
+        );
     }
     let mut pair_of: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
     for (i, t) in triads.triads.iter().enumerate() {
@@ -116,9 +122,17 @@ pub fn render_matching(g: &Graph, acd: &AcdResult, f2: &BalancedMatching) -> Str
             continue;
         }
         if f2_set.contains(&(u, v)) {
-            let _ = writeln!(out, "  {} -> {} [dir=forward, color=green, penwidth=2.5];", u.0, v.0);
+            let _ = writeln!(
+                out,
+                "  {} -> {} [dir=forward, color=green, penwidth=2.5];",
+                u.0, v.0
+            );
         } else if f2_set.contains(&(v, u)) {
-            let _ = writeln!(out, "  {} -> {} [dir=forward, color=green, penwidth=2.5];", v.0, u.0);
+            let _ = writeln!(
+                out,
+                "  {} -> {} [dir=forward, color=green, penwidth=2.5];",
+                v.0, u.0
+            );
         } else {
             let _ = writeln!(out, "  {} -> {};", u.0, v.0);
         }

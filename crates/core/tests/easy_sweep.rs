@@ -19,7 +19,10 @@ fn sweep_colors_a_clique_ring_completely() {
     let acd = compute_acd(&g, &AcdParams::for_delta(16));
     assert!(acd.is_dense());
     let loopholes = detect_loopholes(&g, &acd.clique_of);
-    assert!(loopholes.count() > 0, "ring joints must be detected as loopholes");
+    assert!(
+        loopholes.count() > 0,
+        "ring joints must be detected as loopholes"
+    );
     let mut coloring = Coloring::empty(g.n());
     let mut ledger = RoundLedger::new();
     let stats = color_easy_and_loopholes(
@@ -72,7 +75,10 @@ fn sweep_respects_scope() {
 fn sweep_reports_missing_anchors() {
     // Uncolored vertices with no loophole anywhere: structured error.
     let g = generators::complete(8); // K8 has no loopholes
-    let votes = LoopholeReport { vote: vec![None; 8], rounds: 0 };
+    let votes = LoopholeReport {
+        vote: vec![None; 8],
+        rounds: 0,
+    };
     let mut coloring = Coloring::empty(8);
     let mut ledger = RoundLedger::new();
     let err = color_easy_and_loopholes(
@@ -91,7 +97,10 @@ fn sweep_reports_missing_anchors() {
 fn sweep_skips_stale_votes_but_uses_fresh_anchors() {
     // A path-shaped low-degree anchor suffices to sweep a small graph.
     let g = generators::path(6); // endpoints have degree 1 < Δ=2... Δ=2 here
-    let mut votes = LoopholeReport { vote: vec![None; 6], rounds: 0 };
+    let mut votes = LoopholeReport {
+        vote: vec![None; 6],
+        rounds: 0,
+    };
     votes.vote[0] = Some(Loophole::LowDegree(NodeId(0)));
     votes.vote[5] = Some(Loophole::LowDegree(NodeId(5)));
     let mut coloring = Coloring::empty(6);
@@ -115,7 +124,10 @@ fn sweep_no_op_when_everything_colored() {
     for v in g.vertices() {
         coloring.set(v, graphgen::Color(v.0 % 2));
     }
-    let votes = LoopholeReport { vote: vec![None; 8], rounds: 0 };
+    let votes = LoopholeReport {
+        vote: vec![None; 8],
+        rounds: 0,
+    };
     let mut ledger = RoundLedger::new();
     let stats = color_easy_and_loopholes(
         &g,

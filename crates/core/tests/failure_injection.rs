@@ -3,8 +3,8 @@
 //! public API boundary.
 
 use delta_core::{
-    brute_force_color_loophole, color_deterministic, color_randomized, Config,
-    DeltaColoringError, Loophole, RandConfig,
+    brute_force_color_loophole, color_deterministic, color_randomized, Config, DeltaColoringError,
+    Loophole, RandConfig,
 };
 use graphgen::coloring::{verify_delta_coloring, ColoringError};
 use graphgen::generators::{self, HardCliqueParams};

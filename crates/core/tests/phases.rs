@@ -30,7 +30,12 @@ fn fixture(cliques: usize, delta: usize, ext: usize, seed: u64) -> Fixture {
     let loopholes = detect_loopholes(&inst.graph, &acd.clique_of);
     let cls = classify_cliques(&inst.graph, &acd, &loopholes).unwrap();
     let config = Config::for_delta(delta);
-    Fixture { inst, acd, cls, config }
+    Fixture {
+        inst,
+        acd,
+        cls,
+        config,
+    }
 }
 
 fn run_phase1(f: &Fixture, ledger: &mut RoundLedger) -> delta_core::BalancedMatching {
@@ -95,7 +100,10 @@ fn phase2_selects_two_outgoing_within_cap() {
         outgoing[f.acd.clique_of[t.index()].unwrap() as usize] += 1;
     }
     for &cid in &f3.type_i_plus {
-        assert_eq!(outgoing[cid as usize], 2, "Type I+ clique {cid} keeps exactly 2");
+        assert_eq!(
+            outgoing[cid as usize], 2,
+            "Type I+ clique {cid} keeps exactly 2"
+        );
     }
     // F3 ⊆ F2.
     let f2_set: std::collections::HashSet<_> = f2.edges.iter().collect();
@@ -122,7 +130,11 @@ fn phase3_triads_satisfy_definition_14_and_lemma_15() {
     )
     .unwrap();
     let triads = form_slack_triads(&f.inst.graph, &f.acd, &f3, &mut ledger).unwrap();
-    assert_eq!(triads.triads.len(), f.cls.heg_ids.len(), "one triad per Type I+ clique");
+    assert_eq!(
+        triads.triads.len(),
+        f.cls.heg_ids.len(),
+        "one triad per Type I+ clique"
+    );
     let g = &f.inst.graph;
     let mut used = std::collections::HashSet::new();
     for t in &triads.triads {
@@ -199,7 +211,10 @@ fn phase1_rejects_too_many_subcliques() {
         &mut ledger,
     )
     .unwrap_err();
-    assert!(matches!(err, delta_core::DeltaColoringError::InvariantViolated(_)));
+    assert!(matches!(
+        err,
+        delta_core::DeltaColoringError::InvariantViolated(_)
+    ));
 }
 
 #[test]
@@ -252,7 +267,10 @@ fn enforce_paper_bound_rejects_tiny_pair_palette() {
         &mut ledger,
     )
     .unwrap_err();
-    assert!(matches!(err, delta_core::DeltaColoringError::InvariantViolated(_)));
+    assert!(matches!(
+        err,
+        delta_core::DeltaColoringError::InvariantViolated(_)
+    ));
 }
 
 #[test]

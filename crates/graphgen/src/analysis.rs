@@ -86,8 +86,12 @@ pub fn has_k_clique(g: &Graph, k: usize) -> bool {
     let mut clique = Vec::with_capacity(k);
     for &v in &candidates {
         clique.push(v);
-        let rest: Vec<NodeId> =
-            g.neighbors(v).iter().copied().filter(|&w| w > v && g.degree(w) >= k - 1).collect();
+        let rest: Vec<NodeId> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| w > v && g.degree(w) >= k - 1)
+            .collect();
         if extend_clique(g, &mut clique, &rest, k) {
             return true;
         }
@@ -105,8 +109,11 @@ fn extend_clique(g: &Graph, clique: &mut Vec<NodeId>, candidates: &[NodeId], k: 
     }
     for (i, &v) in candidates.iter().enumerate() {
         clique.push(v);
-        let next: Vec<NodeId> =
-            candidates[i + 1..].iter().copied().filter(|&w| g.has_edge(v, w)).collect();
+        let next: Vec<NodeId> = candidates[i + 1..]
+            .iter()
+            .copied()
+            .filter(|&w| g.has_edge(v, w))
+            .collect();
         if extend_clique(g, clique, &next, k) {
             return true;
         }
@@ -157,7 +164,10 @@ mod tests {
     fn common_neighbors_of_diamond() {
         // 0-1, 0-2, 1-2, 1-3, 2-3: common neighbors of 0 and 3 are {1,2}.
         let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
-        assert_eq!(common_neighbors(&g, NodeId(0), NodeId(3)), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(
+            common_neighbors(&g, NodeId(0), NodeId(3)),
+            vec![NodeId(1), NodeId(2)]
+        );
         assert_eq!(common_neighbor_count(&g, NodeId(0), NodeId(3)), 2);
         assert_eq!(edges_in_neighborhood(&g, NodeId(3)), 1);
     }

@@ -30,7 +30,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices the built graph will have.

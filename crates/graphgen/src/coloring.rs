@@ -34,7 +34,11 @@ pub enum ColoringError {
     /// Two adjacent vertices received the same color.
     Monochromatic(NodeId, NodeId, Color),
     /// A color outside the allowed palette `0..k` was used.
-    ColorOutOfRange { node: NodeId, color: Color, palette: u32 },
+    ColorOutOfRange {
+        node: NodeId,
+        color: Color,
+        palette: u32,
+    },
     /// Coloring length does not match the number of vertices.
     WrongLength { got: usize, expected: usize },
 }
@@ -46,11 +50,21 @@ impl fmt::Display for ColoringError {
             ColoringError::Monochromatic(u, v, c) => {
                 write!(f, "adjacent vertices {u} and {v} share color {c}")
             }
-            ColoringError::ColorOutOfRange { node, color, palette } => {
-                write!(f, "vertex {node} has color {color} outside palette 0..{palette}")
+            ColoringError::ColorOutOfRange {
+                node,
+                color,
+                palette,
+            } => {
+                write!(
+                    f,
+                    "vertex {node} has color {color} outside palette 0..{palette}"
+                )
             }
             ColoringError::WrongLength { got, expected } => {
-                write!(f, "coloring has {got} entries for a graph on {expected} vertices")
+                write!(
+                    f,
+                    "coloring has {got} entries for a graph on {expected} vertices"
+                )
             }
         }
     }
@@ -67,7 +81,9 @@ pub struct Coloring {
 impl Coloring {
     /// An all-uncolored coloring for a graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
-        Coloring { colors: vec![None; n] }
+        Coloring {
+            colors: vec![None; n],
+        }
     }
 
     /// Builds from an explicit assignment vector.
@@ -149,8 +165,7 @@ impl Coloring {
 
     /// Colors already used on the neighbors of `v` in `g`.
     pub fn neighbor_colors(&self, g: &Graph, v: NodeId) -> Vec<Color> {
-        let mut out: Vec<Color> =
-            g.neighbors(v).iter().filter_map(|&w| self.get(w)).collect();
+        let mut out: Vec<Color> = g.neighbors(v).iter().filter_map(|&w| self.get(w)).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -178,12 +193,19 @@ impl Coloring {
     /// Returns the first violation found.
     pub fn check_partial(&self, g: &Graph, palette: u32) -> Result<(), ColoringError> {
         if self.colors.len() != g.n() {
-            return Err(ColoringError::WrongLength { got: self.colors.len(), expected: g.n() });
+            return Err(ColoringError::WrongLength {
+                got: self.colors.len(),
+                expected: g.n(),
+            });
         }
         for v in g.vertices() {
             if let Some(c) = self.get(v) {
                 if c.0 >= palette {
-                    return Err(ColoringError::ColorOutOfRange { node: v, color: c, palette });
+                    return Err(ColoringError::ColorOutOfRange {
+                        node: v,
+                        color: c,
+                        palette,
+                    });
                 }
                 for &w in g.neighbors(v) {
                     if v < w && self.get(w) == Some(c) {
@@ -237,7 +259,10 @@ mod tests {
         col.set(NodeId(0), Color(0));
         col.set(NodeId(1), Color(1));
         assert!(col.check_partial(&g, 2).is_ok());
-        assert_eq!(col.check_complete(&g, 2), Err(ColoringError::Uncolored(NodeId(2))));
+        assert_eq!(
+            col.check_complete(&g, 2),
+            Err(ColoringError::Uncolored(NodeId(2)))
+        );
         col.set(NodeId(2), Color(0));
         assert!(verify_delta_coloring(&g, &col).is_ok());
     }

@@ -10,8 +10,11 @@ use crate::{Graph, GraphBuilder, NodeId};
 
 /// A path on `n` vertices.
 pub fn path(n: usize) -> Graph {
-    Graph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i as u32, i as u32 + 1)))
-        .expect("path is valid")
+    Graph::from_edges(
+        n,
+        (0..n.saturating_sub(1)).map(|i| (i as u32, i as u32 + 1)),
+    )
+    .expect("path is valid")
 }
 
 /// A cycle on `n >= 3` vertices.
@@ -92,7 +95,10 @@ pub fn grid(w: usize, h: usize) -> Graph {
 ///
 /// Panics unless `delta` is even, `delta >= 4`, and `m >= 3`.
 pub fn clique_ring(m: usize, delta: usize) -> Graph {
-    assert!(delta.is_multiple_of(2) && delta >= 4, "delta must be even and at least 4");
+    assert!(
+        delta.is_multiple_of(2) && delta >= 4,
+        "delta must be even and at least 4"
+    );
     assert!(m >= 3, "need at least 3 cliques in the ring");
     let mut b = GraphBuilder::new(m * delta);
     let vertex = |k: usize, j: usize| NodeId::from((k % m) * delta + j);
@@ -152,14 +158,21 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
 ///
 /// Panics if `n·d` is odd or `d >= n`.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
-    assert!((n * d).is_multiple_of(2), "n*d must be even for a d-regular graph");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n*d must be even for a d-regular graph"
+    );
     assert!(d < n, "degree must be below n");
     let mut rng = StdRng::seed_from_u64(seed);
     'attempt: for _ in 0..200 {
-        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        let mut stubs: Vec<u32> = (0..n as u32)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
         stubs.shuffle(&mut rng);
-        let mut edges: Vec<(u32, u32)> =
-            stubs.chunks(2).map(|c| (c[0].min(c[1]), c[0].max(c[1]))).collect();
+        let mut edges: Vec<(u32, u32)> = stubs
+            .chunks(2)
+            .map(|c| (c[0].min(c[1]), c[0].max(c[1])))
+            .collect();
         // Repair self loops and duplicates with random two-edge swaps.
         for _ in 0..(50 * n * d + 1000) {
             let mut seen = std::collections::HashSet::with_capacity(edges.len());
@@ -230,7 +243,10 @@ mod tests {
         assert_eq!(g.n(), 60);
         assert!(analysis::is_regular(&g, 6));
         assert!(g.is_connected());
-        assert!(g.diameter_from(NodeId(0)) >= 5, "ring diameter grows with m");
+        assert!(
+            g.diameter_from(NodeId(0)) >= 5,
+            "ring diameter grows with m"
+        );
     }
 
     #[test]

@@ -325,7 +325,12 @@ pub fn hard_cliques_with_blueprint(
     params: &HardCliqueParams,
     kind: BlueprintKind,
 ) -> Result<HardCliqueInstance, GraphError> {
-    let &HardCliqueParams { cliques: m, delta, external_per_vertex: ext, seed } = params;
+    let &HardCliqueParams {
+        cliques: m,
+        delta,
+        external_per_vertex: ext,
+        seed,
+    } = params;
     if m < 2 || m % 2 != 0 {
         return Err(GraphError::InfeasibleParameters(format!(
             "clique count must be even and >= 2, got {m}"
@@ -345,7 +350,8 @@ pub fn hard_cliques_with_blueprint(
     let d_bp = c * ext; // blueprint degree
     let mut rng = StdRng::seed_from_u64(seed);
     for attempt in 0..20 {
-        let mut sub_rng = StdRng::seed_from_u64(seed.wrapping_add(0x9e37_79b9).wrapping_mul(attempt + 1));
+        let mut sub_rng =
+            StdRng::seed_from_u64(seed.wrapping_add(0x9e37_79b9).wrapping_mul(attempt + 1));
         match try_hard_cliques(m, delta, ext, c, d_bp, kind, &mut sub_rng) {
             Ok(inst) => return Ok(inst),
             Err(GraphError::InfeasibleParameters(msg)) if attempt == 19 => {
@@ -375,8 +381,9 @@ fn try_hard_cliques(
 
     // Clique k occupies vertices k*c .. (k+1)*c. Left cliques are 0..half,
     // right cliques are half..m.
-    let cliques: Vec<Vec<NodeId>> =
-        (0..m).map(|k| (k * c..(k + 1) * c).map(NodeId::from).collect()).collect();
+    let cliques: Vec<Vec<NodeId>> = (0..m)
+        .map(|k| (k * c..(k + 1) * c).map(NodeId::from).collect())
+        .collect();
     let mut clique_of = vec![0u32; m * c];
     for (k, cl) in cliques.iter().enumerate() {
         for &v in cl {
@@ -390,7 +397,11 @@ fn try_hard_cliques(
     let external = assign_blueprint_edges(m, half, c, ext, &blueprint, rng)?;
     let _ = d_bp;
 
-    let mut asm = Assembly { cliques, clique_of, external };
+    let mut asm = Assembly {
+        cliques,
+        clique_of,
+        external,
+    };
 
     // Backstop repair: the constructive assignment avoids all known bad
     // patterns, but we keep a detection/repair loop for defense in depth
@@ -476,10 +487,7 @@ fn assign_blueprint_edges(
         let b = (half + r as usize) as u32;
         let ua = holder[&(a, b)];
         let ub = holder[&(b, a)];
-        external.push((
-            NodeId(a * c as u32 + ua),
-            NodeId(b * c as u32 + ub),
-        ));
+        external.push((NodeId(a * c as u32 + ua), NodeId(b * c as u32 + ub)));
     }
     Ok(external)
 }
@@ -518,8 +526,7 @@ fn group_targets(
     for _restart in 0..8 {
         let mut shuffled = targets.to_vec();
         shuffled.shuffle(rng);
-        let mut groups: Vec<Vec<u32>> =
-            shuffled.chunks(ext).map(<[u32]>::to_vec).collect();
+        let mut groups: Vec<Vec<u32>> = shuffled.chunks(ext).map(<[u32]>::to_vec).collect();
         debug_assert_eq!(groups.len(), c);
         let mut costs: Vec<usize> = groups.iter().map(|g| group_cost(g)).collect();
         let mut total: usize = costs.iter().sum();
@@ -575,7 +582,9 @@ fn creates_conflict(
     bp_has: &impl Fn(u32, u32) -> bool,
 ) -> bool {
     let set_of = |x: u32, towards: u32| -> Option<&Vec<u32>> {
-        holder.get(&(x, towards)).map(|&j| &sets[x as usize][j as usize])
+        holder
+            .get(&(x, towards))
+            .map(|&j| &sets[x as usize][j as usize])
     };
     for &b in s {
         // Opposite corner: some clique cc adjacent to both b and t already
@@ -746,8 +755,12 @@ pub(crate) fn find_short_loophole_cycle(g: &Graph, clique_of: &[u32]) -> Option<
         }
     }
     for v in g.vertices() {
-        let ext_nbrs: Vec<NodeId> =
-            g.neighbors(v).iter().copied().filter(|&w| is_external(v, w)).collect();
+        let ext_nbrs: Vec<NodeId> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| is_external(v, w))
+            .collect();
         // Wedge x - v - y over two distinct external edges; search for a
         // path x..y of length 2 or 4 avoiding v, with intra edges never
         // consecutive (consecutive intras would imply two edges between one
@@ -889,8 +902,18 @@ pub fn easy_cliques(params: &EasyCliqueParams) -> Result<HardCliqueInstance, Gra
 pub fn mixed_dense(params: &MixedParams) -> Result<HardCliqueInstance, GraphError> {
     let mut inst = hard_cliques(&params.base)?;
     let mut rng = StdRng::seed_from_u64(params.base.seed ^ 0x0515_0D0E);
-    plant_loopholes(&mut inst, params.easy_low_degree, LoopholeKind::LowDegree, &mut rng)?;
-    plant_loopholes(&mut inst, params.easy_four_cycle, LoopholeKind::FourCycle, &mut rng)?;
+    plant_loopholes(
+        &mut inst,
+        params.easy_low_degree,
+        LoopholeKind::LowDegree,
+        &mut rng,
+    )?;
+    plant_loopholes(
+        &mut inst,
+        params.easy_four_cycle,
+        LoopholeKind::FourCycle,
+        &mut rng,
+    )?;
     Ok(inst)
 }
 
@@ -998,7 +1021,12 @@ mod tests {
     use super::*;
 
     fn small_params() -> HardCliqueParams {
-        HardCliqueParams { cliques: 34, delta: 16, external_per_vertex: 1, seed: 42 }
+        HardCliqueParams {
+            cliques: 34,
+            delta: 16,
+            external_per_vertex: 1,
+            seed: 42,
+        }
     }
 
     #[test]
@@ -1055,7 +1083,12 @@ mod tests {
     #[test]
     fn circulant_instance_verifies_with_high_diameter() {
         let inst = hard_cliques_with_blueprint(
-            &HardCliqueParams { cliques: 80, delta: 16, external_per_vertex: 1, seed: 3 },
+            &HardCliqueParams {
+                cliques: 80,
+                delta: 16,
+                external_per_vertex: 1,
+                seed: 3,
+            },
             BlueprintKind::Circulant,
         )
         .unwrap();
@@ -1079,7 +1112,10 @@ mod tests {
 
     #[test]
     fn odd_clique_count_rejected() {
-        let p = HardCliqueParams { cliques: 33, ..small_params() };
+        let p = HardCliqueParams {
+            cliques: 33,
+            ..small_params()
+        };
         assert!(hard_cliques(&p).is_err());
     }
 
@@ -1124,6 +1160,9 @@ mod tests {
         })
         .unwrap();
         assert!(inst.planted_easy.len() >= 4);
-        assert!(inst.graph.vertices().any(|v| inst.graph.degree(v) < inst.delta));
+        assert!(inst
+            .graph
+            .vertices()
+            .any(|v| inst.graph.degree(v) < inst.delta));
     }
 }

@@ -52,7 +52,13 @@ pub struct SparseDenseInstance {
 /// Propagates generation errors; reports infeasible parameters (too many
 /// cross links, sparse region too small).
 pub fn sparse_dense_mix(params: &SparseDenseParams) -> Result<SparseDenseInstance, GraphError> {
-    let &SparseDenseParams { cliques: m, delta, sparse, cross, seed } = params;
+    let &SparseDenseParams {
+        cliques: m,
+        delta,
+        sparse,
+        cross,
+        seed,
+    } = params;
     if sparse * delta % 2 != 0 || sparse <= delta {
         return Err(GraphError::InfeasibleParameters(format!(
             "sparse region of {sparse} vertices cannot be {delta}-regular"
@@ -117,7 +123,13 @@ mod tests {
     use crate::analysis;
 
     fn params() -> SparseDenseParams {
-        SparseDenseParams { cliques: 34, delta: 16, sparse: 120, cross: 12, seed: 9 }
+        SparseDenseParams {
+            cliques: 34,
+            delta: 16,
+            sparse: 120,
+            cross: 12,
+            seed: 9,
+        }
     }
 
     #[test]
@@ -137,12 +149,19 @@ mod tests {
             .edges()
             .filter(|&(u, v)| (u.index() < n_dense) != (v.index() < n_dense))
             .count();
-        assert_eq!(crossing, 2 * 12, "each cross link contributes two crossing edges");
+        assert_eq!(
+            crossing,
+            2 * 12,
+            "each cross link contributes two crossing edges"
+        );
     }
 
     #[test]
     fn infeasible_parameters_rejected() {
-        let p = SparseDenseParams { sparse: 10, ..params() };
+        let p = SparseDenseParams {
+            sparse: 10,
+            ..params()
+        };
         assert!(sparse_dense_mix(&p).is_err());
     }
 }

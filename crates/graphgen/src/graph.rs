@@ -68,7 +68,11 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::EndpointOutOfRange { edge, n } => {
-                write!(f, "edge ({}, {}) has endpoint outside 0..{}", edge.0, edge.1, n)
+                write!(
+                    f,
+                    "edge ({}, {}) has endpoint outside 0..{}",
+                    edge.0, edge.1, n
+                )
             }
             GraphError::SelfLoop(v) => write!(f, "self loop at vertex {v}"),
             GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
@@ -138,7 +142,12 @@ impl Graph {
             adj[offsets[v]..offsets[v + 1]].sort_unstable();
         }
         let max_degree = deg.iter().copied().max().unwrap_or(0);
-        Ok(Graph { offsets, adj, m: list.len(), max_degree })
+        Ok(Graph {
+            offsets,
+            adj,
+            m: list.len(),
+            max_degree,
+        })
     }
 
     /// Number of vertices.
@@ -200,7 +209,10 @@ impl Graph {
     pub fn induced(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
         let mut fwd = vec![u32::MAX; self.n()];
         for (i, v) in nodes.iter().enumerate() {
-            assert!(fwd[v.index()] == u32::MAX, "duplicate node {v} in induced set");
+            assert!(
+                fwd[v.index()] == u32::MAX,
+                "duplicate node {v} in induced set"
+            );
             fwd[v.index()] = i as u32;
         }
         let mut edges = Vec::new();
@@ -321,7 +333,13 @@ impl Graph {
                 continue;
             }
             let d = self.bfs_distances(&[v]);
-            diam = diam.max(d.iter().filter(|&&x| x != usize::MAX).max().copied().unwrap_or(0));
+            diam = diam.max(
+                d.iter()
+                    .filter(|&&x| x != usize::MAX)
+                    .max()
+                    .copied()
+                    .unwrap_or(0),
+            );
         }
         diam
     }

@@ -72,20 +72,31 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, IoError> {
         let (a, b) = (parts.next(), parts.next());
         match (a, b, parts.next()) {
             (Some("n"), Some(count), None) => {
-                let c: usize = count
-                    .parse()
-                    .map_err(|_| IoError::Parse { line: i + 1, content: raw.to_string() })?;
+                let c: usize = count.parse().map_err(|_| IoError::Parse {
+                    line: i + 1,
+                    content: raw.to_string(),
+                })?;
                 n = n.max(c);
             }
             (Some(a), Some(b), None) => {
                 let (u, v): (u32, u32) = match (a.parse(), b.parse()) {
                     (Ok(u), Ok(v)) => (u, v),
-                    _ => return Err(IoError::Parse { line: i + 1, content: raw.to_string() }),
+                    _ => {
+                        return Err(IoError::Parse {
+                            line: i + 1,
+                            content: raw.to_string(),
+                        })
+                    }
                 };
                 n = n.max(u.max(v) as usize + 1);
                 edges.push((u, v));
             }
-            _ => return Err(IoError::Parse { line: i + 1, content: raw.to_string() }),
+            _ => {
+                return Err(IoError::Parse {
+                    line: i + 1,
+                    content: raw.to_string(),
+                })
+            }
         }
     }
     Ok(Graph::from_edges(n, edges)?)
@@ -149,8 +160,14 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        assert!(matches!(parse_edge_list("0 x"), Err(IoError::Parse { line: 1, .. })));
-        assert!(matches!(parse_edge_list("1 2 3"), Err(IoError::Parse { .. })));
+        assert!(matches!(
+            parse_edge_list("0 x"),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("1 2 3"),
+            Err(IoError::Parse { .. })
+        ));
         assert!(matches!(parse_edge_list("0 0"), Err(IoError::Graph(_))));
     }
 

@@ -29,7 +29,9 @@ pub fn random_hypergraph(
     assert!(rank >= 1 && degree >= 1);
     assert!(rank <= n, "rank cannot exceed the vertex count");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, degree)).collect();
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat_n(v, degree))
+        .collect();
     'attempt: for _ in 0..50 {
         stubs.shuffle(&mut rng);
         let mut edges: Vec<Vec<u32>> = stubs.chunks(rank).map(<[u32]>::to_vec).collect();

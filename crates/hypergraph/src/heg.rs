@@ -65,7 +65,10 @@ pub fn heg_sequential(h: &Hypergraph) -> Result<Vec<u32>, HegError> {
             return Err(HegError::Infeasible);
         }
     }
-    Ok(grab.into_iter().map(|g| g.expect("all saturated")).collect())
+    Ok(grab
+        .into_iter()
+        .map(|g| g.expect("all saturated"))
+        .collect())
 }
 
 fn augment(
@@ -143,9 +146,9 @@ pub fn heg_augmenting(h: &Hypergraph) -> Result<Timed<Vec<u32>>, HegError> {
         let mut vertex_used = vec![false; h.n()];
         let mut applied_any = false;
         for (_, path) in &paths {
-            let conflict = path.iter().any(|&(v, e)| {
-                vertex_used[v as usize] || edge_used[e as usize]
-            });
+            let conflict = path
+                .iter()
+                .any(|&(v, e)| vertex_used[v as usize] || edge_used[e as usize]);
             if conflict {
                 continue;
             }
@@ -157,11 +160,17 @@ pub fn heg_augmenting(h: &Hypergraph) -> Result<Timed<Vec<u32>>, HegError> {
             }
             applied_any = true;
         }
-        assert!(applied_any, "the minimum-id root's path is always conflict-free");
+        assert!(
+            applied_any,
+            "the minimum-id root's path is always conflict-free"
+        );
         rounds += 3 * deepest as u64 + 2;
         unsaturated.retain(|&v| grab[v as usize].is_none());
     }
-    Ok(Timed::new(grab.into_iter().map(|g| g.expect("saturated")).collect(), rounds))
+    Ok(Timed::new(
+        grab.into_iter().map(|g| g.expect("saturated")).collect(),
+        rounds,
+    ))
 }
 
 /// Shortest augmenting path from `root` as a list of (vertex, edge)
@@ -237,8 +246,9 @@ pub fn heg_blocking(h: &Hypergraph) -> Result<Timed<Vec<u32>>, HegError> {
     let mut grab: Vec<Option<u32>> = vec![None; h.n()];
     let mut rounds = 0u64;
     loop {
-        let unsaturated: Vec<u32> =
-            (0..h.n() as u32).filter(|&v| grab[v as usize].is_none()).collect();
+        let unsaturated: Vec<u32> = (0..h.n() as u32)
+            .filter(|&v| grab[v as usize].is_none())
+            .collect();
         if unsaturated.is_empty() {
             break;
         }
@@ -281,7 +291,16 @@ pub fn heg_blocking(h: &Hypergraph) -> Result<Timed<Vec<u32>>, HegError> {
                 continue;
             }
             let mut path = Vec::new();
-            if layered_dfs(h, root, limit, &level, &mut edge_used, &owner, &grab, &mut path) {
+            if layered_dfs(
+                h,
+                root,
+                limit,
+                &level,
+                &mut edge_used,
+                &owner,
+                &grab,
+                &mut path,
+            ) {
                 for &(v, e) in &path {
                     owner[e as usize] = Some(v);
                     grab[v as usize] = Some(e);
@@ -295,7 +314,10 @@ pub fn heg_blocking(h: &Hypergraph) -> Result<Timed<Vec<u32>>, HegError> {
             return Err(HegError::Infeasible);
         }
     }
-    Ok(Timed::new(grab.into_iter().map(|g| g.expect("saturated")).collect(), rounds))
+    Ok(Timed::new(
+        grab.into_iter().map(|g| g.expect("saturated")).collect(),
+        rounds,
+    ))
 }
 
 /// DFS restricted to strictly level-increasing steps and unused edges;
@@ -395,7 +417,10 @@ pub fn heg_token_walk(h: &Hypergraph, seed: u64) -> Result<Timed<Vec<u32>>, HegE
         next_unsaturated.extend(displaced);
         unsaturated = next_unsaturated;
     }
-    Ok(Timed::new(grab.into_iter().map(|g| g.expect("saturated")).collect(), rounds))
+    Ok(Timed::new(
+        grab.into_iter().map(|g| g.expect("saturated")).collect(),
+        rounds,
+    ))
 }
 
 /// An edge orientation: for each edge of the source graph (in `edges()`
@@ -440,11 +465,8 @@ pub fn sinkless_orientation(g: &Graph, seed: Option<u64>) -> Result<Timed<Orient
         "sinkless orientation requires minimum degree 3"
     );
     let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
-    let hyper = Hypergraph::new(
-        g.n(),
-        edges.iter().map(|&(u, v)| vec![u.0, v.0]).collect(),
-    )
-    .expect("graph edges form a valid hypergraph");
+    let hyper = Hypergraph::new(g.n(), edges.iter().map(|&(u, v)| vec![u.0, v.0]).collect())
+        .expect("graph edges form a valid hypergraph");
     let solved = match seed {
         Some(s) => heg_token_walk(&hyper, s)?,
         None => heg_augmenting(&hyper)?,
@@ -542,7 +564,6 @@ mod tests {
         assert!(!verify_heg(&h, &[1, 0, 2])); // vertex 0 not on edge 1
         assert!(!verify_heg(&h, &[0, 1])); // wrong length
         assert!(verify_heg(&h, &[0, 3, 1])); // distinct incident edges
-
     }
 
     #[test]
@@ -561,7 +582,10 @@ mod tests {
         for seed in [None, Some(5)] {
             let out = sinkless_orientation(&g, seed).unwrap();
             let outdeg = out.value.out_degrees(g.n());
-            assert!(outdeg.iter().all(|&d| d >= 1), "someone is a sink: {outdeg:?}");
+            assert!(
+                outdeg.iter().all(|&d| d >= 1),
+                "someone is a sink: {outdeg:?}"
+            );
         }
     }
 

@@ -33,8 +33,8 @@ mod structure;
 pub mod generators;
 
 pub use heg::{
-    heg_augmenting, heg_blocking, heg_sequential, heg_token_walk, sinkless_orientation,
-    verify_heg, HegError, Orientation,
+    heg_augmenting, heg_blocking, heg_sequential, heg_token_walk, sinkless_orientation, verify_heg,
+    HegError, Orientation,
 };
 pub use structure::{Hypergraph, HypergraphError};
 

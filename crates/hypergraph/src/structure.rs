@@ -17,7 +17,10 @@ impl fmt::Display for HypergraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HypergraphError::MemberOutOfRange { edge, member, n } => {
-                write!(f, "hyperedge {edge} contains vertex {member} outside 0..{n}")
+                write!(
+                    f,
+                    "hyperedge {edge} contains vertex {member} outside 0..{n}"
+                )
             }
             HypergraphError::DuplicateMember { edge, member } => {
                 write!(f, "hyperedge {edge} lists vertex {member} twice")
@@ -57,12 +60,19 @@ impl Hypergraph {
             sorted.sort_unstable();
             for w in sorted.windows(2) {
                 if w[0] == w[1] {
-                    return Err(HypergraphError::DuplicateMember { edge: i, member: w[0] });
+                    return Err(HypergraphError::DuplicateMember {
+                        edge: i,
+                        member: w[0],
+                    });
                 }
             }
             for &m in e {
                 if m as usize >= n {
-                    return Err(HypergraphError::MemberOutOfRange { edge: i, member: m, n });
+                    return Err(HypergraphError::MemberOutOfRange {
+                        edge: i,
+                        member: m,
+                        n,
+                    });
                 }
                 incident[m as usize].push(i as u32);
             }
@@ -148,7 +158,10 @@ mod tests {
             Hypergraph::new(2, vec![vec![0, 0]]),
             Err(HypergraphError::DuplicateMember { .. })
         ));
-        assert!(matches!(Hypergraph::new(2, vec![vec![]]), Err(HypergraphError::EmptyEdge(0))));
+        assert!(matches!(
+            Hypergraph::new(2, vec![vec![]]),
+            Err(HypergraphError::EmptyEdge(0))
+        ));
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use hypergraph::generators::random_hypergraph;
 use hypergraph::{
-    heg_augmenting, heg_blocking, heg_sequential, heg_token_walk, sinkless_orientation,
-    verify_heg, Hypergraph,
+    heg_augmenting, heg_blocking, heg_sequential, heg_token_walk, sinkless_orientation, verify_heg,
+    Hypergraph,
 };
 use proptest::prelude::*;
 

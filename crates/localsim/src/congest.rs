@@ -42,10 +42,33 @@
 //! ```
 
 use graphgen::Graph;
+use telemetry::{Event, Probe};
 
 use crate::exec::{RunResult, SimError};
 use crate::msg::{MessageExecutor, MessageProgram, MsgTransition, Outgoing};
 use crate::NodeCtx;
+
+/// Scope string under which [`CongestExecutor`] emits events.
+pub const CONGEST_SCOPE: &str = "congest";
+
+/// Bandwidth accounting for one round of a metered run.
+///
+/// `width_hist` buckets message widths by powers of two: a message of
+/// width `w > 0` lands in bucket `w.next_power_of_two()`, zero-width
+/// messages in bucket `0`. Buckets are sorted ascending.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundBits {
+    /// Round index; `0` covers the messages sent by `init`.
+    pub round: u64,
+    /// Messages sent this round.
+    pub messages: u64,
+    /// Widest message this round (bits).
+    pub max_bits: usize,
+    /// Total bits sent this round.
+    pub total_bits: u64,
+    /// `(bucket_max_bits, count)` pairs, ascending by bucket.
+    pub width_hist: Vec<(u64, u64)>,
+}
 
 /// Outcome of a metered run.
 #[derive(Debug, Clone)]
@@ -58,6 +81,8 @@ pub struct CongestResult<O> {
     pub max_message_bits: usize,
     /// Total bits sent over the whole run.
     pub total_bits: u64,
+    /// Per-round bandwidth accounting, indexed by send round.
+    pub per_round: Vec<RoundBits>,
 }
 
 /// Errors from a metered run.
@@ -79,8 +104,15 @@ pub enum CongestError {
 impl std::fmt::Display for CongestError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CongestError::BandwidthExceeded { bits, budget, round } => {
-                write!(f, "round {round}: a {bits}-bit message exceeds the {budget}-bit budget")
+            CongestError::BandwidthExceeded {
+                bits,
+                budget,
+                round,
+            } => {
+                write!(
+                    f,
+                    "round {round}: a {bits}-bit message exceeds the {budget}-bit budget"
+                )
             }
             CongestError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
@@ -100,13 +132,29 @@ pub struct CongestExecutor<'g, F> {
     graph: &'g Graph,
     budget_bits: usize,
     size_of: F,
+    probe: Probe,
 }
 
 impl<'g, F> CongestExecutor<'g, F> {
     /// An executor over `graph` with the given per-message bit budget and
     /// width function.
     pub fn new(graph: &'g Graph, budget_bits: usize, size_of: F) -> Self {
-        CongestExecutor { graph, budget_bits, size_of }
+        CongestExecutor {
+            graph,
+            budget_bits,
+            size_of,
+            probe: Probe::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry probe; runs then emit one
+    /// [`Event::CongestRound`] per round (message count, width histogram,
+    /// max/total bits) in addition to the inner executor's per-round
+    /// events.
+    #[must_use]
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
+        self
     }
 }
 
@@ -123,11 +171,36 @@ struct MeterStats {
     max_bits: usize,
     total_bits: u64,
     violation: Option<(usize, u64)>,
+    per_round: Vec<RoundAcc>,
+}
+
+#[derive(Default)]
+struct RoundAcc {
+    messages: u64,
+    max_bits: usize,
+    total_bits: u64,
+    hist: std::collections::BTreeMap<u64, u64>,
+}
+
+/// Power-of-two histogram bucket for a message width.
+fn width_bucket(bits: usize) -> u64 {
+    if bits == 0 {
+        0
+    } else {
+        (bits as u64).next_power_of_two()
+    }
 }
 
 impl<P: MessageProgram, F: Fn(&P::Msg) -> usize> Metered<'_, P, F> {
     fn meter(&self, outs: &[Outgoing<P::Msg>], round: u64) {
+        if outs.is_empty() {
+            return;
+        }
         let mut stats = self.stats.borrow_mut();
+        let idx = round as usize;
+        if stats.per_round.len() <= idx {
+            stats.per_round.resize_with(idx + 1, RoundAcc::default);
+        }
         for o in outs {
             let bits = (self.size_of)(&o.msg);
             stats.max_bits = stats.max_bits.max(bits);
@@ -135,6 +208,11 @@ impl<P: MessageProgram, F: Fn(&P::Msg) -> usize> Metered<'_, P, F> {
             if bits > self.budget && stats.violation.is_none() {
                 stats.violation = Some((bits, round));
             }
+            let acc = &mut stats.per_round[idx];
+            acc.messages += 1;
+            acc.max_bits = acc.max_bits.max(bits);
+            acc.total_bits += bits as u64;
+            *acc.hist.entry(width_bucket(bits)).or_default() += 1;
         }
     }
 }
@@ -173,7 +251,11 @@ impl<'g, F> CongestExecutor<'g, F> {
     ///
     /// [`CongestError::BandwidthExceeded`] on the first over-budget
     /// message; simulator errors otherwise.
-    pub fn run<P>(&self, prog: &P, max_rounds: u64) -> Result<CongestResult<P::Output>, CongestError>
+    pub fn run<P>(
+        &self,
+        prog: &P,
+        max_rounds: u64,
+    ) -> Result<CongestResult<P::Output>, CongestError>
     where
         P: MessageProgram,
         F: Fn(&P::Msg) -> usize + Clone,
@@ -184,8 +266,9 @@ impl<'g, F> CongestExecutor<'g, F> {
             budget: self.budget_bits,
             stats: std::cell::RefCell::new(MeterStats::default()),
         };
-        let run: RunResult<P::Output> =
-            MessageExecutor::new(self.graph).run(&metered, max_rounds)?;
+        let run: RunResult<P::Output> = MessageExecutor::new(self.graph)
+            .with_probe(self.probe.clone())
+            .run(&metered, max_rounds)?;
         let stats = metered.stats.into_inner();
         if let Some((bits, round)) = stats.violation {
             return Err(CongestError::BandwidthExceeded {
@@ -194,11 +277,33 @@ impl<'g, F> CongestExecutor<'g, F> {
                 round,
             });
         }
+        let per_round: Vec<RoundBits> = stats
+            .per_round
+            .into_iter()
+            .enumerate()
+            .map(|(round, acc)| RoundBits {
+                round: round as u64,
+                messages: acc.messages,
+                max_bits: acc.max_bits,
+                total_bits: acc.total_bits,
+                width_hist: acc.hist.into_iter().collect(),
+            })
+            .collect();
+        for rb in &per_round {
+            self.probe.emit_with(|| Event::CongestRound {
+                round: rb.round,
+                messages: rb.messages,
+                max_bits: rb.max_bits as u64,
+                total_bits: rb.total_bits,
+                width_hist: rb.width_hist.clone(),
+            });
+        }
         Ok(CongestResult {
             outputs: run.outputs,
             rounds: run.rounds,
             max_message_bits: stats.max_bits,
             total_bits: stats.total_bits,
+            per_round,
         })
     }
 }
@@ -241,6 +346,85 @@ mod tests {
         let g = Graph::from_edges(2, [(0, 1)]).unwrap();
         let ex = CongestExecutor::new(&g, 0, width);
         let err = ex.run(&Ids, 5).unwrap_err();
-        assert!(matches!(err, CongestError::BandwidthExceeded { bits: 1, budget: 0, .. }));
+        assert!(matches!(
+            err,
+            CongestError::BandwidthExceeded {
+                bits: 1,
+                budget: 0,
+                ..
+            }
+        ));
+    }
+
+    /// The module doc-comment's `MinId` program, verbatim.
+    struct MinId;
+    impl MessageProgram for MinId {
+        type State = u64;
+        type Msg = u64;
+        type Output = u64;
+        fn init(&self, ctx: &NodeCtx) -> (u64, Vec<Outgoing<u64>>) {
+            (ctx.uid, broadcast(ctx.degree(), &ctx.uid))
+        }
+        fn step(
+            &self,
+            ctx: &NodeCtx,
+            state: &mut u64,
+            inbox: &[Option<u64>],
+        ) -> MsgTransition<u64, u64> {
+            let m = inbox
+                .iter()
+                .flatten()
+                .copied()
+                .min()
+                .unwrap_or(*state)
+                .min(*state);
+            if ctx.round >= 3 {
+                MsgTransition::HaltAfter(Vec::new(), m)
+            } else {
+                *state = m;
+                MsgTransition::Continue(broadcast(ctx.degree(), &m))
+            }
+        }
+    }
+
+    #[test]
+    fn min_id_per_round_histograms() {
+        use telemetry::{Event, Probe, RecordingSink};
+
+        let sink = std::sync::Arc::new(RecordingSink::new());
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let ex = CongestExecutor::new(&g, 32, width).with_probe(Probe::new(sink.clone()));
+        let run = ex.run(&MinId, 10).unwrap();
+        assert_eq!(run.rounds, 3);
+        assert!(run.outputs.iter().all(|&m| m == 0));
+
+        // Round 0 = init broadcasts: uid 0 (0 bits) once, uid 1 (1 bit)
+        // twice, uids 2 and 3 (2 bits) three times over the path's ports.
+        assert_eq!(run.per_round.len(), 3, "final round sends nothing");
+        assert_eq!(
+            run.per_round[0],
+            RoundBits {
+                round: 0,
+                messages: 6,
+                max_bits: 2,
+                total_bits: 8,
+                width_hist: vec![(0, 1), (1, 2), (2, 3)],
+            }
+        );
+        // The minimum floods left-to-right, so widths shrink round over round.
+        assert!(run.per_round[1].max_bits <= run.per_round[0].max_bits);
+        assert_eq!(
+            run.per_round.iter().map(|r| r.total_bits).sum::<u64>(),
+            run.total_bits
+        );
+
+        let congest_events: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, Event::CongestRound { .. }))
+            .collect();
+        assert_eq!(congest_events.len(), 3);
+        // The inner message executor also reports per-round liveness.
+        assert_eq!(sink.rounds_seen(crate::msg::MSG_SCOPE), 3);
     }
 }

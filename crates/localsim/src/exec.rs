@@ -3,6 +3,10 @@
 use std::fmt;
 
 use graphgen::{Graph, NodeId};
+use telemetry::{Probe, Registry};
+
+/// Scope string under which [`Executor`] emits per-round events.
+pub const EXEC_SCOPE: &str = "localsim";
 
 /// Per-node context visible to a [`LocalAlgorithm`] in every round.
 #[derive(Debug)]
@@ -77,7 +81,10 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::RoundLimitExceeded { limit, still_running } => write!(
+            SimError::RoundLimitExceeded {
+                limit,
+                still_running,
+            } => write!(
                 f,
                 "{still_running} nodes still running after the {limit}-round budget"
             ),
@@ -103,12 +110,26 @@ pub struct RunResult<O> {
 pub struct Executor<'g> {
     graph: &'g Graph,
     uids: Option<Vec<u64>>,
+    probe: Probe,
 }
 
 impl<'g> Executor<'g> {
     /// An executor over `graph` with default uids (the node indices).
     pub fn new(graph: &'g Graph) -> Self {
-        Executor { graph, uids: None }
+        Executor {
+            graph,
+            uids: None,
+            probe: Probe::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry probe; every run then emits one
+    /// [`telemetry::Event::Round`] per simulated round under the
+    /// [`EXEC_SCOPE`] scope (live-node count, halts, halted fraction).
+    #[must_use]
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// Installs explicit unique identifiers (one per node).
@@ -130,7 +151,11 @@ impl<'g> Executor<'g> {
         if sorted.windows(2).any(|w| w[0] == w[1]) {
             return Err(SimError::BadUids("duplicate uid".to_string()));
         }
-        Ok(Executor { graph, uids: Some(uids) })
+        Ok(Executor {
+            graph,
+            uids: Some(uids),
+            probe: Probe::disabled(),
+        })
     }
 
     fn ctx<'a>(&'a self, v: NodeId, round: u64) -> NodeCtx<'a> {
@@ -164,13 +189,25 @@ impl<'g> Executor<'g> {
         let mut live = n;
         let mut rounds = 0;
         if n == 0 {
-            return Ok(RunResult { outputs: Vec::new(), rounds: 0 });
+            return Ok(RunResult {
+                outputs: Vec::new(),
+                rounds: 0,
+            });
         }
+        let mut registry = Registry::new();
+        let c_live = registry.counter("live_nodes");
+        let c_halted = registry.counter("halted");
+        let c_msgs = registry.counter("messages_sent");
+        let g_halted_frac = registry.gauge("halted_fraction");
         while live > 0 {
             if rounds >= max_rounds {
-                return Err(SimError::RoundLimitExceeded { limit: max_rounds, still_running: live });
+                return Err(SimError::RoundLimitExceeded {
+                    limit: max_rounds,
+                    still_running: live,
+                });
             }
             rounds += 1;
+            c_live.set(live as i64);
             let mut next_states = states.clone();
             let mut nbr_buf: Vec<A::State> = Vec::new();
             for v in self.graph.vertices() {
@@ -178,20 +215,34 @@ impl<'g> Executor<'g> {
                     continue;
                 }
                 nbr_buf.clear();
-                nbr_buf.extend(self.graph.neighbors(v).iter().map(|w| states[w.index()].clone()));
+                nbr_buf.extend(
+                    self.graph
+                        .neighbors(v)
+                        .iter()
+                        .map(|w| states[w.index()].clone()),
+                );
+                // A live node's state is visible to all neighbors this
+                // round: one message per incident edge endpoint.
+                c_msgs.add(nbr_buf.len() as i64);
                 let ctx = self.ctx(v, rounds);
                 match algo.step(&ctx, &states[v.index()], &nbr_buf) {
                     Transition::Continue(s) => next_states[v.index()] = s,
                     Transition::Halt(o) => {
                         outputs[v.index()] = Some(o);
                         live -= 1;
+                        c_halted.inc();
                     }
                 }
             }
             states = next_states;
+            g_halted_frac.set((n - live) as f64 / n as f64);
+            registry.emit_round(&self.probe, EXEC_SCOPE, rounds - 1);
         }
         Ok(RunResult {
-            outputs: outputs.into_iter().map(|o| o.expect("all nodes halted")).collect(),
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("all nodes halted"))
+                .collect(),
             rounds,
         })
     }
@@ -283,7 +334,13 @@ mod tests {
     fn round_limit_enforced() {
         let g = Graph::from_edges(2, [(0, 1)]).unwrap();
         let err = Executor::new(&g).run(&Countdown, 1).unwrap_err();
-        assert_eq!(err, SimError::RoundLimitExceeded { limit: 1, still_running: 1 });
+        assert_eq!(
+            err,
+            SimError::RoundLimitExceeded {
+                limit: 1,
+                still_running: 1
+            }
+        );
     }
 
     #[test]
@@ -322,5 +379,33 @@ mod tests {
         let g = Graph::from_edges(2, [(0, 1)]).unwrap();
         let run = Executor::new(&g).run(&WatchNeighbor, 10).unwrap();
         assert_eq!(run.outputs[1], 0); // sees node 0's frozen init state
+    }
+
+    #[test]
+    fn probe_sees_one_event_per_round() {
+        use telemetry::{Event, RecordingSink};
+
+        let sink = std::sync::Arc::new(RecordingSink::new());
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let run = Executor::new(&g)
+            .with_probe(Probe::new(sink.clone()))
+            .run(&Countdown, 100)
+            .unwrap();
+        assert_eq!(sink.rounds_seen(EXEC_SCOPE), run.rounds);
+        // Round 0: 4 live, node 0 halts immediately, and every node shows
+        // its state across each incident edge (degree sum 6 on the path).
+        assert_eq!(
+            sink.events()[0],
+            Event::Round {
+                scope: EXEC_SCOPE.into(),
+                round: 0,
+                counters: vec![
+                    ("live_nodes".into(), 4),
+                    ("halted".into(), 1),
+                    ("messages_sent".into(), 6),
+                ],
+                gauges: vec![("halted_fraction".into(), 0.25)],
+            }
+        );
     }
 }

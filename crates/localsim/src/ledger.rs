@@ -3,6 +3,7 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+use telemetry::{ChargeKind, Event, Probe};
 
 /// One charged item on a [`RoundLedger`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -38,9 +39,33 @@ pub struct LedgerEntry {
 /// ledger.charge_virtual("pair coloring", 5, 3);
 /// assert_eq!(ledger.total(), 12 + 2 + 15);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RoundLedger {
     entries: Vec<LedgerEntry>,
+    probe: Probe,
+}
+
+impl PartialEq for RoundLedger {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for RoundLedger {}
+
+impl Serialize for RoundLedger {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![("entries".to_string(), self.entries.to_value())])
+    }
+}
+
+impl<'de> Deserialize<'de> for RoundLedger {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(RoundLedger {
+            entries: Vec::from_value(v.field("entries")?)?,
+            probe: Probe::disabled(),
+        })
+    }
 }
 
 impl RoundLedger {
@@ -49,28 +74,58 @@ impl RoundLedger {
         Self::default()
     }
 
+    /// An empty ledger whose charges are mirrored to `probe` as
+    /// [`Event::Charge`] events.
+    pub fn with_probe(probe: Probe) -> Self {
+        RoundLedger {
+            entries: Vec::new(),
+            probe,
+        }
+    }
+
+    /// Installs (or replaces) the telemetry probe.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+    }
+
+    /// The attached probe (disabled by default).
+    pub fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
+    fn record(&mut self, phase: String, rounds: u64, kind: ChargeKind) {
+        self.probe.emit_with(|| Event::Charge {
+            path: phase.clone(),
+            rounds,
+            kind,
+        });
+        self.entries.push(LedgerEntry { phase, rounds });
+    }
+
     /// Charges `rounds` measured rounds to `phase`.
     pub fn charge(&mut self, phase: impl Into<String>, rounds: u64) {
-        self.entries.push(LedgerEntry { phase: phase.into(), rounds });
+        self.record(phase.into(), rounds, ChargeKind::Real);
     }
 
     /// Charges a documented constant cost for an `O(1)`-local step.
     pub fn charge_constant(&mut self, phase: impl Into<String>, rounds: u64) {
-        self.charge(phase, rounds);
+        self.record(phase.into(), rounds, ChargeKind::Constant);
     }
 
     /// Charges `rounds` virtual-graph rounds at the given `dilation`.
     pub fn charge_virtual(&mut self, phase: impl Into<String>, rounds: u64, dilation: u64) {
-        self.charge(phase, rounds * dilation);
+        self.record(phase.into(), rounds * dilation, ChargeKind::Virtual);
     }
 
     /// Appends every entry of `other`, prefixing phases with `prefix/`.
+    /// Each absorbed entry surfaces on the probe with its full phase path.
     pub fn absorb(&mut self, prefix: &str, other: RoundLedger) {
         for e in other.entries {
-            self.entries.push(LedgerEntry {
-                phase: format!("{prefix}/{}", e.phase),
-                rounds: e.rounds,
-            });
+            self.record(
+                format!("{prefix}/{}", e.phase),
+                e.rounds,
+                ChargeKind::Absorbed,
+            );
         }
     }
 
@@ -80,7 +135,11 @@ impl RoundLedger {
     /// of a phase is the maximum over components, not the sum.
     pub fn absorb_parallel_max(&mut self, prefix: &str, others: Vec<RoundLedger>) {
         let max_total = others.iter().map(RoundLedger::total).max().unwrap_or(0);
-        self.entries.push(LedgerEntry { phase: format!("{prefix} (max component)"), rounds: max_total });
+        self.record(
+            format!("{prefix} (max component)"),
+            max_total,
+            ChargeKind::Absorbed,
+        );
     }
 
     /// All entries in charge order.
@@ -95,7 +154,31 @@ impl RoundLedger {
 
     /// Total rounds charged to phases whose name contains `needle`.
     pub fn total_for(&self, needle: &str) -> u64 {
-        self.entries.iter().filter(|e| e.phase.contains(needle)).map(|e| e.rounds).sum()
+        self.entries
+            .iter()
+            .filter(|e| e.phase.contains(needle))
+            .map(|e| e.rounds)
+            .sum()
+    }
+
+    /// A per-phase breakdown table: one row per top-level phase prefix
+    /// (see [`RoundLedger::grouped`]) with its rounds and share of the
+    /// total, plus a TOTAL row. This is what `delta-color --profile`
+    /// prints.
+    pub fn render_table(&self) -> String {
+        let total = self.total();
+        let mut out = String::new();
+        out.push_str(&format!("{:<52} {:>8} {:>7}\n", "phase", "rounds", "%"));
+        for (phase, rounds) in self.grouped() {
+            let pct = if total == 0 {
+                0.0
+            } else {
+                rounds as f64 * 100.0 / total as f64
+            };
+            out.push_str(&format!("{phase:<52} {rounds:>8} {pct:>6.1}%\n"));
+        }
+        out.push_str(&format!("{:<52} {:>8} {:>6.1}%", "TOTAL", total, 100.0));
+        out
     }
 
     /// Totals grouped by phase prefix (the part before the first `/`),
@@ -110,10 +193,13 @@ impl RoundLedger {
             }
             *totals.entry(prefix).or_default() += e.rounds;
         }
-        order.into_iter().map(|p| {
-            let t = totals[&p];
-            (p, t)
-        }).collect()
+        order
+            .into_iter()
+            .map(|p| {
+                let t = totals[&p];
+                (p, t)
+            })
+            .collect()
     }
 }
 
@@ -189,5 +275,84 @@ mod tests {
         let s = l.to_string();
         assert!(s.contains("abc"));
         assert!(s.contains("TOTAL"));
+    }
+
+    #[test]
+    fn render_table_shows_percentages() {
+        let mut l = RoundLedger::new();
+        l.charge("phase1/matching", 30);
+        l.charge("phase2/split", 10);
+        let table = l.render_table();
+        assert!(table.contains("phase1"), "{table}");
+        assert!(table.contains("75.0%"), "{table}");
+        assert!(table.contains("25.0%"), "{table}");
+        assert!(table.lines().last().unwrap().contains("100.0%"), "{table}");
+    }
+
+    #[test]
+    fn render_table_empty_ledger() {
+        let table = RoundLedger::new().render_table();
+        assert!(table.contains("TOTAL"));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_entries() {
+        let mut l = RoundLedger::new();
+        l.charge("acd computation", 2);
+        l.charge_virtual("phase1/pairs", 7, 3);
+        l.charge("easy cliques/greedy", 5);
+        let json = serde::json::to_string(&l);
+        let back: RoundLedger = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, l);
+        assert_eq!(back.total(), l.total());
+        assert_eq!(back.entries(), l.entries());
+    }
+
+    #[test]
+    fn charges_surface_on_the_probe_with_paths() {
+        use telemetry::RecordingSink;
+
+        let sink = std::sync::Arc::new(RecordingSink::new());
+        let mut l = RoundLedger::with_probe(Probe::new(sink.clone()));
+        l.charge("mm", 10);
+        l.charge_constant("ball", 2);
+        l.charge_virtual("pairs", 5, 3);
+        let mut inner = RoundLedger::new();
+        inner.charge("matching", 4);
+        l.absorb("phase1", inner);
+        l.absorb_parallel_max("shatter", vec![]);
+
+        let events = sink.events();
+        assert_eq!(
+            events,
+            vec![
+                Event::Charge {
+                    path: "mm".into(),
+                    rounds: 10,
+                    kind: ChargeKind::Real
+                },
+                Event::Charge {
+                    path: "ball".into(),
+                    rounds: 2,
+                    kind: ChargeKind::Constant
+                },
+                Event::Charge {
+                    path: "pairs".into(),
+                    rounds: 15,
+                    kind: ChargeKind::Virtual
+                },
+                Event::Charge {
+                    path: "phase1/matching".into(),
+                    rounds: 4,
+                    kind: ChargeKind::Absorbed
+                },
+                Event::Charge {
+                    path: "shatter (max component)".into(),
+                    rounds: 0,
+                    kind: ChargeKind::Absorbed
+                },
+            ]
+        );
+        assert_eq!(l.total(), 31);
     }
 }

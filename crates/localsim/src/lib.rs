@@ -59,7 +59,13 @@ mod exec;
 mod ledger;
 mod msg;
 
-pub use congest::{CongestError, CongestExecutor, CongestResult};
-pub use exec::{Executor, LocalAlgorithm, NodeCtx, RunResult, SimError, Transition};
+pub use congest::{CongestError, CongestExecutor, CongestResult, RoundBits, CONGEST_SCOPE};
+pub use exec::{Executor, LocalAlgorithm, NodeCtx, RunResult, SimError, Transition, EXEC_SCOPE};
 pub use ledger::{LedgerEntry, RoundLedger};
-pub use msg::{broadcast, MessageExecutor, MessageProgram, MsgTransition, Outgoing};
+pub use msg::{broadcast, MessageExecutor, MessageProgram, MsgTransition, Outgoing, MSG_SCOPE};
+
+// Re-exported so simulator users can attach probes without naming the
+// telemetry crate explicitly.
+pub use telemetry::{
+    ChargeKind, Event, FanoutSink, JsonlSink, NullSink, Probe, RecordingSink, Registry, Sink,
+};

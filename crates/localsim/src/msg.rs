@@ -10,8 +10,12 @@
 //! would be size-capped).
 
 use graphgen::{Graph, NodeId};
+use telemetry::{Probe, Registry};
 
 use crate::exec::{NodeCtx, RunResult, SimError};
+
+/// Scope string under which [`MessageExecutor`] emits per-round events.
+pub const MSG_SCOPE: &str = "localsim/msg";
 
 /// What a node does after processing one round of messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,12 +74,25 @@ pub trait MessageProgram {
 #[derive(Debug)]
 pub struct MessageExecutor<'g> {
     graph: &'g Graph,
+    probe: Probe,
 }
 
 impl<'g> MessageExecutor<'g> {
     /// An executor over `graph`.
     pub fn new(graph: &'g Graph) -> Self {
-        MessageExecutor { graph }
+        MessageExecutor {
+            graph,
+            probe: Probe::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry probe; every run then emits one
+    /// [`telemetry::Event::Round`] per round under the [`MSG_SCOPE`] scope
+    /// (live nodes, halts, messages sent, inbox bytes).
+    #[must_use]
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
+        self
     }
 
     fn ctx<'a>(&'a self, v: NodeId, round: u64) -> NodeCtx<'a> {
@@ -91,7 +108,10 @@ impl<'g> MessageExecutor<'g> {
 
     /// Port of `v` that leads to `w`.
     fn port_of(&self, v: NodeId, w: NodeId) -> usize {
-        self.graph.neighbors(v).binary_search(&w).expect("w is a neighbor of v")
+        self.graph
+            .neighbors(v)
+            .binary_search(&w)
+            .expect("w is a neighbor of v")
     }
 
     /// Runs `prog` until every node halts; counts communication rounds.
@@ -106,18 +126,32 @@ impl<'g> MessageExecutor<'g> {
     ) -> Result<RunResult<P::Output>, SimError> {
         let n = self.graph.n();
         if n == 0 {
-            return Ok(RunResult { outputs: Vec::new(), rounds: 0 });
+            return Ok(RunResult {
+                outputs: Vec::new(),
+                rounds: 0,
+            });
         }
         let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
-        let mut inboxes: Vec<Vec<Option<P::Msg>>> =
-            self.graph.vertices().map(|v| vec![None; self.graph.degree(v)]).collect();
-        let deliver = |inboxes: &mut Vec<Vec<Option<P::Msg>>>,
-                           v: NodeId,
-                           outs: Vec<Outgoing<P::Msg>>| {
-            for out in outs {
-                let w = self.graph.neighbors(v)[out.port];
-                let back = self.port_of(w, v);
-                inboxes[w.index()][back] = Some(out.msg);
+        let mut inboxes: Vec<Vec<Option<P::Msg>>> = self
+            .graph
+            .vertices()
+            .map(|v| vec![None; self.graph.degree(v)])
+            .collect();
+        let mut registry = Registry::new();
+        let c_live = registry.counter("live_nodes");
+        let c_halted = registry.counter("halted");
+        let c_msgs = registry.counter("messages_sent");
+        let c_inbox = registry.counter("inbox_bytes");
+        let g_halted_frac = registry.gauge("halted_fraction");
+        let deliver = {
+            let c_msgs = c_msgs.clone();
+            move |inboxes: &mut Vec<Vec<Option<P::Msg>>>, v: NodeId, outs: Vec<Outgoing<P::Msg>>| {
+                c_msgs.add(outs.len() as i64);
+                for out in outs {
+                    let w = self.graph.neighbors(v)[out.port];
+                    let back = self.port_of(w, v);
+                    inboxes[w.index()][back] = Some(out.msg);
+                }
             }
         };
         let mut states: Vec<P::State> = Vec::with_capacity(n);
@@ -136,11 +170,25 @@ impl<'g> MessageExecutor<'g> {
         let mut rounds = 0u64;
         while live > 0 {
             if rounds >= max_rounds {
-                return Err(SimError::RoundLimitExceeded { limit: max_rounds, still_running: live });
+                return Err(SimError::RoundLimitExceeded {
+                    limit: max_rounds,
+                    still_running: live,
+                });
             }
             rounds += 1;
-            let mut next: Vec<Vec<Option<P::Msg>>> =
-                self.graph.vertices().map(|v| vec![None; self.graph.degree(v)]).collect();
+            c_live.set(live as i64);
+            if self.probe.enabled() {
+                let pending: usize = inboxes
+                    .iter()
+                    .map(|ib| ib.iter().filter(|m| m.is_some()).count())
+                    .sum();
+                c_inbox.set((pending * std::mem::size_of::<P::Msg>()) as i64);
+            }
+            let mut next: Vec<Vec<Option<P::Msg>>> = self
+                .graph
+                .vertices()
+                .map(|v| vec![None; self.graph.degree(v)])
+                .collect();
             for v in self.graph.vertices() {
                 if outputs[v.index()].is_some() {
                     continue;
@@ -152,13 +200,19 @@ impl<'g> MessageExecutor<'g> {
                         deliver(&mut next, v, outs);
                         outputs[v.index()] = Some(o);
                         live -= 1;
+                        c_halted.inc();
                     }
                 }
             }
             inboxes = next;
+            g_halted_frac.set((n - live) as f64 / n as f64);
+            registry.emit_round(&self.probe, MSG_SCOPE, rounds - 1);
         }
         Ok(RunResult {
-            outputs: outputs.into_iter().map(|o| o.expect("all halted")).collect(),
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("all halted"))
+                .collect(),
             rounds,
         })
     }
@@ -186,7 +240,12 @@ mod tests {
             }
         }
 
-        fn step(&self, ctx: &NodeCtx, _state: &mut (), inbox: &[Option<u64>]) -> MsgTransition<u64, u64> {
+        fn step(
+            &self,
+            ctx: &NodeCtx,
+            _state: &mut (),
+            inbox: &[Option<u64>],
+        ) -> MsgTransition<u64, u64> {
             if ctx.node == NodeId(0) {
                 return MsgTransition::HaltAfter(Vec::new(), 0);
             }
@@ -219,7 +278,12 @@ mod tests {
             (0, broadcast(ctx.degree(), &()))
         }
 
-        fn step(&self, ctx: &NodeCtx, state: &mut u32, inbox: &[Option<()>]) -> MsgTransition<(), u32> {
+        fn step(
+            &self,
+            ctx: &NodeCtx,
+            state: &mut u32,
+            inbox: &[Option<()>],
+        ) -> MsgTransition<(), u32> {
             if inbox.iter().any(Option::is_some) {
                 *state += 1;
             }
@@ -250,7 +314,12 @@ mod tests {
             ((), broadcast(ctx.degree(), &ctx.uid))
         }
 
-        fn step(&self, _ctx: &NodeCtx, _state: &mut (), inbox: &[Option<u64>]) -> MsgTransition<u64, u64> {
+        fn step(
+            &self,
+            _ctx: &NodeCtx,
+            _state: &mut (),
+            inbox: &[Option<u64>],
+        ) -> MsgTransition<u64, u64> {
             MsgTransition::HaltAfter(Vec::new(), inbox.iter().flatten().sum())
         }
     }
@@ -273,7 +342,12 @@ mod tests {
             fn init(&self, _ctx: &NodeCtx) -> ((), Vec<Outgoing<()>>) {
                 ((), Vec::new())
             }
-            fn step(&self, _ctx: &NodeCtx, _s: &mut (), _i: &[Option<()>]) -> MsgTransition<(), ()> {
+            fn step(
+                &self,
+                _ctx: &NodeCtx,
+                _s: &mut (),
+                _i: &[Option<()>],
+            ) -> MsgTransition<(), ()> {
                 MsgTransition::Continue(Vec::new())
             }
         }
@@ -289,5 +363,36 @@ mod tests {
         let g = Graph::from_edges(0, []).unwrap();
         let run = MessageExecutor::new(&g).run(&PingPong, 1).unwrap();
         assert!(run.outputs.is_empty());
+    }
+
+    #[test]
+    fn probe_counts_messages_and_inbox_bytes() {
+        use telemetry::{Event, Probe, RecordingSink};
+
+        let sink = std::sync::Arc::new(RecordingSink::new());
+        let g = graphgen::generators::star(3); // center + 3 leaves, 3 edges
+        let run = MessageExecutor::new(&g)
+            .with_probe(Probe::new(sink.clone()))
+            .run(&PingPong, 5)
+            .unwrap();
+        assert_eq!(run.rounds, 1);
+        assert_eq!(sink.rounds_seen(MSG_SCOPE), 1);
+        let events = sink.events();
+        let Event::Round { counters, .. } = &events[0] else {
+            panic!("expected a round event, got {:?}", events[0]);
+        };
+        let get = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        // init: center broadcasts 3, each leaf sends 1 -> 6 messages; every
+        // one of them sits in an inbox at the start of round 0.
+        assert_eq!(get("messages_sent"), 6);
+        assert_eq!(get("inbox_bytes"), 6 * std::mem::size_of::<u64>() as i64);
+        assert_eq!(get("live_nodes"), 4);
+        assert_eq!(get("halted"), 4);
     }
 }

@@ -46,8 +46,19 @@ impl MessageProgram for FloodMsg {
         (ctx.uid, broadcast(ctx.degree(), &ctx.uid))
     }
 
-    fn step(&self, ctx: &NodeCtx, state: &mut u64, inbox: &[Option<u64>]) -> MsgTransition<u64, u64> {
-        let m = inbox.iter().flatten().copied().chain([*state]).max().unwrap_or(*state);
+    fn step(
+        &self,
+        ctx: &NodeCtx,
+        state: &mut u64,
+        inbox: &[Option<u64>],
+    ) -> MsgTransition<u64, u64> {
+        let m = inbox
+            .iter()
+            .flatten()
+            .copied()
+            .chain([*state])
+            .max()
+            .unwrap_or(*state);
         *state = m;
         if ctx.round >= self.t {
             MsgTransition::HaltAfter(Vec::new(), m)

@@ -13,7 +13,9 @@
 //! `O(log n)` rounds suffice w.h.p. ([Johansson'99]-style analysis).
 
 use graphgen::{Color, Coloring, Graph};
-use localsim::{broadcast, CongestError, CongestExecutor, MessageProgram, MsgTransition, NodeCtx, Outgoing};
+use localsim::{
+    broadcast, CongestError, CongestExecutor, MessageProgram, MsgTransition, NodeCtx, Outgoing,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -155,7 +157,9 @@ mod tests {
         .enumerate()
         {
             let out = congest_delta_plus_one(g, i as u64).unwrap();
-            out.coloring.check_complete(g, g.max_degree() as u32 + 1).unwrap();
+            out.coloring
+                .check_complete(g, g.max_degree() as u32 + 1)
+                .unwrap();
             let budget = (32 - (g.max_degree() as u32 + 1).leading_zeros()) as usize + 2;
             assert!(
                 out.max_message_bits <= budget,

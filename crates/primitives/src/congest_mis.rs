@@ -55,7 +55,11 @@ impl MessageProgram for LubyCongest {
         let mut rng =
             StdRng::seed_from_u64(self.seed ^ ctx.uid.wrapping_mul(0xD1B5_4A32_D192_ED03));
         let bid = rng.gen_range(0..self.priority_space);
-        let state = LubyState { rng, bid, alive_ports: vec![true; ctx.degree()] };
+        let state = LubyState {
+            rng,
+            bid,
+            alive_ports: vec![true; ctx.degree()],
+        };
         let outs = broadcast(ctx.degree(), &MisMsg::Bid(bid));
         (state, outs)
     }
@@ -79,10 +83,7 @@ impl MessageProgram for LubyCongest {
             }
         }
         if neighbor_joined {
-            return MsgTransition::HaltAfter(
-                live_broadcast(state, &MisMsg::Retired),
-                false,
-            );
+            return MsgTransition::HaltAfter(live_broadcast(state, &MisMsg::Retired), false);
         }
         if ctx.round % 2 == 1 {
             // Decision round: compare my bid against live neighbors' bids.
@@ -142,7 +143,13 @@ pub fn congest_mis(g: &Graph, seed: u64) -> Result<CongestRun<Vec<bool>>, Conges
     let budget_bits = bits as usize + 4;
     let ex = CongestExecutor::new(g, budget_bits, mis_msg_bits);
     let max_rounds = 100 + 32 * (usize::BITS - g.n().leading_zeros()) as u64;
-    let run = ex.run(&LubyCongest { seed, priority_space: space }, max_rounds)?;
+    let run = ex.run(
+        &LubyCongest {
+            seed,
+            priority_space: space,
+        },
+        max_rounds,
+    )?;
     Ok(CongestRun {
         value: run.outputs,
         rounds: run.rounds,
@@ -190,7 +197,11 @@ impl MessageProgram for MatchCongest {
     fn init(&self, ctx: &NodeCtx) -> (MatchState, Vec<Outgoing<MatchMsg>>) {
         let rng = StdRng::seed_from_u64(self.seed ^ ctx.uid.wrapping_mul(0xA076_1D64_78BD_642F));
         (
-            MatchState { rng, free_ports: vec![true; ctx.degree()], role: MatchRole::Idle },
+            MatchState {
+                rng,
+                free_ports: vec![true; ctx.degree()],
+                role: MatchRole::Idle,
+            },
             Vec::new(),
         )
     }
@@ -210,8 +221,7 @@ impl MessageProgram for MatchCongest {
         match (ctx.round - 1) % 3 {
             0 => {
                 // Propose with a coin to a random free neighbor.
-                let free: Vec<usize> =
-                    (0..ctx.degree()).filter(|&p| state.free_ports[p]).collect();
+                let free: Vec<usize> = (0..ctx.degree()).filter(|&p| state.free_ports[p]).collect();
                 if free.is_empty() {
                     return MsgTransition::HaltAfter(Vec::new(), None);
                 }
@@ -231,9 +241,7 @@ impl MessageProgram for MatchCongest {
                 let best = inbox
                     .iter()
                     .enumerate()
-                    .filter(|(p, m)| {
-                        matches!(m, Some(MatchMsg::Propose)) && state.free_ports[*p]
-                    })
+                    .filter(|(p, m)| matches!(m, Some(MatchMsg::Propose)) && state.free_ports[*p])
                     .min_by_key(|&(p, _)| port_uid(ctx, p));
                 if let Some((p, _)) = best {
                     state.role = MatchRole::Accepted(p);
@@ -246,9 +254,7 @@ impl MessageProgram for MatchCongest {
                 // acceptor matched its chosen proposer unconditionally (the
                 // proposer always confirms an acceptance).
                 let matched_port = match state.role {
-                    MatchRole::Proposed(p) if matches!(inbox[p], Some(MatchMsg::Accept)) => {
-                        Some(p)
-                    }
+                    MatchRole::Proposed(p) if matches!(inbox[p], Some(MatchMsg::Accept)) => Some(p),
                     MatchRole::Accepted(p) => Some(p),
                     _ => None,
                 };

@@ -59,6 +59,9 @@ impl<T> Timed<T> {
 
     /// Maps the value, keeping the round count.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Timed<U> {
-        Timed { value: f(self.value), rounds: self.rounds }
+        Timed {
+            value: f(self.value),
+            rounds: self.rounds,
+        }
     }
 }

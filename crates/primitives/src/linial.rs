@@ -6,8 +6,8 @@
 //! applies the Kuhn–Wattenhofer parallel block reduction to reach `Δ + 1`
 //! colors in `O(Δ log Δ)` further rounds.
 
-use graphgen::{Coloring, Color, Graph};
-use localsim::{Executor, LocalAlgorithm, NodeCtx, SimError, Transition};
+use graphgen::{Color, Coloring, Graph};
+use localsim::{Executor, LocalAlgorithm, NodeCtx, Probe, SimError, Transition};
 
 use crate::Timed;
 
@@ -144,7 +144,23 @@ impl LocalAlgorithm for LinialAlgo {
 /// # Errors
 ///
 /// Propagates simulator errors (round budget, bad uid vectors).
-pub fn linial_coloring(g: &Graph, uids: Option<Vec<u64>>) -> Result<Timed<(Vec<u64>, u64)>, SimError> {
+pub fn linial_coloring(
+    g: &Graph,
+    uids: Option<Vec<u64>>,
+) -> Result<Timed<(Vec<u64>, u64)>, SimError> {
+    linial_coloring_probed(g, uids, &Probe::disabled())
+}
+
+/// [`linial_coloring`] with per-round telemetry mirrored to `probe`.
+///
+/// # Errors
+///
+/// Propagates simulator errors (round budget, bad uid vectors).
+pub fn linial_coloring_probed(
+    g: &Graph,
+    uids: Option<Vec<u64>>,
+    probe: &Probe,
+) -> Result<Timed<(Vec<u64>, u64)>, SimError> {
     let delta = g.max_degree();
     if delta == 0 {
         return Ok(Timed::new((vec![0; g.n()], 1), 0));
@@ -158,7 +174,8 @@ pub fn linial_coloring(g: &Graph, uids: Option<Vec<u64>>) -> Result<Timed<(Vec<u
     let ex = match uids {
         Some(u) => Executor::with_uids(g, u)?,
         None => Executor::new(g),
-    };
+    }
+    .with_probe(probe.clone());
     if schedule.is_empty() {
         // Ids already fit the target space; zero communication needed.
         let run = ex.run(&LinialAlgo { schedule }, 1)?;
@@ -174,7 +191,11 @@ pub fn linial_coloring(g: &Graph, uids: Option<Vec<u64>>) -> Result<Timed<(Vec<u
 enum KwRound {
     /// Nodes whose color is `≡ class (mod modulus)` recolor to the smallest
     /// free color in their block's first `width` slots.
-    Sweep { modulus: u64, class: u64, width: u64 },
+    Sweep {
+        modulus: u64,
+        class: u64,
+        width: u64,
+    },
     /// Local compaction `c -> (c / modulus) * width + (c % modulus)`.
     Remap { modulus: u64, width: u64 },
 }
@@ -184,13 +205,24 @@ fn kw_schedule(mut k: u64, t: u64) -> Vec<KwRound> {
     while k > 2 * t {
         let two_t = 2 * t;
         for j in (t..two_t).rev() {
-            rounds.push(KwRound::Sweep { modulus: two_t, class: j, width: t });
+            rounds.push(KwRound::Sweep {
+                modulus: two_t,
+                class: j,
+                width: t,
+            });
         }
-        rounds.push(KwRound::Remap { modulus: two_t, width: t });
+        rounds.push(KwRound::Remap {
+            modulus: two_t,
+            width: t,
+        });
         k = k.div_ceil(two_t) * t;
     }
     for j in (t..k).rev() {
-        rounds.push(KwRound::Sweep { modulus: u64::MAX, class: j, width: t });
+        rounds.push(KwRound::Sweep {
+            modulus: u64::MAX,
+            class: j,
+            width: t,
+        });
     }
     rounds
 }
@@ -217,14 +249,22 @@ impl LocalAlgorithm for KwAlgo {
         };
         let mut c = *state;
         match round {
-            KwRound::Sweep { modulus, class, width } => {
+            KwRound::Sweep {
+                modulus,
+                class,
+                width,
+            } => {
                 let in_class = if modulus == u64::MAX {
                     c == class
                 } else {
                     c % modulus == class
                 };
                 if in_class {
-                    let base = if modulus == u64::MAX { 0 } else { (c / modulus) * modulus };
+                    let base = if modulus == u64::MAX {
+                        0
+                    } else {
+                        (c / modulus) * modulus
+                    };
                     let mut taken = vec![false; width as usize];
                     for &nc in nbrs {
                         if nc >= base && nc < base + width {
@@ -285,15 +325,45 @@ pub fn reduce_coloring(
     space: u64,
     target: u64,
 ) -> Result<Timed<Vec<u64>>, SimError> {
-    assert!(target > g.max_degree() as u64, "target palette must exceed Δ");
-    assert!(colors.iter().all(|&c| c < space), "colors must lie below the declared space");
+    reduce_coloring_probed(g, colors, space, target, &Probe::disabled())
+}
+
+/// [`reduce_coloring`] with per-round telemetry mirrored to `probe`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Same conditions as [`reduce_coloring`].
+pub fn reduce_coloring_probed(
+    g: &Graph,
+    colors: Vec<u64>,
+    space: u64,
+    target: u64,
+    probe: &Probe,
+) -> Result<Timed<Vec<u64>>, SimError> {
+    assert!(
+        target > g.max_degree() as u64,
+        "target palette must exceed Δ"
+    );
+    assert!(
+        colors.iter().all(|&c| c < space),
+        "colors must lie below the declared space"
+    );
     if space <= target {
         return Ok(Timed::new(colors, 0));
     }
     let rounds = kw_schedule(space, target);
     let budget = rounds.len() as u64 + 1;
-    let algo = KwAlgo { rounds, init_colors: colors };
-    let run = Executor::new(g).run(&algo, budget)?;
+    let algo = KwAlgo {
+        rounds,
+        init_colors: colors,
+    };
+    let run = Executor::new(g)
+        .with_probe(probe.clone())
+        .run(&algo, budget)?;
     Ok(Timed::new(run.outputs, run.rounds))
 }
 
@@ -313,22 +383,43 @@ pub fn reduce_coloring(
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn delta_plus_one_coloring(g: &Graph, uids: Option<Vec<u64>>) -> Result<Timed<Coloring>, SimError> {
+pub fn delta_plus_one_coloring(
+    g: &Graph,
+    uids: Option<Vec<u64>>,
+) -> Result<Timed<Coloring>, SimError> {
+    delta_plus_one_coloring_probed(g, uids, &Probe::disabled())
+}
+
+/// [`delta_plus_one_coloring`] with per-round telemetry mirrored to
+/// `probe`: every executor round (Linial steps and KW sweeps alike)
+/// surfaces as a `round` event.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn delta_plus_one_coloring_probed(
+    g: &Graph,
+    uids: Option<Vec<u64>>,
+    probe: &Probe,
+) -> Result<Timed<Coloring>, SimError> {
     let delta = g.max_degree() as u64;
-    let linial = linial_coloring(g, uids)?;
+    let linial = linial_coloring_probed(g, uids, probe)?;
     let (colors, space) = linial.value;
     let t = delta + 1;
     if space <= t {
-        let coloring =
-            Coloring::from_vec(colors.iter().map(|&c| Some(Color(c as u32))).collect());
+        let coloring = Coloring::from_vec(colors.iter().map(|&c| Some(Color(c as u32))).collect());
         return Ok(Timed::new(coloring, linial.rounds));
     }
     let rounds = kw_schedule(space, t);
     let budget = rounds.len() as u64 + 1;
-    let algo = KwAlgo { rounds, init_colors: colors };
-    let run = Executor::new(g).run(&algo, budget)?;
-    let coloring =
-        Coloring::from_vec(run.outputs.iter().map(|&c| Some(Color(c as u32))).collect());
+    let algo = KwAlgo {
+        rounds,
+        init_colors: colors,
+    };
+    let run = Executor::new(g)
+        .with_probe(probe.clone())
+        .run(&algo, budget)?;
+    let coloring = Coloring::from_vec(run.outputs.iter().map(|&c| Some(Color(c as u32))).collect());
     Ok(Timed::new(coloring, linial.rounds + run.rounds))
 }
 
@@ -355,7 +446,11 @@ mod tests {
     #[test]
     fn schedule_shrinks_fast() {
         let s = linial_schedule(4, 1u128 << 64);
-        assert!(s.len() <= 6, "log* schedule should be tiny, got {}", s.len());
+        assert!(
+            s.len() <= 6,
+            "log* schedule should be tiny, got {}",
+            s.len()
+        );
         let last = s.last().unwrap();
         assert!(last.q * last.q <= 32 * 32);
     }
@@ -389,8 +484,12 @@ mod tests {
 
     #[test]
     fn rounds_grow_mildly_with_n() {
-        let r1 = delta_plus_one_coloring(&generators::cycle(64), None).unwrap().rounds;
-        let r2 = delta_plus_one_coloring(&generators::cycle(4096), None).unwrap().rounds;
+        let r1 = delta_plus_one_coloring(&generators::cycle(64), None)
+            .unwrap()
+            .rounds;
+        let r2 = delta_plus_one_coloring(&generators::cycle(4096), None)
+            .unwrap()
+            .rounds;
         // log*-style growth: going from 64 to 4096 nodes adds at most a
         // couple of rounds.
         assert!(r2 <= r1 + 4, "r1={r1} r2={r2}");

@@ -13,16 +13,20 @@
 //! our round complexity is `O(Δ_H log Δ_H + log* n)`.
 
 use graphgen::{Color, Coloring, Graph, NodeId};
-use localsim::{Executor, LocalAlgorithm, NodeCtx, SimError, Transition};
+use localsim::{Executor, LocalAlgorithm, NodeCtx, Probe, SimError, Transition};
 
-use crate::linial::delta_plus_one_coloring;
+use crate::linial::delta_plus_one_coloring_probed;
 use crate::Timed;
 
 /// Errors from list-coloring instances.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ListColoringError {
     /// A vertex's palette is smaller than its degree plus one.
-    PaletteTooSmall { node: NodeId, palette: usize, degree: usize },
+    PaletteTooSmall {
+        node: NodeId,
+        palette: usize,
+        degree: usize,
+    },
     /// Simulator failure.
     Sim(SimError),
 }
@@ -30,7 +34,11 @@ pub enum ListColoringError {
 impl std::fmt::Display for ListColoringError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ListColoringError::PaletteTooSmall { node, palette, degree } => write!(
+            ListColoringError::PaletteTooSmall {
+                node,
+                palette,
+                degree,
+            } => write!(
                 f,
                 "vertex {node} has a palette of {palette} colors but degree {degree}"
             ),
@@ -48,9 +56,9 @@ impl From<SimError> for ListColoringError {
 }
 
 struct SweepAlgo {
-    schedule: Vec<u32>,       // helper color per node
+    schedule: Vec<u32>,        // helper color per node
     palettes: Vec<Vec<Color>>, // palette per node
-    classes: u32,             // number of helper classes
+    classes: u32,              // number of helper classes
 }
 
 /// State: `None` while waiting, `Some(color)` once colored.
@@ -124,6 +132,21 @@ pub fn deg_plus_one_list_color(
     palettes: &[Vec<Color>],
     uids: Option<Vec<u64>>,
 ) -> Result<Timed<Coloring>, ListColoringError> {
+    deg_plus_one_list_color_probed(h, palettes, uids, &Probe::disabled())
+}
+
+/// [`deg_plus_one_list_color`] with per-round telemetry mirrored to
+/// `probe`.
+///
+/// # Errors
+///
+/// Same as [`deg_plus_one_list_color`].
+pub fn deg_plus_one_list_color_probed(
+    h: &Graph,
+    palettes: &[Vec<Color>],
+    uids: Option<Vec<u64>>,
+    probe: &Probe,
+) -> Result<Timed<Coloring>, ListColoringError> {
     assert_eq!(palettes.len(), h.n(), "one palette per vertex");
     for v in h.vertices() {
         if palettes[v.index()].len() < h.degree(v) + 1 {
@@ -137,14 +160,20 @@ pub fn deg_plus_one_list_color(
     if h.n() == 0 {
         return Ok(Timed::new(Coloring::empty(0), 0));
     }
-    let helper = delta_plus_one_coloring(h, uids)?;
+    let helper = delta_plus_one_coloring_probed(h, uids, probe)?;
     let classes = h.max_degree() as u32 + 1;
     let schedule: Vec<u32> = h
         .vertices()
         .map(|v| helper.value.get(v).expect("helper coloring is complete").0)
         .collect();
-    let algo = SweepAlgo { schedule, palettes: palettes.to_vec(), classes };
-    let run = Executor::new(h).run(&algo, u64::from(classes) + 1)?;
+    let algo = SweepAlgo {
+        schedule,
+        palettes: palettes.to_vec(),
+        classes,
+    };
+    let run = Executor::new(h)
+        .with_probe(probe.clone())
+        .run(&algo, u64::from(classes) + 1)?;
     let coloring = Coloring::from_vec(run.outputs.into_iter().map(Some).collect());
     Ok(Timed::new(coloring, helper.rounds + run.rounds))
 }
@@ -164,13 +193,34 @@ pub fn deg_plus_one_list_color_subset(
     palettes: &[Vec<Color>],
     uids: Option<Vec<u64>>,
 ) -> Result<Timed<Vec<(NodeId, Color)>>, ListColoringError> {
+    deg_plus_one_list_color_subset_probed(g, active, palettes, uids, &Probe::disabled())
+}
+
+/// [`deg_plus_one_list_color_subset`] with per-round telemetry mirrored to
+/// `probe`.
+///
+/// # Errors
+///
+/// Same as [`deg_plus_one_list_color`].
+pub fn deg_plus_one_list_color_subset_probed(
+    g: &Graph,
+    active: &[NodeId],
+    palettes: &[Vec<Color>],
+    uids: Option<Vec<u64>>,
+    probe: &Probe,
+) -> Result<Timed<Vec<(NodeId, Color)>>, ListColoringError> {
     let (h, back) = g.induced(active);
-    let out = deg_plus_one_list_color(&h, palettes, uids)?;
+    let out = deg_plus_one_list_color_probed(&h, palettes, uids, probe)?;
     let assignment = back
         .iter()
         .enumerate()
         .map(|(i, &orig)| {
-            (orig, out.value.get(NodeId::from(i)).expect("list coloring is complete"))
+            (
+                orig,
+                out.value
+                    .get(NodeId::from(i))
+                    .expect("list coloring is complete"),
+            )
         })
         .collect();
     Ok(Timed::new(assignment, out.rounds))
@@ -196,8 +246,9 @@ mod tests {
     fn respects_restricted_palettes() {
         // A path where middle vertices may only use {5, 6}.
         let g = generators::path(10);
-        let palettes: Vec<Vec<Color>> =
-            (0..10).map(|_| vec![Color(5), Color(6), Color(9)]).collect();
+        let palettes: Vec<Vec<Color>> = (0..10)
+            .map(|_| vec![Color(5), Color(6), Color(9)])
+            .collect();
         let out = deg_plus_one_list_color(&g, &palettes, None).unwrap();
         for v in g.vertices() {
             let c = out.value.get(v).unwrap();

@@ -2,11 +2,11 @@
 //! graph) and randomized (Israeli–Itai style proposal rounds).
 
 use graphgen::{Graph, NodeId};
-use localsim::{Executor, LocalAlgorithm, NodeCtx, SimError, Transition};
+use localsim::{Executor, LocalAlgorithm, NodeCtx, Probe, SimError, Transition};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::linial::delta_plus_one_coloring;
+use crate::linial::delta_plus_one_coloring_probed;
 use crate::Timed;
 
 /// A matching as a set of edges (each with `u < v`), plus per-node partner
@@ -47,7 +47,8 @@ impl Matching {
                 return false;
             }
         }
-        g.edges().all(|(u, v)| self.partner[u.index()].is_some() || self.partner[v.index()].is_some())
+        g.edges()
+            .all(|(u, v)| self.partner[u.index()].is_some() || self.partner[v.index()].is_some())
     }
 }
 
@@ -97,7 +98,12 @@ impl LocalAlgorithm for ClassSweepMatching {
         EdgeState::Undecided
     }
 
-    fn step(&self, ctx: &NodeCtx, state: &EdgeState, nbrs: &[EdgeState]) -> Transition<EdgeState, bool> {
+    fn step(
+        &self,
+        ctx: &NodeCtx,
+        state: &EdgeState,
+        nbrs: &[EdgeState],
+    ) -> Transition<EdgeState, bool> {
         match state {
             EdgeState::In => return Transition::Halt(true),
             EdgeState::Out => return Transition::Halt(false),
@@ -131,16 +137,29 @@ impl LocalAlgorithm for ClassSweepMatching {
 ///
 /// Propagates simulator errors.
 pub fn maximal_matching_det(g: &Graph) -> Result<Timed<Matching>, SimError> {
+    maximal_matching_det_probed(g, &Probe::disabled())
+}
+
+/// [`maximal_matching_det`] with per-round telemetry mirrored to `probe`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn maximal_matching_det_probed(g: &Graph, probe: &Probe) -> Result<Timed<Matching>, SimError> {
     let (lg, edges) = line_graph(g);
     if edges.is_empty() {
         return Ok(Timed::new(Matching::from_edges(g.n(), Vec::new()), 0));
     }
-    let helper = delta_plus_one_coloring(&lg, None)?;
+    let helper = delta_plus_one_coloring_probed(&lg, None, probe)?;
     let classes = lg.max_degree() as u32 + 1;
-    let schedule: Vec<u32> =
-        lg.vertices().map(|v| helper.value.get(v).expect("complete coloring").0).collect();
+    let schedule: Vec<u32> = lg
+        .vertices()
+        .map(|v| helper.value.get(v).expect("complete coloring").0)
+        .collect();
     let algo = ClassSweepMatching { schedule, classes };
-    let run = Executor::new(&lg).run(&algo, u64::from(classes) + 2)?;
+    let run = Executor::new(&lg)
+        .with_probe(probe.clone())
+        .run(&algo, u64::from(classes) + 2)?;
     let chosen: Vec<(NodeId, NodeId)> = run
         .outputs
         .iter()
@@ -148,7 +167,10 @@ pub fn maximal_matching_det(g: &Graph) -> Result<Timed<Matching>, SimError> {
         .filter(|&(_, &b)| b)
         .map(|(i, _)| edges[i])
         .collect();
-    Ok(Timed::new(Matching::from_edges(g.n(), chosen), helper.rounds + run.rounds))
+    Ok(Timed::new(
+        Matching::from_edges(g.n(), chosen),
+        helper.rounds + run.rounds,
+    ))
 }
 
 /// Deterministic class-scheduled proposal matching (no line graph).
@@ -183,12 +205,23 @@ impl LocalAlgorithm for ClassProposalMatching {
     type Output = Option<NodeId>;
 
     fn init(&self, ctx: &NodeCtx) -> DetState {
-        DetState::Free(FreeInfo { uid: ctx.uid, proposal: None, accepted: None })
+        DetState::Free(FreeInfo {
+            uid: ctx.uid,
+            proposal: None,
+            accepted: None,
+        })
     }
 
-    fn step(&self, ctx: &NodeCtx, state: &DetState, nbrs: &[DetState]) -> Transition<DetState, Option<NodeId>> {
+    fn step(
+        &self,
+        ctx: &NodeCtx,
+        state: &DetState,
+        nbrs: &[DetState],
+    ) -> Transition<DetState, Option<NodeId>> {
         let DetState::Free(info) = state else {
-            let DetState::Matched(p) = state else { unreachable!() };
+            let DetState::Matched(p) = state else {
+                unreachable!()
+            };
             return Transition::Halt(Some(*p));
         };
         let phase = (ctx.round - 1) % 3;
@@ -213,7 +246,11 @@ impl LocalAlgorithm for ClassProposalMatching {
                 } else {
                     None
                 };
-                Transition::Continue(DetState::Free(FreeInfo { proposal, accepted: None, ..*info }))
+                Transition::Continue(DetState::Free(FreeInfo {
+                    proposal,
+                    accepted: None,
+                    ..*info
+                }))
             }
             1 => {
                 // Accept smallest-uid proposer (proposers skip accepting).
@@ -230,7 +267,10 @@ impl LocalAlgorithm for ClassProposalMatching {
                     })
                     .min()
                     .map(|(_, w)| w);
-                Transition::Continue(DetState::Free(FreeInfo { accepted: best, ..*info }))
+                Transition::Continue(DetState::Free(FreeInfo {
+                    accepted: best,
+                    ..*info
+                }))
             }
             _ => {
                 // Confirm.
@@ -275,25 +315,49 @@ impl LocalAlgorithm for ClassProposalMatching {
 ///
 /// Propagates simulator errors.
 pub fn maximal_matching_det_direct(g: &Graph) -> Result<Timed<Matching>, SimError> {
+    maximal_matching_det_direct_probed(g, &Probe::disabled())
+}
+
+/// [`maximal_matching_det_direct`] with per-round telemetry mirrored to
+/// `probe`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn maximal_matching_det_direct_probed(
+    g: &Graph,
+    probe: &Probe,
+) -> Result<Timed<Matching>, SimError> {
     if g.n() == 0 || g.m() == 0 {
         return Ok(Timed::new(Matching::from_edges(g.n(), Vec::new()), 0));
     }
-    let helper = delta_plus_one_coloring(g, None)?;
+    let helper = delta_plus_one_coloring_probed(g, None, probe)?;
     let classes = g.max_degree() as u32 + 1;
-    let schedule: Vec<u32> =
-        g.vertices().map(|v| helper.value.get(v).expect("complete coloring").0).collect();
+    let schedule: Vec<u32> = g
+        .vertices()
+        .map(|v| helper.value.get(v).expect("complete coloring").0)
+        .collect();
     let budget = 3 * u64::from(classes) * (g.max_degree() as u64 + 3) + 10;
-    let run = Executor::new(g).run(&ClassProposalMatching { schedule, classes }, budget)?;
+    let run = Executor::new(g)
+        .with_probe(probe.clone())
+        .run(&ClassProposalMatching { schedule, classes }, budget)?;
     let mut edges = Vec::new();
     for v in g.vertices() {
         if let Some(p) = run.outputs[v.index()] {
-            assert_eq!(run.outputs[p.index()], Some(v), "matching must be symmetric");
+            assert_eq!(
+                run.outputs[p.index()],
+                Some(v),
+                "matching must be symmetric"
+            );
             if v < p {
                 edges.push((v, p));
             }
         }
     }
-    Ok(Timed::new(Matching::from_edges(g.n(), edges), helper.rounds + run.rounds))
+    Ok(Timed::new(
+        Matching::from_edges(g.n(), edges),
+        helper.rounds + run.rounds,
+    ))
 }
 
 /// Israeli–Itai style randomized matching.
@@ -305,14 +369,16 @@ struct ProposalMatching {
 enum NodeState {
     /// Free; fields meaningful per sub-round. `proposal` is the neighbor
     /// proposed to in this iteration (if a proposer).
-    Free { proposal: Option<NodeId>, accepted: Option<NodeId> },
+    Free {
+        proposal: Option<NodeId>,
+        accepted: Option<NodeId>,
+    },
     Matched(NodeId),
 }
 
 fn coin(seed: u64, uid: u64, round: u64) -> StdRng {
     StdRng::seed_from_u64(
-        seed ^ uid.wrapping_mul(0xA076_1D64_78BD_642F)
-            ^ round.wrapping_mul(0xE703_7ED1_A0B4_28DB),
+        seed ^ uid.wrapping_mul(0xA076_1D64_78BD_642F) ^ round.wrapping_mul(0xE703_7ED1_A0B4_28DB),
     )
 }
 
@@ -321,10 +387,18 @@ impl LocalAlgorithm for ProposalMatching {
     type Output = Option<NodeId>;
 
     fn init(&self, _ctx: &NodeCtx) -> NodeState {
-        NodeState::Free { proposal: None, accepted: None }
+        NodeState::Free {
+            proposal: None,
+            accepted: None,
+        }
     }
 
-    fn step(&self, ctx: &NodeCtx, state: &NodeState, nbrs: &[NodeState]) -> Transition<NodeState, Option<NodeId>> {
+    fn step(
+        &self,
+        ctx: &NodeCtx,
+        state: &NodeState,
+        nbrs: &[NodeState],
+    ) -> Transition<NodeState, Option<NodeId>> {
         if let NodeState::Matched(p) = state {
             return Transition::Halt(Some(*p));
         }
@@ -348,13 +422,21 @@ impl LocalAlgorithm for ProposalMatching {
                 } else {
                     None
                 };
-                Transition::Continue(NodeState::Free { proposal, accepted: None })
+                Transition::Continue(NodeState::Free {
+                    proposal,
+                    accepted: None,
+                })
             }
             1 => {
                 // Accept: non-proposers take the smallest-id proposer.
                 let me = ctx.node;
-                let i_proposed =
-                    matches!(state, NodeState::Free { proposal: Some(_), .. });
+                let i_proposed = matches!(
+                    state,
+                    NodeState::Free {
+                        proposal: Some(_),
+                        ..
+                    }
+                );
                 if i_proposed {
                     return Transition::Continue(*state);
                 }
@@ -362,17 +444,23 @@ impl LocalAlgorithm for ProposalMatching {
                     .neighbors
                     .iter()
                     .zip(nbrs)
-                    .filter(|(_, s)| {
-                        matches!(s, NodeState::Free { proposal: Some(t), .. } if *t == me)
-                    })
+                    .filter(
+                        |(_, s)| matches!(s, NodeState::Free { proposal: Some(t), .. } if *t == me),
+                    )
                     .map(|(&w, _)| w)
                     .min();
-                Transition::Continue(NodeState::Free { proposal: None, accepted: best })
+                Transition::Continue(NodeState::Free {
+                    proposal: None,
+                    accepted: best,
+                })
             }
             _ => {
                 // Confirm: proposer matches iff its target accepted it;
                 // acceptor matches its accepted proposer.
-                if let NodeState::Free { proposal: Some(t), .. } = state {
+                if let NodeState::Free {
+                    proposal: Some(t), ..
+                } = state
+                {
                     let target_state = ctx
                         .neighbors
                         .iter()
@@ -383,12 +471,21 @@ impl LocalAlgorithm for ProposalMatching {
                     {
                         return Transition::Continue(NodeState::Matched(*t));
                     }
-                    return Transition::Continue(NodeState::Free { proposal: None, accepted: None });
+                    return Transition::Continue(NodeState::Free {
+                        proposal: None,
+                        accepted: None,
+                    });
                 }
-                if let NodeState::Free { accepted: Some(a), .. } = state {
+                if let NodeState::Free {
+                    accepted: Some(a), ..
+                } = state
+                {
                     return Transition::Continue(NodeState::Matched(*a));
                 }
-                Transition::Continue(NodeState::Free { proposal: None, accepted: None })
+                Transition::Continue(NodeState::Free {
+                    proposal: None,
+                    accepted: None,
+                })
             }
         }
     }
@@ -400,15 +497,34 @@ impl LocalAlgorithm for ProposalMatching {
 ///
 /// Propagates simulator errors.
 pub fn maximal_matching_rand(g: &Graph, seed: u64) -> Result<Timed<Matching>, SimError> {
+    maximal_matching_rand_probed(g, seed, &Probe::disabled())
+}
+
+/// [`maximal_matching_rand`] with per-round telemetry mirrored to `probe`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn maximal_matching_rand_probed(
+    g: &Graph,
+    seed: u64,
+    probe: &Probe,
+) -> Result<Timed<Matching>, SimError> {
     if g.n() == 0 {
         return Ok(Timed::new(Matching::default(), 0));
     }
     let budget = 200 + 60 * (usize::BITS - g.n().leading_zeros()) as u64;
-    let run = Executor::new(g).run(&ProposalMatching { seed }, budget)?;
+    let run = Executor::new(g)
+        .with_probe(probe.clone())
+        .run(&ProposalMatching { seed }, budget)?;
     let mut edges = Vec::new();
     for v in g.vertices() {
         if let Some(p) = run.outputs[v.index()] {
-            assert_eq!(run.outputs[p.index()], Some(v), "matching must be symmetric");
+            assert_eq!(
+                run.outputs[p.index()],
+                Some(v),
+                "matching must be symmetric"
+            );
             if v < p {
                 edges.push((v, p));
             }

@@ -2,19 +2,18 @@
 //! randomized algorithm.
 
 use graphgen::Graph;
-use localsim::{Executor, LocalAlgorithm, NodeCtx, SimError, Transition};
+use localsim::{Executor, LocalAlgorithm, NodeCtx, Probe, SimError, Transition};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::linial::delta_plus_one_coloring;
+use crate::linial::delta_plus_one_coloring_probed;
 use crate::Timed;
 
 /// Verifies that `in_set` is an independent dominating (maximal
 /// independent) set of `g`.
 pub fn is_mis(g: &Graph, in_set: &[bool]) -> bool {
     for v in g.vertices() {
-        let covered = in_set[v.index()]
-            || g.neighbors(v).iter().any(|&w| in_set[w.index()]);
+        let covered = in_set[v.index()] || g.neighbors(v).iter().any(|&w| in_set[w.index()]);
         if !covered {
             return false;
         }
@@ -93,15 +92,32 @@ impl LocalAlgorithm for ClassGreedyMis {
 ///
 /// Propagates simulator errors.
 pub fn mis_deterministic(g: &Graph, uids: Option<Vec<u64>>) -> Result<Timed<Vec<bool>>, SimError> {
+    mis_deterministic_probed(g, uids, &Probe::disabled())
+}
+
+/// [`mis_deterministic`] with per-round telemetry mirrored to `probe`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn mis_deterministic_probed(
+    g: &Graph,
+    uids: Option<Vec<u64>>,
+    probe: &Probe,
+) -> Result<Timed<Vec<bool>>, SimError> {
     if g.n() == 0 {
         return Ok(Timed::new(Vec::new(), 0));
     }
-    let helper = delta_plus_one_coloring(g, uids)?;
+    let helper = delta_plus_one_coloring_probed(g, uids, probe)?;
     let classes = g.max_degree() as u32 + 1;
-    let schedule: Vec<u32> =
-        g.vertices().map(|v| helper.value.get(v).expect("complete coloring").0).collect();
+    let schedule: Vec<u32> = g
+        .vertices()
+        .map(|v| helper.value.get(v).expect("complete coloring").0)
+        .collect();
     let algo = ClassGreedyMis { schedule, classes };
-    let run = Executor::new(g).run(&algo, u64::from(classes) + 2)?;
+    let run = Executor::new(g)
+        .with_probe(probe.clone())
+        .run(&algo, u64::from(classes) + 2)?;
     Ok(Timed::new(run.outputs, helper.rounds + run.rounds))
 }
 
@@ -125,7 +141,8 @@ fn priority(seed: u64, uid: u64, iteration: u64) -> u64 {
     // Deterministic per (seed, node, iteration): local randomness each node
     // could draw privately.
     let mut rng = StdRng::seed_from_u64(
-        seed ^ uid.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ iteration.wrapping_mul(0xD1B5_4A32_D192_ED03),
+        seed ^ uid.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ iteration.wrapping_mul(0xD1B5_4A32_D192_ED03),
     );
     rng.gen()
 }
@@ -149,7 +166,10 @@ impl LocalAlgorithm for LubyMis {
             LubyState::Out => Transition::Halt(false),
             LubyState::Joining => Transition::Continue(LubyState::In),
             LubyState::Bid(p, uid) => {
-                if nbrs.iter().any(|s| matches!(s, LubyState::Joining | LubyState::In)) {
+                if nbrs
+                    .iter()
+                    .any(|s| matches!(s, LubyState::Joining | LubyState::In))
+                {
                     return Transition::Continue(LubyState::Out);
                 }
                 // Odd rounds: decide by comparing priorities (uid breaks ties).
@@ -181,11 +201,23 @@ impl LocalAlgorithm for LubyMis {
 /// Propagates simulator errors (including exceeding the generous
 /// `64 + 16·log₂ n` round budget, which w.h.p. never happens).
 pub fn mis_luby(g: &Graph, seed: u64) -> Result<Timed<Vec<bool>>, SimError> {
+    mis_luby_probed(g, seed, &Probe::disabled())
+}
+
+/// [`mis_luby`] with per-round telemetry mirrored to `probe`.
+///
+/// # Errors
+///
+/// Propagates simulator errors (including exceeding the generous
+/// `64 + 16·log₂ n` round budget, which w.h.p. never happens).
+pub fn mis_luby_probed(g: &Graph, seed: u64, probe: &Probe) -> Result<Timed<Vec<bool>>, SimError> {
     if g.n() == 0 {
         return Ok(Timed::new(Vec::new(), 0));
     }
     let budget = 64 + 16 * (usize::BITS - g.n().leading_zeros()) as u64;
-    let run = Executor::new(g).run(&LubyMis { seed }, budget)?;
+    let run = Executor::new(g)
+        .with_probe(probe.clone())
+        .run(&LubyMis { seed }, budget)?;
     Ok(Timed::new(run.outputs, run.rounds))
 }
 
@@ -241,8 +273,12 @@ mod tests {
 
     #[test]
     fn luby_rounds_scale_logarithmically() {
-        let small = mis_luby(&generators::random_regular(64, 4, 9), 1).unwrap().rounds;
-        let large = mis_luby(&generators::random_regular(4096, 4, 9), 1).unwrap().rounds;
+        let small = mis_luby(&generators::random_regular(64, 4, 9), 1)
+            .unwrap()
+            .rounds;
+        let large = mis_luby(&generators::random_regular(4096, 4, 9), 1)
+            .unwrap()
+            .rounds;
         assert!(large <= small * 4 + 30, "small={small} large={large}");
     }
 

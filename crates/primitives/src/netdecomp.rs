@@ -66,9 +66,10 @@ pub fn is_valid_decomposition(g: &Graph, nd: &Decomposition, bound: usize) -> bo
             // Class consistency.
             let class = nd.class_of[members[0].index()];
             let cluster = nd.cluster_of[members[0].index()];
-            if members.iter().any(|v| {
-                nd.class_of[v.index()] != class || nd.cluster_of[v.index()] != cluster
-            }) {
+            if members
+                .iter()
+                .any(|v| nd.class_of[v.index()] != class || nd.cluster_of[v.index()] != cluster)
+            {
                 return false;
             }
             // Connectivity and diameter inside the cluster.
@@ -172,9 +173,7 @@ pub fn linial_saks(g: &Graph, seed: u64) -> Timed<Decomposition> {
                 let mut next = Vec::new();
                 for &v in &frontier {
                     for &w in g.neighbors(NodeId(v)) {
-                        if class_of[w.index()] == u32::MAX
-                            && !dist.contains_key(&w.0)
-                        {
+                        if class_of[w.index()] == u32::MAX && !dist.contains_key(&w.0) {
                             dist.insert(w.0, d);
                             next.push(w.0);
                         }
@@ -211,7 +210,12 @@ pub fn linial_saks(g: &Graph, seed: u64) -> Timed<Decomposition> {
     }
     // Split any cluster that became disconnected by boundary removal
     // (rare): recluster per connected component.
-    let mut nd = Decomposition { class_of, cluster_of, classes, max_cluster_diameter: 0 };
+    let mut nd = Decomposition {
+        class_of,
+        cluster_of,
+        classes,
+        max_cluster_diameter: 0,
+    };
     recluster_components(g, &mut nd, &mut next_cluster);
     nd.max_cluster_diameter = measure_diameters(g, &nd);
     Timed::new(nd, rounds)
@@ -288,9 +292,7 @@ pub fn nd_deg_plus_one_list_color(
                 let c = palettes[v.index()]
                     .iter()
                     .copied()
-                    .find(|&c| {
-                        g.neighbors(v).iter().all(|&w| coloring.get(w) != Some(c))
-                    })
+                    .find(|&c| g.neighbors(v).iter().all(|&w| coloring.get(w) != Some(c)))
                     .expect("deg+1 list always has a free color");
                 coloring.set(v, c);
             }
@@ -359,8 +361,7 @@ mod tests {
     fn nd_list_coloring_proper() {
         let g = generators::random_regular(150, 6, 9);
         let nd = linial_saks(&g, 3).value;
-        let palettes: Vec<Vec<Color>> =
-            (0..g.n()).map(|_| (0..7).map(Color).collect()).collect();
+        let palettes: Vec<Vec<Color>> = (0..g.n()).map(|_| (0..7).map(Color).collect()).collect();
         let out = nd_deg_plus_one_list_color(&g, &palettes, &nd);
         out.value.check_complete(&g, 7).unwrap();
     }

@@ -10,9 +10,9 @@
 //! See DESIGN.md for the substitution note.
 
 use graphgen::Graph;
-use localsim::SimError;
+use localsim::{Probe, SimError};
 
-use crate::mis::{mis_deterministic, mis_luby};
+use crate::mis::{mis_deterministic_probed, mis_luby_probed};
 use crate::Timed;
 
 /// Which MIS engine drives the ruling-set computation.
@@ -49,12 +49,36 @@ pub enum RulingStyle {
 /// Panics if `r == 0` (a `(2, 0)`-ruling set would have to contain every
 /// vertex and be independent, which is impossible on any graph with edges).
 pub fn ruling_set(g: &Graph, r: usize, style: RulingStyle) -> Result<Timed<Vec<bool>>, SimError> {
+    ruling_set_probed(g, r, style, &Probe::disabled())
+}
+
+/// [`ruling_set`] with per-round telemetry mirrored to `probe`. Rounds
+/// surface as executed on the power graph (one virtual round each); the
+/// returned round count carries the factor-`r` dilation as before.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if `r == 0`, as in [`ruling_set`].
+pub fn ruling_set_probed(
+    g: &Graph,
+    r: usize,
+    style: RulingStyle,
+    probe: &Probe,
+) -> Result<Timed<Vec<bool>>, SimError> {
     assert!(r >= 1, "ruling radius must be at least 1");
-    let (power, dilation) = if r == 1 { (None, 1) } else { (Some(g.power(r)), r as u64) };
+    let (power, dilation) = if r == 1 {
+        (None, 1)
+    } else {
+        (Some(g.power(r)), r as u64)
+    };
     let target = power.as_ref().unwrap_or(g);
     let mis = match style {
-        RulingStyle::Deterministic => mis_deterministic(target, None)?,
-        RulingStyle::Randomized(seed) => mis_luby(target, seed)?,
+        RulingStyle::Deterministic => mis_deterministic_probed(target, None, probe)?,
+        RulingStyle::Randomized(seed) => mis_luby_probed(target, seed, probe)?,
     };
     Ok(Timed::new(mis.value, mis.rounds * dilation))
 }

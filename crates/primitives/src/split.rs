@@ -19,9 +19,9 @@
 use std::collections::HashMap;
 
 use graphgen::{Graph, NodeId};
-use localsim::SimError;
+use localsim::{Probe, SimError};
 
-use crate::mis::mis_deterministic;
+use crate::mis::mis_deterministic_probed;
 use crate::Timed;
 
 /// Result of one 2-way degree split.
@@ -110,9 +110,16 @@ fn euler_walks(g: &Graph, edges: &[(NodeId, NodeId)]) -> Vec<Walk> {
             prev = e;
             // Leave e via the side not shared with came_from.
             let s0 = partner[e][0];
-            next = if s0 == Some(came_from) { partner[e][1] } else { partner[e][0] };
+            next = if s0 == Some(came_from) {
+                partner[e][1]
+            } else {
+                partner[e][0]
+            };
         }
-        walks.push(Walk { edges: walk, is_cycle: false });
+        walks.push(Walk {
+            edges: walk,
+            is_cycle: false,
+        });
     }
     for start in 0..edges.len() {
         if visited[start] {
@@ -132,9 +139,16 @@ fn euler_walks(g: &Graph, edges: &[(NodeId, NodeId)]) -> Vec<Walk> {
             let came_from = prev;
             prev = e;
             let s0 = partner[e][0];
-            next = if s0 == Some(came_from) { partner[e][1] } else { partner[e][0] };
+            next = if s0 == Some(came_from) {
+                partner[e][1]
+            } else {
+                partner[e][0]
+            };
         }
-        walks.push(Walk { edges: walk, is_cycle: true });
+        walks.push(Walk {
+            edges: walk,
+            is_cycle: true,
+        });
     }
     walks
 }
@@ -156,10 +170,25 @@ fn euler_walks(g: &Graph, edges: &[(NodeId, NodeId)]) -> Vec<Walk> {
 ///
 /// Propagates simulator errors from the breakpoint MIS.
 pub fn degree_split(g: &Graph, k: usize) -> Result<Timed<Split>, SimError> {
+    degree_split_probed(g, k, &Probe::disabled())
+}
+
+/// [`degree_split`] with per-round telemetry mirrored to `probe`.
+///
+/// # Errors
+///
+/// Propagates simulator errors from the breakpoint MIS.
+pub fn degree_split_probed(g: &Graph, k: usize, probe: &Probe) -> Result<Timed<Split>, SimError> {
     let k = (k.max(4) / 2) * 2;
     let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
     if edges.is_empty() {
-        return Ok(Timed::new(Split { part: Vec::new(), edges }, 0));
+        return Ok(Timed::new(
+            Split {
+                part: Vec::new(),
+                edges,
+            },
+            0,
+        ));
     }
     let walks = euler_walks(g, &edges);
 
@@ -179,13 +208,15 @@ pub fn degree_split(g: &Graph, k: usize) -> Result<Timed<Split>, SimError> {
         let (a, b) = (*e).to_owned();
         (a.min(b), a.max(b))
     });
-    let wgraph =
-        Graph::from_edges(edges.len(), wedges.iter().map(|&(a, b)| (a.min(b), a.max(b))))
-            .expect("walk structure graph is valid");
+    let wgraph = Graph::from_edges(
+        edges.len(),
+        wedges.iter().map(|&(a, b)| (a.min(b), a.max(b))),
+    )
+    .expect("walk structure graph is valid");
     // Breakpoints via MIS on the K-th power (distance > K apart, every edge
     // within K of a breakpoint); the MIS rounds are dilated by K.
     let power = wgraph.power(k);
-    let mis = mis_deterministic(&power, None)?;
+    let mis = mis_deterministic_probed(&power, None, probe)?;
     let rounds = mis.rounds * k as u64 + 3 * k as u64;
     let breakpoints = mis.value;
 
@@ -250,6 +281,20 @@ fn color_walk(w: &Walk, breakpoints: &[bool], part: &mut [u8]) {
 ///
 /// Propagates simulator errors.
 pub fn split_into_parts(g: &Graph, levels: u32, k: usize) -> Result<Timed<Vec<u8>>, SimError> {
+    split_into_parts_probed(g, levels, k, &Probe::disabled())
+}
+
+/// [`split_into_parts`] with per-round telemetry mirrored to `probe`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn split_into_parts_probed(
+    g: &Graph,
+    levels: u32,
+    k: usize,
+    probe: &Probe,
+) -> Result<Timed<Vec<u8>>, SimError> {
     let all_edges: Vec<(NodeId, NodeId)> = g.edges().collect();
     let mut eidx: HashMap<(NodeId, NodeId), usize> = HashMap::with_capacity(all_edges.len());
     for (i, &e) in all_edges.iter().enumerate() {
@@ -264,7 +309,7 @@ pub fn split_into_parts(g: &Graph, levels: u32, k: usize) -> Result<Timed<Vec<u8
         for group in &groups {
             let sub = Graph::from_edges(g.n(), group.iter().map(|&(u, v)| (u.0, v.0)))
                 .expect("edge subset of a valid graph");
-            let split = degree_split(&sub, k)?;
+            let split = degree_split_probed(&sub, k, probe)?;
             level_max = level_max.max(split.rounds);
             let mut zero = Vec::new();
             let mut one = Vec::new();
@@ -309,7 +354,10 @@ mod tests {
         let g = generators::cycle(40);
         let out = degree_split(&g, 8).unwrap();
         let disc = out.value.discrepancies(&g);
-        assert!(disc.iter().all(|&d| d == 0), "even cycle: perfect alternation expected");
+        assert!(
+            disc.iter().all(|&d| d == 0),
+            "even cycle: perfect alternation expected"
+        );
     }
 
     #[test]
@@ -318,7 +366,10 @@ mod tests {
         let out = degree_split(&g, 8).unwrap();
         let disc = out.value.discrepancies(&g);
         let total: i64 = disc.iter().sum();
-        assert_eq!(total, 2, "exactly one defect vertex with discrepancy 2: {disc:?}");
+        assert_eq!(
+            total, 2,
+            "exactly one defect vertex with discrepancy 2: {disc:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! Structured run traces for the Δ-coloring pipeline.
+//!
+//! The crate is deliberately tiny and dependency-light: a [`Probe`] is a
+//! cheaply cloneable handle that is either *disabled* (every operation is
+//! a branch on `None`) or carries a shared [`Sink`] receiving structured
+//! [`Event`]s. Instrumented code never formats strings or allocates on
+//! the disabled path — use [`Probe::emit_with`] so event construction is
+//! lazy.
+//!
+//! Three sinks cover the use cases in this workspace:
+//!
+//! * [`NullSink`] — discards events; used by the overhead benchmark to
+//!   show instrumentation is free when nobody listens.
+//! * [`RecordingSink`] — collects events in memory for tests and for the
+//!   `--profile` / `--json` reporting paths.
+//! * [`JsonlSink`] — writes one JSON object per event, the on-disk trace
+//!   format documented in `docs/OBSERVABILITY.md`.
+//!
+//! Phase structure is reported through [`Span`]s (wall-clock + rounds
+//! charged), per-round series through a [`Registry`] of [`Counter`]s and
+//! [`Gauge`]s snapshotted once per simulated round.
+
+pub mod event;
+pub mod probe;
+pub mod registry;
+pub mod sink;
+
+pub use event::{ChargeKind, Event};
+pub use probe::{Probe, Span};
+pub use registry::{Counter, Gauge, Registry};
+pub use sink::{FanoutSink, JsonlSink, NullSink, RecordingSink, Sink};

@@ -1,0 +1,221 @@
+//! The [`Probe`] handle and [`Span`] phase guard.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::event::Event;
+use crate::sink::Sink;
+
+/// A cheaply cloneable telemetry handle.
+///
+/// A probe is either disabled (the default — every operation reduces to
+/// a branch on `None`) or carries a shared [`Sink`]. Instrumented code
+/// takes a `&Probe` or stores a clone; there is no global state.
+#[derive(Clone, Default)]
+pub struct Probe {
+    sink: Option<Arc<dyn Sink>>,
+}
+
+impl Probe {
+    /// A probe that drops everything. Equivalent to `Probe::default()`.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Probe { sink: None }
+    }
+
+    /// A probe forwarding every event to `sink`.
+    #[must_use]
+    pub fn new(sink: Arc<dyn Sink>) -> Self {
+        Probe { sink: Some(sink) }
+    }
+
+    /// Convenience wrapper around [`Probe::new`] for owned sinks.
+    #[must_use]
+    pub fn from_sink<S: Sink + 'static>(sink: S) -> Self {
+        Probe::new(Arc::new(sink))
+    }
+
+    /// Whether any sink is attached.
+    #[inline]
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records an already-constructed event.
+    #[inline]
+    pub fn emit(&self, event: Event) {
+        if let Some(sink) = &self.sink {
+            sink.record(&event);
+        }
+    }
+
+    /// Records an event constructed lazily — the closure only runs when a
+    /// sink is attached, so the disabled path allocates nothing.
+    #[inline]
+    pub fn emit_with(&self, make: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.sink {
+            sink.record(&make());
+        }
+    }
+
+    /// Opens a phase span. Emits [`Event::SpanEnter`] now and
+    /// [`Event::SpanExit`] when the returned guard is dropped (or
+    /// [`Span::finish`]ed).
+    #[must_use]
+    pub fn span(&self, path: impl Into<String>) -> Span {
+        if self.enabled() {
+            let path = path.into();
+            self.emit(Event::SpanEnter { path: path.clone() });
+            Span {
+                probe: self.clone(),
+                path,
+                start: Some(Instant::now()),
+                rounds: 0,
+                counters: Vec::new(),
+                closed: false,
+            }
+        } else {
+            Span {
+                probe: Probe::disabled(),
+                path: String::new(),
+                start: None,
+                rounds: 0,
+                counters: Vec::new(),
+                closed: true,
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Probe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Probe")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+/// A drop guard measuring one phase: wall-clock from construction to
+/// drop, plus explicitly charged rounds and named counters.
+pub struct Span {
+    probe: Probe,
+    path: String,
+    start: Option<Instant>,
+    rounds: u64,
+    counters: Vec<(String, i64)>,
+    closed: bool,
+}
+
+impl Span {
+    /// The span path (empty on a disabled span).
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Charges communication rounds to this span.
+    pub fn add_rounds(&mut self, rounds: u64) {
+        self.rounds += rounds;
+    }
+
+    /// Adds `delta` to the named span counter (created at zero on first
+    /// touch).
+    pub fn count(&mut self, name: &str, delta: i64) {
+        if self.closed {
+            return;
+        }
+        if let Some((_, v)) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            *v += delta;
+        } else {
+            self.counters.push((name.to_string(), delta));
+        }
+    }
+
+    /// Closes the span now, emitting [`Event::SpanExit`].
+    pub fn finish(mut self) {
+        self.emit_exit();
+    }
+
+    fn emit_exit(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        let wall_ns = self.start.map_or(0, |s| {
+            u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        });
+        self.probe.emit(Event::SpanExit {
+            path: std::mem::take(&mut self.path),
+            rounds: self.rounds,
+            wall_ns,
+            counters: std::mem::take(&mut self.counters),
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.emit_exit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RecordingSink;
+
+    #[test]
+    fn span_emits_enter_and_exit() {
+        let sink = Arc::new(RecordingSink::new());
+        let probe = Probe::new(sink.clone());
+        {
+            let mut span = probe.span("pipeline/acd");
+            span.add_rounds(5);
+            span.count("cliques", 2);
+            span.count("cliques", 1);
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0],
+            Event::SpanEnter {
+                path: "pipeline/acd".into()
+            }
+        );
+        match &events[1] {
+            Event::SpanExit {
+                path,
+                rounds,
+                counters,
+                ..
+            } => {
+                assert_eq!(path, "pipeline/acd");
+                assert_eq!(*rounds, 5);
+                assert_eq!(counters, &vec![("cliques".to_string(), 3)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finish_prevents_double_emit() {
+        let sink = Arc::new(RecordingSink::new());
+        let probe = Probe::new(sink.clone());
+        let span = probe.span("p");
+        span.finish();
+        assert_eq!(sink.events().len(), 2);
+    }
+
+    #[test]
+    fn disabled_probe_emits_nothing() {
+        let probe = Probe::disabled();
+        assert!(!probe.enabled());
+        let mut span = probe.span("p");
+        span.add_rounds(10);
+        span.count("x", 1);
+        drop(span);
+        probe.emit_with(|| panic!("must not construct events when disabled"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-round metric series: a [`Registry`] of named [`Counter`]s and
+//! [`Gauge`]s, snapshotted into one [`Event::Round`] per simulated round.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::event::Event;
+use crate::probe::Probe;
+
+/// A monotonically named integer counter, reset after every round
+/// snapshot. Handles are cheap clones sharing one cell.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    name: Rc<str>,
+    value: Rc<Cell<i64>>,
+}
+
+impl Counter {
+    /// The counter's registered name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.set(self.value.get() + delta);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the current value.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.value.set(value);
+    }
+
+    /// The current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.get()
+    }
+
+    fn reset(&self) {
+        self.value.set(0);
+    }
+}
+
+/// A named instantaneous value; unlike counters, gauges persist across
+/// round snapshots.
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    name: Rc<str>,
+    value: Rc<Cell<f64>>,
+}
+
+impl Gauge {
+    /// The gauge's registered name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the current value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.value.set(value);
+    }
+
+    /// The current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        self.value.get()
+    }
+}
+
+/// A set of counters and gauges emitted together once per round.
+///
+/// Not thread-safe by design — it lives inside a (single-threaded)
+/// simulator loop; the emitted events go through the thread-safe sink.
+#[derive(Default, Debug)]
+pub struct Registry {
+    counters: Vec<Counter>,
+    gauges: Vec<Gauge>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it at zero
+    /// on first use.
+    pub fn counter(&mut self, name: &str) -> Counter {
+        if let Some(c) = self.counters.iter().find(|c| &*c.name == name) {
+            return c.clone();
+        }
+        let c = Counter {
+            name: Rc::from(name),
+            value: Rc::new(Cell::new(0)),
+        };
+        self.counters.push(c.clone());
+        c
+    }
+
+    /// Returns the gauge registered under `name`, creating it at zero on
+    /// first use.
+    pub fn gauge(&mut self, name: &str) -> Gauge {
+        if let Some(g) = self.gauges.iter().find(|g| &*g.name == name) {
+            return g.clone();
+        }
+        let g = Gauge {
+            name: Rc::from(name),
+            value: Rc::new(Cell::new(0.0)),
+        };
+        self.gauges.push(g.clone());
+        g
+    }
+
+    /// Emits one [`Event::Round`] snapshot for `round` and resets all
+    /// counters (gauges keep their values).
+    pub fn emit_round(&self, probe: &Probe, scope: &str, round: u64) {
+        probe.emit_with(|| Event::Round {
+            scope: scope.to_string(),
+            round,
+            counters: self
+                .counters
+                .iter()
+                .map(|c| (c.name.to_string(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|g| (g.name.to_string(), g.get()))
+                .collect(),
+        });
+        for c in &self.counters {
+            c.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RecordingSink;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_reset_per_round_gauges_persist() {
+        let sink = Arc::new(RecordingSink::new());
+        let probe = Probe::new(sink.clone());
+        let mut reg = Registry::new();
+        let msgs = reg.counter("messages");
+        let frac = reg.gauge("halted_fraction");
+
+        msgs.add(7);
+        frac.set(0.25);
+        reg.emit_round(&probe, "sim", 0);
+        msgs.inc();
+        reg.emit_round(&probe, "sim", 1);
+
+        let events = sink.events();
+        assert_eq!(
+            events[0],
+            Event::Round {
+                scope: "sim".into(),
+                round: 0,
+                counters: vec![("messages".into(), 7)],
+                gauges: vec![("halted_fraction".into(), 0.25)],
+            }
+        );
+        assert_eq!(
+            events[1],
+            Event::Round {
+                scope: "sim".into(),
+                round: 1,
+                counters: vec![("messages".into(), 1)],
+                gauges: vec![("halted_fraction".into(), 0.25)],
+            }
+        );
+    }
+
+    #[test]
+    fn registry_deduplicates_by_name() {
+        let mut reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+    }
+
+    #[test]
+    fn disabled_probe_still_resets() {
+        let probe = Probe::disabled();
+        let mut reg = Registry::new();
+        let c = reg.counter("x");
+        c.add(9);
+        reg.emit_round(&probe, "sim", 0);
+        assert_eq!(c.get(), 0);
+    }
+}

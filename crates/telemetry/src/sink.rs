@@ -1,0 +1,268 @@
+//! Event sinks: where probe output goes.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// Receives structured events. Implementations must be thread-safe; the
+/// simulator may emit from worker contexts.
+pub trait Sink: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: &Event);
+}
+
+/// Discards every event. Exists so "instrumented but nobody listening"
+/// can be benchmarked against a probe-free run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    #[inline]
+    fn record(&self, _event: &Event) {}
+}
+
+/// Collects events in memory, for tests and in-process reporting.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl RecordingSink {
+    /// An empty recording sink.
+    #[must_use]
+    pub fn new() -> Self {
+        RecordingSink::default()
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of all recorded events, in emission order.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Drains and returns all recorded events.
+    #[must_use]
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().unwrap())
+    }
+
+    /// All events with wall-clock fields zeroed — the deterministic view
+    /// of a run (see [`Event::normalized`]).
+    #[must_use]
+    pub fn normalized(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .map(Event::normalized)
+            .collect()
+    }
+
+    /// `(path, rounds, wall_ns)` for every closed span, in exit order.
+    #[must_use]
+    pub fn span_exits(&self) -> Vec<(String, u64, u64)> {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanExit {
+                    path,
+                    rounds,
+                    wall_ns,
+                    ..
+                } => Some((path.clone(), *rounds, *wall_ns)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of per-round snapshots recorded for `scope`.
+    #[must_use]
+    pub fn rounds_seen(&self, scope: &str) -> u64 {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| matches!(e, Event::Round { scope: s, .. } if s == scope))
+            .count() as u64
+    }
+}
+
+impl Sink for RecordingSink {
+    fn record(&self, event: &Event) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+/// Duplicates every event to each inner sink, in order. Lets one probe
+/// feed a trace file and an in-memory profile at the same time.
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<std::sync::Arc<dyn Sink>>,
+}
+
+impl FanoutSink {
+    /// A fan-out over `sinks`.
+    #[must_use]
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Sink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl Sink for FanoutSink {
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+}
+
+/// Writes one JSON object per event — the on-disk trace format.
+///
+/// The schema is documented in `docs/OBSERVABILITY.md`; every line is a
+/// flat object with a `"type"` discriminator.
+pub struct JsonlSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) a trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps any writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn flush(&self) -> io::Result<()> {
+        self.out.lock().unwrap().flush()
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&self, event: &Event) {
+        let line = serde::json::to_string(event);
+        let mut out = self.out.lock().unwrap();
+        // A failing trace write must not abort the run being traced.
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ChargeKind;
+
+    #[test]
+    fn recording_sink_accumulates() {
+        let sink = RecordingSink::new();
+        assert!(sink.is_empty());
+        sink.record(&Event::SpanEnter { path: "a".into() });
+        sink.record(&Event::Charge {
+            path: "a".into(),
+            rounds: 1,
+            kind: ChargeKind::Real,
+        });
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.take().len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::new(buf.clone());
+        sink.record(&Event::SpanEnter {
+            path: "pipeline".into(),
+        });
+        sink.record(&Event::Round {
+            scope: "sim".into(),
+            round: 0,
+            counters: vec![("live".into(), 4)],
+            gauges: vec![],
+        });
+        drop(sink);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let back: Event = serde::json::from_str(line).unwrap();
+            let again = serde::json::to_string(&back);
+            assert_eq!(again, line);
+        }
+    }
+
+    #[test]
+    fn fanout_duplicates_to_every_sink() {
+        let a = std::sync::Arc::new(RecordingSink::new());
+        let b = std::sync::Arc::new(RecordingSink::new());
+        let fan = FanoutSink::new(vec![a.clone(), b.clone()]);
+        fan.record(&Event::SpanEnter { path: "x".into() });
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn span_exits_filters_and_orders() {
+        let sink = RecordingSink::new();
+        sink.record(&Event::SpanEnter { path: "a".into() });
+        sink.record(&Event::SpanExit {
+            path: "a".into(),
+            rounds: 2,
+            wall_ns: 10,
+            counters: vec![],
+        });
+        assert_eq!(sink.span_exits(), vec![("a".to_string(), 2, 10)]);
+        assert_eq!(sink.rounds_seen("sim"), 0);
+    }
+}

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Theorem 1: the deterministic pipeline.
     let det = color_deterministic(&inst.graph, &Config::for_delta(inst.delta))?;
     verify_delta_coloring(&inst.graph, &det.coloring)?;
-    println!("\n== deterministic (Theorem 1): {} LOCAL rounds ==", det.rounds());
+    println!(
+        "\n== deterministic (Theorem 1): {} LOCAL rounds ==",
+        det.rounds()
+    );
     println!("{}", det.ledger);
     println!(
         "hard cliques: {}, slack pairs: {}, G_V max degree: {} (bound Δ-2 = {})",
@@ -42,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Theorem 2: the randomized shattering pipeline.
     let rand = color_randomized(&inst.graph, &RandConfig::for_delta(inst.delta, 7))?;
     verify_delta_coloring(&inst.graph, &rand.coloring)?;
-    println!("\n== randomized (Theorem 2): {} LOCAL rounds ==", rand.rounds());
+    println!(
+        "\n== randomized (Theorem 2): {} LOCAL rounds ==",
+        rand.rounds()
+    );
     println!(
         "T-nodes placed: {}, deferred: {}, leftover components: {} (max size {})",
         rand.shatter.t_nodes,

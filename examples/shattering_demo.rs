@@ -19,7 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A circulant blueprint keeps the clique graph locally structured
     // (linear diameter), so the shattering geometry is visible.
     let inst = hard_cliques_with_blueprint(
-        &HardCliqueParams { cliques: 320, delta, external_per_vertex: 1, seed: 11 },
+        &HardCliqueParams {
+            cliques: 320,
+            delta,
+            external_per_vertex: 1,
+            seed: 11,
+        },
         BlueprintKind::Circulant,
     )?;
     println!(

@@ -63,8 +63,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Sinkless orientation: the rank-2 special case (§1.1). ---
     let so = sinkless_orientation(&g, None).map_err(|e| format!("sinkless: {e}"))?;
-    let sinks = so.value.out_degrees(g.n()).iter().filter(|&&d| d == 0).count();
-    println!("sinkless orientation: {} sinks (must be 0), {} rounds", sinks, so.rounds);
+    let sinks = so
+        .value
+        .out_degrees(g.n())
+        .iter()
+        .filter(|&&d| d == 0)
+        .count();
+    println!(
+        "sinkless orientation: {} sinks (must be 0), {} rounds",
+        sinks, so.rounds
+    );
 
     // --- Degree splitting (Lemma 21). ---
     let s = split::degree_split(&g, 8)?;

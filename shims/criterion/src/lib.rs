@@ -1,0 +1,277 @@
+//! Hermetic stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the API subset its benches use: `criterion_group!` / `criterion_main!`,
+//! benchmark groups, `bench_function` / `bench_with_input`, and
+//! `Bencher::iter`. Measurement is a simple warmup + timed-iterations
+//! loop reporting mean and min wall-clock per iteration — enough to track
+//! regressions and overhead deltas, without criterion's statistics.
+//!
+//! Under `cargo test` the bench binary is invoked with `--test`; in that
+//! mode every benchmark runs exactly one iteration so the suite stays
+//! fast.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (only `--test` is recognized).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_bench(self.test_mode, name, sample_size, f);
+        self
+    }
+}
+
+/// A named benchmark id with an optional parameter, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(self.criterion.test_mode, &label, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(self.criterion.test_mode, &label, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API parity; measurement is eager).
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to every benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+/// Result of one benchmark: per-iteration mean and minimum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Mean wall-clock per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest observed iteration, nanoseconds.
+    pub min_ns: f64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Runs one benchmark and prints its timing; also used directly by the
+/// telemetry-overhead bench to get numeric results.
+pub fn run_bench<F: FnMut(&mut Bencher)>(
+    test_mode: bool,
+    label: &str,
+    sample_size: usize,
+    f: F,
+) -> Measurement {
+    let m = measure(test_mode, sample_size, f);
+    if test_mode {
+        println!("bench {label}: ok (1 iteration, test mode)");
+    } else {
+        println!(
+            "bench {label}: mean {} / iter, min {} ({} samples)",
+            fmt_ns(m.mean_ns),
+            fmt_ns(m.min_ns),
+            sample_size
+        );
+    }
+    m
+}
+
+/// Measures without printing.
+pub fn measure<F: FnMut(&mut Bencher)>(
+    test_mode: bool,
+    sample_size: usize,
+    mut f: F,
+) -> Measurement {
+    if test_mode {
+        let mut b = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64;
+        return Measurement {
+            mean_ns: ns,
+            min_ns: ns,
+        };
+    }
+    // Warmup: one untimed sample.
+    let mut warm = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warm);
+    let mut total_ns = 0f64;
+    let mut min_ns = f64::INFINITY;
+    let samples = sample_size.max(1) as u64;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64;
+        total_ns += ns;
+        min_ns = min_ns.min(ns);
+    }
+    Measurement {
+        mean_ns: total_ns / samples as f64,
+        min_ns,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_iterations() {
+        let mut calls = 0u32;
+        let m = measure(false, 3, |b| b.iter(|| calls += 1));
+        // warmup + 3 samples, one iteration each
+        assert_eq!(calls, 4);
+        assert!(m.mean_ns >= m.min_ns);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut calls = 0u32;
+        measure(true, 50, |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("det", 34).to_string(), "det/34");
+    }
+}

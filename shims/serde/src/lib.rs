@@ -1,0 +1,675 @@
+//! Hermetic stand-in for `serde` (+ `serde_json`'s role).
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal data model: [`Serialize`] lowers a value into a [`Value`]
+//! tree, [`Deserialize`] rebuilds it, and [`json`] prints/parses `Value`
+//! as standard JSON. The derive macros (`#[derive(Serialize,
+//! Deserialize)]`) are re-exported from the sibling `serde_derive`
+//! proc-macro crate and cover the shapes used in this workspace: named
+//! structs, tuple structs, and enums with unit/tuple/struct variants.
+//!
+//! The wire format differs from real serde_json only in enum encoding
+//! details; nothing in this repository depends on byte-compatibility with
+//! upstream serde, only on lossless round-trips.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A JSON-shaped value tree, the interchange format between
+/// [`Serialize`] and [`Deserialize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] if `self` is not a map or the key is missing.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            other => Err(Error::new(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interprets `self` as a sequence of exactly `len` elements.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] on a non-sequence or a length mismatch.
+    pub fn as_seq(&self, len: usize) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) if items.len() == len => Ok(items),
+            Value::Seq(items) => Err(Error::new(format!(
+                "expected sequence of length {len}, found length {}",
+                items.len()
+            ))),
+            other => Err(Error::new(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// A (de)serialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error carrying `msg`.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers a value into the [`Value`] data model.
+pub trait Serialize {
+    /// The value as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds a value from the [`Value`] data model.
+///
+/// The lifetime parameter exists for signature compatibility with real
+/// serde bounds (`for<'de> Deserialize<'de>`); this shim always copies.
+pub trait Deserialize<'de>: Sized {
+    /// Parses `v` into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] on a shape or type mismatch.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::new(format!("{x} out of range for {}", stringify!($t)))),
+                    Value::I64(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::new(format!("{x} out of range for {}", stringify!($t)))),
+                    other => Err(Error::new(format!(
+                        "expected integer, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self >= 0 {
+                    Value::U64(*self as u64)
+                } else {
+                    Value::I64(*self as i64)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::new(format!("{x} out of range for {}", stringify!($t)))),
+                    Value::I64(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::new(format!("{x} out of range for {}", stringify!($t)))),
+                    other => Err(Error::new(format!(
+                        "expected integer, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::U64(x) => Ok(*x as $t),
+                    Value::I64(x) => Ok(*x as $t),
+                    other => Err(Error::new(format!(
+                        "expected number, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::new(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_seq(N)?;
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::new(format!("expected array of length {N}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = v.as_seq(LEN)?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+pub mod json {
+    //! JSON printing and parsing for [`Value`](super::Value) trees.
+
+    use super::{Deserialize, Error, Serialize, Value};
+    use std::fmt::Write as _;
+
+    /// Serializes `value` as a compact JSON string.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &value.to_value());
+        out
+    }
+
+    /// Parses a JSON string into any [`Deserialize`] type.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] on malformed JSON or a shape mismatch.
+    pub fn from_str<'de, T: Deserialize<'de>>(s: &str) -> Result<T, Error> {
+        T::from_value(&parse(s)?)
+    }
+
+    /// Parses a JSON string into a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] on malformed JSON or trailing input.
+    pub fn parse(s: &str) -> Result<Value, Error> {
+        let bytes = s.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::new(format!("trailing input at byte {pos}")));
+        }
+        Ok(v)
+    }
+
+    pub(crate) fn write_value(out: &mut String, v: &Value) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Value::I64(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Value::F64(x) => {
+                if x.is_finite() {
+                    // Keep integral floats distinguishable from integers so
+                    // round-trips preserve the f64 type.
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        let _ = write!(out, "{x:.1}");
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Seq(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_value(out, item);
+                }
+                out.push(']');
+            }
+            Value::Map(entries) => {
+                out.push('{');
+                for (i, (k, val)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    write_value(out, val);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    pub(crate) fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {pos}",
+                c as char
+            )))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err(Error::new("unexpected end of input")),
+            Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
+            Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error::new(format!("expected `,` or `]` at byte {pos}"))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut entries = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    expect(bytes, pos, b':')?;
+                    let val = parse_value(bytes, pos)?;
+                    entries.push((key, val));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(Error::new(format!("expected `,` or `}}` at byte {pos}"))),
+                    }
+                }
+            }
+            Some(_) => parse_number(bytes, pos),
+        }
+    }
+
+    fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, Error> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {pos}")))
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(Error::new(format!("expected string at byte {pos}")));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        while let Some(&b) = bytes.get(*pos) {
+            match b {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                            *pos += 4;
+                        }
+                        _ => return Err(Error::new("bad escape sequence")),
+                    }
+                    *pos += 1;
+                }
+                _ => {
+                    // Advance by one UTF-8 code point.
+                    let s = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| Error::new("invalid utf-8"))?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error::new("unterminated string"))?;
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+        Err(Error::new("unterminated string"))
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = bytes.get(*pos) {
+            match b {
+                b'0'..=b'9' => *pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    *pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::new("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(Error::new(format!("expected number at byte {start}")));
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::new(format!("bad float `{text}`")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<i64>()
+                .map(|x| Value::I64(-x))
+                .map_err(|_| Error::new(format!("bad integer `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error::new(format!("bad integer `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let v: u64 = json::from_str(&json::to_string(&42u64)).unwrap();
+        assert_eq!(v, 42);
+        let f: f64 = json::from_str(&json::to_string(&2.5f64)).unwrap();
+        assert!((f - 2.5).abs() < 1e-12);
+        let s: String = json::from_str(&json::to_string("he\"llo\n")).unwrap();
+        assert_eq!(s, "he\"llo\n");
+        let o: Option<u32> = json::from_str(&json::to_string(&None::<u32>)).unwrap();
+        assert_eq!(o, None);
+        let xs: Vec<(u32, String)> =
+            json::from_str(&json::to_string(&vec![(1u32, "a".to_string())])).unwrap();
+        assert_eq!(xs, vec![(1, "a".to_string())]);
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let s = json::to_string(&3.0f64);
+        assert_eq!(s, "3.0");
+        let back: f64 = json::from_str(&s).unwrap();
+        assert_eq!(back, 3.0);
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(json::parse("1 2").is_err());
+        assert!(json::parse("[1,").is_err());
+        assert!(json::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn nested_values_parse() {
+        let v = json::parse(r#"{"a": [1, -2, 3.5, null, true], "b": {"c": "d"}}"#).unwrap();
+        assert_eq!(
+            v.field("b").unwrap().field("c").unwrap(),
+            &Value::Str("d".into())
+        );
+        assert_eq!(v.field("a").unwrap().as_seq(5).unwrap()[1], Value::I64(-2));
+    }
+}

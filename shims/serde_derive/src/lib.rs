@@ -1,0 +1,351 @@
+//! Derive macros for the in-repo serde shim.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — named structs, tuple structs, unit
+//! structs, and enums with unit / tuple / struct variants — by walking the
+//! `proc_macro` token stream directly (the build environment has no
+//! crates.io access, so `syn`/`quote` are unavailable). Generics are
+//! intentionally unsupported; attempting to derive on a generic type is a
+//! compile error with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derives `serde::Serialize` (the shim's `to_value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the shim's `from_value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde shim derive: expected `struct` or `enum`, found `{t}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde shim derive: expected type name, found `{t}`"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_items(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                t => panic!("serde shim derive: expected enum body, found `{t:?}`"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Counts comma-separated items at the top level of a token stream,
+/// treating `<...>` as nesting (other brackets arrive pre-grouped).
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut items = 0usize;
+    let mut pending = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if pending {
+                    items += 1;
+                }
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        items += 1;
+    }
+    items
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Skip `:` and the type, up to a top-level comma.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant and the separating comma.
+        while let Some(t) = tokens.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Named(fs) => map_literal(fs.iter().map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({}) => {},",
+                            binds.join(", "),
+                            map_literal([(v.clone(), inner)])
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let inner =
+                            map_literal(fs.iter().map(|f| {
+                                (f.clone(), format!("::serde::Serialize::to_value({f})"))
+                            }));
+                        format!(
+                            "{name}::{v} {{ {} }} => {},",
+                            fs.join(", "),
+                            map_literal([(v.clone(), inner)])
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn map_literal(entries: impl IntoIterator<Item = (String, String)>) -> String {
+    let items: Vec<String> = entries
+        .into_iter()
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", items.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let ctor = build_ctor(name, fields, "__v");
+            (name, format!("::std::result::Result::Ok({ctor})"))
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push(format!(
+                        "::serde::Value::Str(__s) if __s == \"{v}\" => \
+                         ::std::result::Result::Ok({name}::{v}),"
+                    )),
+                    _ => {
+                        let ctor = build_ctor(&format!("{name}::{v}"), fields, "(&__m[0].1)");
+                        arms.push(format!(
+                            "::serde::Value::Map(__m) if __m.len() == 1 && __m[0].0 == \"{v}\" => \
+                             ::std::result::Result::Ok({ctor}),"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __v {{\n{}\n_ => ::std::result::Result::Err(::serde::Error::new(\
+                 \"no variant of {name} matched\")),\n}}",
+                arms.join("\n")
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Builds a constructor expression reading from the value expression
+/// `src` (which has type `&Value`); may use `?`.
+fn build_ctor(path: &str, fields: &Fields, src: &str) -> String {
+    match fields {
+        Fields::Unit => path.to_string(),
+        Fields::Tuple(1) => format!("{path}(::serde::Deserialize::from_value({src})?)"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&{src}.as_seq({n})?[{i}])?"))
+                .collect();
+            format!("{path}({})", items.join(", "))
+        }
+        Fields::Named(fs) => {
+            let items: Vec<String> = fs
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value({src}.field(\"{f}\")?)?"))
+                .collect();
+            format!("{path} {{ {} }}", items.join(", "))
+        }
+    }
+}

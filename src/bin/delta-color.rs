@@ -5,18 +5,27 @@
 //! delta-color color graph.txt                  # deterministic (Theorem 1)
 //! delta-color color graph.txt --randomized 7   # randomized (Theorem 2)
 //! delta-color color graph.txt --general 7      # sparse+dense extension
+//! delta-color color graph.txt --profile        # per-phase profile table
+//! delta-color color graph.txt --trace-out t.jsonl   # structured trace
 //! ```
 //!
 //! `color` reads the edge-list format (see `graphgen::io`), writes the
 //! coloring (`vertex color` per line) to stdout and the round ledger to
-//! stderr.
+//! stderr. `--trace-out` streams every telemetry event as one JSON object
+//! per line (schema in `docs/OBSERVABILITY.md`); `--profile` prints a
+//! per-phase breakdown — rounds, share of total, wall-clock, messages —
+//! reconstructed from the same event stream.
+
+use std::sync::Arc;
 
 use delta_coloring::coloring::{
-    color_deterministic, color_randomized, color_sparse_dense, Config, RandConfig,
+    color_deterministic_probed, color_randomized_probed, color_sparse_dense_probed, Config,
+    RandConfig,
 };
 use delta_coloring::graphs::coloring::verify_delta_coloring;
 use delta_coloring::graphs::generators::{hard_cliques, HardCliqueParams};
 use delta_coloring::graphs::io;
+use delta_coloring::local::{Event, FanoutSink, JsonlSink, Probe, RecordingSink, Sink};
 
 fn main() {
     if let Err(e) = run() {
@@ -26,7 +35,10 @@ fn main() {
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
@@ -51,33 +63,133 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             Ok(())
         }
         Some("color") => {
-            let path = args
-                .get(1)
-                .ok_or("usage: delta-color color <file> [--randomized SEED | --general SEED]")?;
+            let path = args.get(1).filter(|p| !p.starts_with("--")).ok_or(
+                "usage: delta-color color <file> [--randomized SEED | --general SEED] \
+                 [--trace-out PATH] [--profile]",
+            )?;
             let g = io::read_edge_list(path)?;
             let delta = g.max_degree();
             eprintln!("read {} vertices / {} edges, Δ = {delta}", g.n(), g.m());
+
+            // Assemble the probe: a JSONL trace file, an in-memory
+            // recording for --profile, either, both, or neither.
+            let recording = args
+                .iter()
+                .any(|a| a == "--profile")
+                .then(|| Arc::new(RecordingSink::new()));
+            let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+            if let Some(trace_path) = arg_value(&args, "--trace-out") {
+                sinks.push(Arc::new(JsonlSink::create(&trace_path)?));
+                eprintln!("tracing to {trace_path}");
+            }
+            if let Some(rec) = &recording {
+                sinks.push(rec.clone());
+            }
+            let probe = match sinks.len() {
+                0 => Probe::disabled(),
+                1 => Probe::new(sinks.pop().expect("one sink")),
+                _ => Probe::from_sink(FanoutSink::new(sinks)),
+            };
+
             let (coloring, ledger) = if let Some(seed) = arg_value(&args, "--randomized") {
-                let report = color_randomized(&g, &RandConfig::for_delta(delta, seed.parse()?))?;
+                let config = RandConfig::for_delta(delta, seed.parse()?);
+                let report = color_randomized_probed(&g, &config, &probe)?;
                 (report.coloring, report.ledger)
             } else if let Some(seed) = arg_value(&args, "--general") {
-                let report = color_sparse_dense(&g, &RandConfig::for_delta(delta, seed.parse()?))?;
+                let config = RandConfig::for_delta(delta, seed.parse()?);
+                let report = color_sparse_dense_probed(&g, &config, &probe)?;
                 (report.coloring, report.ledger)
             } else {
-                let report = color_deterministic(&g, &Config::for_delta(delta))?;
+                let report = color_deterministic_probed(&g, &Config::for_delta(delta), &probe)?;
                 (report.coloring, report.ledger)
             };
+            drop(probe); // flush the trace file before reporting
             verify_delta_coloring(&g, &coloring)?;
             eprintln!("{ledger}");
+            if let Some(rec) = &recording {
+                eprintln!("{}", ledger.render_table());
+                eprint!("{}", render_profile(&rec.events(), ledger.total()));
+            }
             print!("{}", io::write_coloring(&coloring));
             Ok(())
         }
         _ => {
             eprintln!(
                 "usage:\n  delta-color gen [--cliques N] [--delta D] [--seed S]\n  \
-                 delta-color color <file> [--randomized SEED | --general SEED]"
+                 delta-color color <file> [--randomized SEED | --general SEED] \
+                 [--trace-out PATH] [--profile]"
             );
             Err("unknown command".into())
         }
     }
+}
+
+/// Renders the per-span profile: rounds, share of the ledger total,
+/// wall-clock, and messages. Messages are attributed to every span open
+/// when the executor emitted its per-round snapshot.
+fn render_profile(events: &[Event], total_rounds: u64) -> String {
+    use std::fmt::Write as _;
+
+    // Replay the stream: count messages into all currently open spans.
+    let mut open: Vec<(String, u64)> = Vec::new(); // (path, messages so far)
+    let mut closed: Vec<(String, u64, u64, u64)> = Vec::new(); // path, rounds, wall_ns, msgs
+    for event in events {
+        match event {
+            Event::SpanEnter { path } => open.push((path.clone(), 0)),
+            Event::SpanExit {
+                path,
+                rounds,
+                wall_ns,
+                ..
+            } => {
+                let msgs = open
+                    .iter()
+                    .rposition(|(p, _)| p == path)
+                    .map_or(0, |i| open.remove(i).1);
+                closed.push((path.clone(), *rounds, *wall_ns, msgs));
+            }
+            Event::Round { counters, .. } => {
+                let sent: i64 = counters
+                    .iter()
+                    .filter(|(name, _)| name == "messages_sent")
+                    .map(|&(_, v)| v)
+                    .sum();
+                for (_, msgs) in &mut open {
+                    *msgs += sent.max(0) as u64;
+                }
+            }
+            Event::CongestRound { messages, .. } => {
+                for (_, msgs) in &mut open {
+                    *msgs += messages;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let width = closed
+        .iter()
+        .map(|(p, ..)| p.len())
+        .max()
+        .unwrap_or(5)
+        .max(5);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:width$}  {:>8}  {:>6}  {:>10}  {:>12}",
+        "span", "rounds", "%", "wall ms", "messages"
+    );
+    for (path, rounds, wall_ns, msgs) in &closed {
+        let pct = if total_rounds == 0 {
+            0.0
+        } else {
+            100.0 * *rounds as f64 / total_rounds as f64
+        };
+        let _ = writeln!(
+            out,
+            "{path:width$}  {rounds:>8}  {pct:>5.1}%  {:>10.3}  {msgs:>12}",
+            *wall_ns as f64 / 1e6,
+        );
+    }
+    out
 }

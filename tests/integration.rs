@@ -12,7 +12,12 @@ use delta_coloring::graphs::generators::{
 use delta_coloring::reference::brooks_sequential;
 
 fn hard_params(cliques: usize, delta: usize, seed: u64) -> HardCliqueParams {
-    HardCliqueParams { cliques, delta, external_per_vertex: 1, seed }
+    HardCliqueParams {
+        cliques,
+        delta,
+        external_per_vertex: 1,
+        seed,
+    }
 }
 
 #[test]
@@ -119,7 +124,10 @@ fn paper_parameters_at_paper_scale() {
     // feasibility — what the pipeline needs — is checked by the HEG solver
     // succeeding at all.)
     let eps = 1.0 / 63.0;
-    assert!(report.stats.phase1.r_h as f64 <= 2.0 * eps * 64.0 + 1.0, "Lemma 11 rank bound");
+    assert!(
+        report.stats.phase1.r_h as f64 <= 2.0 * eps * 64.0 + 1.0,
+        "Lemma 11 rank bound"
+    );
     assert!(
         report.stats.phase1.delta_h >= ((1.0 - eps) * 64.0 / 28.0).floor() as usize,
         "Lemma 11 proposal count: δ_H = {}",
@@ -148,8 +156,16 @@ fn error_paths_are_reported() {
 fn alternative_subroutine_matrix() {
     let inst = generators::hard_cliques(&hard_params(34, 16, 800)).unwrap();
     for matching in [MatchingAlgo::DetDirect, MatchingAlgo::Rand(1)] {
-        for heg in [HegAlgo::Augmenting, HegAlgo::TokenWalk(2), HegAlgo::Sequential] {
-            let config = Config { matching, heg, ..Config::for_delta(16) };
+        for heg in [
+            HegAlgo::Augmenting,
+            HegAlgo::TokenWalk(2),
+            HegAlgo::Sequential,
+        ] {
+            let config = Config {
+                matching,
+                heg,
+                ..Config::for_delta(16)
+            };
             let report = color_deterministic(&inst.graph, &config).unwrap();
             verify_delta_coloring(&inst.graph, &report.coloring).unwrap();
         }
@@ -176,7 +192,10 @@ fn paper_scale_stress() {
     verify_delta_coloring(&inst.graph, &det.coloring).unwrap();
     let rand = color_randomized(
         &inst.graph,
-        &RandConfig { base: Config::paper(), ..RandConfig::for_delta(64, 3) },
+        &RandConfig {
+            base: Config::paper(),
+            ..RandConfig::for_delta(64, 3)
+        },
     )
     .unwrap();
     verify_delta_coloring(&inst.graph, &rand.coloring).unwrap();
