@@ -180,6 +180,36 @@ impl Graph {
         &self.adj[self.offsets[v.index()]..self.offsets[v.index() + 1]]
     }
 
+    /// The CSR offset array: `csr_offsets()[v]..csr_offsets()[v + 1]` is the
+    /// range of `v`'s ports in a flat, port-indexed arena of length
+    /// `csr_offsets()[n]` (= 2m). Simulators use this to keep one contiguous
+    /// inbox buffer for the whole graph instead of one allocation per node.
+    #[inline]
+    pub fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The reverse-port table, aligned with the CSR adjacency array.
+    ///
+    /// For the directed slot `i = csr_offsets()[v] + p` (port `p` of `v`,
+    /// leading to `w`), `reverse_ports()[i]` is the port of `w` that leads
+    /// back to `v`. This turns "on which port does `w` hear from `v`?" —
+    /// otherwise a per-message binary search over `w`'s adjacency list —
+    /// into one O(1) lookup. Built in O(m) using the fact that adjacency
+    /// lists are sorted: scanning senders in ascending order visits each
+    /// receiver's ports in ascending order too.
+    #[must_use]
+    pub fn reverse_ports(&self) -> Vec<u32> {
+        let mut rev = vec![0u32; self.adj.len()];
+        let mut cursor = vec![0u32; self.n()];
+        for (nbr, slot) in self.adj.iter().zip(rev.iter_mut()) {
+            let w = nbr.index();
+            *slot = cursor[w];
+            cursor[w] += 1;
+        }
+        rev
+    }
+
     /// Whether the undirected edge `{u, v}` is present.
     #[inline]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
@@ -363,6 +393,26 @@ mod tests {
         assert_eq!(g.neighbors(NodeId(2)), &[NodeId(0), NodeId(1), NodeId(3)]);
         assert!(g.has_edge(NodeId(0), NodeId(2)));
         assert!(!g.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn reverse_ports_invert_adjacency() {
+        for g in [
+            triangle_plus_pendant(),
+            Graph::from_edges(6, [(0, 5), (5, 2), (2, 0), (1, 4), (3, 4)]).unwrap(),
+            Graph::from_edges(0, []).unwrap(),
+        ] {
+            let off = g.csr_offsets();
+            assert_eq!(off.len(), g.n() + 1);
+            let rev = g.reverse_ports();
+            assert_eq!(rev.len(), *off.last().unwrap());
+            for v in g.vertices() {
+                for (p, &w) in g.neighbors(v).iter().enumerate() {
+                    let back = rev[off[v.index()] + p] as usize;
+                    assert_eq!(g.neighbors(w)[back], v, "rev port of {v} -> {w}");
+                }
+            }
+        }
     }
 
     #[test]

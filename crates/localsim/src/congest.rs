@@ -55,7 +55,11 @@ pub const CONGEST_SCOPE: &str = "congest";
 ///
 /// `width_hist` buckets message widths by powers of two: a message of
 /// width `w > 0` lands in bucket `w.next_power_of_two()`, zero-width
-/// messages in bucket `0`. Buckets are sorted ascending.
+/// messages in bucket `0`. Buckets are sorted ascending. Histograms are
+/// only populated when a probe is attached (they exist to feed
+/// [`Event::CongestRound`]); unprobed runs keep the counts, max, and
+/// totals but leave `width_hist` empty, skipping the per-message
+/// bucketing scan on the hot path.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RoundBits {
     /// Round index; `0` covers the messages sent by `init`.
@@ -133,6 +137,7 @@ pub struct CongestExecutor<'g, F> {
     budget_bits: usize,
     size_of: F,
     probe: Probe,
+    threads: usize,
 }
 
 impl<'g, F> CongestExecutor<'g, F> {
@@ -144,6 +149,7 @@ impl<'g, F> CongestExecutor<'g, F> {
             budget_bits,
             size_of,
             probe: Probe::disabled(),
+            threads: 1,
         }
     }
 
@@ -156,20 +162,40 @@ impl<'g, F> CongestExecutor<'g, F> {
         self.probe = probe;
         self
     }
+
+    /// Opts into deterministic parallel stepping of the inner
+    /// [`MessageExecutor`] with `k` worker threads. Metering reductions
+    /// are commutative (max/sum/histogram merge; the reported budget
+    /// violation is the earliest-round one, widest within a round), so
+    /// results and telemetry are identical to the sequential path.
+    #[must_use]
+    pub fn with_threads(mut self, k: usize) -> Self {
+        self.threads = k.max(1);
+        self
+    }
 }
 
 /// Internal wrapper program that meters the inner program's messages.
+///
+/// Stats sit behind a `Mutex` so the wrapper stays `Sync` and can be
+/// stepped by the inner executor's parallel path; every update is a
+/// commutative reduction, keeping metered results schedule-independent.
 struct Metered<'p, P, F> {
     inner: &'p P,
     size_of: F,
     budget: usize,
-    stats: std::cell::RefCell<MeterStats>,
+    /// Whether to build per-round width histograms (only when a probe
+    /// listens; the scan is pure telemetry).
+    hist: bool,
+    stats: std::sync::Mutex<MeterStats>,
 }
 
 #[derive(Default)]
 struct MeterStats {
     max_bits: usize,
     total_bits: u64,
+    /// The earliest-round over-budget message (widest within that round):
+    /// a deterministic choice under any stepping schedule.
     violation: Option<(usize, u64)>,
     per_round: Vec<RoundAcc>,
 }
@@ -196,7 +222,7 @@ impl<P: MessageProgram, F: Fn(&P::Msg) -> usize> Metered<'_, P, F> {
         if outs.is_empty() {
             return;
         }
-        let mut stats = self.stats.borrow_mut();
+        let mut stats = self.stats.lock().expect("meter mutex poisoned");
         let idx = round as usize;
         if stats.per_round.len() <= idx {
             stats.per_round.resize_with(idx + 1, RoundAcc::default);
@@ -205,14 +231,20 @@ impl<P: MessageProgram, F: Fn(&P::Msg) -> usize> Metered<'_, P, F> {
             let bits = (self.size_of)(&o.msg);
             stats.max_bits = stats.max_bits.max(bits);
             stats.total_bits += bits as u64;
-            if bits > self.budget && stats.violation.is_none() {
-                stats.violation = Some((bits, round));
+            if bits > self.budget {
+                stats.violation = Some(match stats.violation {
+                    None => (bits, round),
+                    Some((b, r)) if round < r || (round == r && bits > b) => (bits, round),
+                    Some(v) => v,
+                });
             }
             let acc = &mut stats.per_round[idx];
             acc.messages += 1;
             acc.max_bits = acc.max_bits.max(bits);
             acc.total_bits += bits as u64;
-            *acc.hist.entry(width_bucket(bits)).or_default() += 1;
+            if self.hist {
+                *acc.hist.entry(width_bucket(bits)).or_default() += 1;
+            }
         }
     }
 }
@@ -257,19 +289,24 @@ impl<'g, F> CongestExecutor<'g, F> {
         max_rounds: u64,
     ) -> Result<CongestResult<P::Output>, CongestError>
     where
-        P: MessageProgram,
-        F: Fn(&P::Msg) -> usize + Clone,
+        P: MessageProgram + Sync,
+        P::State: Send,
+        P::Msg: Send + Sync,
+        P::Output: Send,
+        F: Fn(&P::Msg) -> usize + Clone + Sync,
     {
         let metered = Metered {
             inner: prog,
             size_of: self.size_of.clone(),
             budget: self.budget_bits,
-            stats: std::cell::RefCell::new(MeterStats::default()),
+            hist: self.probe.enabled(),
+            stats: std::sync::Mutex::new(MeterStats::default()),
         };
         let run: RunResult<P::Output> = MessageExecutor::new(self.graph)
             .with_probe(self.probe.clone())
+            .with_threads(self.threads)
             .run(&metered, max_rounds)?;
-        let stats = metered.stats.into_inner();
+        let stats = metered.stats.into_inner().expect("meter mutex poisoned");
         if let Some((bits, round)) = stats.violation {
             return Err(CongestError::BandwidthExceeded {
                 bits,

@@ -5,6 +5,8 @@ use std::fmt;
 use graphgen::{Graph, NodeId};
 use telemetry::{Probe, Registry};
 
+use crate::par;
+
 /// Scope string under which [`Executor`] emits per-round events.
 pub const EXEC_SCOPE: &str = "localsim";
 
@@ -111,6 +113,7 @@ pub struct Executor<'g> {
     graph: &'g Graph,
     uids: Option<Vec<u64>>,
     probe: Probe,
+    threads: usize,
 }
 
 impl<'g> Executor<'g> {
@@ -120,7 +123,21 @@ impl<'g> Executor<'g> {
             graph,
             uids: None,
             probe: Probe::disabled(),
+            threads: 1,
         }
+    }
+
+    /// Opts into deterministic parallel stepping with `k` worker threads
+    /// (`k <= 1` keeps the sequential path).
+    ///
+    /// Each round the live worklist is split into contiguous segments,
+    /// one per thread; every node still reads only the previous round's
+    /// states, so outputs, round counts, and telemetry events are
+    /// bit-identical to the sequential schedule regardless of `k`.
+    #[must_use]
+    pub fn with_threads(mut self, k: usize) -> Self {
+        self.threads = k.max(1);
+        self
     }
 
     /// Attaches a telemetry probe; every run then emits one
@@ -155,87 +172,157 @@ impl<'g> Executor<'g> {
             graph,
             uids: Some(uids),
             probe: Probe::disabled(),
+            threads: 1,
         })
     }
 
-    fn ctx<'a>(&'a self, v: NodeId, round: u64) -> NodeCtx<'a> {
-        NodeCtx {
-            node: v,
-            uid: self.uids.as_ref().map_or(v.0 as u64, |u| u[v.index()]),
-            neighbors: self.graph.neighbors(v),
-            round,
-            n: self.graph.n(),
-            max_degree: self.graph.max_degree(),
-        }
-    }
-
     /// Runs `algo` until every node halts, or fails after `max_rounds`.
+    ///
+    /// The loop is allocation-free on the steady state: node states live
+    /// in two buffers swapped every round (no per-round clone of all `n`
+    /// states — a node's state is cloned exactly once, when it halts, to
+    /// freeze it in both buffers), halted nodes are skipped via a
+    /// compacting live worklist rather than a full vertex scan, and the
+    /// neighbor-state scratch buffer is reused across rounds.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::RoundLimitExceeded`] if nodes are still running
     /// after `max_rounds` communication rounds.
-    pub fn run<A: LocalAlgorithm>(
-        &self,
-        algo: &A,
-        max_rounds: u64,
-    ) -> Result<RunResult<A::Output>, SimError> {
+    pub fn run<A>(&self, algo: &A, max_rounds: u64) -> Result<RunResult<A::Output>, SimError>
+    where
+        A: LocalAlgorithm + Sync,
+        A::State: Send + Sync,
+        A::Output: Send,
+    {
         let n = self.graph.n();
-        let mut states: Vec<A::State> = Vec::with_capacity(n);
-        for v in self.graph.vertices() {
-            states.push(algo.init(&self.ctx(v, 0)));
-        }
-        let mut outputs: Vec<Option<A::Output>> = (0..n).map(|_| None).collect();
-        let mut live = n;
-        let mut rounds = 0;
         if n == 0 {
             return Ok(RunResult {
                 outputs: Vec::new(),
                 rounds: 0,
             });
         }
+        // Per-run invariants, hoisted out of the per-node hot loop.
+        let graph = self.graph;
+        let max_degree = graph.max_degree();
+        let uids = self.uids.as_deref();
+        let make_ctx = move |v: NodeId, round: u64| NodeCtx {
+            node: v,
+            uid: uids.map_or(u64::from(v.0), |u| u[v.index()]),
+            neighbors: graph.neighbors(v),
+            round,
+            n,
+            max_degree,
+        };
+        let mut cur: Vec<A::State> = Vec::with_capacity(n);
+        for v in graph.vertices() {
+            cur.push(algo.init(&make_ctx(v, 0)));
+        }
+        // The write buffer starts as a copy so that entries the first
+        // round never writes (there are none while all nodes are live)
+        // are still initialized; after that, swaps replace cloning.
+        let mut nxt: Vec<A::State> = cur.clone();
+        let mut outputs: Vec<Option<A::Output>> = (0..n).map(|_| None).collect();
+        let mut live_list: Vec<NodeId> = graph.vertices().collect();
+        let mut rounds = 0;
         let mut registry = Registry::new();
         let c_live = registry.counter("live_nodes");
         let c_halted = registry.counter("halted");
         let c_msgs = registry.counter("messages_sent");
         let g_halted_frac = registry.gauge("halted_fraction");
-        while live > 0 {
+        let mut nbr_buf: Vec<A::State> = Vec::with_capacity(max_degree);
+        while !live_list.is_empty() {
             if rounds >= max_rounds {
                 return Err(SimError::RoundLimitExceeded {
                     limit: max_rounds,
-                    still_running: live,
+                    still_running: live_list.len(),
                 });
             }
             rounds += 1;
-            c_live.set(live as i64);
-            let mut next_states = states.clone();
-            let mut nbr_buf: Vec<A::State> = Vec::new();
-            for v in self.graph.vertices() {
-                if outputs[v.index()].is_some() {
-                    continue;
-                }
-                nbr_buf.clear();
-                nbr_buf.extend(
-                    self.graph
-                        .neighbors(v)
+            c_live.set(live_list.len() as i64);
+            if self.threads > 1 && live_list.len() > 1 {
+                let segs = par::segments(&live_list, self.threads);
+                let ranges = par::segment_ranges(&segs);
+                let nxt_slices = par::split_ranges(&mut nxt, &ranges);
+                let out_slices = par::split_ranges(&mut outputs, &ranges);
+                let cur_ref = &cur;
+                let results: Vec<(i64, Vec<NodeId>)> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = segs
                         .iter()
-                        .map(|w| states[w.index()].clone()),
-                );
-                // A live node's state is visible to all neighbors this
-                // round: one message per incident edge endpoint.
-                c_msgs.add(nbr_buf.len() as i64);
-                let ctx = self.ctx(v, rounds);
-                match algo.step(&ctx, &states[v.index()], &nbr_buf) {
-                    Transition::Continue(s) => next_states[v.index()] = s,
-                    Transition::Halt(o) => {
-                        outputs[v.index()] = Some(o);
-                        live -= 1;
-                        c_halted.inc();
-                    }
+                        .zip(ranges.iter())
+                        .zip(nxt_slices.into_iter().zip(out_slices))
+                        .map(|((seg, &(lo, _)), (nxt_s, out_s))| {
+                            scope.spawn(move || {
+                                let mut nbr_buf: Vec<A::State> = Vec::with_capacity(max_degree);
+                                let mut msgs = 0i64;
+                                let mut survivors = Vec::with_capacity(seg.len());
+                                for &v in *seg {
+                                    nbr_buf.clear();
+                                    nbr_buf.extend(
+                                        graph
+                                            .neighbors(v)
+                                            .iter()
+                                            .map(|w| cur_ref[w.index()].clone()),
+                                    );
+                                    msgs += nbr_buf.len() as i64;
+                                    let ctx = make_ctx(v, rounds);
+                                    match algo.step(&ctx, &cur_ref[v.index()], &nbr_buf) {
+                                        Transition::Continue(s) => {
+                                            nxt_s[v.index() - lo] = s;
+                                            survivors.push(v);
+                                        }
+                                        Transition::Halt(o) => {
+                                            out_s[v.index() - lo] = Some(o);
+                                            nxt_s[v.index() - lo] = cur_ref[v.index()].clone();
+                                        }
+                                    }
+                                }
+                                (msgs, survivors)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("executor worker panicked"))
+                        .collect()
+                });
+                // Merge in segment order: counters and the compacted
+                // worklist come out identical to the sequential schedule.
+                let before = live_list.len();
+                live_list.clear();
+                for (msgs, survivors) in results {
+                    c_msgs.add(msgs);
+                    live_list.extend(survivors);
                 }
+                c_halted.add((before - live_list.len()) as i64);
+            } else {
+                live_list.retain(|&v| {
+                    nbr_buf.clear();
+                    nbr_buf.extend(graph.neighbors(v).iter().map(|w| cur[w.index()].clone()));
+                    // A live node observes one state per incident edge this
+                    // round: one message per edge endpoint (frozen states of
+                    // halted neighbors included — see the Event::Round docs).
+                    c_msgs.add(nbr_buf.len() as i64);
+                    let ctx = make_ctx(v, rounds);
+                    match algo.step(&ctx, &cur[v.index()], &nbr_buf) {
+                        Transition::Continue(s) => {
+                            nxt[v.index()] = s;
+                            true
+                        }
+                        Transition::Halt(o) => {
+                            outputs[v.index()] = Some(o);
+                            // Freeze the final state in the write buffer:
+                            // both buffers now agree on v forever, so swaps
+                            // keep it visible to running neighbors.
+                            nxt[v.index()] = cur[v.index()].clone();
+                            c_halted.inc();
+                            false
+                        }
+                    }
+                });
             }
-            states = next_states;
-            g_halted_frac.set((n - live) as f64 / n as f64);
+            std::mem::swap(&mut cur, &mut nxt);
+            g_halted_frac.set((n - live_list.len()) as f64 / n as f64);
             registry.emit_round(&self.probe, EXEC_SCOPE, rounds - 1);
         }
         Ok(RunResult {
@@ -379,6 +466,65 @@ mod tests {
         let g = Graph::from_edges(2, [(0, 1)]).unwrap();
         let run = Executor::new(&g).run(&WatchNeighbor, 10).unwrap();
         assert_eq!(run.outputs[1], 0); // sees node 0's frozen init state
+    }
+
+    /// Pins the `messages_sent` accounting convention (documented on
+    /// [`telemetry::Event::Round`]): a *live* node is charged one message
+    /// per incident edge every round, including edges to halted neighbors
+    /// whose frozen state it re-reads; an edge with both endpoints halted
+    /// charges nothing because neither endpoint is stepped.
+    #[test]
+    fn frozen_neighbor_states_are_charged_to_live_readers() {
+        use telemetry::{Event, RecordingSink};
+
+        let sink = std::sync::Arc::new(RecordingSink::new());
+        // Path 0-1-2: node 0 halts in round 1 (state 0), node 1 in round 2,
+        // node 2 in round 3.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        Executor::new(&g)
+            .with_probe(Probe::new(sink.clone()))
+            .run(&Countdown, 10)
+            .unwrap();
+        let per_round: Vec<i64> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Round { counters, .. } => counters
+                    .iter()
+                    .find(|(n, _)| n == "messages_sent")
+                    .map(|(_, v)| *v),
+                _ => None,
+            })
+            .collect();
+        // Round 1: all three live -> degree sum 4. Round 2: nodes 1 and 2
+        // live -> 2 + 1 = 3, including node 1 reading halted node 0's
+        // frozen state. Round 3: only node 2 live -> 1, its single edge to
+        // the halted node 1. The halted edge {0,1} charges nothing in
+        // round 3.
+        assert_eq!(per_round, vec![4, 3, 1]);
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential() {
+        use telemetry::RecordingSink;
+
+        let g = graphgen::generators::gnp(37, 0.15, 5);
+        let seq_sink = std::sync::Arc::new(RecordingSink::new());
+        let seq = Executor::new(&g)
+            .with_probe(Probe::new(seq_sink.clone()))
+            .run(&Countdown, 100)
+            .unwrap();
+        for k in [2, 3, 8, 64] {
+            let par_sink = std::sync::Arc::new(RecordingSink::new());
+            let par = Executor::new(&g)
+                .with_threads(k)
+                .with_probe(Probe::new(par_sink.clone()))
+                .run(&Countdown, 100)
+                .unwrap();
+            assert_eq!(par.outputs, seq.outputs, "threads={k}");
+            assert_eq!(par.rounds, seq.rounds, "threads={k}");
+            assert_eq!(par_sink.events(), seq_sink.events(), "threads={k}");
+        }
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! halts with an output). [`Executor`] runs such a [`LocalAlgorithm`] over a
 //! [`graphgen::Graph`] with double-buffered states — all nodes step against
 //! the *previous* round's states, exactly matching synchronous message
-//! delivery — and counts the rounds.
+//! delivery — and counts the rounds. Because a round only reads the
+//! previous round, every executor also offers an opt-in, deterministic
+//! parallel stepping path (`with_threads`, see `docs/PERFORMANCE.md`)
+//! whose outputs and telemetry are bit-identical to the sequential one.
 //!
 //! Composite algorithms charge their subroutine costs to a [`RoundLedger`],
 //! including `O(1)`-local steps (constant-radius computations the model
@@ -58,11 +61,13 @@ mod congest;
 mod exec;
 mod ledger;
 mod msg;
+mod par;
 
 pub use congest::{CongestError, CongestExecutor, CongestResult, RoundBits, CONGEST_SCOPE};
 pub use exec::{Executor, LocalAlgorithm, NodeCtx, RunResult, SimError, Transition, EXEC_SCOPE};
 pub use ledger::{LedgerEntry, RoundLedger};
 pub use msg::{broadcast, MessageExecutor, MessageProgram, MsgTransition, Outgoing, MSG_SCOPE};
+pub use par::default_threads;
 
 // Re-exported so simulator users can attach probes without naming the
 // telemetry crate explicitly.

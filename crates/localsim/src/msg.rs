@@ -13,6 +13,7 @@ use graphgen::{Graph, NodeId};
 use telemetry::{Probe, Registry};
 
 use crate::exec::{NodeCtx, RunResult, SimError};
+use crate::par;
 
 /// Scope string under which [`MessageExecutor`] emits per-round events.
 pub const MSG_SCOPE: &str = "localsim/msg";
@@ -75,6 +76,36 @@ pub trait MessageProgram {
 pub struct MessageExecutor<'g> {
     graph: &'g Graph,
     probe: Probe,
+    threads: usize,
+}
+
+/// Writes `outs` from `v` into the flat inbox arena for the next round,
+/// recording every touched slot so the arena can be cleared in place.
+/// Returns the number of messages delivered.
+///
+/// The arena is port-indexed through the graph's CSR offsets: slot
+/// `offsets[w] + q` is port `q` of node `w`. The receiving port is an
+/// O(1) lookup in the precomputed reverse-port table (indexed by the
+/// *sender's* slot), replacing a per-message binary search.
+fn deliver<M>(
+    graph: &Graph,
+    offsets: &[usize],
+    rev: &[u32],
+    arena: &mut [Option<M>],
+    dirty: &mut Vec<usize>,
+    v: NodeId,
+    outs: Vec<Outgoing<M>>,
+) -> i64 {
+    let sent = outs.len() as i64;
+    let nbrs = graph.neighbors(v);
+    let base = offsets[v.index()];
+    for out in outs {
+        let w = nbrs[out.port];
+        let slot = offsets[w.index()] + rev[base + out.port] as usize;
+        arena[slot] = Some(out.msg);
+        dirty.push(slot);
+    }
+    sent
 }
 
 impl<'g> MessageExecutor<'g> {
@@ -83,6 +114,7 @@ impl<'g> MessageExecutor<'g> {
         MessageExecutor {
             graph,
             probe: Probe::disabled(),
+            threads: 1,
         }
     }
 
@@ -95,35 +127,37 @@ impl<'g> MessageExecutor<'g> {
         self
     }
 
-    fn ctx<'a>(&'a self, v: NodeId, round: u64) -> NodeCtx<'a> {
-        NodeCtx {
-            node: v,
-            uid: v.0 as u64,
-            neighbors: self.graph.neighbors(v),
-            round,
-            n: self.graph.n(),
-            max_degree: self.graph.max_degree(),
-        }
-    }
-
-    /// Port of `v` that leads to `w`.
-    fn port_of(&self, v: NodeId, w: NodeId) -> usize {
-        self.graph
-            .neighbors(v)
-            .binary_search(&w)
-            .expect("w is a neighbor of v")
+    /// Opts into deterministic parallel stepping with `k` worker threads
+    /// (`k <= 1` keeps the sequential path).
+    ///
+    /// Rounds split into two phases: node steps run in parallel over
+    /// contiguous worklist segments (reading only the previous round's
+    /// inboxes), then all deliveries are applied in ascending node order
+    /// on the calling thread — so outputs and telemetry are bit-identical
+    /// to the sequential schedule regardless of `k`.
+    #[must_use]
+    pub fn with_threads(mut self, k: usize) -> Self {
+        self.threads = k.max(1);
+        self
     }
 
     /// Runs `prog` until every node halts; counts communication rounds.
     ///
+    /// Inboxes live in two flat port-indexed arenas (one slice of length
+    /// 2m for the whole graph) that are swapped every round and cleared
+    /// in place via a dirty list — no per-round allocation — and halted
+    /// nodes are skipped via a compacting live worklist.
+    ///
     /// # Errors
     ///
     /// [`SimError::RoundLimitExceeded`] past `max_rounds`.
-    pub fn run<P: MessageProgram>(
-        &self,
-        prog: &P,
-        max_rounds: u64,
-    ) -> Result<RunResult<P::Output>, SimError> {
+    pub fn run<P>(&self, prog: &P, max_rounds: u64) -> Result<RunResult<P::Output>, SimError>
+    where
+        P: MessageProgram + Sync,
+        P::State: Send,
+        P::Msg: Send + Sync,
+        P::Output: Send,
+    {
         let n = self.graph.n();
         if n == 0 {
             return Ok(RunResult {
@@ -131,81 +165,175 @@ impl<'g> MessageExecutor<'g> {
                 rounds: 0,
             });
         }
+        // Per-run invariants, hoisted out of the per-node hot loop.
+        let graph = self.graph;
+        let max_degree = graph.max_degree();
+        let offsets = graph.csr_offsets();
+        let rev = graph.reverse_ports();
+        let total_ports = offsets[n];
+        let make_ctx = move |v: NodeId, round: u64| NodeCtx {
+            node: v,
+            uid: u64::from(v.0),
+            neighbors: graph.neighbors(v),
+            round,
+            n,
+            max_degree,
+        };
         let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
-        let mut inboxes: Vec<Vec<Option<P::Msg>>> = self
-            .graph
-            .vertices()
-            .map(|v| vec![None; self.graph.degree(v)])
-            .collect();
+        let mut cur: Vec<Option<P::Msg>> = (0..total_ports).map(|_| None).collect();
+        let mut nxt: Vec<Option<P::Msg>> = (0..total_ports).map(|_| None).collect();
+        let mut dirty_cur: Vec<usize> = Vec::new();
+        let mut dirty_nxt: Vec<usize> = Vec::new();
         let mut registry = Registry::new();
         let c_live = registry.counter("live_nodes");
         let c_halted = registry.counter("halted");
         let c_msgs = registry.counter("messages_sent");
         let c_inbox = registry.counter("inbox_bytes");
         let g_halted_frac = registry.gauge("halted_fraction");
-        let deliver = {
-            let c_msgs = c_msgs.clone();
-            move |inboxes: &mut Vec<Vec<Option<P::Msg>>>, v: NodeId, outs: Vec<Outgoing<P::Msg>>| {
-                c_msgs.add(outs.len() as i64);
-                for out in outs {
-                    let w = self.graph.neighbors(v)[out.port];
-                    let back = self.port_of(w, v);
-                    inboxes[w.index()][back] = Some(out.msg);
-                }
-            }
-        };
         let mut states: Vec<P::State> = Vec::with_capacity(n);
         {
             let mut first_outs = Vec::with_capacity(n);
-            for v in self.graph.vertices() {
-                let (st, outs) = prog.init(&self.ctx(v, 0));
+            for v in graph.vertices() {
+                let (st, outs) = prog.init(&make_ctx(v, 0));
                 states.push(st);
                 first_outs.push(outs);
             }
-            for (v, outs) in self.graph.vertices().zip(first_outs) {
-                deliver(&mut inboxes, v, outs);
+            for (v, outs) in graph.vertices().zip(first_outs) {
+                c_msgs.add(deliver(
+                    graph,
+                    offsets,
+                    &rev,
+                    &mut cur,
+                    &mut dirty_cur,
+                    v,
+                    outs,
+                ));
             }
         }
-        let mut live = n;
+        let mut live_list: Vec<NodeId> = graph.vertices().collect();
         let mut rounds = 0u64;
-        while live > 0 {
+        while !live_list.is_empty() {
             if rounds >= max_rounds {
                 return Err(SimError::RoundLimitExceeded {
                     limit: max_rounds,
-                    still_running: live,
+                    still_running: live_list.len(),
                 });
             }
             rounds += 1;
-            c_live.set(live as i64);
+            c_live.set(live_list.len() as i64);
             if self.probe.enabled() {
-                let pending: usize = inboxes
-                    .iter()
-                    .map(|ib| ib.iter().filter(|m| m.is_some()).count())
-                    .sum();
+                let pending = cur.iter().filter(|m| m.is_some()).count();
                 c_inbox.set((pending * std::mem::size_of::<P::Msg>()) as i64);
             }
-            let mut next: Vec<Vec<Option<P::Msg>>> = self
-                .graph
-                .vertices()
-                .map(|v| vec![None; self.graph.degree(v)])
-                .collect();
-            for v in self.graph.vertices() {
-                if outputs[v.index()].is_some() {
-                    continue;
-                }
-                let ctx = self.ctx(v, rounds);
-                match prog.step(&ctx, &mut states[v.index()], &inboxes[v.index()]) {
-                    MsgTransition::Continue(outs) => deliver(&mut next, v, outs),
-                    MsgTransition::HaltAfter(outs, o) => {
-                        deliver(&mut next, v, outs);
-                        outputs[v.index()] = Some(o);
-                        live -= 1;
-                        c_halted.inc();
+            if self.threads > 1 && live_list.len() > 1 {
+                // Phase 1 (parallel): step every live node against the
+                // read-only current arena, collecting transitions.
+                let segs = par::segments(&live_list, self.threads);
+                let ranges = par::segment_ranges(&segs);
+                let state_slices = par::split_ranges(&mut states, &ranges);
+                let cur_ref = &cur;
+                #[allow(clippy::type_complexity)]
+                let results: Vec<Vec<(NodeId, MsgTransition<P::Msg, P::Output>)>> =
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = segs
+                            .iter()
+                            .zip(ranges.iter())
+                            .zip(state_slices)
+                            .map(|((seg, &(lo, _)), st_s)| {
+                                scope.spawn(move || {
+                                    let mut out = Vec::with_capacity(seg.len());
+                                    for &v in *seg {
+                                        let ctx = make_ctx(v, rounds);
+                                        let inbox =
+                                            &cur_ref[offsets[v.index()]..offsets[v.index() + 1]];
+                                        let t = prog.step(&ctx, &mut st_s[v.index() - lo], inbox);
+                                        out.push((v, t));
+                                    }
+                                    out
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("executor worker panicked"))
+                            .collect()
+                    });
+                // Phase 2 (sequential, ascending node order): deliver and
+                // account, exactly as the sequential schedule would.
+                live_list.clear();
+                for seg_results in results {
+                    for (v, t) in seg_results {
+                        match t {
+                            MsgTransition::Continue(outs) => {
+                                c_msgs.add(deliver(
+                                    graph,
+                                    offsets,
+                                    &rev,
+                                    &mut nxt,
+                                    &mut dirty_nxt,
+                                    v,
+                                    outs,
+                                ));
+                                live_list.push(v);
+                            }
+                            MsgTransition::HaltAfter(outs, o) => {
+                                c_msgs.add(deliver(
+                                    graph,
+                                    offsets,
+                                    &rev,
+                                    &mut nxt,
+                                    &mut dirty_nxt,
+                                    v,
+                                    outs,
+                                ));
+                                outputs[v.index()] = Some(o);
+                                c_halted.inc();
+                            }
+                        }
                     }
                 }
+            } else {
+                live_list.retain(|&v| {
+                    let ctx = make_ctx(v, rounds);
+                    let inbox = &cur[offsets[v.index()]..offsets[v.index() + 1]];
+                    match prog.step(&ctx, &mut states[v.index()], inbox) {
+                        MsgTransition::Continue(outs) => {
+                            c_msgs.add(deliver(
+                                graph,
+                                offsets,
+                                &rev,
+                                &mut nxt,
+                                &mut dirty_nxt,
+                                v,
+                                outs,
+                            ));
+                            true
+                        }
+                        MsgTransition::HaltAfter(outs, o) => {
+                            c_msgs.add(deliver(
+                                graph,
+                                offsets,
+                                &rev,
+                                &mut nxt,
+                                &mut dirty_nxt,
+                                v,
+                                outs,
+                            ));
+                            outputs[v.index()] = Some(o);
+                            c_halted.inc();
+                            false
+                        }
+                    }
+                });
             }
-            inboxes = next;
-            g_halted_frac.set((n - live) as f64 / n as f64);
+            // Recycle the consumed arena: clear only the touched slots,
+            // then swap it in as next round's write buffer.
+            for slot in dirty_cur.drain(..) {
+                cur[slot] = None;
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+            std::mem::swap(&mut dirty_cur, &mut dirty_nxt);
+            g_halted_frac.set((n - live_list.len()) as f64 / n as f64);
             registry.emit_round(&self.probe, MSG_SCOPE, rounds - 1);
         }
         Ok(RunResult {

@@ -1,0 +1,113 @@
+//! Shared machinery for the executors' deterministic parallel stepping
+//! path: worklist segmentation, disjoint buffer splitting, and the
+//! opt-in default thread count.
+//!
+//! A LOCAL round is embarrassingly parallel — every node reads only the
+//! *previous* round's neighbor state — so the executors can step disjoint
+//! contiguous slices of the live worklist on separate threads and merge
+//! the results in segment order. Because each node's step sees exactly
+//! the same inputs as in the sequential schedule, and all merges happen
+//! in ascending segment order, outputs, round counts, and telemetry
+//! event streams are bit-identical to the sequential path.
+
+use std::sync::OnceLock;
+
+use graphgen::NodeId;
+
+/// The process-wide default thread count for executors, read once from
+/// the `LOCALSIM_THREADS` environment variable (values `>= 2` enable the
+/// parallel stepping path; anything else means sequential).
+///
+/// Primitives construct executors with
+/// `Executor::new(g).with_threads(default_threads())`, so a pipeline can
+/// be parallelized end to end without touching any call site. This is
+/// safe to flip freely: the parallel path is bit-identical to the
+/// sequential one (see `docs/PERFORMANCE.md`).
+pub fn default_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("LOCALSIM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&k| k >= 1)
+            .unwrap_or(1)
+    })
+}
+
+/// Splits a sorted live worklist into at most `threads` contiguous,
+/// non-empty segments of near-equal size.
+pub(crate) fn segments(live: &[NodeId], threads: usize) -> Vec<&[NodeId]> {
+    let k = threads.min(live.len()).max(1);
+    let chunk = live.len().div_ceil(k);
+    live.chunks(chunk).collect()
+}
+
+/// The half-open node-index range covered by each segment of a sorted
+/// worklist. Ranges are pairwise disjoint and ascending because the
+/// worklist is sorted by node index.
+pub(crate) fn segment_ranges(segs: &[&[NodeId]]) -> Vec<(usize, usize)> {
+    segs.iter()
+        .map(|s| (s[0].index(), s[s.len() - 1].index() + 1))
+        .collect()
+}
+
+/// Splits one buffer into disjoint mutable sub-slices, one per range.
+///
+/// `ranges` must be ascending and non-overlapping (as produced by
+/// [`segment_ranges`]); the slice for `(lo, hi)` covers exactly the
+/// elements `lo..hi` of `data`, so a worker owning segment `i` indexes
+/// it with `v.index() - lo`.
+pub(crate) fn split_ranges<'a, T>(
+    data: &'a mut [T],
+    ranges: &[(usize, usize)],
+) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut rest: &'a mut [T] = data;
+    let mut base = 0usize;
+    for &(lo, hi) in ranges {
+        let tail = std::mem::take(&mut rest);
+        let (_skipped, tail) = tail.split_at_mut(lo - base);
+        let (mine, tail) = tail.split_at_mut(hi - lo);
+        out.push(mine);
+        rest = tail;
+        base = hi;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<NodeId> {
+        xs.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn segments_cover_worklist_in_order() {
+        let live = ids(&[1, 4, 5, 9, 12]);
+        let segs = segments(&live, 2);
+        assert_eq!(segs.len(), 2);
+        let flat: Vec<NodeId> = segs.iter().flat_map(|s| s.iter().copied()).collect();
+        assert_eq!(flat, live);
+        // More threads than nodes degrades to one node per segment.
+        assert_eq!(segments(&live, 64).len(), live.len());
+    }
+
+    #[test]
+    fn split_ranges_are_disjoint_and_addressable() {
+        let live = ids(&[1, 4, 5, 9, 12]);
+        let segs = segments(&live, 3);
+        let ranges = segment_ranges(&segs);
+        let mut buf: Vec<i32> = (0..14).collect();
+        let slices = split_ranges(&mut buf, &ranges);
+        assert_eq!(slices.len(), segs.len());
+        for (seg, ((lo, hi), slice)) in segs.iter().zip(ranges.iter().zip(slices)) {
+            assert_eq!(slice.len(), hi - lo);
+            for v in *seg {
+                // The owning worker's view of node v.
+                assert_eq!(slice[v.index() - lo], v.index() as i32);
+            }
+        }
+    }
+}

@@ -1,11 +1,16 @@
 //! Equivalence of the two executor levels: the state-exchange
 //! [`localsim::Executor`] and the per-port [`localsim::MessageExecutor`]
-//! compute the same function when given the same algorithm in both forms.
+//! compute the same function when given the same algorithm in both forms —
+//! plus the determinism suite pinning the parallel stepping path
+//! (`with_threads`) to be bit-identical to the sequential schedule in
+//! outputs, round counts, and telemetry event streams.
+
+use std::sync::Arc;
 
 use graphgen::{Graph, GraphBuilder};
 use localsim::{
-    broadcast, Executor, LocalAlgorithm, MessageExecutor, MessageProgram, MsgTransition, NodeCtx,
-    Outgoing, Transition,
+    broadcast, CongestExecutor, Executor, LocalAlgorithm, MessageExecutor, MessageProgram,
+    MsgTransition, NodeCtx, Outgoing, Probe, RecordingSink, Transition,
 };
 use proptest::prelude::*;
 
@@ -80,6 +85,181 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
             b.build().expect("builder dedups")
         })
     })
+}
+
+/// Staggered halting with halted-state reads: node `v` halts in round
+/// `v mod 5 + 1` with the sum of everything it has seen. Sensitive to
+/// worklist compaction and to the frozen-state invariant of the
+/// double-buffered executor (halted neighbors must stay visible).
+struct StaggerSum;
+
+impl LocalAlgorithm for StaggerSum {
+    type State = u64;
+    type Output = u64;
+
+    fn init(&self, ctx: &NodeCtx) -> u64 {
+        ctx.uid + 1
+    }
+
+    fn step(&self, ctx: &NodeCtx, state: &u64, nbrs: &[u64]) -> Transition<u64, u64> {
+        let s = state.wrapping_add(nbrs.iter().sum::<u64>());
+        if ctx.round > u64::from(ctx.node.0) % 5 {
+            Transition::Halt(s)
+        } else {
+            Transition::Continue(s)
+        }
+    }
+}
+
+/// Message-form analogue of [`StaggerSum`]: keeps sending its running sum
+/// until it halts; inboxes go quiet as neighbors halt.
+struct StaggerSumMsg;
+
+impl MessageProgram for StaggerSumMsg {
+    type State = u64;
+    type Msg = u64;
+    type Output = u64;
+
+    fn init(&self, ctx: &NodeCtx) -> (u64, Vec<Outgoing<u64>>) {
+        (ctx.uid + 1, broadcast(ctx.degree(), &(ctx.uid + 1)))
+    }
+
+    fn step(
+        &self,
+        ctx: &NodeCtx,
+        state: &mut u64,
+        inbox: &[Option<u64>],
+    ) -> MsgTransition<u64, u64> {
+        *state = state.wrapping_add(inbox.iter().flatten().sum::<u64>());
+        if ctx.round > u64::from(ctx.node.0) % 5 {
+            MsgTransition::HaltAfter(broadcast(ctx.degree(), state), *state)
+        } else {
+            MsgTransition::Continue(broadcast(ctx.degree(), state))
+        }
+    }
+}
+
+/// Random test graphs of assorted shapes, driven by the in-repo rand shim
+/// (via `graphgen::generators`' seeded families).
+fn determinism_graphs() -> Vec<Graph> {
+    vec![
+        graphgen::generators::gnp(57, 0.12, 1),
+        graphgen::generators::gnp(80, 0.05, 2),
+        graphgen::generators::random_regular(64, 6, 3),
+        graphgen::generators::random_tree(45, 4),
+        graphgen::generators::complete(12),
+        graphgen::generators::path(2),
+        Graph::from_edges(5, []).unwrap(), // all-isolated: degenerate worklists
+    ]
+}
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+#[test]
+fn state_executor_parallel_is_bit_identical() {
+    for (i, g) in determinism_graphs().iter().enumerate() {
+        let sink = Arc::new(RecordingSink::new());
+        let seq = Executor::new(g)
+            .with_probe(Probe::new(sink.clone()))
+            .run(&StaggerSum, 100)
+            .unwrap();
+        let seq_events = sink.events();
+        for k in THREAD_COUNTS {
+            let psink = Arc::new(RecordingSink::new());
+            let par = Executor::new(g)
+                .with_threads(k)
+                .with_probe(Probe::new(psink.clone()))
+                .run(&StaggerSum, 100)
+                .unwrap();
+            assert_eq!(par.outputs, seq.outputs, "graph #{i}, threads={k}");
+            assert_eq!(par.rounds, seq.rounds, "graph #{i}, threads={k}");
+            assert_eq!(psink.events(), seq_events, "graph #{i}, threads={k}");
+        }
+    }
+}
+
+#[test]
+fn message_executor_parallel_is_bit_identical() {
+    for (i, g) in determinism_graphs().iter().enumerate() {
+        let sink = Arc::new(RecordingSink::new());
+        let seq = MessageExecutor::new(g)
+            .with_probe(Probe::new(sink.clone()))
+            .run(&StaggerSumMsg, 100)
+            .unwrap();
+        let seq_events = sink.events();
+        for k in THREAD_COUNTS {
+            let psink = Arc::new(RecordingSink::new());
+            let par = MessageExecutor::new(g)
+                .with_threads(k)
+                .with_probe(Probe::new(psink.clone()))
+                .run(&StaggerSumMsg, 100)
+                .unwrap();
+            assert_eq!(par.outputs, seq.outputs, "graph #{i}, threads={k}");
+            assert_eq!(par.rounds, seq.rounds, "graph #{i}, threads={k}");
+            assert_eq!(psink.events(), seq_events, "graph #{i}, threads={k}");
+        }
+    }
+}
+
+#[test]
+fn congest_executor_parallel_is_bit_identical() {
+    let width = |m: &u64| (64 - m.leading_zeros()) as usize;
+    for (i, g) in determinism_graphs().iter().enumerate() {
+        let sink = Arc::new(RecordingSink::new());
+        let seq = CongestExecutor::new(g, 64, width)
+            .with_probe(Probe::new(sink.clone()))
+            .run(&StaggerSumMsg, 100)
+            .unwrap();
+        let seq_events = sink.events();
+        for k in THREAD_COUNTS {
+            let psink = Arc::new(RecordingSink::new());
+            let par = CongestExecutor::new(g, 64, width)
+                .with_threads(k)
+                .with_probe(Probe::new(psink.clone()))
+                .run(&StaggerSumMsg, 100)
+                .unwrap();
+            assert_eq!(par.outputs, seq.outputs, "graph #{i}, threads={k}");
+            assert_eq!(par.rounds, seq.rounds, "graph #{i}, threads={k}");
+            assert_eq!(par.per_round, seq.per_round, "graph #{i}, threads={k}");
+            assert_eq!(par.max_message_bits, seq.max_message_bits);
+            assert_eq!(par.total_bits, seq.total_bits);
+            assert_eq!(psink.events(), seq_events, "graph #{i}, threads={k}");
+        }
+    }
+}
+
+/// The deterministic violation rule (earliest round, widest message) is
+/// schedule-independent: over-budget runs fail identically seq vs parallel.
+#[test]
+fn congest_violation_is_schedule_independent() {
+    let width = |m: &u64| (64 - m.leading_zeros()) as usize;
+    let g = graphgen::generators::gnp(40, 0.2, 7);
+    let seq = CongestExecutor::new(&g, 3, width)
+        .run(&StaggerSumMsg, 100)
+        .unwrap_err();
+    for k in THREAD_COUNTS {
+        let par = CongestExecutor::new(&g, 3, width)
+            .with_threads(k)
+            .run(&StaggerSumMsg, 100)
+            .unwrap_err();
+        match (&seq, &par) {
+            (
+                localsim::CongestError::BandwidthExceeded {
+                    bits: b1,
+                    round: r1,
+                    ..
+                },
+                localsim::CongestError::BandwidthExceeded {
+                    bits: b2,
+                    round: r2,
+                    ..
+                },
+            ) => {
+                assert_eq!((b1, r1), (b2, r2), "threads={k}");
+            }
+            other => panic!("expected bandwidth violations, got {other:?}"),
+        }
+    }
 }
 
 proptest! {

@@ -175,6 +175,7 @@ pub fn linial_coloring_probed(
         Some(u) => Executor::with_uids(g, u)?,
         None => Executor::new(g),
     }
+    .with_threads(localsim::default_threads())
     .with_probe(probe.clone());
     if schedule.is_empty() {
         // Ids already fit the target space; zero communication needed.
@@ -362,6 +363,7 @@ pub fn reduce_coloring_probed(
         init_colors: colors,
     };
     let run = Executor::new(g)
+        .with_threads(localsim::default_threads())
         .with_probe(probe.clone())
         .run(&algo, budget)?;
     Ok(Timed::new(run.outputs, run.rounds))
@@ -417,6 +419,7 @@ pub fn delta_plus_one_coloring_probed(
         init_colors: colors,
     };
     let run = Executor::new(g)
+        .with_threads(localsim::default_threads())
         .with_probe(probe.clone())
         .run(&algo, budget)?;
     let coloring = Coloring::from_vec(run.outputs.iter().map(|&c| Some(Color(c as u32))).collect());

@@ -158,6 +158,7 @@ pub fn maximal_matching_det_probed(g: &Graph, probe: &Probe) -> Result<Timed<Mat
         .collect();
     let algo = ClassSweepMatching { schedule, classes };
     let run = Executor::new(&lg)
+        .with_threads(localsim::default_threads())
         .with_probe(probe.clone())
         .run(&algo, u64::from(classes) + 2)?;
     let chosen: Vec<(NodeId, NodeId)> = run
@@ -339,6 +340,7 @@ pub fn maximal_matching_det_direct_probed(
         .collect();
     let budget = 3 * u64::from(classes) * (g.max_degree() as u64 + 3) + 10;
     let run = Executor::new(g)
+        .with_threads(localsim::default_threads())
         .with_probe(probe.clone())
         .run(&ClassProposalMatching { schedule, classes }, budget)?;
     let mut edges = Vec::new();
@@ -515,6 +517,7 @@ pub fn maximal_matching_rand_probed(
     }
     let budget = 200 + 60 * (usize::BITS - g.n().leading_zeros()) as u64;
     let run = Executor::new(g)
+        .with_threads(localsim::default_threads())
         .with_probe(probe.clone())
         .run(&ProposalMatching { seed }, budget)?;
     let mut edges = Vec::new();

@@ -71,6 +71,19 @@ pub enum Event {
         kind: ChargeKind,
     },
     /// Per-round snapshot of a metric registry.
+    ///
+    /// # Counter conventions
+    ///
+    /// The `messages_sent` counter emitted by the state-exchange executor
+    /// charges every **live** node one message per incident edge per round:
+    /// reading a halted neighbor's frozen state still counts, because in
+    /// the LOCAL model the halted node's final state must still be
+    /// (re)transmitted for the reader to see it. Edges between two halted
+    /// nodes charge nothing — neither endpoint reads. Consequently
+    /// `messages_sent` for a round equals the sum of live-node degrees at
+    /// the start of that round, and per-round values sum to the run total
+    /// regardless of thread count (the parallel stepping path accumulates
+    /// the same per-round figures).
     Round {
         /// Which executor/loop emitted this (e.g. `"localsim"`,
         /// `"congest"`).
