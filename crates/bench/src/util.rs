@@ -74,8 +74,16 @@ impl Table {
 }
 
 /// Least-squares fit `y ≈ a·x + b`; returns `(a, b, r²)`.
+///
+/// Degenerate inputs never produce NaN: an empty series fits to
+/// `(0, 0, 0)`, zero-variance `x` to a flat line through the mean with
+/// `r² = 0`, and zero-variance `y` (perfectly explained by any flat line)
+/// to `r² = 1`.
 pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     assert_eq!(xs.len(), ys.len());
+    if xs.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
     let n = xs.len() as f64;
     let sx: f64 = xs.iter().sum();
     let sy: f64 = ys.iter().sum();
@@ -99,7 +107,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     } else {
         1.0 - ss_res / ss_tot
     };
-    (a, b, r2)
+    (a, b, if r2.is_finite() { r2 } else { 0.0 })
 }
 
 /// `log2` as f64, for fitting rounds against `log n`.
@@ -144,5 +152,21 @@ mod tests {
     #[should_panic(expected = "row arity")]
     fn arity_checked() {
         Table::new(&["a", "b"]).row(&["1".into()]);
+    }
+
+    #[test]
+    fn fit_degenerate_inputs_never_nan() {
+        let (a, b, r2) = linear_fit(&[], &[]);
+        assert_eq!((a, b, r2), (0.0, 0.0, 0.0));
+        // Zero-variance x: flat line through the mean, nothing explained.
+        let (a, b, r2) = linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert!(a == 0.0 && (b - 2.0).abs() < 1e-9 && r2 == 0.0);
+        // Zero-variance y: perfectly explained by the flat fit.
+        let (_, b, r2) = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert!((b - 5.0).abs() < 1e-9);
+        assert_eq!(r2, 1.0);
+        // A single point is fit exactly by the flat line through it.
+        let (a, b, r2) = linear_fit(&[7.0], &[3.0]);
+        assert!(a.is_finite() && b.is_finite() && r2.is_finite());
     }
 }

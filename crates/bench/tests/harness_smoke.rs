@@ -67,9 +67,9 @@ fn pipeline_experiments_record_per_phase_rounds() {
 #[test]
 fn experiment_registry_is_complete_and_unique() {
     let all = delta_bench::experiments::all();
-    assert_eq!(all.len(), 12);
+    assert_eq!(all.len(), 13);
     let mut ids: Vec<&str> = all.iter().map(|(id, _)| *id).collect();
     ids.sort_unstable();
     ids.dedup();
-    assert_eq!(ids.len(), 12, "duplicate experiment ids");
+    assert_eq!(ids.len(), 13, "duplicate experiment ids");
 }

@@ -50,6 +50,7 @@ mod phase3;
 mod phase4;
 mod randomized;
 pub mod render;
+pub mod validate;
 
 pub use classify::{classify_cliques, Classification, CliqueKind};
 pub use deterministic::{
@@ -67,5 +68,7 @@ pub use phase2::{sparsify_matching, SparsifiedMatching};
 pub use phase3::{form_slack_triads, SlackTriad, TriadSet};
 pub use phase4::{color_hard_cliques_phase4, Phase4Stats};
 pub use randomized::{
-    color_randomized, color_randomized_probed, RandConfig, RandReport, ShatterStats,
+    color_randomized, color_randomized_probed, color_randomized_with_faults, RandConfig,
+    RandReport, RecoveryStats, ShatterStats,
 };
+pub use validate::{validate_coloring, ValidationReport, Violation};

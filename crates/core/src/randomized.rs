@@ -31,7 +31,7 @@
 
 use acd::{compute_acd, AcdResult};
 use graphgen::{Color, Coloring, Graph, NodeId};
-use localsim::{Probe, RoundLedger};
+use localsim::{Event, FaultKind, FaultPlan, Probe, RoundLedger};
 use primitives::ruling::RulingStyle;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -98,6 +98,22 @@ pub struct ShatterStats {
     pub large_delta_branch: bool,
 }
 
+/// Fault-recovery statistics (zero on fault-free runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Component re-solves triggered by injected faults.
+    pub retries: usize,
+    /// Vertices struck (uncolored) by injected faults across all attempts.
+    pub struck_vertices: usize,
+    /// Components that needed at least one retry.
+    pub components_hit: usize,
+    /// Maximum attempts any single component needed (1 = clean).
+    pub max_attempts: usize,
+    /// LOCAL rounds spent on discarded attempts, as charged to the ledger
+    /// under `faults/`.
+    pub recovery_rounds: u64,
+}
+
 /// Outcome of a randomized run.
 #[derive(Debug, Clone)]
 pub struct RandReport {
@@ -107,6 +123,8 @@ pub struct RandReport {
     pub ledger: RoundLedger,
     /// Shattering statistics.
     pub shatter: ShatterStats,
+    /// Fault-injection recovery accounting (all zero without faults).
+    pub recovery: RecoveryStats,
 }
 
 impl RandReport {
@@ -147,11 +165,47 @@ pub fn color_randomized(g: &Graph, config: &RandConfig) -> Result<RandReport, De
 /// # Errors
 ///
 /// As [`color_randomized`].
-#[allow(clippy::too_many_lines)]
 pub fn color_randomized_probed(
     g: &Graph,
     config: &RandConfig,
     probe: &Probe,
+) -> Result<RandReport, DeltaColoringError> {
+    color_randomized_inner(g, config, probe, None)
+}
+
+/// [`color_randomized_probed`] under an injected [`FaultPlan`]: after each
+/// leftover component is solved, faults may *strike* component vertices
+/// (uncolor them, with per-vertex probability ≈ `message_drop_p · deg`,
+/// deterministic in the plan seed). A scoped [`crate::validate`] sweep
+/// detects the damage, the component is rolled back wholesale and
+/// re-solved with a salted seed, the retry surfaces as a
+/// [`FaultKind::Retry`] telemetry event, and the discarded attempt's
+/// rounds are charged to the ledger under `faults/`. Only the struck
+/// components re-run — clean components are solved exactly once, and the
+/// final attempt of a struck component is always clean, so the pipeline
+/// terminates with a coloring that passes [`crate::validate_coloring`].
+///
+/// With an inert plan ([`FaultPlan::is_active`] false) this is exactly
+/// [`color_randomized_probed`].
+///
+/// # Errors
+///
+/// As [`color_randomized`].
+pub fn color_randomized_with_faults(
+    g: &Graph,
+    config: &RandConfig,
+    plan: &FaultPlan,
+    probe: &Probe,
+) -> Result<RandReport, DeltaColoringError> {
+    color_randomized_inner(g, config, probe, plan.is_active().then_some(plan))
+}
+
+#[allow(clippy::too_many_lines)]
+fn color_randomized_inner(
+    g: &Graph,
+    config: &RandConfig,
+    probe: &Probe,
+    faults: Option<&FaultPlan>,
 ) -> Result<RandReport, DeltaColoringError> {
     let delta = g.max_degree();
     if delta < 4 {
@@ -168,6 +222,7 @@ pub fn color_randomized_probed(
     let mut ledger = RoundLedger::with_probe(probe.clone());
     let mut coloring = Coloring::empty(g.n());
     let mut shatter = ShatterStats::default();
+    let mut recovery = RecoveryStats::default();
 
     // --- ACD, loopholes, classification (as in Algorithm 1). ---
     let mut span = probe.span("pipeline/acd");
@@ -280,16 +335,37 @@ pub fn color_randomized_probed(
     let mut component_ledgers = Vec::with_capacity(components.len());
     for (i, comp) in components.iter().enumerate() {
         let mut comp_ledger = RoundLedger::with_probe(probe.clone());
-        solve_component(
-            g,
-            &acd,
-            &cls,
-            comp,
-            &config.base,
-            config.seed.wrapping_add(i as u64),
-            &mut coloring,
-            &mut comp_ledger,
-        )?;
+        let comp_seed = config.seed.wrapping_add(i as u64);
+        if let Some(plan) = faults {
+            let retries_before = recovery.retries;
+            solve_component_faulted(
+                g,
+                &acd,
+                &cls,
+                comp,
+                &config.base,
+                comp_seed,
+                plan,
+                probe,
+                &mut coloring,
+                &mut comp_ledger,
+                &mut recovery,
+            )?;
+            if recovery.retries > retries_before {
+                recovery.components_hit += 1;
+            }
+        } else {
+            solve_component(
+                g,
+                &acd,
+                &cls,
+                comp,
+                &config.base,
+                comp_seed,
+                &mut coloring,
+                &mut comp_ledger,
+            )?;
+        }
         component_ledgers.push(comp_ledger);
     }
     ledger.absorb_parallel_max("post-shattering", component_ledgers);
@@ -351,6 +427,7 @@ pub fn color_randomized_probed(
         coloring,
         ledger,
         shatter,
+        recovery,
     })
 }
 
@@ -567,6 +644,112 @@ fn solve_component(
     Ok(())
 }
 
+/// Pipeline-level fault stream: vertex strikes in leftover components.
+/// Distinct from the executor streams in `localsim::faults` so pipeline
+/// strikes never correlate with message drops.
+const STREAM_RETRY: u64 = 0x9E7A_11FA_57C0_10CE;
+
+/// Attempt cap per component. The final attempt is always fault-free, so
+/// the loop terminates with a validated coloring; with per-vertex strike
+/// probability `≈ drop_p · deg` the chance of reaching it is negligible.
+const MAX_COMPONENT_ATTEMPTS: usize = 8;
+
+/// [`solve_component`] under fault injection: detect-and-retry at
+/// component granularity.
+///
+/// After each solve, faults may strike component vertices (uncolor them;
+/// per-vertex probability `min(1, message_drop_p · deg)`, deterministic in
+/// the plan seed, vertex id, and attempt number — the chance that one of
+/// the vertex's commit-round messages was dropped). A scoped
+/// [`crate::validate`] sweep then *detects* the damage; on any violation
+/// the whole component is rolled back to its pre-solve state (all
+/// component vertices uncolored — exactly what [`solve_component`]
+/// expects), the discarded attempt's rounds are absorbed into the
+/// component ledger under `faults/`, a [`FaultKind::Retry`] event fires,
+/// and the component re-solves with a salted seed.
+#[allow(clippy::too_many_arguments)]
+fn solve_component_faulted(
+    g: &Graph,
+    acd: &AcdResult,
+    cls: &Classification,
+    comp: &[NodeId],
+    base: &Config,
+    seed: u64,
+    plan: &FaultPlan,
+    probe: &Probe,
+    coloring: &mut Coloring,
+    comp_ledger: &mut RoundLedger,
+    recovery: &mut RecoveryStats,
+) -> Result<(), DeltaColoringError> {
+    let delta = g.max_degree();
+    for attempt in 0..MAX_COMPONENT_ATTEMPTS {
+        let mut attempt_ledger = RoundLedger::with_probe(probe.clone());
+        solve_component(
+            g,
+            acd,
+            cls,
+            comp,
+            base,
+            seed.wrapping_add((attempt as u64) << 32),
+            coloring,
+            &mut attempt_ledger,
+        )?;
+
+        let last = attempt + 1 == MAX_COMPONENT_ATTEMPTS;
+        let struck: Vec<NodeId> = if last {
+            Vec::new() // the final attempt is always clean
+        } else {
+            comp.iter()
+                .copied()
+                .filter(|&v| {
+                    let p = (plan.message_drop_p * g.neighbors(v).len() as f64).min(1.0);
+                    plan.unit(STREAM_RETRY, u64::from(v.0), attempt as u64) < p
+                })
+                .collect()
+        };
+        for &v in &struck {
+            coloring.unset(v);
+        }
+
+        // Detect: the retry is driven by the validation sweep, not by the
+        // strike list — any violation in the component's scope (uncolored
+        // vertices, clashes with the colored boundary) triggers recovery.
+        let damage = crate::validate::check_coloring_scoped(g, coloring, delta as u32, comp);
+        if damage.is_empty() {
+            recovery.max_attempts = recovery.max_attempts.max(attempt + 1);
+            comp_ledger.absorb("post-shattering/solve", attempt_ledger);
+            return Ok(());
+        }
+        if last {
+            comp_ledger.absorb("post-shattering/solve", attempt_ledger);
+            return Err(DeltaColoringError::InvariantViolated(format!(
+                "leftover component failed validation on a fault-free attempt: {}",
+                damage[0]
+            )));
+        }
+
+        // Roll back: uncolor the entire component so the next attempt
+        // starts from the state solve_component assumes.
+        for &v in comp {
+            if coloring.is_colored(v) {
+                coloring.unset(v);
+            }
+        }
+        recovery.retries += 1;
+        recovery.struck_vertices += struck.len();
+        recovery.recovery_rounds += attempt_ledger.total();
+        probe.emit_with(|| Event::Fault {
+            scope: "pipeline".to_string(),
+            round: attempt as u64,
+            kind: FaultKind::Retry,
+            node: None,
+            count: struck.len() as u64,
+        });
+        comp_ledger.absorb(&format!("faults/attempt {attempt}"), attempt_ledger);
+    }
+    unreachable!("the final attempt either validates or returns an error")
+}
+
 /// The large-Δ branch: a dense-specific randomized routine substituting
 /// [FHM23]'s `O(log* n)` algorithm (see DESIGN.md). Every hard clique
 /// samples a slack triad; pairs are colored by parallel random trials on
@@ -704,6 +887,7 @@ fn color_large_delta(
         coloring,
         ledger,
         shatter,
+        recovery: RecoveryStats::default(),
     })
 }
 

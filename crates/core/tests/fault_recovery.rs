@@ -1,0 +1,167 @@
+//! Fault injection at the pipeline level: the randomized pipeline's
+//! detect-and-retry loop recovers from deterministic vertex strikes and
+//! always terminates with a coloring that passes `core::validate`.
+
+use std::sync::Arc;
+
+use delta_core::{color_randomized, color_randomized_with_faults, validate_coloring, RandConfig};
+use graphgen::coloring::verify_delta_coloring;
+use graphgen::generators::{self, BlueprintKind, HardCliqueParams};
+use localsim::{Event, FaultKind, FaultPlan, Probe, RecordingSink};
+
+fn circulant(cliques: usize, seed: u64) -> generators::HardCliqueInstance {
+    generators::hard_cliques_with_blueprint(
+        &HardCliqueParams {
+            cliques,
+            delta: 16,
+            external_per_vertex: 1,
+            seed,
+        },
+        BlueprintKind::Circulant,
+    )
+    .unwrap()
+}
+
+fn lossy(seed: u64, drop: f64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        message_drop_p: drop,
+        ..FaultPlan::default()
+    }
+}
+
+/// A config whose post-shattering phase has real work: the default
+/// `defer_radius = 7` swallows these circulant instances whole, while 5
+/// leaves ~a dozen leftover components for faults to strike.
+fn shattering_config(seed: u64) -> RandConfig {
+    let mut config = RandConfig::for_delta(16, seed);
+    config.defer_radius = 5;
+    config
+}
+
+/// The acceptance bar: drop probability 0.01 on circulant instances, every
+/// seed terminates with a validated Δ-coloring.
+#[test]
+fn faulted_pipeline_validates_on_every_seed() {
+    let inst = circulant(80, 400);
+    for seed in 0..6 {
+        let config = shattering_config(seed);
+        let report = color_randomized_with_faults(
+            &inst.graph,
+            &config,
+            &lossy(seed ^ 0xFA17, 0.01),
+            &Probe::disabled(),
+        )
+        .unwrap();
+        verify_delta_coloring(&inst.graph, &report.coloring).unwrap();
+        let val = validate_coloring(&inst.graph, &report.coloring, 16);
+        assert!(val.is_ok(), "seed {seed}: {val}");
+    }
+}
+
+#[test]
+fn inert_plan_matches_fault_free_run_exactly() {
+    let inst = circulant(80, 401);
+    let config = RandConfig::for_delta(16, 3);
+    let clean = color_randomized(&inst.graph, &config).unwrap();
+    let inert = color_randomized_with_faults(
+        &inst.graph,
+        &config,
+        &FaultPlan::default(),
+        &Probe::disabled(),
+    )
+    .unwrap();
+    assert_eq!(clean.coloring.len(), inert.coloring.len());
+    for v in inst.graph.vertices() {
+        assert_eq!(clean.coloring.get(v), inert.coloring.get(v));
+    }
+    assert_eq!(clean.rounds(), inert.rounds());
+    assert_eq!(inert.recovery.retries, 0);
+    assert_eq!(inert.recovery.recovery_rounds, 0);
+}
+
+/// A heavy drop rate forces retries; the recovery shows up in the stats,
+/// in `faults/`-prefixed ledger charges, and as `Retry` fault events —
+/// and the run is reproducible from the plan seed.
+#[test]
+fn recovery_is_accounted_and_reproducible() {
+    let inst = circulant(80, 402);
+    let config = shattering_config(2);
+    let plan = lossy(9, 0.01);
+
+    let run = |cfg: &RandConfig| {
+        let sink = Arc::new(RecordingSink::new());
+        let probe = Probe::new(sink.clone());
+        let report = color_randomized_with_faults(&inst.graph, cfg, &plan, &probe).unwrap();
+        (report, sink.events())
+    };
+    let (a, events) = run(&config);
+    verify_delta_coloring(&inst.graph, &a.coloring).unwrap();
+    assert!(validate_coloring(&inst.graph, &a.coloring, 16).is_ok());
+    assert!(
+        a.recovery.retries > 0,
+        "1% drops on {} leftover components should force a retry",
+        a.shatter.components
+    );
+    assert!(a.recovery.struck_vertices > 0);
+    assert!(a.recovery.components_hit > 0);
+    assert!(a.recovery.max_attempts >= 2);
+    assert!(a.recovery.recovery_rounds > 0);
+
+    // Discarded attempts are charged under `faults/` and surface on the
+    // probe as charge events; each retry emits a Fault event.
+    let fault_charges: u64 = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Charge { path, rounds, .. } if path.contains("faults/") => Some(*rounds),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(fault_charges, a.recovery.recovery_rounds);
+    let retries = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                Event::Fault {
+                    kind: FaultKind::Retry,
+                    scope,
+                    ..
+                } if scope == "pipeline"
+            )
+        })
+        .count();
+    assert_eq!(retries, a.recovery.retries);
+
+    // Bit-identical replay from the same seeds.
+    let (b, _) = run(&config);
+    for v in inst.graph.vertices() {
+        assert_eq!(a.coloring.get(v), b.coloring.get(v));
+    }
+    assert_eq!(a.recovery, b.recovery);
+    assert_eq!(a.rounds(), b.rounds());
+}
+
+/// Strikes only re-run the components they hit: with exactly one component
+/// hit, every other component solves once.
+#[test]
+fn only_struck_components_retry() {
+    let inst = circulant(120, 403);
+    let config = shattering_config(4);
+    // Scan for a plan that hits at least one but not all components.
+    let mut partial_hit = None;
+    for plan_seed in 0..32 {
+        let plan = lossy(plan_seed, 0.002);
+        let report =
+            color_randomized_with_faults(&inst.graph, &config, &plan, &Probe::disabled()).unwrap();
+        if report.recovery.components_hit > 0
+            && report.recovery.components_hit < report.shatter.components
+        {
+            partial_hit = Some(report);
+            break;
+        }
+    }
+    let report = partial_hit.expect("some plan seed strikes a strict subset of components");
+    verify_delta_coloring(&inst.graph, &report.coloring).unwrap();
+    assert!(report.recovery.retries >= report.recovery.components_hit);
+}

@@ -138,6 +138,7 @@ pub struct CongestExecutor<'g, F> {
     size_of: F,
     probe: Probe,
     threads: usize,
+    faults: Option<crate::FaultPlan>,
 }
 
 impl<'g, F> CongestExecutor<'g, F> {
@@ -150,7 +151,19 @@ impl<'g, F> CongestExecutor<'g, F> {
             size_of,
             probe: Probe::disabled(),
             threads: 1,
+            faults: None,
         }
+    }
+
+    /// Injects a seed-deterministic [`crate::FaultPlan`] into the inner
+    /// [`MessageExecutor`]. Dropped messages are still metered at the
+    /// sender — the bits crossed the link before being lost — so
+    /// bandwidth accounting is identical to the fault-free run of the
+    /// same send schedule.
+    #[must_use]
+    pub fn with_faults(mut self, plan: crate::FaultPlan) -> Self {
+        self.faults = plan.is_active().then_some(plan);
+        self
     }
 
     /// Attaches a telemetry probe; runs then emit one
@@ -302,10 +315,13 @@ impl<'g, F> CongestExecutor<'g, F> {
             hist: self.probe.enabled(),
             stats: std::sync::Mutex::new(MeterStats::default()),
         };
-        let run: RunResult<P::Output> = MessageExecutor::new(self.graph)
+        let mut inner = MessageExecutor::new(self.graph)
             .with_probe(self.probe.clone())
-            .with_threads(self.threads)
-            .run(&metered, max_rounds)?;
+            .with_threads(self.threads);
+        if let Some(plan) = &self.faults {
+            inner = inner.with_faults(plan.clone());
+        }
+        let run: RunResult<P::Output> = inner.run(&metered, max_rounds)?;
         let stats = metered.stats.into_inner().expect("meter mutex poisoned");
         if let Some((bits, round)) = stats.violation {
             return Err(CongestError::BandwidthExceeded {

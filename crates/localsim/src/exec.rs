@@ -3,8 +3,9 @@
 use std::fmt;
 
 use graphgen::{Graph, NodeId};
-use telemetry::{Probe, Registry};
+use telemetry::{Event, FaultKind, Probe, Registry};
 
+use crate::faults::FaultPlan;
 use crate::par;
 
 /// Scope string under which [`Executor`] emits per-round events.
@@ -78,6 +79,9 @@ pub enum SimError {
     RoundLimitExceeded { limit: u64, still_running: usize },
     /// `with_uids` received a vector of the wrong length or with duplicates.
     BadUids(String),
+    /// An injected fault plan crashed nodes that never produced an output;
+    /// the rest of the network ran to completion in `rounds` rounds.
+    Crashed { crashed: usize, rounds: u64 },
 }
 
 impl fmt::Display for SimError {
@@ -91,6 +95,11 @@ impl fmt::Display for SimError {
                 "{still_running} nodes still running after the {limit}-round budget"
             ),
             SimError::BadUids(msg) => write!(f, "bad uid vector: {msg}"),
+            SimError::Crashed { crashed, rounds } => write!(
+                f,
+                "{crashed} nodes crashed by fault injection never output \
+                 (survivors finished after {rounds} rounds)"
+            ),
         }
     }
 }
@@ -114,6 +123,7 @@ pub struct Executor<'g> {
     uids: Option<Vec<u64>>,
     probe: Probe,
     threads: usize,
+    faults: Option<FaultPlan>,
 }
 
 impl<'g> Executor<'g> {
@@ -124,6 +134,7 @@ impl<'g> Executor<'g> {
             uids: None,
             probe: Probe::disabled(),
             threads: 1,
+            faults: None,
         }
     }
 
@@ -146,6 +157,19 @@ impl<'g> Executor<'g> {
     #[must_use]
     pub fn with_probe(mut self, probe: Probe) -> Self {
         self.probe = probe;
+        self
+    }
+
+    /// Injects the given seed-deterministic [`FaultPlan`] into every run:
+    /// dropped neighbor-state reads (the reader keeps seeing the last
+    /// state it heard), scheduled node crashes (frozen like halted nodes,
+    /// reported via [`telemetry::Event::Fault`] and
+    /// [`SimError::Crashed`]), and bounded-asynchrony stalls. Faulty runs
+    /// stay bit-identical between the sequential and parallel stepping
+    /// paths (see `docs/FAULTS.md`). An inactive plan is a no-op.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan.is_active().then_some(plan);
         self
     }
 
@@ -173,6 +197,7 @@ impl<'g> Executor<'g> {
             uids: Some(uids),
             probe: Probe::disabled(),
             threads: 1,
+            faults: None,
         })
     }
 
@@ -188,7 +213,8 @@ impl<'g> Executor<'g> {
     /// # Errors
     ///
     /// Returns [`SimError::RoundLimitExceeded`] if nodes are still running
-    /// after `max_rounds` communication rounds.
+    /// after `max_rounds` communication rounds, or [`SimError::Crashed`]
+    /// if an injected fault plan crashed nodes before they could output.
     pub fn run<A>(&self, algo: &A, max_rounds: u64) -> Result<RunResult<A::Output>, SimError>
     where
         A: LocalAlgorithm + Sync,
@@ -230,6 +256,29 @@ impl<'g> Executor<'g> {
         let c_halted = registry.counter("halted");
         let c_msgs = registry.counter("messages_sent");
         let g_halted_frac = registry.gauge("halted_fraction");
+        // Fault machinery. Everything below is inert (no extra counters,
+        // no per-node branches taken) unless a plan is active, so
+        // fault-free runs keep byte-identical telemetry.
+        let inert = FaultPlan::default();
+        let plan = self.faults.as_ref().unwrap_or(&inert);
+        let drop_on = plan.message_drop_p > 0.0;
+        let jitter_on = plan.round_jitter > 0;
+        let crash_sched = plan.crash_schedule();
+        let c_dropped = drop_on.then(|| registry.counter("messages_dropped"));
+        let c_stalled = jitter_on.then(|| registry.counter("stalled_nodes"));
+        let mut crashed = 0usize;
+        let offsets = graph.csr_offsets();
+        // Per-directed-port "last heard" cache for message drops: slot
+        // `offsets[v] + p` holds the state of v's p-th neighbor as last
+        // successfully read by v. Seeded with the init states (the setup
+        // exchange is reliable); a dropped read keeps the stale entry.
+        let mut seen: Vec<A::State> = Vec::new();
+        if drop_on {
+            seen.reserve_exact(offsets[n]);
+            for v in graph.vertices() {
+                seen.extend(graph.neighbors(v).iter().map(|w| cur[w.index()].clone()));
+            }
+        }
         let mut nbr_buf: Vec<A::State> = Vec::with_capacity(max_degree);
         while !live_list.is_empty() {
             if rounds >= max_rounds {
@@ -239,32 +288,97 @@ impl<'g> Executor<'g> {
                 });
             }
             rounds += 1;
+            // Crashes fire at the start of their round, before any node
+            // steps: the node freezes its last state (visible to neighbors
+            // forever, like a halted node) but will never output.
+            if let Some(nodes) = crash_sched.get(&rounds) {
+                for &v in nodes {
+                    if let Ok(pos) = live_list.binary_search(&v) {
+                        live_list.remove(pos);
+                        nxt[v.index()] = cur[v.index()].clone();
+                        crashed += 1;
+                        self.probe.emit_with(|| Event::Fault {
+                            scope: EXEC_SCOPE.to_string(),
+                            round: rounds - 1,
+                            kind: FaultKind::Crash,
+                            node: Some(u64::from(v.0)),
+                            count: 1,
+                        });
+                    }
+                }
+            }
             c_live.set(live_list.len() as i64);
+            let mut dropped = 0i64;
+            let mut stalled = 0i64;
             if self.threads > 1 && live_list.len() > 1 {
                 let segs = par::segments(&live_list, self.threads);
                 let ranges = par::segment_ranges(&segs);
+                // Each worker owns the contiguous port range of its node
+                // range, so the drop cache splits without overlap.
+                let port_ranges: Vec<(usize, usize)> = if drop_on {
+                    ranges
+                        .iter()
+                        .map(|&(lo, hi)| (offsets[lo], offsets[hi]))
+                        .collect()
+                } else {
+                    ranges.iter().map(|_| (0, 0)).collect()
+                };
                 let nxt_slices = par::split_ranges(&mut nxt, &ranges);
                 let out_slices = par::split_ranges(&mut outputs, &ranges);
+                let seen_slices = par::split_ranges(&mut seen, &port_ranges);
                 let cur_ref = &cur;
-                let results: Vec<(i64, Vec<NodeId>)> = std::thread::scope(|scope| {
+                let plan_ref = plan;
+                #[allow(clippy::type_complexity)]
+                let results: Vec<(i64, i64, i64, Vec<NodeId>)> = std::thread::scope(|scope| {
                     let handles: Vec<_> = segs
                         .iter()
-                        .zip(ranges.iter())
-                        .zip(nxt_slices.into_iter().zip(out_slices))
-                        .map(|((seg, &(lo, _)), (nxt_s, out_s))| {
+                        .zip(ranges.iter().zip(port_ranges.iter()))
+                        .zip(
+                            nxt_slices
+                                .into_iter()
+                                .zip(out_slices.into_iter().zip(seen_slices)),
+                        )
+                        .map(|((seg, (&(lo, _), &(plo, _))), (nxt_s, (out_s, seen_s)))| {
                             scope.spawn(move || {
                                 let mut nbr_buf: Vec<A::State> = Vec::with_capacity(max_degree);
                                 let mut msgs = 0i64;
+                                let mut dropped = 0i64;
+                                let mut stalled = 0i64;
                                 let mut survivors = Vec::with_capacity(seg.len());
                                 for &v in *seg {
+                                    if jitter_on && plan_ref.stalls(v, rounds) {
+                                        // Keep the state across the buffer
+                                        // swap; the node stays live.
+                                        nxt_s[v.index() - lo] = cur_ref[v.index()].clone();
+                                        stalled += 1;
+                                        survivors.push(v);
+                                        continue;
+                                    }
                                     nbr_buf.clear();
-                                    nbr_buf.extend(
-                                        graph
-                                            .neighbors(v)
-                                            .iter()
-                                            .map(|w| cur_ref[w.index()].clone()),
-                                    );
-                                    msgs += nbr_buf.len() as i64;
+                                    if drop_on {
+                                        let base = offsets[v.index()];
+                                        for (p, w) in graph.neighbors(v).iter().enumerate() {
+                                            let slot = base + p;
+                                            if plan_ref.drops_message(rounds, slot) {
+                                                dropped += 1;
+                                            } else {
+                                                seen_s[slot - plo] = cur_ref[w.index()].clone();
+                                            }
+                                        }
+                                        let deg = graph.neighbors(v).len();
+                                        nbr_buf.extend(
+                                            seen_s[base - plo..base - plo + deg].iter().cloned(),
+                                        );
+                                        msgs += deg as i64;
+                                    } else {
+                                        nbr_buf.extend(
+                                            graph
+                                                .neighbors(v)
+                                                .iter()
+                                                .map(|w| cur_ref[w.index()].clone()),
+                                        );
+                                        msgs += nbr_buf.len() as i64;
+                                    }
                                     let ctx = make_ctx(v, rounds);
                                     match algo.step(&ctx, &cur_ref[v.index()], &nbr_buf) {
                                         Transition::Continue(s) => {
@@ -277,7 +391,7 @@ impl<'g> Executor<'g> {
                                         }
                                     }
                                 }
-                                (msgs, survivors)
+                                (msgs, dropped, stalled, survivors)
                             })
                         })
                         .collect();
@@ -290,19 +404,43 @@ impl<'g> Executor<'g> {
                 // worklist come out identical to the sequential schedule.
                 let before = live_list.len();
                 live_list.clear();
-                for (msgs, survivors) in results {
+                for (msgs, seg_dropped, seg_stalled, survivors) in results {
                     c_msgs.add(msgs);
+                    dropped += seg_dropped;
+                    stalled += seg_stalled;
                     live_list.extend(survivors);
                 }
                 c_halted.add((before - live_list.len()) as i64);
             } else {
                 live_list.retain(|&v| {
+                    if jitter_on && plan.stalls(v, rounds) {
+                        // Stalled: skip the step but keep the state across
+                        // the buffer swap; the node stays live.
+                        nxt[v.index()] = cur[v.index()].clone();
+                        stalled += 1;
+                        return true;
+                    }
                     nbr_buf.clear();
-                    nbr_buf.extend(graph.neighbors(v).iter().map(|w| cur[w.index()].clone()));
-                    // A live node observes one state per incident edge this
-                    // round: one message per edge endpoint (frozen states of
-                    // halted neighbors included — see the Event::Round docs).
-                    c_msgs.add(nbr_buf.len() as i64);
+                    if drop_on {
+                        let base = offsets[v.index()];
+                        for (p, w) in graph.neighbors(v).iter().enumerate() {
+                            let slot = base + p;
+                            if plan.drops_message(rounds, slot) {
+                                dropped += 1;
+                            } else {
+                                seen[slot] = cur[w.index()].clone();
+                            }
+                        }
+                        let deg = graph.neighbors(v).len();
+                        nbr_buf.extend(seen[base..base + deg].iter().cloned());
+                        c_msgs.add(deg as i64);
+                    } else {
+                        nbr_buf.extend(graph.neighbors(v).iter().map(|w| cur[w.index()].clone()));
+                        // A live node observes one state per incident edge this
+                        // round: one message per edge endpoint (frozen states of
+                        // halted neighbors included — see the Event::Round docs).
+                        c_msgs.add(nbr_buf.len() as i64);
+                    }
                     let ctx = make_ctx(v, rounds);
                     match algo.step(&ctx, &cur[v.index()], &nbr_buf) {
                         Transition::Continue(s) => {
@@ -321,9 +459,36 @@ impl<'g> Executor<'g> {
                     }
                 });
             }
+            if dropped > 0 {
+                if let Some(c) = &c_dropped {
+                    c.add(dropped);
+                }
+                self.probe.emit_with(|| Event::Fault {
+                    scope: EXEC_SCOPE.to_string(),
+                    round: rounds - 1,
+                    kind: FaultKind::Drop,
+                    node: None,
+                    count: dropped as u64,
+                });
+            }
+            if stalled > 0 {
+                if let Some(c) = &c_stalled {
+                    c.add(stalled);
+                }
+                self.probe.emit_with(|| Event::Fault {
+                    scope: EXEC_SCOPE.to_string(),
+                    round: rounds - 1,
+                    kind: FaultKind::Stall,
+                    node: None,
+                    count: stalled as u64,
+                });
+            }
             std::mem::swap(&mut cur, &mut nxt);
             g_halted_frac.set((n - live_list.len()) as f64 / n as f64);
             registry.emit_round(&self.probe, EXEC_SCOPE, rounds - 1);
+        }
+        if crashed > 0 {
+            return Err(SimError::Crashed { crashed, rounds });
         }
         Ok(RunResult {
             outputs: outputs

@@ -59,12 +59,14 @@
 
 mod congest;
 mod exec;
+mod faults;
 mod ledger;
 mod msg;
 mod par;
 
 pub use congest::{CongestError, CongestExecutor, CongestResult, RoundBits, CONGEST_SCOPE};
 pub use exec::{Executor, LocalAlgorithm, NodeCtx, RunResult, SimError, Transition, EXEC_SCOPE};
+pub use faults::FaultPlan;
 pub use ledger::{LedgerEntry, RoundLedger};
 pub use msg::{broadcast, MessageExecutor, MessageProgram, MsgTransition, Outgoing, MSG_SCOPE};
 pub use par::default_threads;
@@ -72,5 +74,6 @@ pub use par::default_threads;
 // Re-exported so simulator users can attach probes without naming the
 // telemetry crate explicitly.
 pub use telemetry::{
-    ChargeKind, Event, FanoutSink, JsonlSink, NullSink, Probe, RecordingSink, Registry, Sink,
+    ChargeKind, Event, FanoutSink, FaultKind, JsonlSink, NullSink, Probe, RecordingSink, Registry,
+    Sink,
 };

@@ -10,9 +10,10 @@
 //! would be size-capped).
 
 use graphgen::{Graph, NodeId};
-use telemetry::{Probe, Registry};
+use telemetry::{Event, FaultKind, Probe, Registry};
 
 use crate::exec::{NodeCtx, RunResult, SimError};
+use crate::faults::FaultPlan;
 use crate::par;
 
 /// Scope string under which [`MessageExecutor`] emits per-round events.
@@ -77,16 +78,23 @@ pub struct MessageExecutor<'g> {
     graph: &'g Graph,
     probe: Probe,
     threads: usize,
+    faults: Option<FaultPlan>,
 }
 
 /// Writes `outs` from `v` into the flat inbox arena for the next round,
 /// recording every touched slot so the arena can be cleared in place.
-/// Returns the number of messages delivered.
+/// Returns the number of messages sent (dropped ones included — they
+/// were transmitted, then lost).
 ///
 /// The arena is port-indexed through the graph's CSR offsets: slot
 /// `offsets[w] + q` is port `q` of node `w`. The receiving port is an
 /// O(1) lookup in the precomputed reverse-port table (indexed by the
 /// *sender's* slot), replacing a per-message binary search.
+///
+/// With an active fault plan, each message is dropped iff the plan's
+/// seed-keyed decision for `(round, destination slot)` fires — a pure
+/// function of the slot, so delivery order never matters.
+#[allow(clippy::too_many_arguments)]
 fn deliver<M>(
     graph: &Graph,
     offsets: &[usize],
@@ -95,6 +103,8 @@ fn deliver<M>(
     dirty: &mut Vec<usize>,
     v: NodeId,
     outs: Vec<Outgoing<M>>,
+    faults: Option<(&FaultPlan, u64)>,
+    dropped: &mut i64,
 ) -> i64 {
     let sent = outs.len() as i64;
     let nbrs = graph.neighbors(v);
@@ -102,10 +112,35 @@ fn deliver<M>(
     for out in outs {
         let w = nbrs[out.port];
         let slot = offsets[w.index()] + rev[base + out.port] as usize;
+        if let Some((plan, round)) = faults {
+            if plan.drops_message(round, slot) {
+                *dropped += 1;
+                continue;
+            }
+        }
         arena[slot] = Some(out.msg);
         dirty.push(slot);
     }
     sent
+}
+
+/// Carries a stalled node's undelivered inbox over to the next round's
+/// arena (bounded-asynchrony semantics: a stalled node's messages wait on
+/// the link). A slot already written by this round's delivery keeps the
+/// newer message — the link buffers one message per port.
+fn retain_inbox<M: Clone>(
+    offsets: &[usize],
+    cur: &[Option<M>],
+    nxt: &mut [Option<M>],
+    dirty: &mut Vec<usize>,
+    v: NodeId,
+) {
+    for slot in offsets[v.index()]..offsets[v.index() + 1] {
+        if cur[slot].is_some() && nxt[slot].is_none() {
+            nxt[slot] = cur[slot].clone();
+            dirty.push(slot);
+        }
+    }
 }
 
 impl<'g> MessageExecutor<'g> {
@@ -115,7 +150,22 @@ impl<'g> MessageExecutor<'g> {
             graph,
             probe: Probe::disabled(),
             threads: 1,
+            faults: None,
         }
+    }
+
+    /// Injects the given seed-deterministic [`FaultPlan`] into every run:
+    /// per-message drops (decided per destination slot and round), node
+    /// crashes (frozen like halted nodes, reported via
+    /// [`telemetry::Event::Fault`] and [`SimError::Crashed`]), and
+    /// bounded-asynchrony stalls (a stalled node's pending inbox waits on
+    /// the link). Faulty runs stay bit-identical between the sequential
+    /// and parallel stepping paths (see `docs/FAULTS.md`). An inactive
+    /// plan is a no-op.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan.is_active().then_some(plan);
+        self
     }
 
     /// Attaches a telemetry probe; every run then emits one
@@ -150,7 +200,9 @@ impl<'g> MessageExecutor<'g> {
     ///
     /// # Errors
     ///
-    /// [`SimError::RoundLimitExceeded`] past `max_rounds`.
+    /// [`SimError::RoundLimitExceeded`] past `max_rounds`;
+    /// [`SimError::Crashed`] if an injected fault plan crashed nodes
+    /// before they could output.
     pub fn run<P>(&self, prog: &P, max_rounds: u64) -> Result<RunResult<P::Output>, SimError>
     where
         P: MessageProgram + Sync,
@@ -190,6 +242,18 @@ impl<'g> MessageExecutor<'g> {
         let c_msgs = registry.counter("messages_sent");
         let c_inbox = registry.counter("inbox_bytes");
         let g_halted_frac = registry.gauge("halted_fraction");
+        // Fault machinery — inert unless a plan is active, so fault-free
+        // runs keep byte-identical telemetry.
+        let inert = FaultPlan::default();
+        let plan = self.faults.as_ref().unwrap_or(&inert);
+        let drop_on = plan.message_drop_p > 0.0;
+        let jitter_on = plan.round_jitter > 0;
+        let crash_sched = plan.crash_schedule();
+        let c_dropped = drop_on.then(|| registry.counter("messages_dropped"));
+        let c_stalled = jitter_on.then(|| registry.counter("stalled_nodes"));
+        let drop_ctx = |round: u64| drop_on.then_some((plan, round));
+        let mut crashed = 0usize;
+        let mut init_dropped = 0i64;
         let mut states: Vec<P::State> = Vec::with_capacity(n);
         {
             let mut first_outs = Vec::with_capacity(n);
@@ -207,6 +271,8 @@ impl<'g> MessageExecutor<'g> {
                     &mut dirty_cur,
                     v,
                     outs,
+                    drop_ctx(0),
+                    &mut init_dropped,
                 ));
             }
         }
@@ -220,7 +286,29 @@ impl<'g> MessageExecutor<'g> {
                 });
             }
             rounds += 1;
+            // Crashes fire at the start of their round, before any node
+            // steps; the node's pending inbox dies with it.
+            if let Some(nodes) = crash_sched.get(&rounds) {
+                for &v in nodes {
+                    if let Ok(pos) = live_list.binary_search(&v) {
+                        live_list.remove(pos);
+                        crashed += 1;
+                        self.probe.emit_with(|| Event::Fault {
+                            scope: MSG_SCOPE.to_string(),
+                            round: rounds - 1,
+                            kind: FaultKind::Crash,
+                            node: Some(u64::from(v.0)),
+                            count: 1,
+                        });
+                    }
+                }
+            }
             c_live.set(live_list.len() as i64);
+            // Drops are accounted to the round event of the round in which
+            // the executor processed the send; init-time sends fold into
+            // the first round's event.
+            let mut dropped = std::mem::take(&mut init_dropped);
+            let mut stalled = 0i64;
             if self.probe.enabled() {
                 let pending = cur.iter().filter(|m| m.is_some()).count();
                 c_inbox.set((pending * std::mem::size_of::<P::Msg>()) as i64);
@@ -232,39 +320,53 @@ impl<'g> MessageExecutor<'g> {
                 let ranges = par::segment_ranges(&segs);
                 let state_slices = par::split_ranges(&mut states, &ranges);
                 let cur_ref = &cur;
+                let plan_ref = plan;
+                // Phase 1 collects `None` for stalled nodes so phase 2 can
+                // carry their inboxes over in the same ascending order the
+                // sequential schedule uses.
                 #[allow(clippy::type_complexity)]
-                let results: Vec<Vec<(NodeId, MsgTransition<P::Msg, P::Output>)>> =
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = segs
-                            .iter()
-                            .zip(ranges.iter())
-                            .zip(state_slices)
-                            .map(|((seg, &(lo, _)), st_s)| {
-                                scope.spawn(move || {
-                                    let mut out = Vec::with_capacity(seg.len());
-                                    for &v in *seg {
-                                        let ctx = make_ctx(v, rounds);
-                                        let inbox =
-                                            &cur_ref[offsets[v.index()]..offsets[v.index() + 1]];
-                                        let t = prog.step(&ctx, &mut st_s[v.index() - lo], inbox);
-                                        out.push((v, t));
+                let results: Vec<
+                    Vec<(NodeId, Option<MsgTransition<P::Msg, P::Output>>)>,
+                > = std::thread::scope(|scope| {
+                    let handles: Vec<_> = segs
+                        .iter()
+                        .zip(ranges.iter())
+                        .zip(state_slices)
+                        .map(|((seg, &(lo, _)), st_s)| {
+                            scope.spawn(move || {
+                                let mut out = Vec::with_capacity(seg.len());
+                                for &v in *seg {
+                                    if jitter_on && plan_ref.stalls(v, rounds) {
+                                        out.push((v, None));
+                                        continue;
                                     }
-                                    out
-                                })
+                                    let ctx = make_ctx(v, rounds);
+                                    let inbox =
+                                        &cur_ref[offsets[v.index()]..offsets[v.index() + 1]];
+                                    let t = prog.step(&ctx, &mut st_s[v.index() - lo], inbox);
+                                    out.push((v, Some(t)));
+                                }
+                                out
                             })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("executor worker panicked"))
-                            .collect()
-                    });
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("executor worker panicked"))
+                        .collect()
+                });
                 // Phase 2 (sequential, ascending node order): deliver and
                 // account, exactly as the sequential schedule would.
                 live_list.clear();
                 for seg_results in results {
                     for (v, t) in seg_results {
                         match t {
-                            MsgTransition::Continue(outs) => {
+                            None => {
+                                retain_inbox(offsets, &cur, &mut nxt, &mut dirty_nxt, v);
+                                stalled += 1;
+                                live_list.push(v);
+                            }
+                            Some(MsgTransition::Continue(outs)) => {
                                 c_msgs.add(deliver(
                                     graph,
                                     offsets,
@@ -273,10 +375,12 @@ impl<'g> MessageExecutor<'g> {
                                     &mut dirty_nxt,
                                     v,
                                     outs,
+                                    drop_ctx(rounds),
+                                    &mut dropped,
                                 ));
                                 live_list.push(v);
                             }
-                            MsgTransition::HaltAfter(outs, o) => {
+                            Some(MsgTransition::HaltAfter(outs, o)) => {
                                 c_msgs.add(deliver(
                                     graph,
                                     offsets,
@@ -285,6 +389,8 @@ impl<'g> MessageExecutor<'g> {
                                     &mut dirty_nxt,
                                     v,
                                     outs,
+                                    drop_ctx(rounds),
+                                    &mut dropped,
                                 ));
                                 outputs[v.index()] = Some(o);
                                 c_halted.inc();
@@ -293,19 +399,32 @@ impl<'g> MessageExecutor<'g> {
                     }
                 }
             } else {
+                // Split borrows for the retain closure.
+                let (cur_ref, nxt_ref) = (&cur, &mut nxt);
+                let (dirty_ref, dropped_ref, stalled_ref) =
+                    (&mut dirty_nxt, &mut dropped, &mut stalled);
                 live_list.retain(|&v| {
+                    if jitter_on && plan.stalls(v, rounds) {
+                        // Stalled: skip the step; pending messages wait on
+                        // the link for the next round.
+                        retain_inbox(offsets, cur_ref, nxt_ref, dirty_ref, v);
+                        *stalled_ref += 1;
+                        return true;
+                    }
                     let ctx = make_ctx(v, rounds);
-                    let inbox = &cur[offsets[v.index()]..offsets[v.index() + 1]];
+                    let inbox = &cur_ref[offsets[v.index()]..offsets[v.index() + 1]];
                     match prog.step(&ctx, &mut states[v.index()], inbox) {
                         MsgTransition::Continue(outs) => {
                             c_msgs.add(deliver(
                                 graph,
                                 offsets,
                                 &rev,
-                                &mut nxt,
-                                &mut dirty_nxt,
+                                nxt_ref,
+                                dirty_ref,
                                 v,
                                 outs,
+                                drop_ctx(rounds),
+                                dropped_ref,
                             ));
                             true
                         }
@@ -314,16 +433,42 @@ impl<'g> MessageExecutor<'g> {
                                 graph,
                                 offsets,
                                 &rev,
-                                &mut nxt,
-                                &mut dirty_nxt,
+                                nxt_ref,
+                                dirty_ref,
                                 v,
                                 outs,
+                                drop_ctx(rounds),
+                                dropped_ref,
                             ));
                             outputs[v.index()] = Some(o);
                             c_halted.inc();
                             false
                         }
                     }
+                });
+            }
+            if dropped > 0 {
+                if let Some(c) = &c_dropped {
+                    c.add(dropped);
+                }
+                self.probe.emit_with(|| Event::Fault {
+                    scope: MSG_SCOPE.to_string(),
+                    round: rounds - 1,
+                    kind: FaultKind::Drop,
+                    node: None,
+                    count: dropped as u64,
+                });
+            }
+            if stalled > 0 {
+                if let Some(c) = &c_stalled {
+                    c.add(stalled);
+                }
+                self.probe.emit_with(|| Event::Fault {
+                    scope: MSG_SCOPE.to_string(),
+                    round: rounds - 1,
+                    kind: FaultKind::Stall,
+                    node: None,
+                    count: stalled as u64,
                 });
             }
             // Recycle the consumed arena: clear only the touched slots,
@@ -335,6 +480,9 @@ impl<'g> MessageExecutor<'g> {
             std::mem::swap(&mut dirty_cur, &mut dirty_nxt);
             g_halted_frac.set((n - live_list.len()) as f64 / n as f64);
             registry.emit_round(&self.probe, MSG_SCOPE, rounds - 1);
+        }
+        if crashed > 0 {
+            return Err(SimError::Crashed { crashed, rounds });
         }
         Ok(RunResult {
             outputs: outputs

@@ -15,8 +15,10 @@ use std::sync::OnceLock;
 use graphgen::NodeId;
 
 /// The process-wide default thread count for executors, read once from
-/// the `LOCALSIM_THREADS` environment variable (values `>= 2` enable the
-/// parallel stepping path; anything else means sequential).
+/// the `LOCALSIM_THREADS` environment variable: values `>= 2` enable the
+/// parallel stepping path, `1` (or unset) keeps the sequential path, and
+/// `0` or an unparsable value falls back to sequential with a one-time
+/// notice on stderr (so a typo'd setting never goes silently ignored).
 ///
 /// Primitives construct executors with
 /// `Executor::new(g).with_threads(default_threads())`, so a pipeline can
@@ -25,12 +27,20 @@ use graphgen::NodeId;
 /// sequential one (see `docs/PERFORMANCE.md`).
 pub fn default_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        std::env::var("LOCALSIM_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&k| k >= 1)
-            .unwrap_or(1)
+    *THREADS.get_or_init(|| match std::env::var("LOCALSIM_THREADS") {
+        Err(_) => 1,
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(k) if k >= 2 => k,
+            Ok(1) => 1,
+            _ => {
+                // OnceLock guarantees this fires at most once per process.
+                eprintln!(
+                    "localsim: LOCALSIM_THREADS={raw:?} is not a thread count >= 1; \
+                     stepping sequentially"
+                );
+                1
+            }
+        },
     })
 }
 

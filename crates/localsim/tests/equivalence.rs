@@ -7,10 +7,11 @@
 
 use std::sync::Arc;
 
-use graphgen::{Graph, GraphBuilder};
+use graphgen::{Graph, GraphBuilder, NodeId};
 use localsim::{
-    broadcast, CongestExecutor, Executor, LocalAlgorithm, MessageExecutor, MessageProgram,
-    MsgTransition, NodeCtx, Outgoing, Probe, RecordingSink, Transition,
+    broadcast, CongestExecutor, Event, Executor, FaultKind, FaultPlan, LocalAlgorithm,
+    MessageExecutor, MessageProgram, MsgTransition, NodeCtx, Outgoing, Probe, RecordingSink,
+    SimError, Transition,
 };
 use proptest::prelude::*;
 
@@ -226,6 +227,181 @@ fn congest_executor_parallel_is_bit_identical() {
             assert_eq!(psink.events(), seq_events, "graph #{i}, threads={k}");
         }
     }
+}
+
+/// A fault plan that exercises drops and jitter together (no crashes, so
+/// runs still complete and outputs are comparable).
+fn lossy_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 5,
+        message_drop_p: 0.3,
+        round_jitter: 2,
+        node_crash: Vec::new(),
+    }
+}
+
+/// Fault injection is part of the determinism contract: under an active
+/// plan (drops + jitter), the state-exchange executor's outputs, rounds,
+/// and full event stream — including `Event::Fault` — are bit-identical
+/// between the sequential schedule and every thread count.
+#[test]
+fn faulty_state_executor_parallel_is_bit_identical() {
+    for (i, g) in determinism_graphs().iter().enumerate() {
+        let sink = Arc::new(RecordingSink::new());
+        let seq = Executor::new(g)
+            .with_faults(lossy_plan())
+            .with_probe(Probe::new(sink.clone()))
+            .run(&StaggerSum, 200)
+            .unwrap();
+        let seq_events = sink.events();
+        for k in THREAD_COUNTS {
+            let psink = Arc::new(RecordingSink::new());
+            let par = Executor::new(g)
+                .with_faults(lossy_plan())
+                .with_threads(k)
+                .with_probe(Probe::new(psink.clone()))
+                .run(&StaggerSum, 200)
+                .unwrap();
+            assert_eq!(par.outputs, seq.outputs, "graph #{i}, threads={k}");
+            assert_eq!(par.rounds, seq.rounds, "graph #{i}, threads={k}");
+            assert_eq!(psink.events(), seq_events, "graph #{i}, threads={k}");
+        }
+    }
+}
+
+#[test]
+fn faulty_message_executor_parallel_is_bit_identical() {
+    for (i, g) in determinism_graphs().iter().enumerate() {
+        let sink = Arc::new(RecordingSink::new());
+        let seq = MessageExecutor::new(g)
+            .with_faults(lossy_plan())
+            .with_probe(Probe::new(sink.clone()))
+            .run(&StaggerSumMsg, 200)
+            .unwrap();
+        let seq_events = sink.events();
+        for k in THREAD_COUNTS {
+            let psink = Arc::new(RecordingSink::new());
+            let par = MessageExecutor::new(g)
+                .with_faults(lossy_plan())
+                .with_threads(k)
+                .with_probe(Probe::new(psink.clone()))
+                .run(&StaggerSumMsg, 200)
+                .unwrap();
+            assert_eq!(par.outputs, seq.outputs, "graph #{i}, threads={k}");
+            assert_eq!(par.rounds, seq.rounds, "graph #{i}, threads={k}");
+            assert_eq!(psink.events(), seq_events, "graph #{i}, threads={k}");
+        }
+    }
+}
+
+#[test]
+fn faulty_congest_executor_parallel_is_bit_identical() {
+    let width = |m: &u64| (64 - m.leading_zeros()) as usize;
+    for (i, g) in determinism_graphs().iter().enumerate() {
+        let sink = Arc::new(RecordingSink::new());
+        let seq = CongestExecutor::new(g, 64, width)
+            .with_faults(lossy_plan())
+            .with_probe(Probe::new(sink.clone()))
+            .run(&StaggerSumMsg, 200)
+            .unwrap();
+        let seq_events = sink.events();
+        for k in THREAD_COUNTS {
+            let psink = Arc::new(RecordingSink::new());
+            let par = CongestExecutor::new(g, 64, width)
+                .with_faults(lossy_plan())
+                .with_threads(k)
+                .with_probe(Probe::new(psink.clone()))
+                .run(&StaggerSumMsg, 200)
+                .unwrap();
+            assert_eq!(par.outputs, seq.outputs, "graph #{i}, threads={k}");
+            assert_eq!(par.rounds, seq.rounds, "graph #{i}, threads={k}");
+            assert_eq!(par.per_round, seq.per_round, "graph #{i}, threads={k}");
+            assert_eq!(psink.events(), seq_events, "graph #{i}, threads={k}");
+        }
+    }
+}
+
+/// The lossy plan is not vacuous on a dense graph: drops and stalls both
+/// actually fire, and the faults change the computed outputs.
+#[test]
+fn lossy_plan_actually_injects() {
+    let g = graphgen::generators::gnp(57, 0.12, 1);
+    let sink = Arc::new(RecordingSink::new());
+    let faulty = Executor::new(&g)
+        .with_faults(lossy_plan())
+        .with_probe(Probe::new(sink.clone()))
+        .run(&StaggerSum, 200)
+        .unwrap();
+    let kinds: Vec<FaultKind> = sink
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::Fault { kind, .. } => Some(*kind),
+            _ => None,
+        })
+        .collect();
+    assert!(kinds.contains(&FaultKind::Drop), "no drops fired");
+    assert!(kinds.contains(&FaultKind::Stall), "no stalls fired");
+    let clean = Executor::new(&g).run(&StaggerSum, 200).unwrap();
+    assert_ne!(faulty.outputs, clean.outputs, "faults had no effect");
+}
+
+/// Crashes surface as `SimError::Crashed` plus per-node `Event::Fault`
+/// records, identically under every schedule, on both executor levels.
+#[test]
+fn crash_runs_fail_identically_seq_and_parallel() {
+    let g = graphgen::generators::random_regular(64, 6, 3);
+    let plan = FaultPlan {
+        seed: 11,
+        // All three targets are still live at their crash round under
+        // StaggerSum's halt rule (node v halts in round v % 5 + 1).
+        node_crash: vec![(2, NodeId(3)), (3, NodeId(44)), (2, NodeId(17))],
+        ..FaultPlan::default()
+    };
+    let sink = Arc::new(RecordingSink::new());
+    let seq_err = Executor::new(&g)
+        .with_faults(plan.clone())
+        .with_probe(Probe::new(sink.clone()))
+        .run(&StaggerSum, 100)
+        .unwrap_err();
+    assert!(matches!(seq_err, SimError::Crashed { crashed: 3, .. }));
+    let crash_events: Vec<Event> = sink
+        .events()
+        .into_iter()
+        .filter(|e| matches!(e, Event::Fault { .. }))
+        .collect();
+    assert_eq!(crash_events.len(), 3);
+    // Within a round, crashes are reported in ascending node order.
+    assert!(matches!(
+        &crash_events[0],
+        Event::Fault {
+            round: 1,
+            kind: FaultKind::Crash,
+            node: Some(3),
+            count: 1,
+            ..
+        }
+    ));
+    assert!(matches!(
+        &crash_events[1],
+        Event::Fault { node: Some(17), .. }
+    ));
+    for k in THREAD_COUNTS {
+        let psink = Arc::new(RecordingSink::new());
+        let par_err = Executor::new(&g)
+            .with_faults(plan.clone())
+            .with_threads(k)
+            .with_probe(Probe::new(psink.clone()))
+            .run(&StaggerSum, 100)
+            .unwrap_err();
+        assert_eq!(par_err, seq_err, "threads={k}");
+        assert_eq!(psink.events(), sink.events(), "threads={k}");
+    }
+    let msg_err = MessageExecutor::new(&g)
+        .with_faults(plan)
+        .run(&StaggerSumMsg, 100)
+        .unwrap_err();
+    assert!(matches!(msg_err, SimError::Crashed { crashed: 3, .. }));
 }
 
 /// The deterministic violation rule (earliest round, widest message) is

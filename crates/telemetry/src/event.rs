@@ -36,6 +36,42 @@ impl ChargeKind {
     }
 }
 
+/// What kind of injected fault an [`Event::Fault`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A node crashed: its state froze mid-run and it will never output.
+    Crash,
+    /// Messages were dropped in transit (aggregated per round).
+    Drop,
+    /// Nodes were stalled by bounded-asynchrony jitter (aggregated per
+    /// round).
+    Stall,
+    /// A pipeline-level retry: a leftover component struck by faults was
+    /// rolled back and re-solved.
+    Retry,
+}
+
+impl FaultKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Drop => "drop",
+            FaultKind::Stall => "stall",
+            FaultKind::Retry => "retry",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, Error> {
+        match s {
+            "crash" => Ok(FaultKind::Crash),
+            "drop" => Ok(FaultKind::Drop),
+            "stall" => Ok(FaultKind::Stall),
+            "retry" => Ok(FaultKind::Retry),
+            other => Err(Error::new(format!("unknown fault kind `{other}`"))),
+        }
+    }
+}
+
 /// One structured trace event.
 ///
 /// Wall-clock time appears only in [`Event::SpanExit`]; everything else
@@ -119,6 +155,26 @@ pub enum Event {
         /// Observed value.
         value: f64,
     },
+    /// An injected fault fired (fault-plan runs only; fault-free runs
+    /// never emit this variant, so their traces are byte-stable).
+    ///
+    /// Crashes are reported one event per node, in ascending node order;
+    /// drops and stalls are aggregated into one event per round with
+    /// `node: None` and the affected count.
+    Fault {
+        /// Emitting executor/loop scope (e.g. `"localsim"`, `"pipeline"`).
+        scope: String,
+        /// Round index the fault fired in, starting at 0 (for
+        /// [`FaultKind::Retry`] this is the retry attempt number).
+        round: u64,
+        /// What happened.
+        kind: FaultKind,
+        /// The affected node, for per-node faults (crashes).
+        node: Option<u64>,
+        /// How many units were affected (nodes stalled, messages dropped,
+        /// vertices rolled back; `1` for a single crash).
+        count: u64,
+    },
 }
 
 impl Event {
@@ -152,6 +208,7 @@ impl Event {
             Event::Round { .. } => "round",
             Event::CongestRound { .. } => "congest_round",
             Event::Metric { .. } => "metric",
+            Event::Fault { .. } => "fault",
         }
     }
 }
@@ -250,6 +307,19 @@ impl Serialize for Event {
                 m.push(("name".to_string(), s(name)));
                 m.push(("value".to_string(), value.to_value()));
             }
+            Event::Fault {
+                scope,
+                round,
+                kind,
+                node,
+                count,
+            } => {
+                m.push(("scope".to_string(), s(scope)));
+                m.push(("round".to_string(), round.to_value()));
+                m.push(("kind".to_string(), s(kind.as_str())));
+                m.push(("node".to_string(), node.to_value()));
+                m.push(("count".to_string(), count.to_value()));
+            }
         }
         Value::Map(m)
     }
@@ -290,6 +360,13 @@ impl<'de> Deserialize<'de> for Event {
                 scope: String::from_value(v.field("scope")?)?,
                 name: String::from_value(v.field("name")?)?,
                 value: f64::from_value(v.field("value")?)?,
+            }),
+            "fault" => Ok(Event::Fault {
+                scope: String::from_value(v.field("scope")?)?,
+                round: u64::from_value(v.field("round")?)?,
+                kind: FaultKind::parse(&String::from_value(v.field("kind")?)?)?,
+                node: Option::<u64>::from_value(v.field("node")?)?,
+                count: u64::from_value(v.field("count")?)?,
             }),
             other => Err(Error::new(format!("unknown event type `{other}`"))),
         }
@@ -340,6 +417,25 @@ mod tests {
             name: "wall_clock_ms".into(),
             value: 12.5,
         });
+        round_trip(&Event::Fault {
+            scope: "localsim".into(),
+            round: 9,
+            kind: FaultKind::Crash,
+            node: Some(17),
+            count: 1,
+        });
+        round_trip(&Event::Fault {
+            scope: "localsim/msg".into(),
+            round: 2,
+            kind: FaultKind::Drop,
+            node: None,
+            count: 5,
+        });
+    }
+
+    #[test]
+    fn fault_kind_parse_rejects_unknown() {
+        assert!(FaultKind::parse("meteor").is_err());
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod probe;
 pub mod registry;
 pub mod sink;
 
-pub use event::{ChargeKind, Event};
+pub use event::{ChargeKind, Event, FaultKind};
 pub use probe::{Probe, Span};
 pub use registry::{Counter, Gauge, Registry};
 pub use sink::{FanoutSink, JsonlSink, NullSink, RecordingSink, Sink};

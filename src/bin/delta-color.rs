@@ -7,6 +7,7 @@
 //! delta-color color graph.txt --general 7      # sparse+dense extension
 //! delta-color color graph.txt --profile        # per-phase profile table
 //! delta-color color graph.txt --trace-out t.jsonl   # structured trace
+//! delta-color color graph.txt --faults seed=7,drop=0.01   # fault injection
 //! ```
 //!
 //! `color` reads the edge-list format (see `graphgen::io`), writes the
@@ -19,13 +20,13 @@
 use std::sync::Arc;
 
 use delta_coloring::coloring::{
-    color_deterministic_probed, color_randomized_probed, color_sparse_dense_probed, Config,
-    RandConfig,
+    color_deterministic_probed, color_randomized_probed, color_randomized_with_faults,
+    color_sparse_dense_probed, validate_coloring, Config, RandConfig,
 };
 use delta_coloring::graphs::coloring::verify_delta_coloring;
 use delta_coloring::graphs::generators::{hard_cliques, HardCliqueParams};
 use delta_coloring::graphs::io;
-use delta_coloring::local::{Event, FanoutSink, JsonlSink, Probe, RecordingSink, Sink};
+use delta_coloring::local::{Event, FanoutSink, FaultPlan, JsonlSink, Probe, RecordingSink, Sink};
 
 fn main() {
     if let Err(e) = run() {
@@ -65,33 +66,67 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         Some("color") => {
             let path = args.get(1).filter(|p| !p.starts_with("--")).ok_or(
                 "usage: delta-color color <file> [--randomized SEED | --general SEED] \
-                 [--trace-out PATH] [--profile]",
+                 [--faults SPEC] [--trace-out PATH] [--profile]",
             )?;
-            let g = io::read_edge_list(path)?;
+            let g = io::read_edge_list(path)
+                .map_err(|e| format!("cannot read graph file `{path}`: {e}"))?;
             let delta = g.max_degree();
             eprintln!("read {} vertices / {} edges, Δ = {delta}", g.n(), g.m());
 
             // Assemble the probe: a JSONL trace file, an in-memory
-            // recording for --profile, either, both, or neither.
+            // recording for --profile, either, both, or neither. I/O
+            // failures surface through the CLI error path (nonzero exit,
+            // message naming the file) — never a panic.
             let recording = args
                 .iter()
                 .any(|a| a == "--profile")
                 .then(|| Arc::new(RecordingSink::new()));
             let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
             if let Some(trace_path) = arg_value(&args, "--trace-out") {
-                sinks.push(Arc::new(JsonlSink::create(&trace_path)?));
+                let sink = JsonlSink::create(&trace_path)
+                    .map_err(|e| format!("cannot open trace file `{trace_path}`: {e}"))?;
+                sinks.push(Arc::new(sink));
                 eprintln!("tracing to {trace_path}");
             }
             if let Some(rec) = &recording {
                 sinks.push(rec.clone());
             }
-            let probe = match sinks.len() {
-                0 => Probe::disabled(),
-                1 => Probe::new(sinks.pop().expect("one sink")),
+            let probe = match sinks.as_slice() {
+                [] => Probe::disabled(),
+                [only] => Probe::new(only.clone()),
                 _ => Probe::from_sink(FanoutSink::new(sinks)),
             };
 
-            let (coloring, ledger) = if let Some(seed) = arg_value(&args, "--randomized") {
+            let faults: Option<FaultPlan> = arg_value(&args, "--faults")
+                .map(|spec| {
+                    spec.parse()
+                        .map_err(|e| format!("invalid --faults spec `{spec}`: {e}"))
+                })
+                .transpose()?;
+
+            let (coloring, ledger) = if let Some(plan) = &faults {
+                // Fault injection runs the randomized pipeline (the only
+                // one with a recovery loop); --randomized picks the
+                // pipeline seed, defaulting to the plan seed.
+                let seed = arg_value(&args, "--randomized").map_or(Ok(plan.seed), |s| s.parse())?;
+                let config = RandConfig::for_delta(delta, seed);
+                let report = color_randomized_with_faults(&g, &config, plan, &probe)?;
+                let validation = validate_coloring(&g, &report.coloring, delta as u32);
+                if !validation.is_ok() {
+                    return Err(format!("post-run validation failed: {validation}").into());
+                }
+                eprintln!(
+                    "faults: {} retries across {} of {} components, {} vertices struck, \
+                     {} recovery rounds; validation: {}",
+                    report.recovery.retries,
+                    report.recovery.components_hit,
+                    report.shatter.components,
+                    report.recovery.struck_vertices,
+                    report.recovery.recovery_rounds,
+                    validation.summary()
+                );
+                (report.coloring, report.ledger)
+            } else if let Some(seed) = arg_value(&args, "--randomized") {
                 let config = RandConfig::for_delta(delta, seed.parse()?);
                 let report = color_randomized_probed(&g, &config, &probe)?;
                 (report.coloring, report.ledger)
@@ -117,7 +152,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             eprintln!(
                 "usage:\n  delta-color gen [--cliques N] [--delta D] [--seed S]\n  \
                  delta-color color <file> [--randomized SEED | --general SEED] \
-                 [--trace-out PATH] [--profile]"
+                 [--faults seed=S,drop=P,jitter=J,crash=N@R+...] [--trace-out PATH] [--profile]"
             );
             Err("unknown command".into())
         }

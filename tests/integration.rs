@@ -182,6 +182,26 @@ fn round_ledger_totals_are_consistent() {
     assert!(report.ledger.total_for("phase1") > 0);
 }
 
+/// Scaled-down variant of [`paper_scale_stress`] that runs in the default
+/// suite (and CI): same Δ = 64 paper parameters and assertions, 4× fewer
+/// cliques (128 is the bipartite blueprint's minimum for Δ = 64) so it
+/// finishes in seconds.
+#[test]
+fn paper_scale_stress_scaled_down() {
+    let inst = generators::hard_cliques(&hard_params(128, 64, 7777)).unwrap();
+    let det = color_deterministic(&inst.graph, &Config::paper()).unwrap();
+    verify_delta_coloring(&inst.graph, &det.coloring).unwrap();
+    let rand = color_randomized(
+        &inst.graph,
+        &RandConfig {
+            base: Config::paper(),
+            ..RandConfig::for_delta(64, 3)
+        },
+    )
+    .unwrap();
+    verify_delta_coloring(&inst.graph, &rand.coloring).unwrap();
+}
+
 /// Paper-scale stress: Δ = 64 with paper parameters through both
 /// pipelines. Slow; run with `cargo test -- --ignored`.
 #[test]
