@@ -137,19 +137,14 @@ impl AcdResult {
     }
 }
 
-/// Computes the almost-clique decomposition.
+/// The similarity thresholds derived from the parameters.
 ///
-/// Always returns a structurally consistent partition; use [`verify_acd`]
-/// to check the quantitative guarantees (they hold whenever the input
-/// admits them — on adversarial graphs vertices failing the bounds are
-/// classified sparse instead).
-pub fn compute_acd(g: &Graph, params: &AcdParams) -> AcdResult {
-    let n = g.n();
+/// Two members of a valid almost-clique share at least (1 − 3ε)Δ
+/// neighbors (each has (1−ε)Δ inside a set of ≤ (1+ε)Δ vertices), and
+/// in a true Δ-clique exactly Δ − 2 — so friendship must tolerate
+/// η_eff ≥ max(3.5ε, 2.5/Δ), clamped away from degeneracy.
+fn similarity_thresholds(g: &Graph, params: &AcdParams) -> (usize, usize) {
     let delta = g.max_degree() as f64;
-    // Two members of a valid almost-clique share at least (1 − 3ε)Δ
-    // neighbors (each has (1−ε)Δ inside a set of ≤ (1+ε)Δ vertices), and
-    // in a true Δ-clique exactly Δ − 2 — so friendship must tolerate
-    // η_eff ≥ max(3.5ε, 2.5/Δ), clamped away from degeneracy.
     let eta_eff = params
         .eta
         .max(3.5 * params.eps)
@@ -157,8 +152,79 @@ pub fn compute_acd(g: &Graph, params: &AcdParams) -> AcdResult {
         .min(0.5);
     let friend_threshold = ((1.0 - eta_eff) * delta).ceil() as usize;
     let dense_threshold = ((1.0 - eta_eff) * delta).ceil() as usize;
+    (friend_threshold, dense_threshold)
+}
 
-    // Friend edges and dense vertices.
+/// The friend graph: per-vertex friend degree and friend adjacency, where
+/// `{u, v} ∈ E` is a friend edge iff `|N(u) ∩ N(v)| ≥ friend_threshold`.
+///
+/// Block-compressed bitmap kernel: every sorted neighborhood is packed
+/// once into `(block, mask)` runs — 64 vertices per `u64` word — and each
+/// edge's common-neighbor count is a two-pointer sweep over the two run
+/// lists with one `popcount` per shared block. On dense instances the
+/// members of an almost-clique cluster into a handful of blocks, so a
+/// Δ-clique edge costs ~`2 + Δ/64` word operations instead of the
+/// `deg u + deg v` data-dependent compare steps of the per-edge
+/// sorted-merge kernel; in the worst case (every neighbor in its own
+/// block) the sweep degenerates to exactly the merge kernel's op count.
+/// Friend edges are emitted in `g.edges()` order, so downstream component
+/// structure is identical to the reference kernel.
+fn friend_graph_blocked(g: &Graph, friend_threshold: usize) -> (Vec<usize>, Vec<Vec<NodeId>>) {
+    let n = g.n();
+    let mut friend_count = vec![0usize; n];
+    let mut friend_adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    // Flat CSR of per-vertex bitmap runs: vertex v owns
+    // `blocks[off[v]..off[v + 1]]` (strictly increasing block ids, since
+    // neighborhoods are sorted) and the parallel `masks` words.
+    let mut off = Vec::with_capacity(n + 1);
+    let mut blocks: Vec<u32> = Vec::new();
+    let mut masks: Vec<u64> = Vec::new();
+    off.push(0usize);
+    for v in g.vertices() {
+        let start = blocks.len();
+        for &w in g.neighbors(v) {
+            let b = w.0 >> 6;
+            let bit = 1u64 << (w.0 & 63);
+            if blocks.len() > start && blocks[blocks.len() - 1] == b {
+                *masks.last_mut().expect("runs in sync") |= bit;
+            } else {
+                blocks.push(b);
+                masks.push(bit);
+            }
+        }
+        off.push(blocks.len());
+    }
+    for (u, v) in g.edges() {
+        let (mut i, iend) = (off[u.index()], off[u.index() + 1]);
+        let (mut j, jend) = (off[v.index()], off[v.index() + 1]);
+        let mut common = 0usize;
+        while i < iend && j < jend {
+            let (bi, bj) = (blocks[i], blocks[j]);
+            if bi == bj {
+                common += (masks[i] & masks[j]).count_ones() as usize;
+                i += 1;
+                j += 1;
+            } else if bi < bj {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        if common >= friend_threshold {
+            friend_count[u.index()] += 1;
+            friend_count[v.index()] += 1;
+            friend_adj[u.index()].push(v);
+            friend_adj[v.index()].push(u);
+        }
+    }
+    (friend_count, friend_adj)
+}
+
+/// The friend graph via per-edge sorted-merge intersections — the
+/// original kernel, kept as the oracle [`compute_acd_reference`] and the
+/// pipeline bench assert the blocked bitmap kernel against.
+fn friend_graph_merge(g: &Graph, friend_threshold: usize) -> (Vec<usize>, Vec<Vec<NodeId>>) {
+    let n = g.n();
     let mut friend_count = vec![0usize; n];
     let mut friend_adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     for (u, v) in g.edges() {
@@ -169,29 +235,89 @@ pub fn compute_acd(g: &Graph, params: &AcdParams) -> AcdResult {
             friend_adj[v.index()].push(u);
         }
     }
+    (friend_count, friend_adj)
+}
+
+/// Computes the almost-clique decomposition.
+///
+/// Always returns a structurally consistent partition; use [`verify_acd`]
+/// to check the quantitative guarantees (they hold whenever the input
+/// admits them — on adversarial graphs vertices failing the bounds are
+/// classified sparse instead).
+pub fn compute_acd(g: &Graph, params: &AcdParams) -> AcdResult {
+    let (friend_threshold, dense_threshold) = similarity_thresholds(g, params);
+    let (friend_count, friend_adj) = friend_graph_blocked(g, friend_threshold);
+    finish_acd(g, params, dense_threshold, &friend_count, &friend_adj)
+}
+
+/// [`compute_acd`] with the original per-edge sorted-merge similarity
+/// kernel. Bit-identical output to `compute_acd` by construction (same
+/// friend-edge set and order); exists so benches and tests can assert
+/// exactly that, and as a baseline for kernel timing.
+pub fn compute_acd_reference(g: &Graph, params: &AcdParams) -> AcdResult {
+    let (friend_threshold, dense_threshold) = similarity_thresholds(g, params);
+    let (friend_count, friend_adj) = friend_graph_merge(g, friend_threshold);
+    finish_acd(g, params, dense_threshold, &friend_count, &friend_adj)
+}
+
+/// The isolated friend-graph kernels, exposed so the pipeline bench can
+/// time the similarity computation without the postprocessing both
+/// [`compute_acd`] variants share. Not part of the stable API.
+#[doc(hidden)]
+pub mod kernel {
+    use super::{friend_graph_blocked, friend_graph_merge, similarity_thresholds, AcdParams};
+    use graphgen::{Graph, NodeId};
+
+    /// `(friend_count, friend_adj)` via the blocked bitmap kernel.
+    #[must_use]
+    pub fn friend_graph(g: &Graph, params: &AcdParams) -> (Vec<usize>, Vec<Vec<NodeId>>) {
+        let (friend_threshold, _) = similarity_thresholds(g, params);
+        friend_graph_blocked(g, friend_threshold)
+    }
+
+    /// `(friend_count, friend_adj)` via the per-edge sorted-merge kernel.
+    #[must_use]
+    pub fn friend_graph_reference(g: &Graph, params: &AcdParams) -> (Vec<usize>, Vec<Vec<NodeId>>) {
+        let (friend_threshold, _) = similarity_thresholds(g, params);
+        friend_graph_merge(g, friend_threshold)
+    }
+}
+
+/// Everything after the friend graph: dense classification, friend
+/// components, cleanup sweeps, size filter.
+fn finish_acd(
+    g: &Graph,
+    params: &AcdParams,
+    dense_threshold: usize,
+    friend_count: &[usize],
+    friend_adj: &[Vec<NodeId>],
+) -> AcdResult {
+    let n = g.n();
+    let delta = g.max_degree() as f64;
     let dense: Vec<bool> = (0..n).map(|v| friend_count[v] >= dense_threshold).collect();
 
-    // Components of friend edges among dense vertices.
+    // Components of friend edges among dense vertices. The DFS stack is
+    // hoisted out of the per-component loop (it is empty again whenever a
+    // component finishes, so reuse is free).
     let mut comp = vec![u32::MAX; n];
-    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let mut ncomp = 0u32;
+    let mut stack: Vec<NodeId> = Vec::new();
     for s in g.vertices() {
         if !dense[s.index()] || comp[s.index()] != u32::MAX {
             continue;
         }
-        let id = members.len() as u32;
+        let id = ncomp;
+        ncomp += 1;
         comp[s.index()] = id;
-        let mut stack = vec![s];
-        let mut these = vec![s];
+        stack.push(s);
         while let Some(v) = stack.pop() {
             for &w in &friend_adj[v.index()] {
                 if dense[w.index()] && comp[w.index()] == u32::MAX {
                     comp[w.index()] = id;
                     stack.push(w);
-                    these.push(w);
                 }
             }
         }
-        members.push(these);
     }
 
     // Cleanup sweeps (constant number): evict weakly connected members,
@@ -205,6 +331,11 @@ pub fn compute_acd(g: &Graph, params: &AcdParams) -> AcdResult {
         .iter()
         .map(|&c| if c == u32::MAX { None } else { Some(c) })
         .collect();
+    // Scratch for the absorb step, hoisted out of the scan loops: clique
+    // ids are dense (`0..ncomp`), so a counting buffer plus a touched
+    // list replaces a per-vertex hash map.
+    let mut absorb_counts = vec![0u32; ncomp as usize];
+    let mut absorb_touched: Vec<u32> = Vec::new();
     for _sweep in 0..6 {
         let mut changed = false;
         // Count neighbors inside each clique for all vertices.
@@ -223,23 +354,28 @@ pub fn compute_acd(g: &Graph, params: &AcdParams) -> AcdResult {
                 }
             }
         }
-        // Absorb.
+        // Absorb. At most one clique can clear `absorb_threshold`
+        // (> (1−ε/2)Δ neighbors each in two cliques would exceed Δ), so
+        // scanning the touched list in any order picks the same winner.
         for v in g.vertices() {
             if in_clique[v.index()].is_none() {
-                // Count per adjacent clique.
-                let mut best: Option<(usize, u32)> = None;
-                let mut counts: std::collections::HashMap<u32, usize> =
-                    std::collections::HashMap::new();
                 for &w in g.neighbors(v) {
                     if let Some(c) = in_clique[w.index()] {
-                        *counts.entry(c).or_default() += 1;
+                        if absorb_counts[c as usize] == 0 {
+                            absorb_touched.push(c);
+                        }
+                        absorb_counts[c as usize] += 1;
                     }
                 }
-                for (c, cnt) in counts {
+                let mut best: Option<(usize, u32)> = None;
+                for &c in &absorb_touched {
+                    let cnt = absorb_counts[c as usize] as usize;
                     if cnt > absorb_threshold && best.is_none_or(|(b, _)| cnt > b) {
                         best = Some((cnt, c));
                     }
+                    absorb_counts[c as usize] = 0;
                 }
+                absorb_touched.clear();
                 if let Some((_, c)) = best {
                     in_clique[v.index()] = Some(c);
                     changed = true;
@@ -250,28 +386,29 @@ pub fn compute_acd(g: &Graph, params: &AcdParams) -> AcdResult {
             break;
         }
     }
-    // Size filter and re-indexing.
-    let mut sizes: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    // Size filter and re-indexing (clique ids are dense, so flat arrays
+    // replace the former hash maps).
+    let mut sizes = vec![0usize; ncomp as usize];
     for v in g.vertices() {
         if let Some(c) = in_clique[v.index()] {
-            *sizes.entry(c).or_default() += 1;
+            sizes[c as usize] += 1;
         }
     }
-    let _ = members;
-    let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut remap = vec![u32::MAX; ncomp as usize];
     let mut cliques: Vec<AlmostClique> = Vec::new();
     let mut clique_of: Vec<Option<u32>> = vec![None; n];
     let mut sparse = Vec::new();
     for v in g.vertices() {
         match in_clique[v.index()] {
-            Some(c) if sizes[&c] >= min_size && sizes[&c] <= max_size => {
-                let id = *remap.entry(c).or_insert_with(|| {
+            Some(c) if sizes[c as usize] >= min_size && sizes[c as usize] <= max_size => {
+                if remap[c as usize] == u32::MAX {
+                    remap[c as usize] = cliques.len() as u32;
                     cliques.push(AlmostClique {
                         id: cliques.len() as u32,
                         vertices: Vec::new(),
                     });
-                    (cliques.len() - 1) as u32
-                });
+                }
+                let id = remap[c as usize];
                 cliques[id as usize].vertices.push(v);
                 clique_of[v.index()] = Some(id);
             }
@@ -522,6 +659,39 @@ mod tests {
             assert!(
                 e < 0.5 * max_clique_edges,
                 "sparse vertex {v} has {e} neighborhood edges"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_matches_merge_kernel() {
+        // The blocked bitmap similarity kernel must reproduce the
+        // per-edge merge kernel exactly — same friend edges in the same
+        // order, hence the same AcdResult — across dense, sparse, and
+        // degenerate inputs.
+        let hard = generators::hard_cliques(&generators::HardCliqueParams {
+            cliques: 34,
+            delta: 16,
+            external_per_vertex: 1,
+            seed: 5,
+        })
+        .unwrap()
+        .graph;
+        for (g, delta) in [
+            (hard, 16),
+            (generators::gnp(200, 0.05, 9), 12),
+            (generators::gnp(150, 0.2, 3), 32),
+            (generators::random_tree(50, 4), 4),
+            (generators::isolated_cliques(5, 8), 7),
+            (Graph::from_edges(0, []).unwrap(), 1),
+        ] {
+            let params = AcdParams::for_delta(delta);
+            assert_eq!(
+                compute_acd(&g, &params),
+                compute_acd_reference(&g, &params),
+                "kernel mismatch on n={} m={}",
+                g.n(),
+                g.m()
             );
         }
     }

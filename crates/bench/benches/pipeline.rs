@@ -1,150 +1,339 @@
-//! Criterion wall-time benchmarks: one group per experiment family.
+//! Pipeline-layer benchmarks: the ACD friend-graph kernel and the full
+//! pipelines at several worker-pool widths.
 //!
-//! Round counts are the primary reproduction metric (see the `experiments`
-//! binary); these benches track the *wall time* of the implementations so
-//! regressions in the substrates are visible.
+//! Two families:
+//!
+//! * `acd` — the blocked-bitmap friend-graph kernel (`compute_acd`)
+//!   against the pre-PR per-edge neighborhood-merge kernel
+//!   (`compute_acd_reference`), on dense instances up to `n ≥ 4096`. Both
+//!   kernels are bit-identical by construction; this bench *asserts* that
+//!   on every instance before timing, so the speedup is never measured
+//!   against a diverged baseline.
+//! * `pipeline` — end-to-end deterministic and randomized runs at
+//!   `threads ∈ {1, 2, 4}` (`seq`/`par2`/`par4`), on a dense circulant
+//!   instance and on a shattering-heavy configuration (`defer_radius = 5`
+//!   leaves real leftover components for the pool). Colorings are checked
+//!   identical across thread counts before timing.
+//!
+//! Usage (a harness-free bench binary):
+//!
+//! ```text
+//! cargo bench -p delta-bench --bench pipeline                      # full, table
+//! cargo bench -p delta-bench --bench pipeline -- --json BENCH_pipeline.json
+//! cargo bench -p delta-bench --bench pipeline -- --smoke --json out.json  # CI
+//! ```
+//!
+//! The JSON report (`BENCH_pipeline.json`) carries every measured case
+//! plus per-instance `merge_mean_ns / blocked_mean_ns` ACD speedups; see
+//! `docs/PERFORMANCE.md` for the schema.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use acd::{compute_acd, compute_acd_reference, kernel, AcdParams};
+use criterion::{measure, Measurement};
 use delta_core::{
-    color_deterministic, color_deterministic_probed, color_randomized, Config, RandConfig,
+    color_deterministic, color_randomized, color_randomized_probed, Config, RandConfig,
 };
-use graphgen::generators::{self, HardCliqueParams};
-use hypergraph::generators::random_hypergraph;
-use localsim::{NullSink, Probe, RecordingSink};
+use graphgen::generators::{self, BlueprintKind, HardCliqueParams};
+use graphgen::Graph;
+use localsim::Probe;
+use serde::{json, Value};
 
-fn hard(cliques: usize, delta: usize, seed: u64) -> generators::HardCliqueInstance {
-    generators::hard_cliques(&HardCliqueParams {
-        cliques,
-        delta,
-        external_per_vertex: 1,
-        seed,
-    })
+fn circulant(cliques: usize, delta: usize, seed: u64) -> Graph {
+    generators::hard_cliques_with_blueprint(
+        &HardCliqueParams {
+            cliques,
+            delta,
+            external_per_vertex: 1,
+            seed,
+        },
+        BlueprintKind::Circulant,
+    )
     .expect("bench instance")
+    .graph
 }
 
-/// E1/E3 wall time: the full pipelines on a small hard instance.
-fn bench_pipelines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10);
-    for m in [34usize, 68] {
-        let inst = hard(m, 16, 7);
-        group.bench_with_input(BenchmarkId::new("deterministic", m), &inst, |b, inst| {
-            b.iter(|| color_deterministic(&inst.graph, &Config::for_delta(16)).unwrap());
+/// Shattering-heavy randomized config: `defer_radius = 5` leaves the
+/// post-shattering phase with real leftover components to schedule.
+fn shattering_config(seed: u64, threads: usize) -> RandConfig {
+    let mut config = RandConfig::for_delta(16, seed);
+    config.defer_radius = 5;
+    config.base.threads = threads;
+    config
+}
+
+struct AcdCase {
+    instance: &'static str,
+    n: usize,
+    kernel: &'static str,
+    m: Measurement,
+}
+
+struct PipelineCase {
+    pipeline: &'static str,
+    instance: &'static str,
+    n: usize,
+    variant: &'static str,
+    m: Measurement,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    let smoke = test_mode || args.iter().any(|a| a == "--smoke");
+    // `cargo bench` runs with cwd = crates/bench; resolve relative --json
+    // paths against the workspace root so `--json BENCH_pipeline.json`
+    // lands at the repo root regardless of invocation directory.
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(|p| {
+            let p = std::path::Path::new(p);
+            if p.is_absolute() {
+                p.to_path_buf()
+            } else {
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .join("../..")
+                    .join(p)
+            }
         });
-        group.bench_with_input(BenchmarkId::new("randomized", m), &inst, |b, inst| {
-            b.iter(|| color_randomized(&inst.graph, &RandConfig::for_delta(16, 3)).unwrap());
-        });
+
+    let samples = if smoke { 3 } else { 5 };
+
+    // --- ACD kernels: blocked bitmaps vs per-edge neighborhood merge. ---
+    // Circulant hard-clique instances are the dense regime the kernel
+    // targets: every vertex sits in a Δ-clique, so each friend-edge test
+    // scans Θ(Δ) neighbors under the merge kernel. The Δ = 63 instance
+    // runs the paper's own parameter regime (`AcdParams::paper`), where
+    // neighborhoods are long enough for the kernel gap to dominate.
+    let acd_instances: Vec<(&'static str, Graph)> = if smoke {
+        vec![("circulant-d16", circulant(40, 16, 7))]
+    } else {
+        vec![
+            ("circulant-d16", circulant(64, 16, 7)),
+            ("circulant-d16", circulant(256, 16, 7)),
+            ("circulant-d63", circulant(136, 63, 7)),
+        ]
+    };
+
+    let mut acd_cases: Vec<AcdCase> = Vec::new();
+    for (instance, g) in &acd_instances {
+        let n = g.n();
+        let params = AcdParams::for_delta(g.max_degree());
+        // Bit-identity micro-assert: never time a diverged baseline.
+        assert_eq!(
+            compute_acd(g, &params),
+            compute_acd_reference(g, &params),
+            "blocked kernel diverged from the merge kernel on {instance}/n={n}"
+        );
+        let mut push = |kernel: &'static str, m: Measurement| {
+            println!(
+                "acd/{instance}/n={n}/{kernel}: mean {:.3} ms, min {:.3} ms",
+                m.mean_ns / 1e6,
+                m.min_ns / 1e6
+            );
+            acd_cases.push(AcdCase {
+                instance,
+                n,
+                kernel,
+                m,
+            });
+        };
+        // The kernels in isolation: the friend-edge computation the
+        // rewrite targets.
+        push(
+            "kernel-blocked",
+            measure(test_mode, samples, |b| {
+                b.iter(|| kernel::friend_graph(g, &params))
+            }),
+        );
+        push(
+            "kernel-merge",
+            measure(test_mode, samples, |b| {
+                b.iter(|| kernel::friend_graph_reference(g, &params))
+            }),
+        );
+        // The full decomposition (kernel + shared postprocessing).
+        push(
+            "full-blocked",
+            measure(test_mode, samples, |b| b.iter(|| compute_acd(g, &params))),
+        );
+        push(
+            "full-merge",
+            measure(test_mode, samples, |b| {
+                b.iter(|| compute_acd_reference(g, &params))
+            }),
+        );
     }
-    group.finish();
-}
 
-/// E4 wall time: HEG solvers.
-fn bench_heg(c: &mut Criterion) {
-    let mut group = c.benchmark_group("heg");
-    group.sample_size(10);
-    for n in [1024usize, 8192] {
-        let h = random_hypergraph(n, 8, 4, 5).unwrap();
-        group.bench_with_input(BenchmarkId::new("augmenting", n), &h, |b, h| {
-            b.iter(|| hypergraph::heg_augmenting(h).unwrap());
-        });
-        group.bench_with_input(BenchmarkId::new("token_walk", n), &h, |b, h| {
-            b.iter(|| hypergraph::heg_token_walk(h, 3).unwrap());
-        });
+    let mut acd_speedups: Vec<(String, usize, f64)> = Vec::new();
+    for (instance, g) in &acd_instances {
+        for scope in ["kernel", "full"] {
+            let mean_of = |kernel: String| {
+                acd_cases
+                    .iter()
+                    .find(|c| {
+                        c.instance == *instance && c.n == g.n() && c.kernel == kernel.as_str()
+                    })
+                    .map(|c| c.m.mean_ns)
+            };
+            if let (Some(merge), Some(blocked)) = (
+                mean_of(format!("{scope}-merge")),
+                mean_of(format!("{scope}-blocked")),
+            ) {
+                let s = merge / blocked;
+                println!(
+                    "acd/{instance}/n={}/{scope}: merge/blocked speedup {s:.2}x",
+                    g.n()
+                );
+                acd_speedups.push((format!("{instance}/n={}/{scope}", g.n()), g.n(), s));
+            }
+        }
     }
-    group.finish();
-}
 
-/// E9/E10 wall time: the distributed primitives.
-fn bench_primitives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("primitives");
-    group.sample_size(10);
-    let g = generators::random_regular(2048, 8, 11);
-    group.bench_function("maximal_matching_det_direct", |b| {
-        b.iter(|| primitives::matching::maximal_matching_det_direct(&g).unwrap());
-    });
-    group.bench_function("mis_luby", |b| {
-        b.iter(|| primitives::mis::mis_luby(&g, 5).unwrap());
-    });
-    group.bench_function("delta_plus_one_coloring", |b| {
-        b.iter(|| primitives::linial::delta_plus_one_coloring(&g, None).unwrap());
-    });
-    group.bench_function("degree_split", |b| {
-        b.iter(|| primitives::split::degree_split(&g, 8).unwrap());
-    });
-    group.finish();
-}
+    // --- End-to-end pipelines at several pool widths. ---
+    let pipe_cliques = if smoke { 40 } else { 80 };
+    let g = circulant(pipe_cliques, 16, 11);
+    let n = g.n();
+    let thread_variants = [("seq", 1usize), ("par2", 2), ("par4", 4)];
 
-/// E6 wall time: baselines on the same instance.
-fn bench_baselines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("baselines");
-    group.sample_size(10);
-    let inst = hard(34, 16, 9);
-    group.bench_function("delta_plus_one", |b| {
-        b.iter(|| baselines::delta_plus_one(&inst.graph).unwrap());
-    });
-    group.bench_function("global_stalling", |b| {
-        b.iter(|| baselines::global_stalling(&inst.graph).unwrap());
-    });
-    group.bench_function("brooks_sequential", |b| {
-        b.iter(|| baselines::brooks_sequential(&inst.graph).unwrap());
-    });
-    group.finish();
-}
+    // Colorings must agree across thread counts before anything is timed.
+    let det_ref = {
+        let mut config = Config::for_delta(16);
+        config.threads = 1;
+        color_deterministic(&g, &config).expect("bench instance colors")
+    };
+    let rand_ref = color_randomized_probed(&g, &shattering_config(3, 1), &Probe::disabled())
+        .expect("bench instance colors");
+    let shat_ref = rand_ref.coloring.clone();
+    for (_, threads) in &thread_variants[1..] {
+        let mut config = Config::for_delta(16);
+        config.threads = *threads;
+        let det = color_deterministic(&g, &config).unwrap();
+        assert_eq!(
+            det_ref.coloring, det.coloring,
+            "deterministic pipeline diverged at threads={threads}"
+        );
+        let shat = color_randomized_probed(&g, &shattering_config(3, *threads), &Probe::disabled())
+            .unwrap();
+        assert_eq!(
+            shat_ref, shat.coloring,
+            "randomized pipeline diverged at threads={threads}"
+        );
+    }
 
-/// Telemetry overhead: the deterministic pipeline probe-free, with a
-/// probe nobody listens to (NullSink), and with full in-memory recording.
-/// The first two must be indistinguishable; the third bounds the cost of
-/// `--profile`.
-fn bench_telemetry_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("telemetry");
-    group.sample_size(10);
-    let inst = hard(34, 16, 7);
-    group.bench_function("probe_free", |b| {
-        b.iter(|| color_deterministic(&inst.graph, &Config::for_delta(16)).unwrap());
-    });
-    group.bench_function("null_sink", |b| {
-        b.iter(|| {
-            let probe = Probe::from_sink(NullSink);
-            color_deterministic_probed(&inst.graph, &Config::for_delta(16), &probe).unwrap()
+    let mut pipe_cases: Vec<PipelineCase> = Vec::new();
+    let mut push = |pipeline: &'static str, instance: &'static str, variant, m: Measurement| {
+        println!(
+            "pipeline/{pipeline}/{instance}/n={n}/{variant}: mean {:.3} ms, min {:.3} ms",
+            m.mean_ns / 1e6,
+            m.min_ns / 1e6
+        );
+        pipe_cases.push(PipelineCase {
+            pipeline,
+            instance,
+            n,
+            variant,
+            m,
         });
-    });
-    group.bench_function("recording_sink", |b| {
-        b.iter(|| {
-            let probe = Probe::from_sink(RecordingSink::new());
-            color_deterministic_probed(&inst.graph, &Config::for_delta(16), &probe).unwrap()
-        });
-    });
-    group.finish();
-}
+    };
+    for (variant, threads) in thread_variants {
+        let mut det_config = Config::for_delta(16);
+        det_config.threads = threads;
+        push(
+            "deterministic",
+            "circulant",
+            variant,
+            measure(test_mode, samples, |b| {
+                b.iter(|| color_deterministic(&g, &det_config).unwrap())
+            }),
+        );
+        let rand_config = {
+            let mut c = RandConfig::for_delta(16, 3);
+            c.base.threads = threads;
+            c
+        };
+        push(
+            "randomized",
+            "circulant",
+            variant,
+            measure(test_mode, samples, |b| {
+                b.iter(|| color_randomized(&g, &rand_config).unwrap())
+            }),
+        );
+        let shat_config = shattering_config(3, threads);
+        push(
+            "randomized",
+            "shattering",
+            variant,
+            measure(test_mode, samples, |b| {
+                b.iter(|| color_randomized(&g, &shat_config).unwrap())
+            }),
+        );
+    }
 
-/// Network decomposition and CONGEST variants.
-fn bench_extras(c: &mut Criterion) {
-    let mut group = c.benchmark_group("extras");
-    group.sample_size(10);
-    let g = generators::random_regular(1024, 6, 13);
-    group.bench_function("linial_saks_decomposition", |b| {
-        b.iter(|| primitives::netdecomp::linial_saks(&g, 3));
-    });
-    group.bench_function("congest_delta_plus_one", |b| {
-        b.iter(|| primitives::congest_coloring::congest_delta_plus_one(&g, 3).unwrap());
-    });
-    group.bench_function("congest_mis", |b| {
-        b.iter(|| primitives::congest_mis::congest_mis(&g, 3).unwrap());
-    });
-    group.bench_function("heg_blocking", |b| {
-        let h = random_hypergraph(2048, 8, 4, 5).unwrap();
-        b.iter(|| hypergraph::heg_blocking(&h).unwrap());
-    });
-    group.finish();
+    if let Some(path) = json_path {
+        let report = Value::Map(vec![
+            (
+                "mode".to_string(),
+                Value::Str(if smoke { "smoke" } else { "full" }.to_string()),
+            ),
+            ("samples".to_string(), Value::U64(samples as u64)),
+            (
+                "acd_cases".to_string(),
+                Value::Seq(
+                    acd_cases
+                        .iter()
+                        .map(|c| {
+                            Value::Map(vec![
+                                ("instance".to_string(), Value::Str(c.instance.to_string())),
+                                ("n".to_string(), Value::U64(c.n as u64)),
+                                ("kernel".to_string(), Value::Str(c.kernel.to_string())),
+                                ("mean_ns".to_string(), Value::F64(c.m.mean_ns)),
+                                ("min_ns".to_string(), Value::F64(c.m.min_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "acd_merge_over_blocked_speedups".to_string(),
+                Value::Seq(
+                    acd_speedups
+                        .iter()
+                        .map(|(key, n, s)| {
+                            Value::Map(vec![
+                                ("case".to_string(), Value::Str(key.clone())),
+                                ("n".to_string(), Value::U64(*n as u64)),
+                                ("speedup".to_string(), Value::F64(*s)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "pipeline_cases".to_string(),
+                Value::Seq(
+                    pipe_cases
+                        .iter()
+                        .map(|c| {
+                            Value::Map(vec![
+                                ("pipeline".to_string(), Value::Str(c.pipeline.to_string())),
+                                ("instance".to_string(), Value::Str(c.instance.to_string())),
+                                ("n".to_string(), Value::U64(c.n as u64)),
+                                ("variant".to_string(), Value::Str(c.variant.to_string())),
+                                ("mean_ns".to_string(), Value::F64(c.m.mean_ns)),
+                                ("min_ns".to_string(), Value::F64(c.m.min_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&path).expect("create bench json");
+        file.write_all(json::to_string(&report).as_bytes())
+            .expect("write bench json");
+        file.write_all(b"\n").expect("write bench json");
+        println!("wrote {}", path.display());
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_pipelines,
-    bench_heg,
-    bench_primitives,
-    bench_baselines,
-    bench_telemetry_overhead,
-    bench_extras
-);
-criterion_main!(benches);

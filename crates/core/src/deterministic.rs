@@ -55,6 +55,13 @@ pub struct Config {
     /// Enforce the paper's exact constants (Lemma 16's Δ−2 bound etc.);
     /// automatically enabled for Δ ≥ 63 where they are proved.
     pub enforce_paper_bounds: bool,
+    /// Worker threads for pipeline-level parallelism (the leftover
+    /// component pool of the randomized pipeline, the loophole brute
+    /// force of Algorithm 3). `0` resolves to the process default
+    /// ([`localsim::default_threads`], i.e. `LOCALSIM_THREADS` or the
+    /// CLI's `--threads`). Any value produces bit-identical colorings,
+    /// ledgers, and telemetry; see `docs/PERFORMANCE.md`.
+    pub threads: usize,
 }
 
 impl Config {
@@ -69,6 +76,7 @@ impl Config {
             ruling_r: 1,
             split_segment: 4,
             enforce_paper_bounds: true,
+            threads: 0,
         }
     }
 
@@ -216,6 +224,7 @@ pub fn color_deterministic_probed(
         &loopholes,
         config.ruling_r,
         RulingStyle::Deterministic,
+        config.threads,
         &mut coloring,
         &mut ledger,
     )?;

@@ -38,7 +38,10 @@ pub struct EasyStats {
 /// Colors every remaining uncolored vertex (easy cliques and loopholes).
 ///
 /// `ruling_r` selects the ruling-set radius (`1` = MIS; the paper's
-/// Lemma 19 uses up to 6 to trade rounds for Δ-dependence).
+/// Lemma 19 uses up to 6 to trade rounds for Δ-dependence). `threads`
+/// bounds the worker pool for the loophole brute-force step (`0` = the
+/// process default, see [`localsim::default_threads`]); the result is
+/// bit-identical at every thread count.
 ///
 /// # Errors
 ///
@@ -50,10 +53,20 @@ pub fn color_easy_and_loopholes(
     loopholes: &LoopholeReport,
     ruling_r: usize,
     ruling_style: RulingStyle,
+    threads: usize,
     coloring: &mut Coloring,
     ledger: &mut RoundLedger,
 ) -> Result<EasyStats, DeltaColoringError> {
-    color_easy_and_loopholes_scoped(g, loopholes, ruling_r, ruling_style, None, coloring, ledger)
+    color_easy_and_loopholes_scoped(
+        g,
+        loopholes,
+        ruling_r,
+        ruling_style,
+        None,
+        threads,
+        coloring,
+        ledger,
+    )
 }
 
 /// Scoped variant of [`color_easy_and_loopholes`]: only vertices with
@@ -63,12 +76,14 @@ pub fn color_easy_and_loopholes(
 /// # Errors
 ///
 /// As [`color_easy_and_loopholes`].
+#[allow(clippy::too_many_arguments)]
 pub fn color_easy_and_loopholes_scoped(
     g: &Graph,
     loopholes: &LoopholeReport,
     ruling_r: usize,
     ruling_style: RulingStyle,
     scope: Option<&[bool]>,
+    threads: usize,
     coloring: &mut Coloring,
     ledger: &mut RoundLedger,
 ) -> Result<EasyStats, DeltaColoringError> {
@@ -199,9 +214,26 @@ pub fn color_easy_and_loopholes_scoped(
     }
 
     // --- Step 8: brute-force the selected loopholes. ---
-    for lh in &selected {
-        let vs = lh.vertices();
-        let Some(colors) = brute_force_color_loophole(g, coloring, &vs, delta) else {
+    // Selected loopholes are pairwise non-adjacent in G_L — disjoint
+    // vertex sets with no connecting edge — so each brute force reads
+    // colors no other selected loophole writes. Computing every plan
+    // against the pre-step state and applying the writes in selection
+    // order is therefore bit-identical to the sequential interleaving,
+    // and the plans can run on the worker pool.
+    let plans = {
+        let snapshot: &Coloring = coloring;
+        crate::pool::run_indexed(
+            crate::pool::effective_threads(threads),
+            selected.len(),
+            |i| {
+                let vs = selected[i].vertices();
+                let colors = brute_force_color_loophole(g, snapshot, &vs, delta);
+                (vs, colors)
+            },
+        )
+    };
+    for (vs, colors) in plans {
+        let Some(colors) = colors else {
             return Err(DeltaColoringError::InvariantViolated(format!(
                 "Lemma 7 violated: loophole {vs:?} admits no deg-list coloring"
             )));

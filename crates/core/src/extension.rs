@@ -334,6 +334,7 @@ pub fn color_sparse_dense_probed(
             config.base.ruling_r,
             RulingStyle::Randomized(config.seed ^ 0xEA5E),
             Some(&easy_scope),
+            config.base.threads,
             &mut coloring,
             &mut ledger,
         )?;

@@ -48,6 +48,7 @@ mod phase1;
 mod phase2;
 mod phase3;
 mod phase4;
+mod pool;
 mod randomized;
 pub mod render;
 pub mod validate;

@@ -1,0 +1,129 @@
+//! Scoped worker pool for pipeline-level parallelism.
+//!
+//! The pipelines contain stages made of *independent units* — leftover
+//! components after shattering, selected loopholes in the easy sweep —
+//! whose computations read only state no other unit writes. This module
+//! runs such units across a scoped thread pool and returns the results
+//! **in unit-index order**, so callers can merge colors, ledgers, and
+//! telemetry deterministically: the observable outcome is bit-identical
+//! at every thread count (pinned by `tests/pipeline_parallel.rs`).
+//!
+//! Thread-count semantics mirror the executors (`localsim`): `0` resolves
+//! to [`localsim::default_threads`] (the `LOCALSIM_THREADS` / `--threads`
+//! default), `1` runs inline on the calling thread, `k ≥ 2` spawns `k`
+//! scoped workers pulling unit indices from a shared counter (dynamic
+//! scheduling — component sizes are heavy-tailed, so static chunking
+//! would idle workers).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a configured thread count: `0` means the process default.
+pub(crate) fn effective_threads(configured: usize) -> usize {
+    if configured == 0 {
+        localsim::default_threads()
+    } else {
+        configured
+    }
+}
+
+/// Runs `f(0), f(1), …, f(len - 1)` on up to `threads` scoped workers and
+/// returns the results in index order.
+pub(crate) fn run_indexed<T, F>(threads: usize, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_with(threads, len, || (), |(), i| f(i))
+}
+
+/// [`run_indexed`] with per-worker scratch state: every worker calls
+/// `init` once and threads the state through each unit it executes
+/// (the component pool uses this for its snapshot colorings, so scratch
+/// is allocated per *worker*, not per unit).
+///
+/// `f` must produce a result that depends only on the unit index — not
+/// on which worker ran it or in what order (scratch must be returned to
+/// its post-`init` state before `f` returns). Under that contract the
+/// output vector is identical at every thread count.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope rejoins all workers first).
+pub(crate) fn run_indexed_with<S, T, I, F>(threads: usize, len: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let k = threads.clamp(1, len.max(1));
+    if k <= 1 {
+        let mut scratch = init();
+        return (0..len).map(|i| f(&mut scratch, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..k {
+            scope.spawn(|| {
+                let mut scratch = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    let out = f(&mut scratch, i);
+                    *slots[i].lock().expect("pool slot poisoned") = Some(out);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("pool slot poisoned")
+                .expect("every index was claimed by exactly one worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_index_order_at_every_thread_count() {
+        for threads in [0, 1, 2, 4, 16] {
+            let k = if threads == 0 { 1 } else { threads };
+            let out = run_indexed(k, 10, |i| i * i);
+            assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn scratch_is_per_worker() {
+        // Each worker's scratch counts the units it ran; the sum over all
+        // results must cover every unit exactly once.
+        let out = run_indexed_with(
+            4,
+            100,
+            || 0usize,
+            |seen, i| {
+                *seen += 1;
+                (i, *seen)
+            },
+        );
+        assert_eq!(out.len(), 100);
+        for (idx, (i, seen)) in out.iter().enumerate() {
+            assert_eq!(*i, idx);
+            assert!(*seen >= 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_oversubscribed() {
+        assert!(run_indexed(4, 0, |i| i).is_empty());
+        assert_eq!(run_indexed(64, 3, |i| i), vec![0, 1, 2]);
+    }
+}

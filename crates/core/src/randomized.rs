@@ -31,7 +31,7 @@
 
 use acd::{compute_acd, AcdResult};
 use graphgen::{Color, Coloring, Graph, NodeId};
-use localsim::{Event, FaultKind, FaultPlan, Probe, RoundLedger};
+use localsim::{Event, FaultKind, FaultPlan, Probe, RecordingSink, RoundLedger};
 use primitives::ruling::RulingStyle;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -332,41 +332,103 @@ fn color_randomized_inner(
     let components = leftover_components(g, &leftover);
     shatter.components = components.len();
     shatter.max_component = components.iter().map(Vec::len).max().unwrap_or(0);
-    let mut component_ledgers = Vec::with_capacity(components.len());
-    for (i, comp) in components.iter().enumerate() {
-        let mut comp_ledger = RoundLedger::with_probe(probe.clone());
-        let comp_seed = config.seed.wrapping_add(i as u64);
-        if let Some(plan) = faults {
-            let retries_before = recovery.retries;
-            solve_component_faulted(
-                g,
-                &acd,
-                &cls,
-                comp,
-                &config.base,
-                comp_seed,
-                plan,
-                probe,
-                &mut coloring,
-                &mut comp_ledger,
-                &mut recovery,
-            )?;
-            if recovery.retries > retries_before {
-                recovery.components_hit += 1;
+
+    // No edge joins two leftover components, so a component's writes
+    // (confined to its own vertices) can never influence another
+    // component's reads: its vertices' neighborhoods, clique boundaries,
+    // and the frozen pre-shattering colors. Each component is therefore
+    // solved against a *snapshot* of the post-shattering coloring — on
+    // the worker pool, with a per-component probe recording its
+    // telemetry — and colors, events, ledgers, and recovery stats are
+    // merged in component-index order. The observable outcome is a pure
+    // function of (snapshot, component, seed): bit-identical at every
+    // thread count, including the inline `threads = 1` path.
+    struct ComponentOutcome {
+        writes: Vec<(NodeId, Color)>,
+        events: Vec<Event>,
+        ledger: RoundLedger,
+        recovery: RecoveryStats,
+        result: Result<(), DeltaColoringError>,
+    }
+    let record_events = probe.enabled();
+    let outcomes = crate::pool::run_indexed_with(
+        crate::pool::effective_threads(config.base.threads),
+        components.len(),
+        || coloring.clone(),
+        |scratch, i| {
+            let comp = &components[i];
+            let comp_seed = config.seed.wrapping_add(i as u64);
+            let recording = record_events.then(|| std::sync::Arc::new(RecordingSink::new()));
+            let comp_probe = recording
+                .as_ref()
+                .map_or_else(Probe::disabled, |r| Probe::new(r.clone()));
+            let mut comp_ledger = RoundLedger::with_probe(comp_probe.clone());
+            let mut comp_recovery = RecoveryStats::default();
+            let result = if let Some(plan) = faults {
+                solve_component_faulted(
+                    g,
+                    &acd,
+                    &cls,
+                    comp,
+                    &config.base,
+                    comp_seed,
+                    plan,
+                    &comp_probe,
+                    scratch,
+                    &mut comp_ledger,
+                    &mut comp_recovery,
+                )
+            } else {
+                solve_component(
+                    g,
+                    &acd,
+                    &cls,
+                    comp,
+                    &config.base,
+                    comp_seed,
+                    scratch,
+                    &mut comp_ledger,
+                )
+            };
+            if comp_recovery.retries > 0 {
+                comp_recovery.components_hit = 1;
             }
-        } else {
-            solve_component(
-                g,
-                &acd,
-                &cls,
-                comp,
-                &config.base,
-                comp_seed,
-                &mut coloring,
-                &mut comp_ledger,
-            )?;
+            // Harvest the component's writes (all writes are confined to
+            // `comp`: hard phases color scope-hard vertices, the scoped
+            // easy sweep colors in-scope vertices, and both scopes are
+            // subsets of `comp`), then restore the scratch to the
+            // snapshot for the worker's next component.
+            let mut writes = Vec::with_capacity(comp.len());
+            for &v in comp {
+                if let Some(c) = scratch.get(v) {
+                    writes.push((v, c));
+                    scratch.unset(v);
+                }
+            }
+            ComponentOutcome {
+                writes,
+                events: recording.map(|r| r.events()).unwrap_or_default(),
+                ledger: comp_ledger,
+                recovery: comp_recovery,
+                result,
+            }
+        },
+    );
+    let mut component_ledgers = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        for event in outcome.events {
+            probe.emit(event);
         }
-        component_ledgers.push(comp_ledger);
+        outcome.result?;
+        for (v, c) in outcome.writes {
+            coloring.set(v, c);
+        }
+        recovery.retries += outcome.recovery.retries;
+        recovery.struck_vertices += outcome.recovery.struck_vertices;
+        recovery.components_hit += outcome.recovery.components_hit;
+        recovery.recovery_rounds += outcome.recovery.recovery_rounds;
+        recovery.max_attempts = recovery.max_attempts.max(outcome.recovery.max_attempts);
+        component_ledgers.push(outcome.ledger);
     }
     ledger.absorb_parallel_max("post-shattering", component_ledgers);
     span.add_rounds(ledger.total() - before);
@@ -414,6 +476,7 @@ fn color_randomized_inner(
         config.base.ruling_r,
         RulingStyle::Randomized(config.seed ^ 0xE457_0000),
         None,
+        config.base.threads,
         &mut coloring,
         &mut ledger,
     )?;
@@ -488,13 +551,16 @@ fn enforce_spacing(clique_graph: &Graph, proposers: &[u32], b: usize) -> Vec<u32
 fn leftover_components(g: &Graph, leftover: &impl Fn(NodeId) -> bool) -> Vec<Vec<NodeId>> {
     let mut seen = vec![false; g.n()];
     let mut out = Vec::new();
+    // Hoisted BFS stack: drained when a component completes, so one
+    // allocation serves every component.
+    let mut stack: Vec<NodeId> = Vec::new();
     for s in g.vertices() {
         if seen[s.index()] || !leftover(s) {
             continue;
         }
         seen[s.index()] = true;
         let mut comp = vec![s];
-        let mut stack = vec![s];
+        stack.push(s);
         while let Some(v) = stack.pop() {
             for &w in g.neighbors(v) {
                 if !seen[w.index()] && leftover(w) {
@@ -638,6 +704,8 @@ fn solve_component(
         1,
         RulingStyle::Randomized(seed),
         Some(&in_comp),
+        // Components are already parallel units; no nested parallelism.
+        1,
         coloring,
         ledger,
     )?;
@@ -875,6 +943,7 @@ fn color_large_delta(
         config.base.ruling_r,
         RulingStyle::Randomized(config.seed ^ 0x1A26_00E1),
         None,
+        config.base.threads,
         &mut coloring,
         &mut ledger,
     )?;

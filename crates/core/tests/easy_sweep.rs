@@ -30,6 +30,7 @@ fn sweep_colors_a_clique_ring_completely() {
         &loopholes,
         1,
         RulingStyle::Deterministic,
+        0,
         &mut coloring,
         &mut ledger,
     )
@@ -62,6 +63,7 @@ fn sweep_respects_scope() {
         1,
         RulingStyle::Deterministic,
         Some(&scope),
+        0,
         &mut coloring,
         &mut ledger,
     )
@@ -86,6 +88,7 @@ fn sweep_reports_missing_anchors() {
         &votes,
         1,
         RulingStyle::Deterministic,
+        0,
         &mut coloring,
         &mut ledger,
     )
@@ -110,6 +113,7 @@ fn sweep_skips_stale_votes_but_uses_fresh_anchors() {
         &votes,
         1,
         RulingStyle::Deterministic,
+        0,
         &mut coloring,
         &mut ledger,
     )
@@ -134,6 +138,7 @@ fn sweep_no_op_when_everything_colored() {
         &votes,
         1,
         RulingStyle::Deterministic,
+        0,
         &mut coloring,
         &mut ledger,
     )

@@ -1,0 +1,156 @@
+//! Pipeline-level parallelism determinism: runs at every thread count
+//! must be bit-identical — colors, round totals, recovery stats, and the
+//! full telemetry event stream (wall-clock normalized away, everything
+//! else exact). These tests pin the merge contract of `core::pool`: the
+//! leftover-component pool and the loophole brute-force pool both solve
+//! against snapshots and merge in unit-index order, so the thread count
+//! can only change wall-clock, never any observable output.
+
+use std::sync::Arc;
+
+use delta_core::{
+    color_deterministic_probed, color_randomized_probed, color_randomized_with_faults, Config,
+    RandConfig, RandReport, Report,
+};
+use graphgen::coloring::verify_delta_coloring;
+use graphgen::generators::{self, BlueprintKind, HardCliqueParams};
+use graphgen::Graph;
+use localsim::{Event, FaultPlan, Probe, RecordingSink};
+
+fn circulant(cliques: usize, seed: u64) -> generators::HardCliqueInstance {
+    generators::hard_cliques_with_blueprint(
+        &HardCliqueParams {
+            cliques,
+            delta: 16,
+            external_per_vertex: 1,
+            seed,
+        },
+        BlueprintKind::Circulant,
+    )
+    .unwrap()
+}
+
+/// `defer_radius = 5` leaves real leftover components on these circulant
+/// instances (the default radius swallows them whole), so the component
+/// pool actually has independent units to schedule.
+fn shattering_config(seed: u64, threads: usize) -> RandConfig {
+    let mut config = RandConfig::for_delta(16, seed);
+    config.defer_radius = 5;
+    config.base.threads = threads;
+    config
+}
+
+/// Normalized (wall-clock-free) event stream of a recorded run.
+fn normalize(events: &[Event]) -> Vec<Event> {
+    events.iter().map(Event::normalized).collect()
+}
+
+fn run_randomized(
+    g: &Graph,
+    config: &RandConfig,
+    faults: Option<&FaultPlan>,
+) -> (RandReport, Vec<Event>) {
+    let sink = Arc::new(RecordingSink::new());
+    let probe = Probe::new(sink.clone());
+    let report = match faults {
+        Some(plan) => color_randomized_with_faults(g, config, plan, &probe).unwrap(),
+        None => color_randomized_probed(g, config, &probe).unwrap(),
+    };
+    (report, sink.events())
+}
+
+fn assert_rand_identical(reference: &(RandReport, Vec<Event>), other: &(RandReport, Vec<Event>)) {
+    assert_eq!(
+        reference.0.coloring, other.0.coloring,
+        "colors differ across thread counts"
+    );
+    assert_eq!(
+        reference.0.rounds(),
+        other.0.rounds(),
+        "round totals differ across thread counts"
+    );
+    assert_eq!(
+        reference.0.recovery, other.0.recovery,
+        "recovery stats differ across thread counts"
+    );
+    assert_eq!(
+        reference.0.shatter.components, other.0.shatter.components,
+        "component counts differ across thread counts"
+    );
+    assert_eq!(
+        normalize(&reference.1),
+        normalize(&other.1),
+        "telemetry event streams differ across thread counts"
+    );
+}
+
+#[test]
+fn randomized_pipeline_is_bit_identical_across_thread_counts() {
+    let inst = circulant(80, 500);
+    for seed in [1, 9] {
+        let reference = run_randomized(&inst.graph, &shattering_config(seed, 1), None);
+        assert!(
+            reference.0.shatter.components > 1,
+            "seed {seed}: instance must leave multiple components for the pool"
+        );
+        verify_delta_coloring(&inst.graph, &reference.0.coloring).unwrap();
+        for threads in [2, 4] {
+            let par = run_randomized(&inst.graph, &shattering_config(seed, threads), None);
+            assert_rand_identical(&reference, &par);
+        }
+    }
+}
+
+#[test]
+fn faulted_pipeline_is_bit_identical_across_thread_counts() {
+    let inst = circulant(80, 501);
+    let plan = FaultPlan {
+        seed: 0xFA17,
+        message_drop_p: 0.01,
+        ..FaultPlan::default()
+    };
+    let reference = run_randomized(&inst.graph, &shattering_config(5, 1), Some(&plan));
+    assert!(
+        reference.0.recovery.retries > 0,
+        "plan must actually trigger retries for the test to mean anything"
+    );
+    verify_delta_coloring(&inst.graph, &reference.0.coloring).unwrap();
+    for threads in [2, 4] {
+        let par = run_randomized(&inst.graph, &shattering_config(5, threads), Some(&plan));
+        assert_rand_identical(&reference, &par);
+    }
+}
+
+#[test]
+fn thread_count_zero_resolves_to_process_default() {
+    // `threads = 0` defers to `localsim::default_threads()`; whatever that
+    // resolves to, the outputs must match the explicit threads = 1 run.
+    let inst = circulant(40, 502);
+    let reference = run_randomized(&inst.graph, &shattering_config(3, 1), None);
+    let auto = run_randomized(&inst.graph, &shattering_config(3, 0), None);
+    assert_rand_identical(&reference, &auto);
+}
+
+fn run_deterministic(g: &Graph, threads: usize) -> (Report, Vec<Event>) {
+    let sink = Arc::new(RecordingSink::new());
+    let probe = Probe::new(sink.clone());
+    let mut config = Config::for_delta(16);
+    config.threads = threads;
+    let report = color_deterministic_probed(g, &config, &probe).unwrap();
+    (report, sink.events())
+}
+
+#[test]
+fn deterministic_pipeline_is_bit_identical_across_thread_counts() {
+    // The deterministic pipeline's pooled unit is the loophole brute-force
+    // step of the easy sweep; clique rings have loopholes at every joint.
+    let g = generators::clique_ring(12, 16);
+    let reference = run_deterministic(&g, 1);
+    verify_delta_coloring(&g, &reference.0.coloring).unwrap();
+    for threads in [2, 4] {
+        let par = run_deterministic(&g, threads);
+        assert_eq!(reference.0.coloring, par.0.coloring);
+        assert_eq!(reference.0.ledger.total(), par.0.ledger.total());
+        assert_eq!(normalize(&reference.1), normalize(&par.1));
+    }
+}

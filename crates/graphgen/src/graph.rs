@@ -1,8 +1,10 @@
 //! The immutable CSR graph type shared by the whole workspace.
 
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::OnceLock;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Identifier of a vertex: an index into the graph's vertex set.
 ///
@@ -88,12 +90,49 @@ impl std::error::Error for GraphError {}
 /// Adjacency lists are sorted, enabling `O(log Δ)` [`Graph::has_edge`]
 /// queries and linear-time sorted-list intersections in
 /// [`crate::analysis::common_neighbors`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     offsets: Vec<usize>,
     adj: Vec<NodeId>,
     m: usize,
     max_degree: usize,
+    /// Lazily built reverse-port table (see [`Graph::reverse_ports`]).
+    /// Pure cache: excluded from equality and serialization.
+    rev_ports: OnceLock<Vec<u32>>,
+}
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets
+            && self.adj == other.adj
+            && self.m == other.m
+            && self.max_degree == other.max_degree
+    }
+}
+
+impl Eq for Graph {}
+
+impl Serialize for Graph {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("offsets".into(), self.offsets.to_value()),
+            ("adj".into(), self.adj.to_value()),
+            ("m".into(), self.m.to_value()),
+            ("max_degree".into(), self.max_degree.to_value()),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for Graph {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Graph {
+            offsets: Deserialize::from_value(v.field("offsets")?)?,
+            adj: Deserialize::from_value(v.field("adj")?)?,
+            m: Deserialize::from_value(v.field("m")?)?,
+            max_degree: Deserialize::from_value(v.field("max_degree")?)?,
+            rev_ports: OnceLock::new(),
+        })
+    }
 }
 
 impl Graph {
@@ -147,6 +186,7 @@ impl Graph {
             adj,
             m: list.len(),
             max_degree,
+            rev_ports: OnceLock::new(),
         })
     }
 
@@ -198,16 +238,22 @@ impl Graph {
     /// into one O(1) lookup. Built in O(m) using the fact that adjacency
     /// lists are sorted: scanning senders in ascending order visits each
     /// receiver's ports in ascending order too.
+    ///
+    /// The table is built once per graph on first use and cached, so
+    /// constructing several executors over the same graph (profiling
+    /// sweeps, seq-vs-par equivalence runs) pays the O(m) sweep once.
     #[must_use]
-    pub fn reverse_ports(&self) -> Vec<u32> {
-        let mut rev = vec![0u32; self.adj.len()];
-        let mut cursor = vec![0u32; self.n()];
-        for (nbr, slot) in self.adj.iter().zip(rev.iter_mut()) {
-            let w = nbr.index();
-            *slot = cursor[w];
-            cursor[w] += 1;
-        }
-        rev
+    pub fn reverse_ports(&self) -> &[u32] {
+        self.rev_ports.get_or_init(|| {
+            let mut rev = vec![0u32; self.adj.len()];
+            let mut cursor = vec![0u32; self.n()];
+            for (nbr, slot) in self.adj.iter().zip(rev.iter_mut()) {
+                let w = nbr.index();
+                *slot = cursor[w];
+                cursor[w] += 1;
+            }
+            rev
+        })
     }
 
     /// Whether the undirected edge `{u, v}` is present.
@@ -233,28 +279,18 @@ impl Graph {
     /// Returns the induced graph (with vertices renumbered `0..nodes.len()`
     /// in the order given) and the back-map from new ids to original ids.
     ///
+    /// Extraction goes through a per-thread [`SubgraphArena`], so repeated
+    /// calls (one per leftover component, one per list-coloring instance)
+    /// cost O(Σ extracted size), not O(calls · n).
+    ///
     /// # Panics
     ///
     /// Panics if `nodes` contains a duplicate.
     pub fn induced(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
-        let mut fwd = vec![u32::MAX; self.n()];
-        for (i, v) in nodes.iter().enumerate() {
-            assert!(
-                fwd[v.index()] == u32::MAX,
-                "duplicate node {v} in induced set"
-            );
-            fwd[v.index()] = i as u32;
+        thread_local! {
+            static ARENA: RefCell<SubgraphArena> = RefCell::new(SubgraphArena::new());
         }
-        let mut edges = Vec::new();
-        for (i, &v) in nodes.iter().enumerate() {
-            for &w in self.neighbors(v) {
-                let j = fwd[w.index()];
-                if j != u32::MAX && (i as u32) < j {
-                    edges.push((i as u32, j));
-                }
-            }
-        }
-        let g = Graph::from_edges(nodes.len(), edges).expect("induced subgraph is valid");
+        let g = ARENA.with(|a| a.borrow_mut().extract(self, nodes));
         (g, nodes.to_vec())
     }
 
@@ -375,6 +411,92 @@ impl Graph {
     }
 }
 
+/// Reusable scratch state for induced-subgraph extraction.
+///
+/// [`Graph::induced`] needs a forward map from original vertex ids to
+/// subgraph ids. Allocating (and zeroing) that map per call costs O(n)
+/// even for a 3-vertex component; the arena keeps one map alive across
+/// calls and resets only the entries it touched, so extracting k
+/// subgraphs costs O(Σ subgraph size) after the first call per thread.
+///
+/// The arena builds the induced CSR directly — degree count, prefix sum,
+/// fill, per-list sort — skipping the edge-list materialization and
+/// re-validation that `Graph::from_edges` would repeat (the host graph is
+/// already simple, so the induced subgraph is too).
+#[derive(Debug, Default)]
+pub struct SubgraphArena {
+    /// `fwd[v] == u32::MAX` ⇔ `v` untouched; reset after every call.
+    fwd: Vec<u32>,
+}
+
+impl SubgraphArena {
+    /// An empty arena; scratch grows lazily to the host graph size.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extracts the subgraph of `g` induced by `nodes`, renumbered
+    /// `0..nodes.len()` in the order given (the caller keeps `nodes` as
+    /// the back-map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` contains a duplicate.
+    pub fn extract(&mut self, g: &Graph, nodes: &[NodeId]) -> Graph {
+        if self.fwd.len() < g.n() {
+            self.fwd.resize(g.n(), u32::MAX);
+        }
+        let fwd = &mut self.fwd;
+        for (i, v) in nodes.iter().enumerate() {
+            assert!(
+                fwd[v.index()] == u32::MAX,
+                "duplicate node {v} in induced set"
+            );
+            fwd[v.index()] = i as u32;
+        }
+        let k = nodes.len();
+        let mut offsets = vec![0usize; k + 1];
+        for (i, &v) in nodes.iter().enumerate() {
+            offsets[i + 1] = g
+                .neighbors(v)
+                .iter()
+                .filter(|w| fwd[w.index()] != u32::MAX)
+                .count();
+        }
+        for i in 0..k {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut adj = vec![NodeId(0); offsets[k]];
+        let mut max_degree = 0usize;
+        for (i, &v) in nodes.iter().enumerate() {
+            let mut cursor = offsets[i];
+            for &w in g.neighbors(v) {
+                let j = fwd[w.index()];
+                if j != u32::MAX {
+                    adj[cursor] = NodeId(j);
+                    cursor += 1;
+                }
+            }
+            // Host adjacency is sorted by *original* id; the induced list
+            // must be sorted by *new* id. For sorted `nodes` the renumbering
+            // is monotone and this is a no-op pass.
+            adj[offsets[i]..cursor].sort_unstable();
+            max_degree = max_degree.max(cursor - offsets[i]);
+        }
+        for v in nodes {
+            fwd[v.index()] = u32::MAX;
+        }
+        Graph {
+            m: offsets[k] / 2,
+            offsets,
+            adj,
+            max_degree,
+            rev_ports: OnceLock::new(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +576,65 @@ mod tests {
         assert!(h.has_edge(NodeId(0), NodeId(1))); // 2-3
         assert!(h.has_edge(NodeId(0), NodeId(2))); // 2-0
         assert_eq!(back, vec![NodeId(2), NodeId(3), NodeId(0)]);
+    }
+
+    #[test]
+    fn arena_extraction_matches_from_edges() {
+        // Reusing one arena across differently-shaped extractions must
+        // behave exactly like building each induced subgraph from scratch,
+        // including unsorted node orders (which force the per-list sort).
+        let g = Graph::from_edges(
+            8,
+            [
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (4, 6),
+                (6, 7),
+            ],
+        )
+        .unwrap();
+        let mut arena = SubgraphArena::new();
+        for nodes in [
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            vec![NodeId(6), NodeId(4), NodeId(5)], // unsorted order
+            vec![NodeId(7)],
+            vec![],
+        ] {
+            let got = arena.extract(&g, &nodes);
+            let mut edges = Vec::new();
+            for (i, &v) in nodes.iter().enumerate() {
+                for (j, &w) in nodes.iter().enumerate() {
+                    if i < j && g.has_edge(v, w) {
+                        edges.push((i as u32, j as u32));
+                    }
+                }
+            }
+            let want = Graph::from_edges(nodes.len(), edges).unwrap();
+            assert_eq!(got, want, "induced by {nodes:?}");
+            assert_eq!(got.max_degree(), want.max_degree());
+            assert_eq!(got.m(), want.m());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn arena_rejects_duplicates() {
+        let g = triangle_plus_pendant();
+        SubgraphArena::new().extract(&g, &[NodeId(1), NodeId(1)]);
+    }
+
+    #[test]
+    fn serde_roundtrip_ignores_cache() {
+        let g = triangle_plus_pendant();
+        let _ = g.reverse_ports(); // populate the cache on one side only
+        let back = Graph::from_value(&g.to_value()).unwrap();
+        assert_eq!(g, back);
+        assert_eq!(g.reverse_ports(), back.reverse_ports());
     }
 
     #[test]

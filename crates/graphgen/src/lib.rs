@@ -43,4 +43,4 @@ pub mod io;
 
 pub use builder::GraphBuilder;
 pub use coloring::{Color, Coloring, ColoringError};
-pub use graph::{Graph, GraphError, NodeId};
+pub use graph::{Graph, GraphError, NodeId, SubgraphArena};

@@ -69,7 +69,7 @@ pub use exec::{Executor, LocalAlgorithm, NodeCtx, RunResult, SimError, Transitio
 pub use faults::FaultPlan;
 pub use ledger::{LedgerEntry, RoundLedger};
 pub use msg::{broadcast, MessageExecutor, MessageProgram, MsgTransition, Outgoing, MSG_SCOPE};
-pub use par::default_threads;
+pub use par::{default_threads, set_default_threads};
 
 // Re-exported so simulator users can attach probes without naming the
 // telemetry crate explicitly.

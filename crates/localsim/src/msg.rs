@@ -266,7 +266,7 @@ impl<'g> MessageExecutor<'g> {
                 c_msgs.add(deliver(
                     graph,
                     offsets,
-                    &rev,
+                    rev,
                     &mut cur,
                     &mut dirty_cur,
                     v,
@@ -370,7 +370,7 @@ impl<'g> MessageExecutor<'g> {
                                 c_msgs.add(deliver(
                                     graph,
                                     offsets,
-                                    &rev,
+                                    rev,
                                     &mut nxt,
                                     &mut dirty_nxt,
                                     v,
@@ -384,7 +384,7 @@ impl<'g> MessageExecutor<'g> {
                                 c_msgs.add(deliver(
                                     graph,
                                     offsets,
-                                    &rev,
+                                    rev,
                                     &mut nxt,
                                     &mut dirty_nxt,
                                     v,
@@ -418,7 +418,7 @@ impl<'g> MessageExecutor<'g> {
                             c_msgs.add(deliver(
                                 graph,
                                 offsets,
-                                &rev,
+                                rev,
                                 nxt_ref,
                                 dirty_ref,
                                 v,
@@ -432,7 +432,7 @@ impl<'g> MessageExecutor<'g> {
                             c_msgs.add(deliver(
                                 graph,
                                 offsets,
-                                &rev,
+                                rev,
                                 nxt_ref,
                                 dirty_ref,
                                 v,

@@ -14,11 +14,17 @@ use std::sync::OnceLock;
 
 use graphgen::NodeId;
 
+static THREADS: OnceLock<usize> = OnceLock::new();
+
 /// The process-wide default thread count for executors, read once from
 /// the `LOCALSIM_THREADS` environment variable: values `>= 2` enable the
 /// parallel stepping path, `1` (or unset) keeps the sequential path, and
 /// `0` or an unparsable value falls back to sequential with a one-time
 /// notice on stderr (so a typo'd setting never goes silently ignored).
+///
+/// [`set_default_threads`] overrides the environment (the CLI's
+/// `--threads K` flag uses it); the first of the two to run wins, and the
+/// value never changes afterwards.
 ///
 /// Primitives construct executors with
 /// `Executor::new(g).with_threads(default_threads())`, so a pipeline can
@@ -26,7 +32,6 @@ use graphgen::NodeId;
 /// safe to flip freely: the parallel path is bit-identical to the
 /// sequential one (see `docs/PERFORMANCE.md`).
 pub fn default_threads() -> usize {
-    static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| match std::env::var("LOCALSIM_THREADS") {
         Err(_) => 1,
         Ok(raw) => match raw.trim().parse::<usize>() {
@@ -42,6 +47,15 @@ pub fn default_threads() -> usize {
             }
         },
     })
+}
+
+/// Pins the process-wide default thread count, overriding the
+/// `LOCALSIM_THREADS` environment variable. Returns `false` if the
+/// default was already resolved (by an earlier call or an earlier
+/// [`default_threads`] read) — the established value stays in force, so
+/// callers that care should invoke this before any executor runs.
+pub fn set_default_threads(k: usize) -> bool {
+    THREADS.set(k.max(1)).is_ok()
 }
 
 /// Splits a sorted live worklist into at most `threads` contiguous,

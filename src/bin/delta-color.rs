@@ -8,6 +8,7 @@
 //! delta-color color graph.txt --profile        # per-phase profile table
 //! delta-color color graph.txt --trace-out t.jsonl   # structured trace
 //! delta-color color graph.txt --faults seed=7,drop=0.01   # fault injection
+//! delta-color color graph.txt --threads 4      # worker pool width
 //! ```
 //!
 //! `color` reads the edge-list format (see `graphgen::io`), writes the
@@ -26,7 +27,9 @@ use delta_coloring::coloring::{
 use delta_coloring::graphs::coloring::verify_delta_coloring;
 use delta_coloring::graphs::generators::{hard_cliques, HardCliqueParams};
 use delta_coloring::graphs::io;
-use delta_coloring::local::{Event, FanoutSink, FaultPlan, JsonlSink, Probe, RecordingSink, Sink};
+use delta_coloring::local::{
+    set_default_threads, Event, FanoutSink, FaultPlan, JsonlSink, Probe, RecordingSink, Sink,
+};
 
 fn main() {
     if let Err(e) = run() {
@@ -66,8 +69,17 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         Some("color") => {
             let path = args.get(1).filter(|p| !p.starts_with("--")).ok_or(
                 "usage: delta-color color <file> [--randomized SEED | --general SEED] \
-                 [--faults SPEC] [--trace-out PATH] [--profile]",
+                 [--faults SPEC] [--threads K] [--trace-out PATH] [--profile]",
             )?;
+            if let Some(k) = arg_value(&args, "--threads") {
+                let k: usize = k
+                    .parse()
+                    .map_err(|e| format!("invalid --threads value `{k}`: {e}"))?;
+                // Overrides LOCALSIM_THREADS for executor stepping and the
+                // pipeline component pool. Every result is bit-identical at
+                // any thread count; this only changes wall-clock.
+                set_default_threads(k);
+            }
             let g = io::read_edge_list(path)
                 .map_err(|e| format!("cannot read graph file `{path}`: {e}"))?;
             let delta = g.max_degree();
@@ -152,7 +164,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             eprintln!(
                 "usage:\n  delta-color gen [--cliques N] [--delta D] [--seed S]\n  \
                  delta-color color <file> [--randomized SEED | --general SEED] \
-                 [--faults seed=S,drop=P,jitter=J,crash=N@R+...] [--trace-out PATH] [--profile]"
+                 [--faults seed=S,drop=P,jitter=J,crash=N@R+...] [--threads K] \
+                 [--trace-out PATH] [--profile]"
             );
             Err("unknown command".into())
         }
