@@ -13,6 +13,10 @@ pub enum BrooksError {
     OddCycleComponent,
     /// Δ < 1: there is nothing to color with.
     NoColors,
+    /// A scoped re-solve ([`brooks_component`]) found neither a slack root
+    /// nor a usable Brooks triple — the scope plus its colored boundary is
+    /// as constrained as a `K_{Δ+1}`.
+    ScopedStuck(String),
 }
 
 impl std::fmt::Display for BrooksError {
@@ -21,6 +25,7 @@ impl std::fmt::Display for BrooksError {
             BrooksError::CompleteComponent => write!(f, "a component is K_{{Δ+1}}"),
             BrooksError::OddCycleComponent => write!(f, "a component is an odd cycle"),
             BrooksError::NoColors => write!(f, "graph has no edges to define Δ"),
+            BrooksError::ScopedStuck(msg) => write!(f, "scoped Brooks re-solve stuck: {msg}"),
         }
     }
 }
@@ -156,6 +161,188 @@ fn greedy_cycle(g: &Graph, comp: &[NodeId], coloring: &mut Coloring) -> Result<(
     Ok(())
 }
 
+/// Colors the (connected, currently uncolored) vertex set `comp` with
+/// colors `0..palette`, honoring whatever colors the rest of the graph
+/// already holds. This is the supervisor's degradation path: when the
+/// optimized pipeline fails on a leftover component — panic, budget
+/// overrun, invariant error — the component is re-solved here, Brooks
+/// style, against its frozen colored boundary.
+///
+/// Strategy (the constructive Brooks proof, scoped):
+///
+/// 1. Find a *slack root*: a vertex that is guaranteed a free color even
+///    when colored last — degree below the palette, an uncolored neighbor
+///    outside `comp`, or two pre-colored neighbors sharing a color. Greedy
+///    in reverse-BFS order toward it (every other vertex keeps its BFS
+///    parent uncolored until its own turn, so at most `deg − 1 < palette`
+///    constraints apply).
+/// 2. Otherwise find a Brooks triple inside `comp`: a vertex `u` with two
+///    non-adjacent `comp`-neighbors `a`, `b` that share a free color and
+///    whose removal keeps `comp` connected; same-color `a` and `b`, then
+///    greedy toward `u` (the repeated color grants `u` slack).
+///
+/// On any failure every color this call set is rolled back, so the caller
+/// observes all-or-nothing behavior.
+///
+/// # Errors
+///
+/// [`BrooksError::NoColors`] for an empty palette and
+/// [`BrooksError::ScopedStuck`] when neither a slack root nor a usable
+/// triple exists (only possible when the boundary is adversarially
+/// colored; never on the pipelines' leftover components, whose boundary
+/// always holds uncolored deferred vertices).
+pub fn brooks_component(
+    g: &Graph,
+    comp: &[NodeId],
+    palette: u32,
+    coloring: &mut Coloring,
+) -> Result<(), BrooksError> {
+    if palette == 0 {
+        return Err(BrooksError::NoColors);
+    }
+    let mut in_comp = std::collections::HashSet::new();
+    for &v in comp {
+        in_comp.insert(v);
+    }
+    let slack = |v: NodeId| {
+        if g.degree(v) < palette as usize {
+            return true;
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut uncolored_external = false;
+        let mut repeat = false;
+        for &w in g.neighbors(v) {
+            match coloring.get(w) {
+                Some(c) if !seen.insert(c) => repeat = true,
+                None if !in_comp.contains(&w) => uncolored_external = true,
+                _ => {}
+            }
+        }
+        uncolored_external || repeat
+    };
+    if let Some(&root) = comp.iter().find(|&&v| slack(v)) {
+        return greedy_component(g, comp, root, &[], palette, coloring);
+    }
+    // No slack anywhere: every comp vertex has palette-many distinctly
+    // constrained neighbors. Find a Brooks triple u/a/b inside comp.
+    for &u in comp {
+        let nbrs: Vec<NodeId> = g
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|w| in_comp.contains(w))
+            .collect();
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if g.has_edge(a, b) || !component_connected_without(g, comp, u, a, b) {
+                    continue;
+                }
+                // A common color free at both a and b (their colored
+                // neighbors are all outside comp at this point).
+                let Some(c) = (0..palette).map(Color).find(|&c| {
+                    [a, b]
+                        .iter()
+                        .all(|&x| g.neighbors(x).iter().all(|&y| coloring.get(y) != Some(c)))
+                }) else {
+                    continue;
+                };
+                coloring.set(a, c);
+                coloring.set(b, c);
+                let result = greedy_component(g, comp, u, &[a, b], palette, coloring);
+                if result.is_err() {
+                    coloring.unset(a);
+                    coloring.unset(b);
+                }
+                return result;
+            }
+        }
+    }
+    Err(BrooksError::ScopedStuck(format!(
+        "{}-vertex component has no slack root and no usable triple",
+        comp.len()
+    )))
+}
+
+/// Greedy coloring of `comp \ pre` in reverse-BFS order toward `root`,
+/// walking only edges inside `comp`. Rolls back its own writes on failure.
+fn greedy_component(
+    g: &Graph,
+    comp: &[NodeId],
+    root: NodeId,
+    pre: &[NodeId],
+    palette: u32,
+    coloring: &mut Coloring,
+) -> Result<(), BrooksError> {
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut in_comp = vec![false; g.n()];
+    for &v in comp {
+        in_comp[v.index()] = true;
+    }
+    dist[root.index()] = 0;
+    let mut q = std::collections::VecDeque::from([root]);
+    while let Some(v) = q.pop_front() {
+        for &w in g.neighbors(v) {
+            if in_comp[w.index()] && dist[w.index()] == usize::MAX && !pre.contains(&w) {
+                dist[w.index()] = dist[v.index()] + 1;
+                q.push_back(w);
+            }
+        }
+    }
+    let mut order: Vec<NodeId> = comp
+        .iter()
+        .copied()
+        .filter(|v| !pre.contains(v) && dist[v.index()] != usize::MAX)
+        .collect();
+    if order.len() + pre.len() < comp.len() {
+        return Err(BrooksError::ScopedStuck(format!(
+            "scope is not connected: {} of {} vertices unreachable from the root",
+            comp.len() - order.len() - pre.len(),
+            comp.len()
+        )));
+    }
+    order.sort_by_key(|v| std::cmp::Reverse(dist[v.index()]));
+    let mut assigned: Vec<NodeId> = Vec::with_capacity(order.len());
+    for v in order {
+        match coloring.first_free_color(g, v, palette) {
+            Some(c) => {
+                coloring.set(v, c);
+                assigned.push(v);
+            }
+            None => {
+                for &w in &assigned {
+                    coloring.unset(w);
+                }
+                return Err(BrooksError::ScopedStuck(format!(
+                    "vertex {v} ran out of colors during the scoped greedy"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Is `comp \ {a, b}` still connected (within `comp`, containing `u`)?
+fn component_connected_without(
+    g: &Graph,
+    comp: &[NodeId],
+    u: NodeId,
+    a: NodeId,
+    b: NodeId,
+) -> bool {
+    let in_comp: std::collections::HashSet<NodeId> = comp.iter().copied().collect();
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(u);
+    let mut stack = vec![u];
+    while let Some(v) = stack.pop() {
+        for &w in g.neighbors(v) {
+            if w != a && w != b && in_comp.contains(&w) && seen.insert(w) {
+                stack.push(w);
+            }
+        }
+    }
+    comp.iter().all(|&v| v == a || v == b || seen.contains(&v))
+}
+
 /// Is `comp \ {a, b}` still connected (and containing `u`)?
 fn connected_without(g: &Graph, comp: &[NodeId], u: NodeId, a: NodeId, b: NodeId) -> bool {
     let mut blocked = std::collections::HashSet::new();
@@ -228,6 +415,53 @@ mod tests {
             brooks_sequential(&generators::cycle(7)),
             Err(BrooksError::OddCycleComponent)
         );
+    }
+
+    #[test]
+    fn scoped_solve_respects_colored_boundary() {
+        // Color a hard instance fully, erase one clique's worth of
+        // vertices, and ask the scoped solver to re-fill the hole against
+        // the frozen remainder.
+        let inst = generators::hard_cliques(&generators::HardCliqueParams {
+            cliques: 34,
+            delta: 16,
+            external_per_vertex: 1,
+            seed: 51,
+        })
+        .unwrap();
+        let g = &inst.graph;
+        let mut coloring = brooks_sequential(g).unwrap();
+        // The hole is a closed neighborhood — connected by construction.
+        let mut hole: Vec<NodeId> = vec![NodeId(0)];
+        hole.extend(g.neighbors(NodeId(0)));
+        hole.sort_unstable();
+        for &v in &hole {
+            coloring.unset(v);
+        }
+        brooks_component(g, &hole, g.max_degree() as u32, &mut coloring).unwrap();
+        verify_delta_coloring(g, &coloring).unwrap();
+    }
+
+    #[test]
+    fn scoped_solve_uses_triple_on_regular_scope() {
+        // A whole Δ-regular non-complete graph as the scope, empty
+        // boundary: forces the Brooks-triple path.
+        let g = generators::random_regular(60, 5, 2);
+        let mut coloring = Coloring::empty(g.n());
+        let comp: Vec<NodeId> = g.vertices().collect();
+        brooks_component(&g, &comp, 5, &mut coloring).unwrap();
+        verify_delta_coloring(&g, &coloring).unwrap();
+    }
+
+    #[test]
+    fn scoped_solve_rolls_back_on_failure() {
+        // K5 with palette 4 is stuck; nothing may remain colored.
+        let g = generators::complete(5);
+        let comp: Vec<NodeId> = g.vertices().collect();
+        let mut coloring = Coloring::empty(g.n());
+        let err = brooks_component(&g, &comp, 4, &mut coloring).unwrap_err();
+        assert!(matches!(err, BrooksError::ScopedStuck(_)));
+        assert!(g.vertices().all(|v| !coloring.is_colored(v)));
     }
 
     #[test]

@@ -19,5 +19,5 @@
 pub mod brooks;
 pub mod naive;
 
-pub use brooks::{brooks_sequential, BrooksError};
+pub use brooks::{brooks_component, brooks_sequential, BrooksError};
 pub use naive::{delta_plus_one, global_stalling, random_trial_stuck, StuckReport};

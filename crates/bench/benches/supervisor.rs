@@ -1,0 +1,304 @@
+//! Supervisor overhead benchmarks: what phase checkpointing costs on top
+//! of a plain pipeline run, and what a tail resume saves.
+//!
+//! Cases (both pipelines, shattering-heavy randomized config):
+//!
+//! * `plain` — passive supervisor, no checkpointing (the baseline every
+//!   unsupervised run takes).
+//! * `checkpointed` — a snapshot serialized after every phase boundary.
+//! * `resume-tail` — resuming from the last boundary snapshot, i.e. the
+//!   cost of replaying the deterministic derivations plus the live tail.
+//! * `snapshot-load` — deserializing the largest boundary snapshot.
+//!
+//! Colorings are asserted identical between plain and checkpointed runs
+//! before anything is timed, and the resumed coloring must match the
+//! uninterrupted one — the overhead numbers are only meaningful if the
+//! supervised run is bit-identical.
+//!
+//! ```text
+//! cargo bench -p delta-bench --bench supervisor                    # full, table
+//! cargo bench -p delta-bench --bench supervisor -- --json BENCH_supervisor.json
+//! cargo bench -p delta-bench --bench supervisor -- --smoke --json out.json  # CI
+//! ```
+
+use criterion::{measure, Measurement};
+use delta_core::{
+    drive_deterministic, drive_randomized, load_snapshot, Config, PhaseCursor, RandConfig,
+    RunOutcome, Snapshot, Supervisor,
+};
+use graphgen::generators::{self, BlueprintKind, HardCliqueParams};
+use graphgen::Graph;
+use localsim::Probe;
+use serde::{json, Value};
+
+fn circulant(cliques: usize, seed: u64) -> Graph {
+    generators::hard_cliques_with_blueprint(
+        &HardCliqueParams {
+            cliques,
+            delta: 16,
+            external_per_vertex: 1,
+            seed,
+        },
+        BlueprintKind::Circulant,
+    )
+    .expect("bench instance")
+    .graph
+}
+
+fn shattering_config(seed: u64) -> RandConfig {
+    let mut config = RandConfig::for_delta(16, seed);
+    config.defer_radius = 5;
+    config
+}
+
+fn checkpointing(dir: &std::path::Path) -> Supervisor {
+    Supervisor {
+        checkpoint_dir: Some(dir.to_path_buf()),
+        ..Supervisor::passive()
+    }
+}
+
+fn complete<R>(outcome: RunOutcome<R>) -> R {
+    match outcome {
+        RunOutcome::Complete { report, .. } => report,
+        RunOutcome::Suspended { .. } | RunOutcome::Failed(_) => {
+            panic!("bench runs must complete")
+        }
+    }
+}
+
+struct Case {
+    pipeline: &'static str,
+    variant: &'static str,
+    m: Measurement,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    let smoke = test_mode || args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(|p| {
+            let p = std::path::Path::new(p);
+            if p.is_absolute() {
+                p.to_path_buf()
+            } else {
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .join("../..")
+                    .join(p)
+            }
+        });
+
+    let samples = if smoke { 3 } else { 5 };
+    let cliques = if smoke { 40 } else { 80 };
+    let g = circulant(cliques, 11);
+    let n = g.n();
+    let probe = Probe::disabled();
+    let ckpt_dir =
+        std::env::temp_dir().join(format!("delta-bench-supervisor-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    std::fs::create_dir_all(&ckpt_dir).expect("create checkpoint dir");
+    let sup_ckpt = checkpointing(&ckpt_dir);
+    let sup_plain = Supervisor::passive();
+
+    let rand_config = shattering_config(3);
+    let det_config = Config::for_delta(16);
+
+    // Bit-identity preflight: supervised and plain runs must agree, and a
+    // tail resume must reproduce the uninterrupted coloring.
+    let plain_ref = complete(
+        drive_randomized(&g, &rand_config, None, &probe, &sup_plain, None).expect("plain run"),
+    );
+    let ckpt_ref = complete(
+        drive_randomized(&g, &rand_config, None, &probe, &sup_ckpt, None).expect("supervised run"),
+    );
+    assert_eq!(
+        plain_ref.coloring, ckpt_ref.coloring,
+        "checkpointing changed the randomized coloring"
+    );
+    let tail_snapshot: Snapshot = {
+        let path = ckpt_dir.join(format!(
+            "checkpoint-{:02}-{}.json",
+            PhaseCursor::PostProcessing.ordinal(),
+            PhaseCursor::PostProcessing.slug()
+        ));
+        load_snapshot(&path).expect("tail snapshot")
+    };
+    let resumed = complete(
+        drive_randomized(
+            &g,
+            &rand_config,
+            None,
+            &probe,
+            &sup_plain,
+            Some(tail_snapshot.clone()),
+        )
+        .expect("resumed run"),
+    );
+    assert_eq!(
+        plain_ref.coloring, resumed.coloring,
+        "tail resume diverged from the uninterrupted run"
+    );
+
+    let det_plain_ref = complete(
+        drive_deterministic(&g, &det_config, &probe, &sup_plain, None).expect("plain det run"),
+    );
+    let det_ckpt_ref = complete(
+        drive_deterministic(&g, &det_config, &probe, &sup_ckpt, None).expect("supervised det run"),
+    );
+    assert_eq!(
+        det_plain_ref.coloring, det_ckpt_ref.coloring,
+        "checkpointing changed the deterministic coloring"
+    );
+
+    let mut cases: Vec<Case> = Vec::new();
+    let mut push = |pipeline: &'static str, variant: &'static str, m: Measurement| {
+        println!(
+            "supervisor/{pipeline}/n={n}/{variant}: mean {:.3} ms, min {:.3} ms",
+            m.mean_ns / 1e6,
+            m.min_ns / 1e6
+        );
+        cases.push(Case {
+            pipeline,
+            variant,
+            m,
+        });
+    };
+
+    push(
+        "randomized",
+        "plain",
+        measure(test_mode, samples, |b| {
+            b.iter(|| {
+                complete(
+                    drive_randomized(&g, &rand_config, None, &probe, &sup_plain, None).unwrap(),
+                )
+            })
+        }),
+    );
+    push(
+        "randomized",
+        "checkpointed",
+        measure(test_mode, samples, |b| {
+            b.iter(|| {
+                complete(drive_randomized(&g, &rand_config, None, &probe, &sup_ckpt, None).unwrap())
+            })
+        }),
+    );
+    push(
+        "randomized",
+        "resume-tail",
+        measure(test_mode, samples, |b| {
+            b.iter(|| {
+                complete(
+                    drive_randomized(
+                        &g,
+                        &rand_config,
+                        None,
+                        &probe,
+                        &sup_plain,
+                        Some(tail_snapshot.clone()),
+                    )
+                    .unwrap(),
+                )
+            })
+        }),
+    );
+    push(
+        "randomized",
+        "snapshot-load",
+        measure(test_mode, samples, |b| {
+            let path = ckpt_dir.join(format!(
+                "checkpoint-{:02}-{}.json",
+                PhaseCursor::PostProcessing.ordinal(),
+                PhaseCursor::PostProcessing.slug()
+            ));
+            b.iter(|| load_snapshot(&path).unwrap())
+        }),
+    );
+    push(
+        "deterministic",
+        "plain",
+        measure(test_mode, samples, |b| {
+            b.iter(|| {
+                complete(drive_deterministic(&g, &det_config, &probe, &sup_plain, None).unwrap())
+            })
+        }),
+    );
+    push(
+        "deterministic",
+        "checkpointed",
+        measure(test_mode, samples, |b| {
+            b.iter(|| {
+                complete(drive_deterministic(&g, &det_config, &probe, &sup_ckpt, None).unwrap())
+            })
+        }),
+    );
+
+    let mut overheads: Vec<(String, f64)> = Vec::new();
+    for pipeline in ["randomized", "deterministic"] {
+        let mean_of = |variant: &str| {
+            cases
+                .iter()
+                .find(|c| c.pipeline == pipeline && c.variant == variant)
+                .map(|c| c.m.mean_ns)
+        };
+        if let (Some(plain), Some(ckpt)) = (mean_of("plain"), mean_of("checkpointed")) {
+            let o = ckpt / plain;
+            println!("supervisor/{pipeline}/n={n}: checkpointed/plain overhead {o:.3}x");
+            overheads.push((pipeline.to_string(), o));
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+    if let Some(path) = json_path {
+        let report = Value::Map(vec![
+            (
+                "mode".to_string(),
+                Value::Str(if smoke { "smoke" } else { "full" }.to_string()),
+            ),
+            ("samples".to_string(), Value::U64(samples as u64)),
+            ("n".to_string(), Value::U64(n as u64)),
+            (
+                "cases".to_string(),
+                Value::Seq(
+                    cases
+                        .iter()
+                        .map(|c| {
+                            Value::Map(vec![
+                                ("pipeline".to_string(), Value::Str(c.pipeline.to_string())),
+                                ("variant".to_string(), Value::Str(c.variant.to_string())),
+                                ("mean_ns".to_string(), Value::F64(c.m.mean_ns)),
+                                ("min_ns".to_string(), Value::F64(c.m.min_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "checkpointed_over_plain_overheads".to_string(),
+                Value::Seq(
+                    overheads
+                        .iter()
+                        .map(|(pipeline, o)| {
+                            Value::Map(vec![
+                                ("pipeline".to_string(), Value::Str(pipeline.clone())),
+                                ("overhead".to_string(), Value::F64(*o)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&path).expect("create bench json");
+        file.write_all(json::to_string(&report).as_bytes())
+            .expect("write bench json");
+        file.write_all(b"\n").expect("write bench json");
+        println!("wrote {}", path.display());
+    }
+}

@@ -6,12 +6,38 @@
 //! experiments e1 e4 --quick               # subset, reduced sizes
 //! experiments all --quick --json out.json # structured per-experiment report
 //! ```
+//!
+//! Experiments are isolated from each other: a panicking experiment is
+//! contained with `catch_unwind`, recorded as a failure in both the
+//! markdown and the JSON report, and the remaining experiments still
+//! run. The process exits nonzero if any experiment failed.
 
 use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use serde::Value;
 
 fn main() {
+    match run() {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let flag_value = |key: &str| {
@@ -36,29 +62,50 @@ fn main() {
 
     let mut sections = vec![header(quick)];
     let mut records: Vec<Value> = Vec::new();
+    let mut failed: Vec<String> = Vec::new();
     for (id, f) in delta_bench::experiments::all() {
         if run_all || wanted.iter().any(|w| w == id) {
             eprintln!("running {id} ...");
             let started = std::time::Instant::now();
-            let output = f(quick);
+            let outcome = catch_unwind(AssertUnwindSafe(|| f(quick)));
             let elapsed = started.elapsed();
-            eprintln!("  {id} done in {elapsed:.1?}");
-            sections.push(output.markdown);
-            let mut data = output.data;
-            if let Value::Map(entries) = &mut data {
-                entries.push((
-                    "wall_clock_ms".to_string(),
-                    Value::F64(elapsed.as_secs_f64() * 1e3),
-                ));
+            let wall_ms = elapsed.as_secs_f64() * 1e3;
+            match outcome {
+                Ok(output) => {
+                    eprintln!("  {id} done in {elapsed:.1?}");
+                    sections.push(output.markdown);
+                    let mut data = output.data;
+                    if let Value::Map(entries) = &mut data {
+                        entries.push(("wall_clock_ms".to_string(), Value::F64(wall_ms)));
+                    }
+                    records.push(data);
+                }
+                Err(payload) => {
+                    let reason = panic_message(payload.as_ref());
+                    eprintln!("  {id} FAILED after {elapsed:.1?}: {reason}");
+                    sections.push(format!(
+                        "## {id} — FAILED\n\nThe experiment panicked and was \
+                         contained; the remaining experiments still ran.\n\n\
+                         ```\n{reason}\n```\n"
+                    ));
+                    records.push(Value::Map(vec![
+                        ("id".to_string(), Value::Str(id.to_string())),
+                        ("failed".to_string(), Value::Bool(true)),
+                        ("error".to_string(), Value::Str(reason)),
+                        ("wall_clock_ms".to_string(), Value::F64(wall_ms)),
+                    ]));
+                    failed.push(id.to_string());
+                }
             }
-            records.push(data);
         }
     }
     let doc = sections.join("\n");
     match out_path {
         Some(p) => {
-            let mut file = std::fs::File::create(&p).expect("create output file");
-            file.write_all(doc.as_bytes()).expect("write output");
+            let mut file = std::fs::File::create(&p)
+                .map_err(|e| format!("cannot create output file `{p}`: {e}"))?;
+            file.write_all(doc.as_bytes())
+                .map_err(|e| format!("cannot write output file `{p}`: {e}"))?;
             eprintln!("wrote {p}");
         }
         None => {
@@ -72,12 +119,23 @@ fn main() {
             ("quick".to_string(), Value::Bool(quick)),
             ("experiments".to_string(), Value::Seq(records)),
         ]);
-        let mut file = std::fs::File::create(&p).expect("create json file");
+        let mut file =
+            std::fs::File::create(&p).map_err(|e| format!("cannot create json file `{p}`: {e}"))?;
         file.write_all(serde::json::to_string(&report).as_bytes())
-            .expect("write json");
-        file.write_all(b"\n").expect("write json");
+            .map_err(|e| format!("cannot write json file `{p}`: {e}"))?;
+        file.write_all(b"\n")
+            .map_err(|e| format!("cannot write json file `{p}`: {e}"))?;
         eprintln!("wrote {p}");
     }
+    if !failed.is_empty() {
+        return Err(format!(
+            "{} experiment(s) failed: {}",
+            failed.len(),
+            failed.join(", ")
+        )
+        .into());
+    }
+    Ok(())
 }
 
 fn header(quick: bool) -> String {

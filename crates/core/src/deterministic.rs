@@ -9,10 +9,10 @@ use serde::{Deserialize, Serialize};
 use crate::classify::{classify_cliques, Classification};
 use crate::easy::{color_easy_and_loopholes, EasyStats};
 use crate::error::DeltaColoringError;
-use crate::loophole::detect_loopholes;
-use crate::phase1::{balanced_matching, Phase1Stats};
-use crate::phase2::sparsify_matching;
-use crate::phase3::form_slack_triads;
+use crate::loophole::{detect_loopholes, LoopholeReport};
+use crate::phase1::{balanced_matching, BalancedMatching, Phase1Stats};
+use crate::phase2::{sparsify_matching, SparsifiedMatching};
+use crate::phase3::{form_slack_triads, TriadSet};
 use crate::phase4::{color_hard_cliques_phase4, Phase4Stats};
 
 /// Which maximal-matching subroutine Phase 1 uses.
@@ -161,84 +161,86 @@ pub fn color_deterministic_probed(
     config: &Config,
     probe: &Probe,
 ) -> Result<Report, DeltaColoringError> {
-    let delta = g.max_degree();
-    if delta < 4 {
-        return Err(DeltaColoringError::UnsupportedStructure(format!(
-            "maximum degree {delta} is below the supported minimum of 4"
-        )));
+    match crate::supervisor::drive_deterministic(
+        g,
+        config,
+        probe,
+        &crate::supervisor::Supervisor::passive(),
+        None,
+    )? {
+        crate::supervisor::RunOutcome::Complete { report, .. } => Ok(report),
+        crate::supervisor::RunOutcome::Suspended { .. }
+        | crate::supervisor::RunOutcome::Failed(_) => {
+            unreachable!("a passive supervisor neither suspends nor captures failures")
+        }
     }
-    let mut ledger = RoundLedger::with_probe(probe.clone());
-    let mut coloring = Coloring::empty(g.n());
+}
 
-    // Step 0: ACD and density check.
-    let acd = {
-        let mut span = probe.span("pipeline/acd");
-        let acd = compute_acd(g, &config.acd);
-        ledger.charge_constant("acd computation", acd.rounds);
-        span.add_rounds(acd.rounds);
-        acd
-    };
+/// Step 0 of both pipelines: ACD computation, charged and spanned on the
+/// ledger's probe, plus the density check. The supervisor replays this
+/// silently on resume by passing a throwaway ledger with a disabled probe
+/// — the decomposition is a pure function of `(g, config.acd)`.
+pub(crate) fn det_phase_acd(
+    g: &Graph,
+    config: &Config,
+    ledger: &mut RoundLedger,
+) -> Result<AcdResult, DeltaColoringError> {
+    let probe = ledger.probe().clone();
+    let mut span = probe.span("pipeline/acd");
+    let acd = compute_acd(g, &config.acd);
+    ledger.charge_constant("acd computation", acd.rounds);
+    span.add_rounds(acd.rounds);
+    span.finish();
     if !acd.is_dense() {
         return Err(DeltaColoringError::NotDense {
             sparse: acd.sparse.len(),
         });
     }
+    Ok(acd)
+}
 
-    // Loophole detection and hard/easy classification.
+/// Loophole detection + hard/easy classification (shared by both
+/// pipelines; silently replayable the same way as [`det_phase_acd`]).
+pub(crate) fn det_phase_classification(
+    g: &Graph,
+    acd: &AcdResult,
+    ledger: &mut RoundLedger,
+) -> Result<(LoopholeReport, Classification), DeltaColoringError> {
+    let probe = ledger.probe().clone();
     let mut span = probe.span("pipeline/classification");
     let loopholes = detect_loopholes(g, &acd.clique_of);
     ledger.charge_constant("loophole detection", loopholes.rounds);
-    let cls = classify_cliques(g, &acd, &loopholes)?;
+    let cls = classify_cliques(g, acd, &loopholes)?;
     ledger.charge_constant("hard/easy classification", cls.rounds);
     span.add_rounds(loopholes.rounds + cls.rounds);
     span.finish();
+    Ok((loopholes, cls))
+}
 
-    let mut stats = PipelineStats {
-        cliques: acd.cliques.len(),
-        hard: cls.hard_count(),
-        heg: cls.heg_ids.len(),
-        loophole_vertices: loopholes.count(),
-        ..PipelineStats::default()
-    };
-
-    // Step 2 (Algorithm 2): color vertices in hard cliques.
-    if !cls.hard_ids.is_empty() {
-        run_hard_phases(
-            g,
-            &acd,
-            &cls,
-            config,
-            &mut coloring,
-            &mut ledger,
-            &mut stats,
-            None,
-            false,
-        )?;
-    }
-
-    // Step 3 (Algorithm 3): easy cliques and loopholes.
+/// Step 3 (Algorithm 3): the easy sweep, spanned and charged.
+pub(crate) fn det_phase_easy(
+    g: &Graph,
+    config: &Config,
+    loopholes: &LoopholeReport,
+    coloring: &mut Coloring,
+    ledger: &mut RoundLedger,
+    stats: &mut PipelineStats,
+) -> Result<(), DeltaColoringError> {
+    let probe = ledger.probe().clone();
     let before = ledger.total();
     let mut span = probe.span("pipeline/easy sweep");
     stats.easy = color_easy_and_loopholes(
         g,
-        &loopholes,
+        loopholes,
         config.ruling_r,
         RulingStyle::Deterministic,
         config.threads,
-        &mut coloring,
-        &mut ledger,
+        coloring,
+        ledger,
     )?;
     span.add_rounds(ledger.total() - before);
     span.finish();
-
-    coloring
-        .check_complete(g, delta as u32)
-        .map_err(|e| DeltaColoringError::InvariantViolated(format!("final coloring: {e}")))?;
-    Ok(Report {
-        coloring,
-        ledger,
-        stats,
-    })
+    Ok(())
 }
 
 /// Algorithm 2 (phases 1–4), shared with the randomized pipeline.
@@ -257,9 +259,44 @@ pub(crate) fn run_hard_phases(
     pair_palette_override: Option<Vec<Color>>,
     allow_useless: bool,
 ) -> Result<(), DeltaColoringError> {
-    let delta = g.max_degree();
-    let probe = ledger.probe().clone();
+    let f2 = det_phase1(g, acd, cls, config, allow_useless, ledger)?;
+    stats.phase1 = f2.stats.clone();
 
+    let f3 = det_phase2(g, acd, cls, &f2, config, ledger)?;
+    stats.max_incoming = f3.incoming.iter().copied().max().unwrap_or(0);
+    stats.incoming_bound = f3.incoming_bound;
+
+    let triads = det_phase3(g, acd, &f3, ledger)?;
+
+    let delta = g.max_degree();
+    let pair_palette =
+        pair_palette_override.unwrap_or_else(|| (0..delta as u32).map(Color).collect());
+    stats.phase4 = det_phase4(
+        g,
+        acd,
+        cls,
+        &triads,
+        &pair_palette,
+        coloring,
+        config,
+        ledger,
+    )?;
+    Ok(())
+}
+
+/// Phase 1: balanced matching (spanned and charged). Deterministic given
+/// `(g, acd, cls, config)` when `config.matching`/`config.heg` are the
+/// deterministic variants or seeded, so the supervisor replays it silently
+/// on resume.
+pub(crate) fn det_phase1(
+    g: &Graph,
+    acd: &AcdResult,
+    cls: &Classification,
+    config: &Config,
+    allow_useless: bool,
+    ledger: &mut RoundLedger,
+) -> Result<BalancedMatching, DeltaColoringError> {
+    let probe = ledger.probe().clone();
     let before = ledger.total();
     let mut span = probe.span("pipeline/phase1 balanced matching");
     let f2 = balanced_matching(
@@ -274,47 +311,81 @@ pub(crate) fn run_hard_phases(
     )?;
     span.add_rounds(ledger.total() - before);
     span.finish();
-    stats.phase1 = f2.stats.clone();
+    Ok(f2)
+}
 
+/// Phase 2: matching sparsification (spanned and charged).
+pub(crate) fn det_phase2(
+    g: &Graph,
+    acd: &AcdResult,
+    cls: &Classification,
+    f2: &BalancedMatching,
+    config: &Config,
+    ledger: &mut RoundLedger,
+) -> Result<SparsifiedMatching, DeltaColoringError> {
+    let probe = ledger.probe().clone();
     let before = ledger.total();
     let mut span = probe.span("pipeline/phase2 sparsify matching");
     let f3 = sparsify_matching(
         g,
         acd,
         cls,
-        &f2,
+        f2,
         config.acd.eps,
         config.split_segment,
         ledger,
     )?;
     span.add_rounds(ledger.total() - before);
     span.finish();
-    stats.max_incoming = f3.incoming.iter().copied().max().unwrap_or(0);
-    stats.incoming_bound = f3.incoming_bound;
+    Ok(f3)
+}
 
+/// Phase 3: slack-triad formation (spanned and charged).
+pub(crate) fn det_phase3(
+    g: &Graph,
+    acd: &AcdResult,
+    f3: &SparsifiedMatching,
+    ledger: &mut RoundLedger,
+) -> Result<TriadSet, DeltaColoringError> {
+    let probe = ledger.probe().clone();
     let before = ledger.total();
     let mut span = probe.span("pipeline/phase3 slack triads");
-    let triads = form_slack_triads(g, acd, &f3, ledger)?;
+    let triads = form_slack_triads(g, acd, f3, ledger)?;
     span.add_rounds(ledger.total() - before);
     span.finish();
+    Ok(triads)
+}
 
-    let pair_palette =
-        pair_palette_override.unwrap_or_else(|| (0..delta as u32).map(Color).collect());
+/// Phase 4: hard-clique coloring (spanned and charged). The only hard
+/// phase that writes to `coloring` — its output is what the supervisor
+/// snapshots at the phase-4 boundary.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn det_phase4(
+    g: &Graph,
+    acd: &AcdResult,
+    cls: &Classification,
+    triads: &TriadSet,
+    pair_palette: &[Color],
+    coloring: &mut Coloring,
+    config: &Config,
+    ledger: &mut RoundLedger,
+) -> Result<Phase4Stats, DeltaColoringError> {
+    let probe = ledger.probe().clone();
     let before = ledger.total();
     let mut span = probe.span("pipeline/phase4 coloring");
-    stats.phase4 = color_hard_cliques_phase4(
+    let p4 = color_hard_cliques_phase4(
         g,
         acd,
         cls,
-        &triads,
-        &pair_palette,
+        triads,
+        pair_palette,
         coloring,
         config.enforce_paper_bounds,
         ledger,
     )?;
     span.add_rounds(ledger.total() - before);
     span.finish();
-    Ok(())
+    Ok(p4)
 }
 
 #[cfg(test)]

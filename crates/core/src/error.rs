@@ -29,6 +29,10 @@ pub enum DeltaColoringError {
     ListColoring(String),
     /// The hyperedge-grabbing instance was infeasible or over budget.
     Heg(String),
+    /// A run-supervisor operation failed: checkpoint I/O, snapshot
+    /// validation on `--resume`, an exhausted component budget with
+    /// degradation disabled, or a malformed repro bundle.
+    Supervisor(String),
 }
 
 impl fmt::Display for DeltaColoringError {
@@ -52,6 +56,7 @@ impl fmt::Display for DeltaColoringError {
             DeltaColoringError::Sim(e) => write!(f, "simulation error: {e}"),
             DeltaColoringError::ListColoring(msg) => write!(f, "list coloring failed: {msg}"),
             DeltaColoringError::Heg(msg) => write!(f, "hyperedge grabbing failed: {msg}"),
+            DeltaColoringError::Supervisor(msg) => write!(f, "supervisor: {msg}"),
         }
     }
 }

@@ -51,6 +51,7 @@ mod phase4;
 mod pool;
 mod randomized;
 pub mod render;
+pub mod supervisor;
 pub mod validate;
 
 pub use classify::{classify_cliques, Classification, CliqueKind};
@@ -71,5 +72,10 @@ pub use phase4::{color_hard_cliques_phase4, Phase4Stats};
 pub use randomized::{
     color_randomized, color_randomized_probed, color_randomized_with_faults, RandConfig,
     RandReport, RecoveryStats, ShatterStats,
+};
+pub use supervisor::{
+    drive_deterministic, drive_randomized, graph_digest, load_bundle, load_snapshot, replay_bundle,
+    save_bundle, save_snapshot, ChaosPlan, DegradedComponent, FailureReport, PhaseCursor,
+    PipelineKind, ReplayReport, ReproBundle, RunOutcome, Snapshot, Supervisor,
 };
 pub use validate::{validate_coloring, ValidationReport, Violation};

@@ -43,6 +43,7 @@ use crate::easy::color_easy_and_loopholes_scoped;
 use crate::error::DeltaColoringError;
 use crate::loophole::{detect_loopholes, Loophole, LoopholeReport};
 use crate::phase4::run_list_instance;
+use crate::supervisor::{DegradedComponent, Supervisor};
 
 /// Configuration of the randomized pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -200,53 +201,47 @@ pub fn color_randomized_with_faults(
     color_randomized_inner(g, config, probe, plan.is_active().then_some(plan))
 }
 
-#[allow(clippy::too_many_lines)]
 fn color_randomized_inner(
     g: &Graph,
     config: &RandConfig,
     probe: &Probe,
     faults: Option<&FaultPlan>,
 ) -> Result<RandReport, DeltaColoringError> {
-    let delta = g.max_degree();
-    if delta < 4 {
-        return Err(DeltaColoringError::UnsupportedStructure(format!(
-            "maximum degree {delta} is below the supported minimum of 4"
-        )));
-    }
-    if let Some(th) = config.large_delta_threshold {
-        if delta >= th {
-            return color_large_delta(g, config, probe);
+    match crate::supervisor::drive_randomized(
+        g,
+        config,
+        faults,
+        probe,
+        &Supervisor::passive(),
+        None,
+    )? {
+        crate::supervisor::RunOutcome::Complete { report, .. } => Ok(report),
+        crate::supervisor::RunOutcome::Suspended { .. }
+        | crate::supervisor::RunOutcome::Failed(_) => {
+            unreachable!("a passive supervisor neither suspends nor captures failures")
         }
     }
+}
+
+/// Pre-shattering: T-node placement with spacing, pair coloring, and the
+/// deferred-ring BFS. Returns the slack (T-node) vertices and the ring
+/// index per vertex. This is the only phase that consumes the run's
+/// randomness (a fresh `StdRng` seeded with `config.seed`), which is why
+/// resumable snapshots store its *outputs* rather than any RNG state.
+pub(crate) fn rand_phase_preshatter(
+    g: &Graph,
+    config: &RandConfig,
+    acd: &AcdResult,
+    cls: &Classification,
+    coloring: &mut Coloring,
+    ledger: &mut RoundLedger,
+    shatter: &mut ShatterStats,
+) -> (Vec<NodeId>, Vec<Option<usize>>) {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut ledger = RoundLedger::with_probe(probe.clone());
-    let mut coloring = Coloring::empty(g.n());
-    let mut shatter = ShatterStats::default();
-    let mut recovery = RecoveryStats::default();
-
-    // --- ACD, loopholes, classification (as in Algorithm 1). ---
-    let mut span = probe.span("pipeline/acd");
-    let acd = compute_acd(g, &config.base.acd);
-    ledger.charge_constant("acd computation", acd.rounds);
-    span.add_rounds(acd.rounds);
-    span.finish();
-    if !acd.is_dense() {
-        return Err(DeltaColoringError::NotDense {
-            sparse: acd.sparse.len(),
-        });
-    }
-    let mut span = probe.span("pipeline/classification");
-    let loopholes = detect_loopholes(g, &acd.clique_of);
-    ledger.charge_constant("loophole detection", loopholes.rounds);
-    let cls = classify_cliques(g, &acd, &loopholes)?;
-    ledger.charge_constant("hard/easy classification", cls.rounds);
-    span.add_rounds(loopholes.rounds + cls.rounds);
-    span.finish();
-
-    // --- Pre-shattering: T-node placement with spacing. ---
+    let probe = ledger.probe().clone();
     let before = ledger.total();
     let mut span = probe.span("pipeline/pre-shattering");
-    let clique_graph = build_clique_graph(g, &acd, &cls);
+    let clique_graph = build_clique_graph(g, acd, cls);
     let proposers: Vec<u32> = cls
         .hard_ids
         .iter()
@@ -322,8 +317,53 @@ fn color_randomized_inner(
     shatter.deferred = ring.iter().flatten().count();
     span.add_rounds(ledger.total() - before);
     span.finish();
+    (slack_vertices, ring)
+}
 
-    // --- Post-shattering: solve leftover components in parallel. ---
+/// How a pooled component solve was abandoned, if it was.
+struct ComponentOutcome {
+    writes: Vec<(NodeId, Color)>,
+    events: Vec<Event>,
+    ledger: RoundLedger,
+    recovery: RecoveryStats,
+    result: Result<(), DeltaColoringError>,
+    /// `Some(reason)` when the solve was abandoned (panic, error under
+    /// containment, or budget overrun) and the component needs either
+    /// degradation or a hard failure.
+    failure: Option<String>,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// Post-shattering: solve leftover components on the worker pool and
+/// merge writes, events, ledgers, and recovery stats in component-index
+/// order. Under an active [`Supervisor`] this additionally contains
+/// panics, enforces per-component budgets, applies the chaos plan, and
+/// degrades quarantined components to [`baselines::brooks_component`];
+/// with a passive supervisor it is byte-for-byte the unsupervised phase.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub(crate) fn rand_phase_postshatter(
+    g: &Graph,
+    config: &RandConfig,
+    acd: &AcdResult,
+    cls: &Classification,
+    faults: Option<&FaultPlan>,
+    sup: &Supervisor,
+    ring: &[Option<usize>],
+    coloring: &mut Coloring,
+    ledger: &mut RoundLedger,
+    shatter: &mut ShatterStats,
+    recovery: &mut RecoveryStats,
+    degraded: &mut Vec<DegradedComponent>,
+) -> Result<(), DeltaColoringError> {
+    let delta = g.max_degree();
+    let probe = ledger.probe().clone();
     let before = ledger.total();
     let mut span = probe.span("pipeline/post-shattering");
     let leftover = |v: NodeId| {
@@ -342,21 +382,32 @@ fn color_randomized_inner(
     // telemetry — and colors, events, ledgers, and recovery stats are
     // merged in component-index order. The observable outcome is a pure
     // function of (snapshot, component, seed): bit-identical at every
-    // thread count, including the inline `threads = 1` path.
-    struct ComponentOutcome {
-        writes: Vec<(NodeId, Color)>,
-        events: Vec<Event>,
-        ledger: RoundLedger,
-        recovery: RecoveryStats,
-        result: Result<(), DeltaColoringError>,
-    }
+    // thread count, including the inline `threads = 1` path. A degraded
+    // component likewise contributes deterministically: its attempt is
+    // discarded wholesale (no events, no rounds) and replaced by the
+    // Brooks fallback charged in merge order. Only the wall-clock budget
+    // — documented as a nondeterministic safety net — can break this.
     let record_events = probe.enabled();
+    let contain = sup.degrade;
     let outcomes = crate::pool::run_indexed_with(
         crate::pool::effective_threads(config.base.threads),
         components.len(),
         || coloring.clone(),
         |scratch, i| {
             let comp = &components[i];
+            if sup.chaos.skip_components.contains(&i) {
+                // Chaos: silently lose this component's work. The final
+                // completeness check turns the gap into a validation
+                // failure (and, under a bundle dir, a repro bundle).
+                return ComponentOutcome {
+                    writes: Vec::new(),
+                    events: Vec::new(),
+                    ledger: RoundLedger::new(),
+                    recovery: RecoveryStats::default(),
+                    result: Ok(()),
+                    failure: None,
+                };
+            }
             let comp_seed = config.seed.wrapping_add(i as u64);
             let recording = record_events.then(|| std::sync::Arc::new(RecordingSink::new()));
             let comp_probe = recording
@@ -364,34 +415,95 @@ fn color_randomized_inner(
                 .map_or_else(Probe::disabled, |r| Probe::new(r.clone()));
             let mut comp_ledger = RoundLedger::with_probe(comp_probe.clone());
             let mut comp_recovery = RecoveryStats::default();
-            let result = if let Some(plan) = faults {
-                solve_component_faulted(
-                    g,
-                    &acd,
-                    &cls,
-                    comp,
-                    &config.base,
-                    comp_seed,
-                    plan,
-                    &comp_probe,
-                    scratch,
-                    &mut comp_ledger,
-                    &mut comp_recovery,
-                )
-            } else {
-                solve_component(
-                    g,
-                    &acd,
-                    &cls,
-                    comp,
-                    &config.base,
-                    comp_seed,
-                    scratch,
-                    &mut comp_ledger,
-                )
+            let started = std::time::Instant::now();
+            let solve = |scratch: &mut Coloring,
+                         comp_ledger: &mut RoundLedger,
+                         comp_recovery: &mut RecoveryStats| {
+                if sup.chaos.panic_components.contains(&i) {
+                    panic!("chaos: injected panic in leftover component {i}");
+                }
+                if let Some(plan) = faults {
+                    solve_component_faulted(
+                        g,
+                        acd,
+                        cls,
+                        comp,
+                        &config.base,
+                        comp_seed,
+                        plan,
+                        &comp_probe,
+                        scratch,
+                        comp_ledger,
+                        comp_recovery,
+                    )
+                } else {
+                    solve_component(
+                        g,
+                        acd,
+                        cls,
+                        comp,
+                        &config.base,
+                        comp_seed,
+                        scratch,
+                        comp_ledger,
+                    )
+                }
             };
+            // Containment: only with `degrade` does the solve run under
+            // `catch_unwind` — a passive supervisor preserves the normal
+            // panic propagation of the unsupervised pipeline exactly.
+            let (result, mut failure) = if contain {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    solve(scratch, &mut comp_ledger, &mut comp_recovery)
+                })) {
+                    Ok(Err(e)) => (Ok(()), Some(format!("error: {e}"))),
+                    Ok(ok) => (ok, None),
+                    Err(payload) => (Ok(()), Some(format!("panic: {}", panic_message(&*payload)))),
+                }
+            } else {
+                (solve(scratch, &mut comp_ledger, &mut comp_recovery), None)
+            };
+            if failure.is_none() && result.is_ok() {
+                if let Some(budget) = sup.component_round_budget {
+                    if comp_ledger.total() > budget {
+                        failure = Some(format!(
+                            "round budget exceeded: {} > {budget}",
+                            comp_ledger.total()
+                        ));
+                    }
+                }
+            }
+            if failure.is_none() && result.is_ok() {
+                if let Some(ms) = sup.component_wall_budget_ms {
+                    let elapsed = started.elapsed().as_millis() as u64;
+                    if elapsed > ms {
+                        failure = Some(format!(
+                            "wall-clock budget exceeded: {elapsed} ms > {ms} ms"
+                        ));
+                    }
+                }
+            }
             if comp_recovery.retries > 0 {
                 comp_recovery.components_hit = 1;
+            }
+            if let Some(reason) = failure {
+                // Quarantine: every write of the abandoned attempt is
+                // confined to `comp` (see below), so unsetting the
+                // component restores the scratch to the snapshot; the
+                // attempt's events and rounds are discarded wholesale.
+                for &v in comp {
+                    if scratch.get(v).is_some() {
+                        scratch.unset(v);
+                    }
+                }
+                return ComponentOutcome {
+                    writes: Vec::new(),
+                    events: Vec::new(),
+                    ledger: RoundLedger::new(),
+                    recovery: RecoveryStats::default(),
+                    result: Ok(()),
+                    failure: Some(reason),
+                };
             }
             // Harvest the component's writes (all writes are confined to
             // `comp`: hard phases color scope-hard vertices, the scoped
@@ -411,11 +523,44 @@ fn color_randomized_inner(
                 ledger: comp_ledger,
                 recovery: comp_recovery,
                 result,
+                failure: None,
             }
         },
     );
     let mut component_ledgers = Vec::with_capacity(outcomes.len());
-    for outcome in outcomes {
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        if let Some(reason) = outcome.failure {
+            if !sup.degrade {
+                return Err(DeltaColoringError::Supervisor(format!(
+                    "leftover component {i}: {reason} (degradation disabled)"
+                )));
+            }
+            // Degrade: re-solve the quarantined component with the scoped
+            // Brooks baseline against the partial coloring, charge its
+            // (sequential) cost to the supervisor ledger, and record the
+            // event. Leftover components are pairwise non-adjacent, so
+            // the fallback cannot disturb other components.
+            let comp = &components[i];
+            baselines::brooks_component(g, comp, delta as u32, coloring).map_err(|e| {
+                DeltaColoringError::InvariantViolated(format!(
+                    "degraded component {i}: Brooks fallback failed: {e}"
+                ))
+            })?;
+            let cost = comp.len() as u64;
+            ledger.charge(format!("supervisor/baseline component {i}"), cost);
+            probe.emit_with(|| Event::Degraded {
+                scope: "post-shattering".to_string(),
+                unit: i as u64,
+                reason: reason.clone(),
+                rounds: cost,
+            });
+            degraded.push(DegradedComponent {
+                index: i,
+                reason,
+                rounds: cost,
+            });
+            continue;
+        }
         for event in outcome.events {
             probe.emit(event);
         }
@@ -433,8 +578,20 @@ fn color_randomized_inner(
     ledger.absorb_parallel_max("post-shattering", component_ledgers);
     span.add_rounds(ledger.total() - before);
     span.finish();
+    Ok(())
+}
 
-    // --- Post-processing I: deferred rings inward, slack vertices last. ---
+/// Post-processing: deferred rings inward, slack vertices last.
+pub(crate) fn rand_phase_postprocess(
+    g: &Graph,
+    config: &RandConfig,
+    slack_vertices: &[NodeId],
+    ring: &[Option<usize>],
+    coloring: &mut Coloring,
+    ledger: &mut RoundLedger,
+) -> Result<(), DeltaColoringError> {
+    let delta = g.max_degree();
+    let probe = ledger.probe().clone();
     let before = ledger.total();
     let mut span = probe.span("pipeline/post-processing");
     for l in (1..=config.defer_radius).rev() {
@@ -446,9 +603,9 @@ fn color_randomized_inner(
             g,
             &active,
             delta as u32,
-            &mut coloring,
+            coloring,
             format!("post-processing/T ring {l}"),
-            &mut ledger,
+            ledger,
         )?;
     }
     let slack_uncolored: Vec<NodeId> = slack_vertices
@@ -460,38 +617,40 @@ fn color_randomized_inner(
         g,
         &slack_uncolored,
         delta as u32,
-        &mut coloring,
+        coloring,
         "post-processing/slack vertices",
-        &mut ledger,
+        ledger,
     )?;
     span.add_rounds(ledger.total() - before);
     span.finish();
+    Ok(())
+}
 
-    // --- Post-processing II: easy cliques and loopholes (Algorithm 3). ---
+/// Post-processing II: easy cliques and loopholes (Algorithm 3), with the
+/// randomized ruling style.
+pub(crate) fn rand_phase_easy(
+    g: &Graph,
+    config: &RandConfig,
+    loopholes: &LoopholeReport,
+    coloring: &mut Coloring,
+    ledger: &mut RoundLedger,
+) -> Result<(), DeltaColoringError> {
+    let probe = ledger.probe().clone();
     let before = ledger.total();
     let mut span = probe.span("pipeline/easy sweep");
     color_easy_and_loopholes_scoped(
         g,
-        &loopholes,
+        loopholes,
         config.base.ruling_r,
         RulingStyle::Randomized(config.seed ^ 0xE457_0000),
         None,
         config.base.threads,
-        &mut coloring,
-        &mut ledger,
+        coloring,
+        ledger,
     )?;
     span.add_rounds(ledger.total() - before);
     span.finish();
-
-    coloring
-        .check_complete(g, delta as u32)
-        .map_err(|e| DeltaColoringError::InvariantViolated(format!("final coloring: {e}")))?;
-    Ok(RandReport {
-        coloring,
-        ledger,
-        shatter,
-        recovery,
-    })
+    Ok(())
 }
 
 /// Adjacency graph of hard cliques (an edge when any member edge crosses).
@@ -823,7 +982,7 @@ fn solve_component_faulted(
 /// samples a slack triad; pairs are colored by parallel random trials on
 /// the conflict graph; the remainder follows by stalled trials and the
 /// easy sweep.
-fn color_large_delta(
+pub(crate) fn color_large_delta(
     g: &Graph,
     config: &RandConfig,
     probe: &Probe,

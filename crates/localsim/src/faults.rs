@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 use std::str::FromStr;
 
 use graphgen::NodeId;
+use serde::{Deserialize, Serialize};
 
 /// Distinct hash streams so that drop and stall decisions for overlapping
 /// integer keys never correlate.
@@ -39,7 +40,7 @@ fn mix(mut x: u64) -> u64 {
 ///
 /// The default plan injects nothing; executors treat it exactly like no
 /// plan at all (no extra counters, no fault events).
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Seed for all probabilistic fault decisions.
     pub seed: u64,
@@ -137,50 +138,75 @@ impl FromStr for FaultPlan {
     type Err = String;
 
     fn from_str(spec: &str) -> Result<Self, String> {
+        const KEYS: &str = "`seed`, `drop`, `jitter`, `crash`";
         let mut plan = FaultPlan::default();
+        let mut seen: Vec<&str> = Vec::new();
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
-            let (key, value) = part
-                .split_once('=')
-                .ok_or_else(|| format!("fault spec entry `{part}` is not key=value"))?;
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                format!(
+                    "fault spec entry `{}` is not a `key=value` pair (valid keys: {KEYS})",
+                    part.trim()
+                )
+            })?;
             let (key, value) = (key.trim(), value.trim());
+            if value.is_empty() {
+                return Err(format!("fault spec key `{key}` has an empty value"));
+            }
+            if let Some(&dup) = seen.iter().find(|&&k| k == key) {
+                return Err(format!("fault spec key `{dup}` given more than once"));
+            }
             match key {
                 "seed" => {
                     plan.seed = value
                         .parse()
-                        .map_err(|e| format!("bad fault seed `{value}`: {e}"))?;
+                        .map_err(|e| format!("key `seed`: bad value `{value}`: {e}"))?;
+                    seen.push("seed");
                 }
                 "drop" => {
                     let p: f64 = value
                         .parse()
-                        .map_err(|e| format!("bad drop probability `{value}`: {e}"))?;
+                        .map_err(|e| format!("key `drop`: bad probability `{value}`: {e}"))?;
                     if !(0.0..1.0).contains(&p) {
-                        return Err(format!("drop probability {p} outside [0, 1)"));
+                        return Err(format!("key `drop`: probability `{value}` outside [0, 1)"));
                     }
                     plan.message_drop_p = p;
+                    seen.push("drop");
                 }
                 "jitter" => {
                     plan.round_jitter = value
                         .parse()
-                        .map_err(|e| format!("bad jitter `{value}`: {e}"))?;
+                        .map_err(|e| format!("key `jitter`: bad value `{value}`: {e}"))?;
+                    seen.push("jitter");
                 }
                 "crash" => {
                     for entry in value.split('+') {
-                        let (node, round) = entry
-                            .split_once('@')
-                            .ok_or_else(|| format!("crash entry `{entry}` is not node@round"))?;
-                        let node: u32 = node
-                            .parse()
-                            .map_err(|e| format!("bad crash node `{node}`: {e}"))?;
-                        let round: u64 = round
-                            .parse()
-                            .map_err(|e| format!("bad crash round `{round}`: {e}"))?;
+                        let (node, round) = entry.split_once('@').ok_or_else(|| {
+                            format!(
+                                "key `crash`: entry `{entry}` is not `node@round` \
+                                 (example: `crash=3@5+9@5`)"
+                            )
+                        })?;
+                        let node: u32 = node.parse().map_err(|e| {
+                            format!("key `crash`: bad node id `{node}` in entry `{entry}`: {e}")
+                        })?;
+                        let round: u64 = round.parse().map_err(|e| {
+                            format!("key `crash`: bad round `{round}` in entry `{entry}`: {e}")
+                        })?;
                         if round == 0 {
-                            return Err("crash rounds are 1-based".to_string());
+                            return Err(format!(
+                                "key `crash`: entry `{entry}` crashes at round 0, \
+                                 but crash rounds are 1-based"
+                            ));
                         }
                         plan.node_crash.push((round, NodeId(node)));
                     }
+                    seen.push("crash");
                 }
-                other => return Err(format!("unknown fault spec key `{other}`")),
+                other => {
+                    return Err(format!(
+                        "unknown fault spec key `{other}` (valid keys: {KEYS})"
+                    ))
+                }
             }
         }
         Ok(plan)
@@ -295,5 +321,50 @@ mod tests {
         assert!("frobnicate=1".parse::<FaultPlan>().is_err());
         assert!("seed".parse::<FaultPlan>().is_err());
         assert!("".parse::<FaultPlan>().unwrap() == FaultPlan::default());
+    }
+
+    /// Every error path names the offending key and value, so a bad CLI
+    /// spec is diagnosable without reading this source file.
+    #[test]
+    fn spec_errors_name_the_offending_key_and_value() {
+        let err = |spec: &str| spec.parse::<FaultPlan>().unwrap_err();
+
+        let e = err("seed");
+        assert!(e.contains("`seed`") && e.contains("key=value"), "{e}");
+        let e = err("seed=abc");
+        assert!(e.contains("`seed`") && e.contains("`abc`"), "{e}");
+        let e = err("drop=oops");
+        assert!(e.contains("`drop`") && e.contains("`oops`"), "{e}");
+        let e = err("drop=1.5");
+        assert!(e.contains("`drop`") && e.contains("outside [0, 1)"), "{e}");
+        let e = err("jitter=fast");
+        assert!(e.contains("`jitter`") && e.contains("`fast`"), "{e}");
+        let e = err("crash=5");
+        assert!(e.contains("`crash`") && e.contains("node@round"), "{e}");
+        let e = err("crash=x@3");
+        assert!(e.contains("`crash`") && e.contains("`x`"), "{e}");
+        let e = err("crash=3@y");
+        assert!(e.contains("`crash`") && e.contains("`y`"), "{e}");
+        let e = err("crash=3@0");
+        assert!(e.contains("`crash`") && e.contains("1-based"), "{e}");
+        let e = err("warp=9");
+        assert!(e.contains("`warp`") && e.contains("valid keys"), "{e}");
+        let e = err("seed=");
+        assert!(e.contains("`seed`") && e.contains("empty value"), "{e}");
+        let e = err("seed=1,seed=2");
+        assert!(e.contains("`seed`") && e.contains("more than once"), "{e}");
+    }
+
+    #[test]
+    fn plan_round_trips_through_serde() {
+        let plan = FaultPlan {
+            seed: 7,
+            message_drop_p: 0.01,
+            node_crash: vec![(5, NodeId(3)), (5, NodeId(9))],
+            round_jitter: 2,
+        };
+        let json = serde::json::to_string(&plan);
+        let back: FaultPlan = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
     }
 }

@@ -175,6 +175,29 @@ pub enum Event {
         /// vertices rolled back; `1` for a single crash).
         count: u64,
     },
+    /// The supervisor quarantined a failed unit and re-solved it with the
+    /// baseline path (`baselines::brooks`). Carries no wall-clock data, so
+    /// normalized streams from supervised runs stay comparable with `==`.
+    Degraded {
+        /// Emitting scope (`"supervisor"`).
+        scope: String,
+        /// Index of the quarantined unit (leftover-component index).
+        unit: u64,
+        /// Why the fast path was abandoned (panic payload, budget
+        /// overrun, or pipeline error text).
+        reason: String,
+        /// Rounds charged for the baseline re-solve.
+        rounds: u64,
+    },
+    /// The supervisor committed a phase-boundary checkpoint. Emitted only
+    /// when checkpointing is enabled; the cursor slug names the completed
+    /// phase and `rounds` is the ledger total at the boundary.
+    Checkpoint {
+        /// Phase-cursor slug (e.g. `"post-shattering"`).
+        cursor: String,
+        /// Ledger total at the boundary.
+        rounds: u64,
+    },
 }
 
 impl Event {
@@ -209,6 +232,8 @@ impl Event {
             Event::CongestRound { .. } => "congest_round",
             Event::Metric { .. } => "metric",
             Event::Fault { .. } => "fault",
+            Event::Degraded { .. } => "degraded",
+            Event::Checkpoint { .. } => "checkpoint",
         }
     }
 }
@@ -320,6 +345,21 @@ impl Serialize for Event {
                 m.push(("node".to_string(), node.to_value()));
                 m.push(("count".to_string(), count.to_value()));
             }
+            Event::Degraded {
+                scope,
+                unit,
+                reason,
+                rounds,
+            } => {
+                m.push(("scope".to_string(), s(scope)));
+                m.push(("unit".to_string(), unit.to_value()));
+                m.push(("reason".to_string(), s(reason)));
+                m.push(("rounds".to_string(), rounds.to_value()));
+            }
+            Event::Checkpoint { cursor, rounds } => {
+                m.push(("cursor".to_string(), s(cursor)));
+                m.push(("rounds".to_string(), rounds.to_value()));
+            }
         }
         Value::Map(m)
     }
@@ -367,6 +407,16 @@ impl<'de> Deserialize<'de> for Event {
                 kind: FaultKind::parse(&String::from_value(v.field("kind")?)?)?,
                 node: Option::<u64>::from_value(v.field("node")?)?,
                 count: u64::from_value(v.field("count")?)?,
+            }),
+            "degraded" => Ok(Event::Degraded {
+                scope: String::from_value(v.field("scope")?)?,
+                unit: u64::from_value(v.field("unit")?)?,
+                reason: String::from_value(v.field("reason")?)?,
+                rounds: u64::from_value(v.field("rounds")?)?,
+            }),
+            "checkpoint" => Ok(Event::Checkpoint {
+                cursor: String::from_value(v.field("cursor")?)?,
+                rounds: u64::from_value(v.field("rounds")?)?,
             }),
             other => Err(Error::new(format!("unknown event type `{other}`"))),
         }
@@ -431,6 +481,36 @@ mod tests {
             node: None,
             count: 5,
         });
+        round_trip(&Event::Degraded {
+            scope: "supervisor".into(),
+            unit: 3,
+            reason: "panic: chaos".into(),
+            rounds: 17,
+        });
+        round_trip(&Event::Checkpoint {
+            cursor: "post-shattering".into(),
+            rounds: 120,
+        });
+    }
+
+    #[test]
+    fn supervisor_variants_are_normalization_stable() {
+        // Neither variant carries wall-clock data, so normalization must
+        // be the identity — supervised traces stay `==`-comparable.
+        let d = Event::Degraded {
+            scope: "supervisor".into(),
+            unit: 0,
+            reason: "round budget".into(),
+            rounds: 9,
+        };
+        assert_eq!(d.normalized(), d);
+        assert_eq!(d.type_tag(), "degraded");
+        let c = Event::Checkpoint {
+            cursor: "acd".into(),
+            rounds: 1,
+        };
+        assert_eq!(c.normalized(), c);
+        assert_eq!(c.type_tag(), "checkpoint");
     }
 
     #[test]

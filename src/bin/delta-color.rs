@@ -9,6 +9,9 @@
 //! delta-color color graph.txt --trace-out t.jsonl   # structured trace
 //! delta-color color graph.txt --faults seed=7,drop=0.01   # fault injection
 //! delta-color color graph.txt --threads 4      # worker pool width
+//! delta-color color graph.txt --checkpoint-dir ckpt   # phase snapshots
+//! delta-color color graph.txt --resume ckpt/checkpoint-06-pre-shattering.json
+//! delta-color replay bundles/bundle-after-post-shattering.json
 //! ```
 //!
 //! `color` reads the edge-list format (see `graphgen::io`), writes the
@@ -17,12 +20,25 @@
 //! per line (schema in `docs/OBSERVABILITY.md`); `--profile` prints a
 //! per-phase breakdown — rounds, share of total, wall-clock, messages —
 //! reconstructed from the same event stream.
+//!
+//! Supervisor options (see `docs/RECOVERY.md`): `--checkpoint-dir DIR`
+//! snapshots after every phase; `--resume SNAPSHOT` continues a killed run
+//! bit-identically; `--stop-after PHASE` suspends at a boundary;
+//! `--bundle-dir DIR` captures failures as repro bundles; `--degrade`
+//! contains component panics/budget overruns by falling back to the
+//! Brooks baseline; `--component-round-budget N` and
+//! `--component-wall-budget-ms N` bound component solves;
+//! `--chaos-panic I,J` / `--chaos-skip I,J` inject supervisor-level
+//! failures for testing. `replay <bundle>` re-executes a repro bundle and
+//! reports whether the recorded failure reproduced.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use delta_coloring::coloring::{
-    color_deterministic_probed, color_randomized_probed, color_randomized_with_faults,
-    color_sparse_dense_probed, validate_coloring, Config, RandConfig,
+    color_sparse_dense_probed, drive_deterministic, drive_randomized, load_snapshot, replay_bundle,
+    validate_coloring, ChaosPlan, Config, DegradedComponent, FailureReport, PhaseCursor,
+    PipelineKind, RandConfig, RunOutcome, Supervisor,
 };
 use delta_coloring::graphs::coloring::verify_delta_coloring;
 use delta_coloring::graphs::generators::{hard_cliques, HardCliqueParams};
@@ -43,6 +59,65 @@ fn arg_value(args: &[String], key: &str) -> Option<String> {
         .position(|a| a == key)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+fn parse_index_list(key: &str, spec: &str) -> Result<Vec<usize>, String> {
+    spec.split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|e| format!("invalid {key} entry `{s}`: {e}"))
+        })
+        .collect()
+}
+
+/// Builds the [`Supervisor`] from CLI flags; `None` when no supervisor
+/// flag was given (the run then takes the plain, unsupervised path).
+fn supervisor_from_args(args: &[String]) -> Result<Option<Supervisor>, String> {
+    let mut sup = Supervisor::passive();
+    let mut any = false;
+    if let Some(dir) = arg_value(args, "--checkpoint-dir") {
+        sup.checkpoint_dir = Some(PathBuf::from(dir));
+        any = true;
+    }
+    if let Some(dir) = arg_value(args, "--bundle-dir") {
+        sup.bundle_dir = Some(PathBuf::from(dir));
+        any = true;
+    }
+    if let Some(phase) = arg_value(args, "--stop-after") {
+        sup.stop_after = Some(phase.parse::<PhaseCursor>()?);
+        any = true;
+    }
+    if let Some(n) = arg_value(args, "--component-round-budget") {
+        sup.component_round_budget = Some(
+            n.parse()
+                .map_err(|e| format!("invalid --component-round-budget value `{n}`: {e}"))?,
+        );
+        any = true;
+    }
+    if let Some(n) = arg_value(args, "--component-wall-budget-ms") {
+        sup.component_wall_budget_ms = Some(
+            n.parse()
+                .map_err(|e| format!("invalid --component-wall-budget-ms value `{n}`: {e}"))?,
+        );
+        any = true;
+    }
+    if args.iter().any(|a| a == "--degrade") {
+        sup.degrade = true;
+        any = true;
+    }
+    let mut chaos = ChaosPlan::default();
+    if let Some(spec) = arg_value(args, "--chaos-panic") {
+        chaos.panic_components = parse_index_list("--chaos-panic", &spec)?;
+    }
+    if let Some(spec) = arg_value(args, "--chaos-skip") {
+        chaos.skip_components = parse_index_list("--chaos-skip", &spec)?;
+    }
+    if !chaos.is_empty() {
+        sup.chaos = chaos;
+        any = true;
+    }
+    Ok(any.then_some(sup))
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
@@ -69,7 +144,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         Some("color") => {
             let path = args.get(1).filter(|p| !p.starts_with("--")).ok_or(
                 "usage: delta-color color <file> [--randomized SEED | --general SEED] \
-                 [--faults SPEC] [--threads K] [--trace-out PATH] [--profile]",
+                 [--faults SPEC] [--threads K] [--trace-out PATH] [--profile] \
+                 [--checkpoint-dir DIR] [--resume SNAPSHOT] [--stop-after PHASE] \
+                 [--bundle-dir DIR] [--degrade] [--component-round-budget N] \
+                 [--component-wall-budget-ms N] [--chaos-panic I,J] [--chaos-skip I,J]",
             )?;
             if let Some(k) = arg_value(&args, "--threads") {
                 let k: usize = k
@@ -115,39 +193,94 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                         .map_err(|e| format!("invalid --faults spec `{spec}`: {e}"))
                 })
                 .transpose()?;
+            let sup = supervisor_from_args(&args)?.unwrap_or_default();
+            let resume = arg_value(&args, "--resume")
+                .map(|p| load_snapshot(std::path::Path::new(&p)))
+                .transpose()?;
 
-            let (coloring, ledger) = if let Some(plan) = &faults {
+            let (coloring, ledger) = if let Some(snap) = resume {
+                // Resume: pipeline, config, and fault plan all come from
+                // the snapshot — only supervisor policy and the probe are
+                // taken from this invocation.
+                eprintln!("resuming after phase `{}`", snap.cursor);
+                match snap.pipeline {
+                    PipelineKind::Randomized => {
+                        let rand = snap
+                            .rand
+                            .clone()
+                            .ok_or("snapshot missing randomized state")?;
+                        let plan = snap.faults.clone();
+                        let outcome = drive_randomized(
+                            &g,
+                            &rand.config,
+                            plan.as_ref(),
+                            &probe,
+                            &sup,
+                            Some(snap),
+                        )?;
+                        let Some(report) = finish(outcome) else {
+                            return Ok(());
+                        };
+                        let report = report?;
+                        (report.coloring, report.ledger)
+                    }
+                    PipelineKind::Deterministic => {
+                        let det = snap
+                            .det
+                            .clone()
+                            .ok_or("snapshot missing deterministic state")?;
+                        let outcome =
+                            drive_deterministic(&g, &det.config, &probe, &sup, Some(snap))?;
+                        let Some(report) = finish(outcome) else {
+                            return Ok(());
+                        };
+                        let report = report?;
+                        (report.coloring, report.ledger)
+                    }
+                }
+            } else if faults.is_some() || arg_value(&args, "--randomized").is_some() {
                 // Fault injection runs the randomized pipeline (the only
                 // one with a recovery loop); --randomized picks the
                 // pipeline seed, defaulting to the plan seed.
-                let seed = arg_value(&args, "--randomized").map_or(Ok(plan.seed), |s| s.parse())?;
+                let seed = match (arg_value(&args, "--randomized"), &faults) {
+                    (Some(s), _) => s.parse()?,
+                    (None, Some(plan)) => plan.seed,
+                    (None, None) => unreachable!("branch requires --faults or --randomized"),
+                };
                 let config = RandConfig::for_delta(delta, seed);
-                let report = color_randomized_with_faults(&g, &config, plan, &probe)?;
-                let validation = validate_coloring(&g, &report.coloring, delta as u32);
-                if !validation.is_ok() {
-                    return Err(format!("post-run validation failed: {validation}").into());
+                let outcome = drive_randomized(&g, &config, faults.as_ref(), &probe, &sup, None)?;
+                let Some(report) = finish(outcome) else {
+                    return Ok(());
+                };
+                let report = report?;
+                if faults.is_some() {
+                    let validation = validate_coloring(&g, &report.coloring, delta as u32);
+                    if !validation.is_ok() {
+                        return Err(format!("post-run validation failed: {validation}").into());
+                    }
+                    eprintln!(
+                        "faults: {} retries across {} of {} components, {} vertices struck, \
+                         {} recovery rounds; validation: {}",
+                        report.recovery.retries,
+                        report.recovery.components_hit,
+                        report.shatter.components,
+                        report.recovery.struck_vertices,
+                        report.recovery.recovery_rounds,
+                        validation.summary()
+                    );
                 }
-                eprintln!(
-                    "faults: {} retries across {} of {} components, {} vertices struck, \
-                     {} recovery rounds; validation: {}",
-                    report.recovery.retries,
-                    report.recovery.components_hit,
-                    report.shatter.components,
-                    report.recovery.struck_vertices,
-                    report.recovery.recovery_rounds,
-                    validation.summary()
-                );
-                (report.coloring, report.ledger)
-            } else if let Some(seed) = arg_value(&args, "--randomized") {
-                let config = RandConfig::for_delta(delta, seed.parse()?);
-                let report = color_randomized_probed(&g, &config, &probe)?;
                 (report.coloring, report.ledger)
             } else if let Some(seed) = arg_value(&args, "--general") {
                 let config = RandConfig::for_delta(delta, seed.parse()?);
                 let report = color_sparse_dense_probed(&g, &config, &probe)?;
                 (report.coloring, report.ledger)
             } else {
-                let report = color_deterministic_probed(&g, &Config::for_delta(delta), &probe)?;
+                let outcome =
+                    drive_deterministic(&g, &Config::for_delta(delta), &probe, &sup, None)?;
+                let Some(report) = finish(outcome) else {
+                    return Ok(());
+                };
+                let report = report?;
                 (report.coloring, report.ledger)
             };
             drop(probe); // flush the trace file before reporting
@@ -160,16 +293,95 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             print!("{}", io::write_coloring(&coloring));
             Ok(())
         }
+        Some("replay") => {
+            let path = args
+                .get(1)
+                .filter(|p| !p.starts_with("--"))
+                .ok_or("usage: delta-color replay <bundle.json>")?;
+            let report = replay_bundle(std::path::Path::new(path), &Probe::disabled())?;
+            eprintln!("recorded error:      {}", report.recorded_error);
+            match &report.observed_error {
+                Some(e) => eprintln!("observed error:      {e}"),
+                None => eprintln!("observed error:      (run completed without error)"),
+            }
+            eprintln!("recorded violations: {}", report.recorded_violations.len());
+            eprintln!("observed violations: {}", report.observed_violations.len());
+            if report.reproduced {
+                eprintln!("replay: failure reproduced");
+                Ok(())
+            } else {
+                Err("replay did not reproduce the recorded failure".into())
+            }
+        }
         _ => {
             eprintln!(
                 "usage:\n  delta-color gen [--cliques N] [--delta D] [--seed S]\n  \
                  delta-color color <file> [--randomized SEED | --general SEED] \
                  [--faults seed=S,drop=P,jitter=J,crash=N@R+...] [--threads K] \
-                 [--trace-out PATH] [--profile]"
+                 [--trace-out PATH] [--profile]\n    supervisor: [--checkpoint-dir DIR] \
+                 [--resume SNAPSHOT] [--stop-after PHASE] [--bundle-dir DIR] [--degrade] \
+                 [--component-round-budget N] [--component-wall-budget-ms N] \
+                 [--chaos-panic I,J] [--chaos-skip I,J]\n  \
+                 delta-color replay <bundle.json>"
             );
             Err("unknown command".into())
         }
     }
+}
+
+/// Folds a supervised run outcome into its report. `Complete` prints any
+/// degraded components and yields the report; `Suspended` prints the
+/// resume hint and yields `None` (the caller exits cleanly); `Failed`
+/// yields the rendered failure as an error.
+fn finish<R>(outcome: RunOutcome<R>) -> Option<Result<R, Box<dyn std::error::Error>>> {
+    match outcome {
+        RunOutcome::Complete { report, degraded } => {
+            report_degraded(&degraded);
+            Some(Ok(report))
+        }
+        RunOutcome::Suspended { cursor, snapshot } => {
+            eprintln!(
+                "suspended after phase `{cursor}`; resume with --resume {}",
+                snapshot.display()
+            );
+            None
+        }
+        RunOutcome::Failed(f) => Some(Err(render_failure(&f).into())),
+    }
+}
+
+fn report_degraded(degraded: &[DegradedComponent]) {
+    for d in degraded {
+        eprintln!(
+            "degraded: component {} fell back to the Brooks baseline \
+             ({}; charged {} rounds)",
+            d.index, d.reason, d.rounds
+        );
+    }
+}
+
+fn render_failure(f: &FailureReport) -> String {
+    report_degraded(&f.degraded);
+    let mut msg = format!("run failed: {}", f.error);
+    if let Some(cursor) = &f.cursor {
+        msg.push_str(&format!(" (last completed phase: {cursor})"));
+    }
+    if !f.violations.is_empty() {
+        msg.push_str(&format!("; {} violation(s):", f.violations.len()));
+        for v in f.violations.iter().take(5) {
+            msg.push_str(&format!("\n  {v}"));
+        }
+        if f.violations.len() > 5 {
+            msg.push_str(&format!("\n  … and {} more", f.violations.len() - 5));
+        }
+    }
+    if let Some(bundle) = &f.bundle {
+        msg.push_str(&format!(
+            "\nrepro bundle saved to {} (replay with: delta-color replay)",
+            bundle.display()
+        ));
+    }
+    msg
 }
 
 /// Renders the per-span profile: rounds, share of the ledger total,
