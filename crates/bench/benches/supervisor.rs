@@ -258,6 +258,10 @@ fn main() {
     if let Some(path) = json_path {
         let report = Value::Map(vec![
             (
+                "schema_version".to_string(),
+                Value::U64(delta_bench::BENCH_SCHEMA_VERSION),
+            ),
+            (
                 "mode".to_string(),
                 Value::Str(if smoke { "smoke" } else { "full" }.to_string()),
             ),

@@ -116,6 +116,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(p) = json_path {
         let report = Value::Map(vec![
+            (
+                "schema_version".to_string(),
+                Value::U64(delta_bench::BENCH_SCHEMA_VERSION),
+            ),
             ("quick".to_string(), Value::Bool(quick)),
             ("experiments".to_string(), Value::Seq(records)),
         ]);

@@ -11,3 +11,9 @@
 
 pub mod experiments;
 pub mod util;
+
+/// Schema version stamped into every JSON report this crate writes (the
+/// `BENCH_*.json` bench reports and the experiments `--json` output).
+/// `benchdiff` refuses to compare files whose versions differ; bump it
+/// whenever a report's shape changes incompatibly.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;

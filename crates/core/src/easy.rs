@@ -222,9 +222,10 @@ pub fn color_easy_and_loopholes_scoped(
     // and the plans can run on the worker pool.
     let plans = {
         let snapshot: &Coloring = coloring;
-        crate::pool::run_indexed(
+        crate::pool::run_indexed_metered(
             crate::pool::effective_threads(threads),
             selected.len(),
+            ledger.probe().metrics(),
             |i| {
                 let vs = selected[i].vertices();
                 let colors = brute_force_color_loophole(g, snapshot, &vs, delta);

@@ -14,9 +14,19 @@
 //! scoped workers pulling unit indices from a shared counter (dynamic
 //! scheduling — component sizes are heavy-tailed, so static chunking
 //! would idle workers).
+//!
+//! With a [`MetricsHub`] attached the pool decomposes its wall-clock into
+//! the quantities ROADMAP item 1 needs: per-worker busy/idle/merge lanes
+//! (`MetricsHub::worker_lane`), spawn overhead (`pool.spawn_ns`), and
+//! caller-side result collection (`pool.merge_ns`). Metric updates are
+//! commutative, so everything except the `_ns` timings stays
+//! deterministic at every thread count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use localsim::MetricsHub;
 
 /// Resolves a configured thread count: `0` means the process default.
 pub(crate) fn effective_threads(configured: usize) -> usize {
@@ -28,17 +38,23 @@ pub(crate) fn effective_threads(configured: usize) -> usize {
 }
 
 /// Runs `f(0), f(1), …, f(len - 1)` on up to `threads` scoped workers and
-/// returns the results in index order.
-pub(crate) fn run_indexed<T, F>(threads: usize, len: usize, f: F) -> Vec<T>
+/// returns the results in index order, recording pool utilization into
+/// `hub` when attached.
+pub(crate) fn run_indexed_metered<T, F>(
+    threads: usize,
+    len: usize,
+    hub: Option<&Arc<MetricsHub>>,
+    f: F,
+) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    run_indexed_with(threads, len, || (), |(), i| f(i))
+    run_indexed_with_metered(threads, len, hub, || (), |(), i| f(i))
 }
 
-/// [`run_indexed`] with per-worker scratch state: every worker calls
-/// `init` once and threads the state through each unit it executes
+/// [`run_indexed_metered`] with per-worker scratch state: every worker
+/// calls `init` once and threads the state through each unit it executes
 /// (the component pool uses this for its snapshot colorings, so scratch
 /// is allocated per *worker*, not per unit).
 ///
@@ -47,45 +63,138 @@ where
 /// its post-`init` state before `f` returns). Under that contract the
 /// output vector is identical at every thread count.
 ///
+/// With `hub` attached the call records `pool.calls` / `pool.units`
+/// counters, the `pool.call_ns` histogram, spawn overhead, caller-side
+/// merge time, and one busy/idle/merge lane per worker slot; with `hub`
+/// absent the original unmetered loops run — no `Instant::now` calls on
+/// any path.
+///
 /// # Panics
 ///
 /// Propagates panics from `f` (the scope rejoins all workers first).
-pub(crate) fn run_indexed_with<S, T, I, F>(threads: usize, len: usize, init: I, f: F) -> Vec<T>
+pub(crate) fn run_indexed_with_metered<S, T, I, F>(
+    threads: usize,
+    len: usize,
+    hub: Option<&Arc<MetricsHub>>,
+    init: I,
+    f: F,
+) -> Vec<T>
 where
     T: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
     let k = threads.clamp(1, len.max(1));
+    if let Some(hub) = hub {
+        hub.counter("pool.calls").incr();
+        hub.counter("pool.units").add(len as u64);
+    }
     if k <= 1 {
         let mut scratch = init();
+        if let Some(hub) = hub {
+            let lane = hub.worker_lane(0);
+            let start = Instant::now();
+            let out: Vec<T> = (0..len).map(|i| f(&mut scratch, i)).collect();
+            let busy = elapsed_ns(start);
+            lane.busy_ns.fetch_add(busy, Ordering::Relaxed);
+            lane.units.fetch_add(len as u64, Ordering::Relaxed);
+            hub.histogram("pool.call_ns").observe(busy);
+            return out;
+        }
         return (0..len).map(|i| f(&mut scratch, i)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..len).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..k {
-            scope.spawn(|| {
-                let mut scratch = init();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= len {
-                        break;
-                    }
-                    let out = f(&mut scratch, i);
-                    *slots[i].lock().expect("pool slot poisoned") = Some(out);
+    match hub {
+        None => {
+            std::thread::scope(|scope| {
+                for _ in 0..k {
+                    scope.spawn(|| {
+                        let mut scratch = init();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= len {
+                                break;
+                            }
+                            let out = f(&mut scratch, i);
+                            *slots[i].lock().expect("pool slot poisoned") = Some(out);
+                        }
+                    });
                 }
             });
         }
-    });
-    slots
+        Some(hub) => {
+            let call_start = Instant::now();
+            // A worker's fair share; anything claimed beyond it was
+            // "stolen" from slower workers by the dynamic scheduler.
+            let fair_share = len.div_ceil(k) as u64;
+            std::thread::scope(|scope| {
+                for w in 0..k {
+                    let lane = hub.worker_lane(w);
+                    let spawn_ns = hub.counter("pool.spawn_ns");
+                    let next = &next;
+                    let slots = &slots;
+                    let init = &init;
+                    let f = &f;
+                    scope.spawn(move || {
+                        spawn_ns.add(elapsed_ns(call_start));
+                        let mut scratch = init();
+                        let mut busy = 0u64;
+                        let mut idle = 0u64;
+                        let mut merge = 0u64;
+                        let mut claimed = 0u64;
+                        let mut prev = Instant::now();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= len {
+                                break;
+                            }
+                            let work_start = Instant::now();
+                            idle += ns_between(prev, work_start);
+                            let out = f(&mut scratch, i);
+                            let work_end = Instant::now();
+                            busy += ns_between(work_start, work_end);
+                            *slots[i].lock().expect("pool slot poisoned") = Some(out);
+                            prev = Instant::now();
+                            merge += ns_between(work_end, prev);
+                            claimed += 1;
+                        }
+                        lane.busy_ns.fetch_add(busy, Ordering::Relaxed);
+                        lane.idle_ns.fetch_add(idle, Ordering::Relaxed);
+                        lane.merge_ns.fetch_add(merge, Ordering::Relaxed);
+                        lane.units.fetch_add(claimed, Ordering::Relaxed);
+                        lane.steals
+                            .fetch_add(claimed.saturating_sub(fair_share), Ordering::Relaxed);
+                    });
+                }
+            });
+            hub.histogram("pool.call_ns")
+                .observe(elapsed_ns(call_start));
+        }
+    }
+    let collect_start = hub.map(|_| Instant::now());
+    let out: Vec<T> = slots
         .into_iter()
         .map(|m| {
             m.into_inner()
                 .expect("pool slot poisoned")
                 .expect("every index was claimed by exactly one worker")
         })
-        .collect()
+        .collect();
+    if let (Some(hub), Some(start)) = (hub, collect_start) {
+        hub.counter("pool.merge_ns").add(elapsed_ns(start));
+    }
+    out
+}
+
+#[inline]
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[inline]
+fn ns_between(a: Instant, b: Instant) -> u64 {
+    u64::try_from(b.saturating_duration_since(a).as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -96,7 +205,7 @@ mod tests {
     fn results_in_index_order_at_every_thread_count() {
         for threads in [0, 1, 2, 4, 16] {
             let k = if threads == 0 { 1 } else { threads };
-            let out = run_indexed(k, 10, |i| i * i);
+            let out = run_indexed_metered(k, 10, None, |i| i * i);
             assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
         }
     }
@@ -105,9 +214,10 @@ mod tests {
     fn scratch_is_per_worker() {
         // Each worker's scratch counts the units it ran; the sum over all
         // results must cover every unit exactly once.
-        let out = run_indexed_with(
+        let out = run_indexed_with_metered(
             4,
             100,
+            None,
             || 0usize,
             |seen, i| {
                 *seen += 1;
@@ -123,7 +233,34 @@ mod tests {
 
     #[test]
     fn empty_and_oversubscribed() {
-        assert!(run_indexed(4, 0, |i| i).is_empty());
-        assert_eq!(run_indexed(64, 3, |i| i), vec![0, 1, 2]);
+        assert!(run_indexed_metered(4, 0, None, |i| i).is_empty());
+        assert_eq!(run_indexed_metered(64, 3, None, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn metered_results_match_and_units_account() {
+        for threads in [1, 2, 4] {
+            let hub = Arc::new(MetricsHub::new());
+            let out = run_indexed_metered(threads, 50, Some(&hub), |i| i * 3);
+            assert_eq!(out, (0..50).map(|i| i * 3).collect::<Vec<_>>());
+            assert_eq!(hub.counter("pool.calls").get(), 1);
+            assert_eq!(hub.counter("pool.units").get(), 50);
+            let lanes = hub.worker_lanes();
+            assert!(lanes.len() <= threads.max(1));
+            let claimed: u64 = lanes.iter().map(|l| l.units).sum();
+            assert_eq!(
+                claimed, 50,
+                "threads={threads}: every unit claimed exactly once"
+            );
+            assert_eq!(hub.histogram("pool.call_ns").count(), 1);
+        }
+    }
+
+    #[test]
+    fn metered_empty_call_is_safe() {
+        let hub = Arc::new(MetricsHub::new());
+        let out: Vec<usize> = run_indexed_metered(4, 0, Some(&hub), |i| i);
+        assert!(out.is_empty());
+        assert_eq!(hub.counter("pool.units").get(), 0);
     }
 }

@@ -389,9 +389,10 @@ pub(crate) fn rand_phase_postshatter(
     // — documented as a nondeterministic safety net — can break this.
     let record_events = probe.enabled();
     let contain = sup.degrade;
-    let outcomes = crate::pool::run_indexed_with(
+    let outcomes = crate::pool::run_indexed_with_metered(
         crate::pool::effective_threads(config.base.threads),
         components.len(),
+        probe.metrics(),
         || coloring.clone(),
         |scratch, i| {
             let comp = &components[i];
@@ -410,9 +411,15 @@ pub(crate) fn rand_phase_postshatter(
             }
             let comp_seed = config.seed.wrapping_add(i as u64);
             let recording = record_events.then(|| std::sync::Arc::new(RecordingSink::new()));
-            let comp_probe = recording
+            let mut comp_probe = recording
                 .as_ref()
                 .map_or_else(Probe::disabled, |r| Probe::new(r.clone()));
+            // Metric updates commute, so the component's executor-level
+            // metrics can flow straight into the shared hub from the
+            // worker — unlike events, they need no replay-in-order merge.
+            if let Some(hub) = probe.metrics() {
+                comp_probe = comp_probe.with_metrics(hub.clone());
+            }
             let mut comp_ledger = RoundLedger::with_probe(comp_probe.clone());
             let mut comp_recovery = RecoveryStats::default();
             let started = std::time::Instant::now();
@@ -458,7 +465,17 @@ pub(crate) fn rand_phase_postshatter(
                 })) {
                     Ok(Err(e)) => (Ok(()), Some(format!("error: {e}"))),
                     Ok(ok) => (ok, None),
-                    Err(payload) => (Ok(()), Some(format!("panic: {}", panic_message(&*payload)))),
+                    Err(payload) => {
+                        // Containment path: the run survives this panic,
+                        // but nothing guarantees it survives the next one
+                        // — push everything buffered so far (trace file,
+                        // flight recorder) to durable storage now.
+                        probe.flush();
+                        if let Some(hub) = probe.metrics() {
+                            hub.counter("supervisor.contained_panics").incr();
+                        }
+                        (Ok(()), Some(format!("panic: {}", panic_message(&*payload))))
+                    }
                 }
             } else {
                 (solve(scratch, &mut comp_ledger, &mut comp_recovery), None)

@@ -40,9 +40,11 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Instant;
 
 use graphgen::{Coloring, Graph, NodeId};
-use localsim::{Event, FaultPlan, Probe, RoundLedger};
+use localsim::{Event, FaultPlan, FlightRecorder, Probe, RoundLedger};
 use serde::{json, Deserialize, Serialize};
 
 use crate::deterministic::{
@@ -236,6 +238,12 @@ pub struct Supervisor {
     pub degrade: bool,
     /// Deterministic supervisor-level failure injection.
     pub chaos: ChaosPlan,
+    /// A shared flight recorder whose tail of recent events is embedded
+    /// into any [`ReproBundle`] this supervisor captures. The recorder
+    /// only *sees* events if it is also attached to the run's probe
+    /// (typically through a `FanoutSink`); the supervisor never records
+    /// into it, it only harvests the tail at failure time.
+    pub flight: Option<Arc<FlightRecorder>>,
 }
 
 impl Supervisor {
@@ -258,6 +266,11 @@ impl Supervisor {
             ));
         }
         Ok(())
+    }
+
+    /// The flight recorder's current tail, or empty without a recorder.
+    fn flight_tail(&self) -> Vec<Event> {
+        self.flight.as_ref().map(|f| f.tail()).unwrap_or_default()
     }
 }
 
@@ -323,8 +336,9 @@ pub struct Snapshot {
 }
 
 /// A self-contained failure reproduction: graph, configuration, fault and
-/// chaos plans, and the recorded failure. [`replay_bundle`] re-runs it.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// chaos plans, the recorded failure, and the flight-recorder tail (the
+/// last events emitted before the run died). [`replay_bundle`] re-runs it.
+#[derive(Debug, Clone, Serialize)]
 pub struct ReproBundle {
     /// Format version ([`BUNDLE_VERSION`]).
     pub version: u32,
@@ -350,6 +364,35 @@ pub struct ReproBundle {
     pub violations: Vec<String>,
     /// Components degraded before the failure.
     pub degraded: Vec<DegradedComponent>,
+    /// Flight-recorder tail at capture time, oldest first (empty when the
+    /// run had no recorder attached).
+    pub flight: Vec<Event>,
+}
+
+// Deserialized by hand so bundles written before the `flight` field
+// existed (still format version 1 — the addition is purely additive)
+// load with an empty tail instead of failing on the missing key.
+impl<'de> Deserialize<'de> for ReproBundle {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(ReproBundle {
+            version: Deserialize::from_value(v.field("version")?)?,
+            pipeline: Deserialize::from_value(v.field("pipeline")?)?,
+            graph: Deserialize::from_value(v.field("graph")?)?,
+            rand_config: Deserialize::from_value(v.field("rand_config")?)?,
+            det_config: Deserialize::from_value(v.field("det_config")?)?,
+            faults: Deserialize::from_value(v.field("faults")?)?,
+            chaos: Deserialize::from_value(v.field("chaos")?)?,
+            degrade: Deserialize::from_value(v.field("degrade")?)?,
+            cursor: Deserialize::from_value(v.field("cursor")?)?,
+            error: Deserialize::from_value(v.field("error")?)?,
+            violations: Deserialize::from_value(v.field("violations")?)?,
+            degraded: Deserialize::from_value(v.field("degraded")?)?,
+            flight: match v.field("flight") {
+                Ok(f) => Deserialize::from_value(f)?,
+                Err(_) => Vec::new(),
+            },
+        })
+    }
 }
 
 /// A failed supervised run, as surfaced by [`RunOutcome::Failed`].
@@ -600,6 +643,7 @@ pub fn drive_randomized(
     }
 
     let mut resume_cursor = None;
+    let restore_start = Instant::now();
     let mut st = match resume {
         Some(snap) => {
             check_snapshot(&snap, g, PipelineKind::Randomized)?;
@@ -643,6 +687,7 @@ pub fn drive_randomized(
             degraded: Vec::new(),
         },
     };
+    record_resume_metrics(probe, resume_cursor.is_some(), restore_start);
 
     let mut last_done = resume_cursor;
     let flow = run_randomized_phases(
@@ -667,6 +712,9 @@ pub fn drive_randomized(
             degraded: st.degraded,
         }),
         Err(e) if sup.captures_failures() => {
+            // The run is over; make sure everything buffered (trace file,
+            // fanned-out sinks) reaches disk before the bundle is built.
+            probe.flush();
             let violations: Vec<String> =
                 crate::validate::check_coloring(g, &st.coloring, delta as u32)
                     .iter()
@@ -685,6 +733,7 @@ pub fn drive_randomized(
                 error: e.to_string(),
                 violations: violations.clone(),
                 degraded: st.degraded.clone(),
+                flight: sup.flight_tail(),
             };
             let path = match &sup.bundle_dir {
                 Some(dir) => Some(save_bundle(dir, &bundle)?),
@@ -832,15 +881,43 @@ fn rand_boundary(
         }),
         det: None,
     };
+    let write_start = Instant::now();
     let path = save_snapshot(dir, &snap)?;
+    record_checkpoint_metrics(probe, write_start);
     probe.emit_with(|| Event::Checkpoint {
         cursor: cursor.slug().to_string(),
         rounds: st.ledger.total(),
     });
+    // Phase boundaries are the durability points of a supervised run: a
+    // kill after this line must find the trace as complete as the
+    // snapshot.
+    probe.flush();
     if sup.stop_after == Some(cursor) {
         return Ok(Some((cursor, path)));
     }
     Ok(None)
+}
+
+/// Records one checkpoint write into the probe's metrics hub.
+fn record_checkpoint_metrics(probe: &Probe, write_start: Instant) {
+    if let Some(hub) = probe.metrics() {
+        hub.counter("supervisor.checkpoints").incr();
+        hub.histogram("supervisor.checkpoint_write_ns")
+            .observe(u64::try_from(write_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
+/// Records a snapshot restore (validation + state reattachment) into the
+/// probe's metrics hub. No-op for fresh (non-resumed) runs.
+fn record_resume_metrics(probe: &Probe, resumed: bool, restore_start: Instant) {
+    if !resumed {
+        return;
+    }
+    if let Some(hub) = probe.metrics() {
+        hub.counter("supervisor.resumes").incr();
+        hub.histogram("supervisor.resume_restore_ns")
+            .observe(u64::try_from(restore_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -879,6 +956,7 @@ pub fn drive_deterministic(
     }
 
     let mut resume_cursor = None;
+    let restore_start = Instant::now();
     let mut st = match resume {
         Some(snap) => {
             check_snapshot(&snap, g, PipelineKind::Deterministic)?;
@@ -909,6 +987,7 @@ pub fn drive_deterministic(
             stats: PipelineStats::default(),
         },
     };
+    record_resume_metrics(probe, resume_cursor.is_some(), restore_start);
 
     let mut last_done = resume_cursor;
     let flow = run_deterministic_phases(
@@ -931,6 +1010,7 @@ pub fn drive_deterministic(
             degraded: Vec::new(),
         }),
         Err(e) if sup.captures_failures() => {
+            probe.flush();
             let violations: Vec<String> =
                 crate::validate::check_coloring(g, &st.coloring, delta as u32)
                     .iter()
@@ -949,6 +1029,7 @@ pub fn drive_deterministic(
                 error: e.to_string(),
                 violations: violations.clone(),
                 degraded: Vec::new(),
+                flight: sup.flight_tail(),
             };
             let path = match &sup.bundle_dir {
                 Some(dir) => Some(save_bundle(dir, &bundle)?),
@@ -1092,11 +1173,14 @@ fn det_boundary(
             stats: st.stats.clone(),
         }),
     };
+    let write_start = Instant::now();
     let path = save_snapshot(dir, &snap)?;
+    record_checkpoint_metrics(probe, write_start);
     probe.emit_with(|| Event::Checkpoint {
         cursor: cursor.slug().to_string(),
         rounds: st.ledger.total(),
     });
+    probe.flush();
     if sup.stop_after == Some(cursor) {
         return Ok(Some((cursor, path)));
     }

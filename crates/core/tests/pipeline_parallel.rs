@@ -15,7 +15,7 @@ use delta_core::{
 use graphgen::coloring::verify_delta_coloring;
 use graphgen::generators::{self, BlueprintKind, HardCliqueParams};
 use graphgen::Graph;
-use localsim::{Event, FaultPlan, Probe, RecordingSink};
+use localsim::{Event, FaultPlan, MetricsHub, Probe, RecordingSink};
 
 fn circulant(cliques: usize, seed: u64) -> generators::HardCliqueInstance {
     generators::hard_cliques_with_blueprint(
@@ -129,6 +129,87 @@ fn thread_count_zero_resolves_to_process_default() {
     let reference = run_randomized(&inst.graph, &shattering_config(3, 1), None);
     let auto = run_randomized(&inst.graph, &shattering_config(3, 0), None);
     assert_rand_identical(&reference, &auto);
+}
+
+/// Runs the randomized pipeline with a metrics hub attached and returns
+/// the serialized deterministic snapshot (every `_ns` timing and the
+/// per-worker lane table excluded; keys sorted, so equal snapshots
+/// serialize to equal strings).
+fn rand_metrics(g: &Graph, config: &RandConfig, faults: Option<&FaultPlan>) -> String {
+    let hub = Arc::new(MetricsHub::new());
+    let probe = Probe::disabled().with_metrics(hub.clone());
+    match faults {
+        Some(plan) => {
+            color_randomized_with_faults(g, config, plan, &probe).unwrap();
+        }
+        None => {
+            color_randomized_probed(g, config, &probe).unwrap();
+        }
+    }
+    serde::json::to_string(&hub.deterministic_snapshot())
+}
+
+/// The deterministic metrics slice — counters, watermarks, and the pool's
+/// unit total — is a commutative reduction over per-thread shards, so it
+/// must serialize bit-identically at every thread count.
+#[test]
+fn metrics_snapshots_are_identical_across_thread_counts() {
+    let inst = circulant(80, 500);
+    let reference = rand_metrics(&inst.graph, &shattering_config(1, 1), None);
+    assert!(
+        reference.contains("pool.units"),
+        "snapshot must cover the component pool: {reference}"
+    );
+    assert!(
+        reference.contains("exec.rounds"),
+        "snapshot must cover the executor: {reference}"
+    );
+    for threads in [2, 4, 0] {
+        let par = rand_metrics(&inst.graph, &shattering_config(1, threads), None);
+        assert_eq!(
+            reference, par,
+            "threads={threads}: deterministic metrics snapshot diverged"
+        );
+    }
+}
+
+#[test]
+fn faulted_metrics_snapshots_are_identical_across_thread_counts() {
+    let inst = circulant(80, 501);
+    let plan = FaultPlan {
+        seed: 0xFA17,
+        message_drop_p: 0.01,
+        ..FaultPlan::default()
+    };
+    let reference = rand_metrics(&inst.graph, &shattering_config(5, 1), Some(&plan));
+    for threads in [2, 4, 0] {
+        let par = rand_metrics(&inst.graph, &shattering_config(5, threads), Some(&plan));
+        assert_eq!(
+            reference, par,
+            "threads={threads}: faulted metrics snapshot diverged"
+        );
+    }
+}
+
+#[test]
+fn deterministic_pipeline_metrics_snapshots_are_identical() {
+    let g = generators::clique_ring(12, 16);
+    let snapshot = |threads: usize| {
+        let hub = Arc::new(MetricsHub::new());
+        let probe = Probe::disabled().with_metrics(hub.clone());
+        let mut config = Config::for_delta(16);
+        config.threads = threads;
+        color_deterministic_probed(&g, &config, &probe).unwrap();
+        serde::json::to_string(&hub.deterministic_snapshot())
+    };
+    let reference = snapshot(1);
+    for threads in [2, 4, 0] {
+        assert_eq!(
+            reference,
+            snapshot(threads),
+            "threads={threads}: deterministic metrics snapshot diverged"
+        );
+    }
 }
 
 fn run_deterministic(g: &Graph, threads: usize) -> (Report, Vec<Event>) {

@@ -19,7 +19,7 @@ use delta_core::{
 use graphgen::coloring::verify_delta_coloring;
 use graphgen::generators::{self, BlueprintKind, HardCliqueParams};
 use graphgen::Graph;
-use localsim::{Event, FaultPlan, Probe, RecordingSink};
+use localsim::{Event, FaultPlan, JsonlSink, MetricsHub, Probe, RecordingSink};
 
 fn circulant(cliques: usize, seed: u64) -> generators::HardCliqueInstance {
     generators::hard_cliques_with_blueprint(
@@ -341,6 +341,70 @@ fn injected_panic_degrades_to_brooks_and_completes() {
         degraded_events.len(),
         1,
         "one Degraded telemetry event per quarantined component"
+    );
+}
+
+/// A contained component panic must flush the trace sink: a JSONL trace
+/// buffered behind a large `BufWriter` reaches the backing store at the
+/// containment point, not only when the sink is eventually dropped — so
+/// a run that dies right after still leaves its trace on disk.
+#[test]
+fn contained_panic_flushes_buffered_trace() {
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let inst = circulant(80, 500);
+    let config = shattering_config(1, 2);
+    let sup = Supervisor {
+        degrade: true,
+        chaos: ChaosPlan {
+            panic_components: vec![0],
+            ..ChaosPlan::default()
+        },
+        ..Supervisor::passive()
+    };
+    let buf = SharedBuf::default();
+    // 4 MiB of buffering: far more than this run emits, so no line can
+    // reach the shared buffer through capacity spill — only via flush.
+    let sink = Arc::new(JsonlSink::new(std::io::BufWriter::with_capacity(
+        1 << 22,
+        buf.clone(),
+    )));
+    let hub = Arc::new(MetricsHub::new());
+    let probe = Probe::new(sink.clone()).with_metrics(hub.clone());
+    let outcome = drive_randomized(&inst.graph, &config, None, &probe, &sup, None).unwrap();
+    assert!(
+        matches!(outcome, RunOutcome::Complete { .. }),
+        "contained panic must not abort the run"
+    );
+    // The sink (and its BufWriter) is still alive — nothing was dropped.
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    assert!(
+        !text.is_empty(),
+        "containment must flush buffered trace lines while the sink is alive"
+    );
+    for line in text.lines() {
+        let _: Event = serde::json::from_str(line)
+            .unwrap_or_else(|e| panic!("flushed line must parse as an event: {e}\n{line}"));
+    }
+    assert!(
+        text.contains("pre-shattering"),
+        "the flushed prefix must cover the phases before the panic"
+    );
+    assert_eq!(
+        hub.counter("supervisor.contained_panics").get(),
+        1,
+        "the containment path records the panic in the metrics hub"
     );
 }
 

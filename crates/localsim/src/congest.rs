@@ -323,6 +323,15 @@ impl<'g, F> CongestExecutor<'g, F> {
         }
         let run: RunResult<P::Output> = inner.run(&metered, max_rounds)?;
         let stats = metered.stats.into_inner().expect("meter mutex poisoned");
+        // Bandwidth metrics are recorded even when the run ends in a
+        // budget violation — the bits were sent before the check fired.
+        if let Some(hub) = self.probe.metrics() {
+            let messages: u64 = stats.per_round.iter().map(|r| r.messages).sum();
+            hub.counter("congest.messages").add(messages);
+            hub.counter("congest.total_bits").add(stats.total_bits);
+            hub.watermark("congest.max_bits")
+                .record(stats.max_bits as u64);
+        }
         if let Some((bits, round)) = stats.violation {
             return Err(CongestError::BandwidthExceeded {
                 bits,

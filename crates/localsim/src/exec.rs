@@ -256,6 +256,15 @@ impl<'g> Executor<'g> {
         let c_halted = registry.counter("halted");
         let c_msgs = registry.counter("messages_sent");
         let g_halted_frac = registry.gauge("halted_fraction");
+        // Whole-run metrics, recorded only with a hub on the probe. The
+        // `_ns` timings are nondeterministic by convention; the round and
+        // worklist accounting is bit-identical at every thread count.
+        let hub = self.probe.metrics();
+        let m_rounds = hub.map(|h| h.counter("exec.rounds"));
+        let m_live_peak = hub.map(|h| h.watermark("exec.live_peak"));
+        let m_round_ns = hub.map(|h| h.histogram("exec.round_ns"));
+        let m_segment_ns = hub.map(|h| h.histogram("exec.segment_ns"));
+        let meter_segments = m_segment_ns.is_some();
         // Fault machinery. Everything below is inert (no extra counters,
         // no per-node branches taken) unless a plan is active, so
         // fault-free runs keep byte-identical telemetry.
@@ -308,6 +317,13 @@ impl<'g> Executor<'g> {
                 }
             }
             c_live.set(live_list.len() as i64);
+            if let Some(m) = &m_rounds {
+                m.incr();
+            }
+            if let Some(w) = &m_live_peak {
+                w.record(live_list.len() as u64);
+            }
+            let round_start = m_round_ns.as_ref().map(|_| std::time::Instant::now());
             let mut dropped = 0i64;
             let mut stalled = 0i64;
             if self.threads > 1 && live_list.len() > 1 {
@@ -329,86 +345,96 @@ impl<'g> Executor<'g> {
                 let cur_ref = &cur;
                 let plan_ref = plan;
                 #[allow(clippy::type_complexity)]
-                let results: Vec<(i64, i64, i64, Vec<NodeId>)> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = segs
-                        .iter()
-                        .zip(ranges.iter().zip(port_ranges.iter()))
-                        .zip(
-                            nxt_slices
-                                .into_iter()
-                                .zip(out_slices.into_iter().zip(seen_slices)),
-                        )
-                        .map(|((seg, (&(lo, _), &(plo, _))), (nxt_s, (out_s, seen_s)))| {
-                            scope.spawn(move || {
-                                let mut nbr_buf: Vec<A::State> = Vec::with_capacity(max_degree);
-                                let mut msgs = 0i64;
-                                let mut dropped = 0i64;
-                                let mut stalled = 0i64;
-                                let mut survivors = Vec::with_capacity(seg.len());
-                                for &v in *seg {
-                                    if jitter_on && plan_ref.stalls(v, rounds) {
-                                        // Keep the state across the buffer
-                                        // swap; the node stays live.
-                                        nxt_s[v.index() - lo] = cur_ref[v.index()].clone();
-                                        stalled += 1;
-                                        survivors.push(v);
-                                        continue;
-                                    }
-                                    nbr_buf.clear();
-                                    if drop_on {
-                                        let base = offsets[v.index()];
-                                        for (p, w) in graph.neighbors(v).iter().enumerate() {
-                                            let slot = base + p;
-                                            if plan_ref.drops_message(rounds, slot) {
-                                                dropped += 1;
-                                            } else {
-                                                seen_s[slot - plo] = cur_ref[w.index()].clone();
+                let results: Vec<(i64, i64, i64, Vec<NodeId>, Option<u64>)> =
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = segs
+                            .iter()
+                            .zip(ranges.iter().zip(port_ranges.iter()))
+                            .zip(
+                                nxt_slices
+                                    .into_iter()
+                                    .zip(out_slices.into_iter().zip(seen_slices)),
+                            )
+                            .map(|((seg, (&(lo, _), &(plo, _))), (nxt_s, (out_s, seen_s)))| {
+                                scope.spawn(move || {
+                                    let seg_start = meter_segments.then(std::time::Instant::now);
+                                    let mut nbr_buf: Vec<A::State> = Vec::with_capacity(max_degree);
+                                    let mut msgs = 0i64;
+                                    let mut dropped = 0i64;
+                                    let mut stalled = 0i64;
+                                    let mut survivors = Vec::with_capacity(seg.len());
+                                    for &v in *seg {
+                                        if jitter_on && plan_ref.stalls(v, rounds) {
+                                            // Keep the state across the buffer
+                                            // swap; the node stays live.
+                                            nxt_s[v.index() - lo] = cur_ref[v.index()].clone();
+                                            stalled += 1;
+                                            survivors.push(v);
+                                            continue;
+                                        }
+                                        nbr_buf.clear();
+                                        if drop_on {
+                                            let base = offsets[v.index()];
+                                            for (p, w) in graph.neighbors(v).iter().enumerate() {
+                                                let slot = base + p;
+                                                if plan_ref.drops_message(rounds, slot) {
+                                                    dropped += 1;
+                                                } else {
+                                                    seen_s[slot - plo] = cur_ref[w.index()].clone();
+                                                }
+                                            }
+                                            let deg = graph.neighbors(v).len();
+                                            nbr_buf.extend(
+                                                seen_s[base - plo..base - plo + deg]
+                                                    .iter()
+                                                    .cloned(),
+                                            );
+                                            msgs += deg as i64;
+                                        } else {
+                                            nbr_buf.extend(
+                                                graph
+                                                    .neighbors(v)
+                                                    .iter()
+                                                    .map(|w| cur_ref[w.index()].clone()),
+                                            );
+                                            msgs += nbr_buf.len() as i64;
+                                        }
+                                        let ctx = make_ctx(v, rounds);
+                                        match algo.step(&ctx, &cur_ref[v.index()], &nbr_buf) {
+                                            Transition::Continue(s) => {
+                                                nxt_s[v.index() - lo] = s;
+                                                survivors.push(v);
+                                            }
+                                            Transition::Halt(o) => {
+                                                out_s[v.index() - lo] = Some(o);
+                                                nxt_s[v.index() - lo] = cur_ref[v.index()].clone();
                                             }
                                         }
-                                        let deg = graph.neighbors(v).len();
-                                        nbr_buf.extend(
-                                            seen_s[base - plo..base - plo + deg].iter().cloned(),
-                                        );
-                                        msgs += deg as i64;
-                                    } else {
-                                        nbr_buf.extend(
-                                            graph
-                                                .neighbors(v)
-                                                .iter()
-                                                .map(|w| cur_ref[w.index()].clone()),
-                                        );
-                                        msgs += nbr_buf.len() as i64;
                                     }
-                                    let ctx = make_ctx(v, rounds);
-                                    match algo.step(&ctx, &cur_ref[v.index()], &nbr_buf) {
-                                        Transition::Continue(s) => {
-                                            nxt_s[v.index() - lo] = s;
-                                            survivors.push(v);
-                                        }
-                                        Transition::Halt(o) => {
-                                            out_s[v.index() - lo] = Some(o);
-                                            nxt_s[v.index() - lo] = cur_ref[v.index()].clone();
-                                        }
-                                    }
-                                }
-                                (msgs, dropped, stalled, survivors)
+                                    let seg_ns = seg_start.map(|s| {
+                                        u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                                    });
+                                    (msgs, dropped, stalled, survivors, seg_ns)
+                                })
                             })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("executor worker panicked"))
-                        .collect()
-                });
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("executor worker panicked"))
+                            .collect()
+                    });
                 // Merge in segment order: counters and the compacted
                 // worklist come out identical to the sequential schedule.
                 let before = live_list.len();
                 live_list.clear();
-                for (msgs, seg_dropped, seg_stalled, survivors) in results {
+                for (msgs, seg_dropped, seg_stalled, survivors, seg_ns) in results {
                     c_msgs.add(msgs);
                     dropped += seg_dropped;
                     stalled += seg_stalled;
                     live_list.extend(survivors);
+                    if let (Some(h), Some(ns)) = (&m_segment_ns, seg_ns) {
+                        h.observe(ns);
+                    }
                 }
                 c_halted.add((before - live_list.len()) as i64);
             } else {
@@ -486,6 +512,9 @@ impl<'g> Executor<'g> {
             std::mem::swap(&mut cur, &mut nxt);
             g_halted_frac.set((n - live_list.len()) as f64 / n as f64);
             registry.emit_round(&self.probe, EXEC_SCOPE, rounds - 1);
+            if let (Some(h), Some(start)) = (&m_round_ns, round_start) {
+                h.observe(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
         }
         if crashed > 0 {
             return Err(SimError::Crashed { crashed, rounds });

@@ -74,6 +74,7 @@ pub use par::{default_threads, set_default_threads};
 // Re-exported so simulator users can attach probes without naming the
 // telemetry crate explicitly.
 pub use telemetry::{
-    ChargeKind, Event, FanoutSink, FaultKind, JsonlSink, NullSink, Probe, RecordingSink, Registry,
-    Sink,
+    ChargeKind, Event, FanoutSink, FaultKind, FlightRecorder, Histogram, JsonlSink, LocalHistogram,
+    MetricCounter, MetricsHub, NullSink, Probe, RecordingSink, Registry, Sink, Watermark,
+    WorkerLaneSnapshot, METRICS_SCHEMA_VERSION,
 };

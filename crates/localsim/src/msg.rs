@@ -242,6 +242,14 @@ impl<'g> MessageExecutor<'g> {
         let c_msgs = registry.counter("messages_sent");
         let c_inbox = registry.counter("inbox_bytes");
         let g_halted_frac = registry.gauge("halted_fraction");
+        // Metric handles (None when no hub is attached — the hot loop then
+        // takes no timestamps). `msg.arena_peak` / `msg.dirty_slots` track
+        // inbox-arena occupancy and compaction work via the dirty list.
+        let hub = self.probe.metrics();
+        let m_rounds = hub.map(|h| h.counter("msg.rounds"));
+        let m_arena_peak = hub.map(|h| h.watermark("msg.arena_peak"));
+        let m_dirty = hub.map(|h| h.counter("msg.dirty_slots"));
+        let m_round_ns = hub.map(|h| h.histogram("msg.round_ns"));
         // Fault machinery — inert unless a plan is active, so fault-free
         // runs keep byte-identical telemetry.
         let inert = FaultPlan::default();
@@ -304,6 +312,10 @@ impl<'g> MessageExecutor<'g> {
                 }
             }
             c_live.set(live_list.len() as i64);
+            if let Some(c) = &m_rounds {
+                c.incr();
+            }
+            let round_start = m_round_ns.as_ref().map(|_| std::time::Instant::now());
             // Drops are accounted to the round event of the round in which
             // the executor processed the send; init-time sends fold into
             // the first round's event.
@@ -473,6 +485,12 @@ impl<'g> MessageExecutor<'g> {
             }
             // Recycle the consumed arena: clear only the touched slots,
             // then swap it in as next round's write buffer.
+            if let Some(w) = &m_arena_peak {
+                w.record(dirty_cur.len() as u64);
+            }
+            if let Some(c) = &m_dirty {
+                c.add(dirty_cur.len() as u64);
+            }
             for slot in dirty_cur.drain(..) {
                 cur[slot] = None;
             }
@@ -480,6 +498,9 @@ impl<'g> MessageExecutor<'g> {
             std::mem::swap(&mut dirty_cur, &mut dirty_nxt);
             g_halted_frac.set((n - live_list.len()) as f64 / n as f64);
             registry.emit_round(&self.probe, MSG_SCOPE, rounds - 1);
+            if let (Some(h), Some(start)) = (&m_round_ns, round_start) {
+                h.observe(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
         }
         if crashed > 0 {
             return Err(SimError::Crashed { crashed, rounds });

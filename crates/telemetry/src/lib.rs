@@ -21,11 +21,16 @@
 //! [`Gauge`]s snapshotted once per simulated round.
 
 pub mod event;
+pub mod metrics;
 pub mod probe;
 pub mod registry;
 pub mod sink;
 
 pub use event::{ChargeKind, Event, FaultKind};
+pub use metrics::{
+    Histogram, LocalHistogram, MetricCounter, MetricsHub, Watermark, WorkerLane,
+    WorkerLaneSnapshot, METRICS_SCHEMA_VERSION,
+};
 pub use probe::{Probe, Span};
 pub use registry::{Counter, Gauge, Registry};
-pub use sink::{FanoutSink, JsonlSink, NullSink, RecordingSink, Sink};
+pub use sink::{FanoutSink, FlightRecorder, JsonlSink, NullSink, RecordingSink, Sink};

@@ -5,29 +5,61 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::event::Event;
+use crate::metrics::MetricsHub;
 use crate::sink::Sink;
 
 /// A cheaply cloneable telemetry handle.
 ///
 /// A probe is either disabled (the default — every operation reduces to
-/// a branch on `None`) or carries a shared [`Sink`]. Instrumented code
-/// takes a `&Probe` or stores a clone; there is no global state.
+/// a branch on `None`) or carries a shared [`Sink`]. Independently of the
+/// sink it may carry a [`MetricsHub`]; instrumented layers that receive
+/// the probe record whole-run metrics into the hub even when no event
+/// sink is attached. Instrumented code takes a `&Probe` or stores a
+/// clone; there is no global state.
 #[derive(Clone, Default)]
 pub struct Probe {
     sink: Option<Arc<dyn Sink>>,
+    metrics: Option<Arc<MetricsHub>>,
 }
 
 impl Probe {
     /// A probe that drops everything. Equivalent to `Probe::default()`.
     #[must_use]
     pub fn disabled() -> Self {
-        Probe { sink: None }
+        Probe::default()
     }
 
     /// A probe forwarding every event to `sink`.
     #[must_use]
     pub fn new(sink: Arc<dyn Sink>) -> Self {
-        Probe { sink: Some(sink) }
+        Probe {
+            sink: Some(sink),
+            metrics: None,
+        }
+    }
+
+    /// Attaches a shared metrics hub; instrumented layers reached by this
+    /// probe (or its clones) record counters, watermarks, histograms, and
+    /// worker utilization into it.
+    #[must_use]
+    pub fn with_metrics(mut self, hub: Arc<MetricsHub>) -> Self {
+        self.metrics = Some(hub);
+        self
+    }
+
+    /// The attached metrics hub, if any.
+    #[inline]
+    #[must_use]
+    pub fn metrics(&self) -> Option<&Arc<MetricsHub>> {
+        self.metrics.as_ref()
+    }
+
+    /// Flushes the attached sink (see [`Sink::flush`]). A no-op when
+    /// disabled or when the sink buffers nothing.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.sink {
+            sink.flush();
+        }
     }
 
     /// Convenience wrapper around [`Probe::new`] for owned sinks.

@@ -1,8 +1,10 @@
 //! Event sinks: where probe output goes.
 
+use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::event::Event;
@@ -12,6 +14,12 @@ use crate::event::Event;
 pub trait Sink: Send + Sync {
     /// Records one event.
     fn record(&self, event: &Event);
+
+    /// Pushes buffered output to durable storage. A no-op for in-memory
+    /// sinks. The supervisor calls this at phase boundaries and when a
+    /// contained panic is caught, so a crashing run's trace file holds
+    /// every event emitted before the crash site.
+    fn flush(&self) {}
 }
 
 /// Discards every event. Exists so "instrumented but nobody listening"
@@ -131,6 +139,80 @@ impl Sink for FanoutSink {
             sink.record(event);
         }
     }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+/// A bounded ring buffer of the most recent events — a crash "black box".
+///
+/// Records like any sink but keeps only the last `capacity` events; when
+/// a supervised run panics or a repro bundle is captured, the supervisor
+/// embeds [`FlightRecorder::tail`] into the bundle so `delta-color
+/// replay` can print what the run was doing right before it failed.
+/// Overwritten events are counted, not silently lost.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` events (at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained, oldest first.
+    #[must_use]
+    pub fn tail(&self) -> Vec<Event> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Events overwritten because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn record(&self, event: &Event) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event.clone());
+    }
 }
 
 /// Writes one JSON object per event — the on-disk trace format.
@@ -176,6 +258,11 @@ impl<W: Write + Send> Sink for JsonlSink<W> {
         let mut out = self.out.lock().unwrap();
         // A failing trace write must not abort the run being traced.
         let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        // A failing flush must not abort the run being traced either.
+        let _ = JsonlSink::flush(self);
     }
 }
 
@@ -250,6 +337,59 @@ mod tests {
         fan.record(&Event::SpanEnter { path: "x".into() });
         assert_eq!(a.len(), 1);
         assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn flight_recorder_keeps_only_the_tail() {
+        let rec = FlightRecorder::new(3);
+        assert!(rec.is_empty());
+        for i in 0..5u64 {
+            rec.record(&Event::Metric {
+                scope: "t".into(),
+                name: "i".into(),
+                value: i as f64,
+            });
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 2);
+        let names: Vec<f64> = rec
+            .tail()
+            .iter()
+            .map(|e| match e {
+                Event::Metric { value, .. } => *value,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(names, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn jsonl_sink_flush_via_trait_writes_through() {
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::new(io::BufWriter::with_capacity(1 << 20, buf.clone()));
+        sink.record(&Event::SpanEnter { path: "p".into() });
+        // The 1 MiB BufWriter holds the line until flushed.
+        assert!(buf.0.lock().unwrap().is_empty());
+        Sink::flush(&sink);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn fanout_flush_reaches_inner_sinks() {
+        let buf = SharedBuf::default();
+        let jsonl = std::sync::Arc::new(JsonlSink::new(io::BufWriter::with_capacity(
+            1 << 20,
+            buf.clone(),
+        )));
+        let fan = FanoutSink::new(vec![
+            std::sync::Arc::new(RecordingSink::new()) as std::sync::Arc<dyn Sink>,
+            jsonl,
+        ]);
+        fan.record(&Event::SpanEnter { path: "p".into() });
+        assert!(buf.0.lock().unwrap().is_empty());
+        Sink::flush(&fan);
+        assert!(!buf.0.lock().unwrap().is_empty());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! delta-color color graph.txt --randomized 7   # randomized (Theorem 2)
 //! delta-color color graph.txt --general 7      # sparse+dense extension
 //! delta-color color graph.txt --profile        # per-phase profile table
+//! delta-color color graph.txt --metrics-out m.json  # metrics snapshot
 //! delta-color color graph.txt --trace-out t.jsonl   # structured trace
 //! delta-color color graph.txt --faults seed=7,drop=0.01   # fault injection
 //! delta-color color graph.txt --threads 4      # worker pool width
@@ -19,7 +20,13 @@
 //! stderr. `--trace-out` streams every telemetry event as one JSON object
 //! per line (schema in `docs/OBSERVABILITY.md`); `--profile` prints a
 //! per-phase breakdown — rounds, share of total, wall-clock, messages —
-//! reconstructed from the same event stream.
+//! reconstructed from the same event stream, plus the worker-pool
+//! utilization table (busy/idle/merge per worker) and latency histograms
+//! from the metrics hub. `--metrics-out PATH` writes the full versioned
+//! metrics snapshot (counters, watermarks, histograms, worker lanes) as
+//! JSON. With `--bundle-dir`, a bounded flight recorder (default 512
+//! events, `--flight-capacity N`) rides along and its tail is embedded
+//! into any captured repro bundle; `replay` prints it back.
 //!
 //! Supervisor options (see `docs/RECOVERY.md`): `--checkpoint-dir DIR`
 //! snapshots after every phase; `--resume SNAPSHOT` continues a killed run
@@ -36,15 +43,16 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use delta_coloring::coloring::{
-    color_sparse_dense_probed, drive_deterministic, drive_randomized, load_snapshot, replay_bundle,
-    validate_coloring, ChaosPlan, Config, DegradedComponent, FailureReport, PhaseCursor,
-    PipelineKind, RandConfig, RunOutcome, Supervisor,
+    color_sparse_dense_probed, drive_deterministic, drive_randomized, load_bundle, load_snapshot,
+    replay_bundle, validate_coloring, ChaosPlan, Config, DegradedComponent, FailureReport,
+    PhaseCursor, PipelineKind, RandConfig, RunOutcome, Supervisor,
 };
 use delta_coloring::graphs::coloring::verify_delta_coloring;
 use delta_coloring::graphs::generators::{hard_cliques, HardCliqueParams};
 use delta_coloring::graphs::io;
 use delta_coloring::local::{
-    set_default_threads, Event, FanoutSink, FaultPlan, JsonlSink, Probe, RecordingSink, Sink,
+    set_default_threads, Event, FanoutSink, FaultPlan, FlightRecorder, JsonlSink, MetricsHub,
+    Probe, RecordingSink, Sink,
 };
 
 fn main() {
@@ -145,6 +153,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             let path = args.get(1).filter(|p| !p.starts_with("--")).ok_or(
                 "usage: delta-color color <file> [--randomized SEED | --general SEED] \
                  [--faults SPEC] [--threads K] [--trace-out PATH] [--profile] \
+                 [--metrics-out PATH] [--flight-capacity N] \
                  [--checkpoint-dir DIR] [--resume SNAPSHOT] [--stop-after PHASE] \
                  [--bundle-dir DIR] [--degrade] [--component-round-budget N] \
                  [--component-wall-budget-ms N] [--chaos-panic I,J] [--chaos-skip I,J]",
@@ -164,13 +173,20 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("read {} vertices / {} edges, Δ = {delta}", g.n(), g.m());
 
             // Assemble the probe: a JSONL trace file, an in-memory
-            // recording for --profile, either, both, or neither. I/O
+            // recording for --profile, a bounded flight recorder when
+            // repro bundles are being captured — any combination. I/O
             // failures surface through the CLI error path (nonzero exit,
             // message naming the file) — never a panic.
-            let recording = args
-                .iter()
-                .any(|a| a == "--profile")
-                .then(|| Arc::new(RecordingSink::new()));
+            let profile = args.iter().any(|a| a == "--profile");
+            let metrics_out = arg_value(&args, "--metrics-out");
+            let hub = (profile || metrics_out.is_some()).then(|| Arc::new(MetricsHub::new()));
+            let recording = profile.then(|| Arc::new(RecordingSink::new()));
+            let flight_capacity: usize = arg_value(&args, "--flight-capacity")
+                .map_or(Ok(512), |v| v.parse())
+                .map_err(|e| format!("invalid --flight-capacity value: {e}"))?;
+            let flight = arg_value(&args, "--bundle-dir")
+                .is_some()
+                .then(|| Arc::new(FlightRecorder::new(flight_capacity)));
             let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
             if let Some(trace_path) = arg_value(&args, "--trace-out") {
                 let sink = JsonlSink::create(&trace_path)
@@ -181,11 +197,17 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             if let Some(rec) = &recording {
                 sinks.push(rec.clone());
             }
-            let probe = match sinks.as_slice() {
+            if let Some(f) = &flight {
+                sinks.push(f.clone());
+            }
+            let mut probe = match sinks.as_slice() {
                 [] => Probe::disabled(),
                 [only] => Probe::new(only.clone()),
                 _ => Probe::from_sink(FanoutSink::new(sinks)),
             };
+            if let Some(hub) = &hub {
+                probe = probe.with_metrics(hub.clone());
+            }
 
             let faults: Option<FaultPlan> = arg_value(&args, "--faults")
                 .map(|spec| {
@@ -193,7 +215,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                         .map_err(|e| format!("invalid --faults spec `{spec}`: {e}"))
                 })
                 .transpose()?;
-            let sup = supervisor_from_args(&args)?.unwrap_or_default();
+            let mut sup = supervisor_from_args(&args)?.unwrap_or_default();
+            if let Some(f) = &flight {
+                sup.flight = Some(f.clone());
+            }
             let resume = arg_value(&args, "--resume")
                 .map(|p| load_snapshot(std::path::Path::new(&p)))
                 .transpose()?;
@@ -286,9 +311,20 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             drop(probe); // flush the trace file before reporting
             verify_delta_coloring(&g, &coloring)?;
             eprintln!("{ledger}");
+            // Write the metrics snapshot before the utilization render,
+            // which registers (empty) histograms it probes for.
+            if let (Some(hub), Some(path)) = (&hub, &metrics_out) {
+                let json = serde::json::to_string(&hub.snapshot_value());
+                std::fs::write(path, json + "\n")
+                    .map_err(|e| format!("cannot write metrics file `{path}`: {e}"))?;
+                eprintln!("metrics written to {path}");
+            }
             if let Some(rec) = &recording {
                 eprintln!("{}", ledger.render_table());
                 eprint!("{}", render_profile(&rec.events(), ledger.total()));
+            }
+            if let (Some(hub), true) = (&hub, profile) {
+                eprint!("{}", render_utilization(hub));
             }
             print!("{}", io::write_coloring(&coloring));
             Ok(())
@@ -298,6 +334,16 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 .get(1)
                 .filter(|p| !p.starts_with("--"))
                 .ok_or("usage: delta-color replay <bundle.json>")?;
+            let bundle = load_bundle(std::path::Path::new(path))?;
+            if !bundle.flight.is_empty() {
+                eprintln!(
+                    "flight recorder: last {} event(s) before capture:",
+                    bundle.flight.len()
+                );
+                for event in &bundle.flight {
+                    eprintln!("  {}", serde::json::to_string(event));
+                }
+            }
             let report = replay_bundle(std::path::Path::new(path), &Probe::disabled())?;
             eprintln!("recorded error:      {}", report.recorded_error);
             match &report.observed_error {
@@ -318,7 +364,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 "usage:\n  delta-color gen [--cliques N] [--delta D] [--seed S]\n  \
                  delta-color color <file> [--randomized SEED | --general SEED] \
                  [--faults seed=S,drop=P,jitter=J,crash=N@R+...] [--threads K] \
-                 [--trace-out PATH] [--profile]\n    supervisor: [--checkpoint-dir DIR] \
+                 [--trace-out PATH] [--profile] [--metrics-out PATH] \
+                 [--flight-capacity N]\n    supervisor: [--checkpoint-dir DIR] \
                  [--resume SNAPSHOT] [--stop-after PHASE] [--bundle-dir DIR] [--degrade] \
                  [--component-round-budget N] [--component-wall-budget-ms N] \
                  [--chaos-panic I,J] [--chaos-skip I,J]\n  \
@@ -382,6 +429,75 @@ fn render_failure(f: &FailureReport) -> String {
         ));
     }
     msg
+}
+
+/// Renders the worker-pool utilization table and the latency histograms
+/// collected by the metrics hub: one row per worker lane (busy/idle/merge
+/// wall-clock and shares, units executed, units stolen beyond the fair
+/// share), then count/p50/p95/p99/max for every populated histogram.
+fn render_utilization(hub: &MetricsHub) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let lanes = hub.worker_lanes();
+    if !lanes.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:>6}  {:>10}  {:>10}  {:>10}  {:>6}  {:>8}  {:>7}",
+            "worker", "busy ms", "idle ms", "merge ms", "busy%", "units", "steals"
+        );
+        for lane in &lanes {
+            let total = lane.busy_ns + lane.idle_ns + lane.merge_ns;
+            let busy_pct = if total == 0 {
+                0.0
+            } else {
+                100.0 * lane.busy_ns as f64 / total as f64
+            };
+            let _ = writeln!(
+                out,
+                "{:>6}  {:>10.3}  {:>10.3}  {:>10.3}  {busy_pct:>5.1}%  {:>8}  {:>7}",
+                lane.worker,
+                lane.busy_ns as f64 / 1e6,
+                lane.idle_ns as f64 / 1e6,
+                lane.merge_ns as f64 / 1e6,
+                lane.units,
+                lane.steals,
+            );
+        }
+    }
+    let hists = [
+        "pool.call_ns",
+        "exec.round_ns",
+        "exec.segment_ns",
+        "msg.round_ns",
+        "supervisor.checkpoint_write_ns",
+        "supervisor.resume_restore_ns",
+    ];
+    let populated: Vec<_> = hists
+        .iter()
+        .map(|name| (name, hub.histogram(name)))
+        .filter(|(_, h)| h.count() > 0)
+        .collect();
+    if !populated.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:30}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}",
+            "histogram", "count", "p50 ms", "p95 ms", "p99 ms", "max ms"
+        );
+        for (name, h) in populated {
+            let ms = |v: u64| v as f64 / 1e6;
+            let _ = writeln!(
+                out,
+                "{name:30}  {:>8}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}",
+                h.count(),
+                ms(h.quantile(0.50)),
+                ms(h.quantile(0.95)),
+                ms(h.quantile(0.99)),
+                ms(h.max()),
+            );
+        }
+    }
+    out
 }
 
 /// Renders the per-span profile: rounds, share of the ledger total,
