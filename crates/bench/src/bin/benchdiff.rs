@@ -5,6 +5,9 @@
 //! benchdiff BENCH_pipeline.json new_pipeline.json
 //! benchdiff --threshold 25 --metric min_ns base.json cand.json
 //! benchdiff baseline-metrics.json candidate-metrics.json
+//! benchdiff --filter topo=clique,exec=state base.json cand.json
+//! benchdiff --summary base.json cand.json
+//! benchdiff --ratio par4:seq BENCH_executors.json
 //! ```
 //!
 //! Understands both report families this workspace writes:
@@ -30,13 +33,30 @@
 //! present in only one file are listed but never gate — bench sizes
 //! differ between smoke and full mode, and new cases must not fail the
 //! gate that introduces them.
+//!
+//! Selection and presentation:
+//!
+//! - `--filter K=V[,K=V...]` keeps only cases whose identity carries
+//!   every `K=V` component. `topo` aliases `topology` and `exec`
+//!   aliases `executor`, matching the bench CLI's own flag names.
+//! - `--summary` collapses the per-case table to one line (count,
+//!   regressions, worst ratio) — for CI logs and commit messages.
+//! - `--ratio A:B <report.json>` is a **single-file** mode: each case
+//!   with `variant=A` is divided by its `variant=B` twin (identical
+//!   identity otherwise), answering "what is par4 / seq right now?"
+//!   per case plus as a geometric mean. Informational: always exits
+//!   `0` when at least one pair exists (`2` when none does), so CI can
+//!   print the parallel speedup without gating on machine core count.
 
 use std::collections::BTreeMap;
 
 use serde::{json, Value};
 
 const USAGE: &str = "usage: benchdiff [--threshold PCT] [--metric mean_ns|min_ns] \
-                     <baseline.json> <candidate.json>";
+                     [--filter K=V[,K=V...]] [--summary] \
+                     <baseline.json> <candidate.json>\n\
+                     \x20      benchdiff --ratio VARIANT_A:VARIANT_B [--filter ...] [--summary] \
+                     <report.json>";
 
 /// Fields that hold measurements rather than case identity.
 const MEASUREMENT_FIELDS: [&str; 2] = ["mean_ns", "min_ns"];
@@ -48,6 +68,9 @@ fn main() {
 fn run(args: &[String]) -> i32 {
     let mut threshold = 10.0f64;
     let mut metric = "mean_ns".to_string();
+    let mut filter: Vec<String> = Vec::new();
+    let mut summary = false;
+    let mut ratio: Option<(String, String)> = None;
     let mut files: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -66,9 +89,44 @@ fn run(args: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--filter" => match it.next().map(|v| parse_filter(v)) {
+                Some(Ok(terms)) => filter.extend(terms),
+                _ => {
+                    eprintln!("invalid --filter value (comma-separated K=V terms)\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--summary" => summary = true,
+            "--ratio" => match it.next().and_then(|v| v.split_once(':')) {
+                Some((a, b)) if !a.is_empty() && !b.is_empty() => {
+                    ratio = Some((a.to_string(), b.to_string()));
+                }
+                _ => {
+                    eprintln!("invalid --ratio value (expected VARIANT_A:VARIANT_B)\n{USAGE}");
+                    return 2;
+                }
+            },
             _ => files.push(a.clone()),
         }
     }
+
+    if let Some((num, den)) = ratio {
+        let [path] = files.as_slice() else {
+            eprintln!("--ratio compares variants inside one report\n{USAGE}");
+            return 2;
+        };
+        let report = match load(path) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        let mut cases = extract(&report, &metric);
+        cases.retain(|k, _| matches_filter(k, &filter));
+        return run_ratio(&cases, &num, &den, summary);
+    }
+
     let [baseline_path, candidate_path] = files.as_slice() else {
         eprintln!("{USAGE}");
         return 2;
@@ -92,8 +150,10 @@ fn run(args: &[String]) -> i32 {
         return 2;
     }
 
-    let base_cases = extract(&baseline, &metric);
-    let cand_cases = extract(&candidate, &metric);
+    let mut base_cases = extract(&baseline, &metric);
+    let mut cand_cases = extract(&candidate, &metric);
+    base_cases.retain(|k, _| matches_filter(k, &filter));
+    cand_cases.retain(|k, _| matches_filter(k, &filter));
     if base_cases.is_empty() || cand_cases.is_empty() {
         eprintln!(
             "error: no comparable cases found ({} in baseline, {} in candidate)",
@@ -103,6 +163,24 @@ fn run(args: &[String]) -> i32 {
         return 2;
     }
     let diff = compare(&base_cases, &cand_cases, threshold);
+    let regressions = diff.rows.iter().filter(|r| r.regressed).count();
+
+    if summary {
+        // One line for CI logs: count, regressions, and the worst ratio
+        // with its case so a red gate is diagnosable without re-running.
+        let worst = diff.rows.iter().max_by(|a, b| a.ratio.total_cmp(&b.ratio));
+        match worst {
+            Some(w) => println!(
+                "{} case(s), {regressions} regression(s) past +{threshold}%, \
+                 worst {:.2}x ({})",
+                diff.rows.len(),
+                w.ratio,
+                w.key
+            ),
+            None => println!("0 case(s) matched in both reports"),
+        }
+        return i32::from(regressions > 0);
+    }
 
     let width = diff
         .rows
@@ -128,13 +206,110 @@ fn run(args: &[String]) -> i32 {
     for key in &diff.only_candidate {
         println!("{key}: only in candidate (skipped)");
     }
-    let regressions = diff.rows.iter().filter(|r| r.regressed).count();
     println!(
         "{} case(s) compared, {} regression(s) past +{threshold}%",
         diff.rows.len(),
         regressions
     );
     i32::from(regressions > 0)
+}
+
+/// Parses a `--filter` argument: comma-separated `K=V` terms, with the
+/// bench CLI's short key names (`topo`, `exec`) normalized to the field
+/// names reports actually carry.
+fn parse_filter(raw: &str) -> Result<Vec<String>, ()> {
+    raw.split(',')
+        .map(|term| {
+            let (k, v) = term.split_once('=').ok_or(())?;
+            if k.is_empty() || v.is_empty() {
+                return Err(());
+            }
+            let k = match k {
+                "topo" => "topology",
+                "exec" => "executor",
+                other => other,
+            };
+            Ok(format!("{k}={v}"))
+        })
+        .collect()
+}
+
+/// A case key (`cases/topology=clique,n=2000,executor=state,variant=seq`)
+/// matches when every filter term appears among its `K=V` components.
+/// Metrics-snapshot keys have no components, so any filter excludes them.
+fn matches_filter(key: &str, terms: &[String]) -> bool {
+    if terms.is_empty() {
+        return true;
+    }
+    let components: Vec<&str> = key.rsplit('/').next().unwrap_or(key).split(',').collect();
+    terms.iter().all(|t| components.contains(&t.as_str()))
+}
+
+/// The `variant=num / variant=den` ratio per case pair, in key order.
+fn variant_ratios(
+    cases: &BTreeMap<String, f64>,
+    num: &str,
+    den: &str,
+) -> Vec<(String, f64, f64, f64)> {
+    let num_term = format!("variant={num}");
+    let den_term = format!("variant={den}");
+    let mut out = Vec::new();
+    for (key, &a) in cases {
+        if !matches_filter(key, std::slice::from_ref(&num_term)) {
+            continue;
+        }
+        let twin = key.replace(&num_term, &den_term);
+        let Some(&b) = cases.get(&twin) else { continue };
+        if b <= 0.0 {
+            continue;
+        }
+        let label = strip_variant(key, &num_term);
+        out.push((label, a, b, a / b));
+    }
+    out
+}
+
+/// Drops the `variant=...` component from a case key, leaving the pair's
+/// shared identity.
+fn strip_variant(key: &str, term: &str) -> String {
+    key.split(',')
+        .filter(|c| *c != term)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn run_ratio(cases: &BTreeMap<String, f64>, num: &str, den: &str, summary: bool) -> i32 {
+    let pairs = variant_ratios(cases, num, den);
+    if pairs.is_empty() {
+        eprintln!("error: no case pairs with variant={num} and variant={den}");
+        return 2;
+    }
+    let geomean = (pairs.iter().map(|(_, _, _, r)| r.ln()).sum::<f64>() / pairs.len() as f64).exp();
+    if summary {
+        println!(
+            "{num}/{den} geomean {geomean:.2}x over {} case pair(s)",
+            pairs.len()
+        );
+        return 0;
+    }
+    let width = pairs
+        .iter()
+        .map(|(k, ..)| k.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    println!(
+        "{:width$}  {:>14}  {:>14}  {:>7}",
+        "case", num, den, "ratio"
+    );
+    for (key, a, b, r) in &pairs {
+        println!("{key:width$}  {a:>14.0}  {b:>14.0}  {r:>6.2}x");
+    }
+    println!(
+        "{num}/{den} geomean {geomean:.2}x over {} case pair(s)",
+        pairs.len()
+    );
+    0
 }
 
 fn load(path: &str) -> Result<Value, String> {
@@ -412,6 +587,70 @@ mod tests {
         // A behavior change is caught even at a generous threshold.
         let diff = compare(&cases, &extract(&snap(2000), "mean_ns"), 100.0);
         assert!(diff.rows.iter().any(|r| r.regressed));
+    }
+
+    #[test]
+    fn filter_terms_select_by_identity_component() {
+        let terms = parse_filter("topo=clique,exec=state,variant=par4").unwrap();
+        assert_eq!(terms, ["topology=clique", "executor=state", "variant=par4"]);
+        let key = "cases/topology=clique,n=2000,executor=state,variant=par4";
+        assert!(matches_filter(key, &terms));
+        // Component match, not substring match: `n=200` must not match
+        // `n=2000`, and `variant=seq` must not match `variant=par4`.
+        assert!(!matches_filter(key, &parse_filter("n=200").unwrap()));
+        assert!(!matches_filter(key, &parse_filter("variant=seq").unwrap()));
+        assert!(matches_filter(key, &[]));
+        // Metrics keys carry no identity components.
+        assert!(!matches_filter("counters.exec.rounds", &terms));
+        assert!(parse_filter("oops").is_err());
+        assert!(parse_filter("k=").is_err());
+    }
+
+    fn variant_report(cases: &[(&str, &str, u64)]) -> BTreeMap<String, f64> {
+        let report = Value::Map(vec![(
+            "cases".to_string(),
+            Value::Seq(
+                cases
+                    .iter()
+                    .map(|(topo, variant, mean)| {
+                        Value::Map(vec![
+                            ("topology".to_string(), Value::Str((*topo).to_string())),
+                            ("variant".to_string(), Value::Str((*variant).to_string())),
+                            ("mean_ns".to_string(), Value::U64(*mean)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )]);
+        extract(&report, "mean_ns")
+    }
+
+    #[test]
+    fn ratio_pairs_variants_and_skips_singletons() {
+        let cases = variant_report(&[
+            ("clique", "seq", 1000),
+            ("clique", "par4", 500),
+            ("path", "seq", 2000),
+            ("path", "par4", 4000),
+            ("cycle", "par4", 700), // no seq twin: skipped
+        ]);
+        let pairs = variant_ratios(&cases, "par4", "seq");
+        assert_eq!(pairs.len(), 2);
+        // Keys are the shared identity with the variant stripped.
+        assert_eq!(pairs[0].0, "cases/topology=clique");
+        assert!((pairs[0].3 - 0.5).abs() < 1e-9);
+        assert_eq!(pairs[1].0, "cases/topology=path");
+        assert!((pairs[1].3 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_run_is_informational() {
+        let cases = variant_report(&[("clique", "seq", 1000), ("clique", "par4", 3000)]);
+        // A 3x slowdown still exits 0 — core-count dependent, not a gate.
+        assert_eq!(run_ratio(&cases, "par4", "seq", true), 0);
+        assert_eq!(run_ratio(&cases, "par4", "seq", false), 0);
+        // No pairs at all is a usage error.
+        assert_eq!(run_ratio(&cases, "par8", "seq", false), 2);
     }
 
     #[test]

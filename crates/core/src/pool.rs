@@ -1,28 +1,35 @@
-//! Scoped worker pool for pipeline-level parallelism.
+//! Pipeline-level worker pool built on localsim's persistent
+//! epoch-barrier pool.
 //!
 //! The pipelines contain stages made of *independent units* — leftover
 //! components after shattering, selected loopholes in the easy sweep —
 //! whose computations read only state no other unit writes. This module
-//! runs such units across a scoped thread pool and returns the results
+//! runs such units across a worker pool and returns the results
 //! **in unit-index order**, so callers can merge colors, ledgers, and
 //! telemetry deterministically: the observable outcome is bit-identical
 //! at every thread count (pinned by `tests/pipeline_parallel.rs`).
 //!
 //! Thread-count semantics mirror the executors (`localsim`): `0` resolves
 //! to [`localsim::default_threads`] (the `LOCALSIM_THREADS` / `--threads`
-//! default), `1` runs inline on the calling thread, `k ≥ 2` spawns `k`
-//! scoped workers pulling unit indices from a shared counter (dynamic
-//! scheduling — component sizes are heavy-tailed, so static chunking
-//! would idle workers).
+//! default), `1` runs inline on the calling thread, `k ≥ 2` leases a
+//! persistent [`localsim::WorkerPool`] of `k` slots — parked threads
+//! reused across calls on the same pipeline thread, not respawned per
+//! stage — whose workers pull unit indices from a shared counter
+//! (dynamic scheduling — component sizes are heavy-tailed, so static
+//! chunking would idle workers).
 //!
 //! With a [`MetricsHub`] attached the pool decomposes its wall-clock into
 //! the quantities ROADMAP item 1 needs: per-worker busy/idle/merge lanes
-//! (`MetricsHub::worker_lane`), spawn overhead (`pool.spawn_ns`), and
-//! caller-side result collection (`pool.merge_ns`). Metric updates are
-//! commutative, so everything except the `_ns` timings stays
-//! deterministic at every thread count.
+//! (`MetricsHub::worker_lane`), worker wake-up latency (`pool.spawn_ns` —
+//! time from epoch publish to each worker's first claim), and caller-side
+//! result collection (`pool.merge_ns`). Steals are reported two ways:
+//! cumulatively per lane, and per epoch in the
+//! `pool.steals_per_epoch_sched` histogram (one observation per pool
+//! call). Everything except the `_ns` timings, the lane table, and the
+//! `_sched`-suffixed scheduling metrics stays deterministic at every
+//! thread count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -37,7 +44,7 @@ pub(crate) fn effective_threads(configured: usize) -> usize {
     }
 }
 
-/// Runs `f(0), f(1), …, f(len - 1)` on up to `threads` scoped workers and
+/// Runs `f(0), f(1), …, f(len - 1)` on up to `threads` pool workers and
 /// returns the results in index order, recording pool utilization into
 /// `hub` when attached.
 pub(crate) fn run_indexed_metered<T, F>(
@@ -64,14 +71,16 @@ where
 /// output vector is identical at every thread count.
 ///
 /// With `hub` attached the call records `pool.calls` / `pool.units`
-/// counters, the `pool.call_ns` histogram, spawn overhead, caller-side
-/// merge time, and one busy/idle/merge lane per worker slot; with `hub`
+/// counters, the `pool.call_ns` histogram, worker wake-up latency, the
+/// per-epoch `pool.steals_per_epoch_sched` histogram, caller-side merge
+/// time, and one busy/idle/merge lane per worker slot; with `hub`
 /// absent the original unmetered loops run — no `Instant::now` calls on
 /// any path.
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` (the scope rejoins all workers first).
+/// Propagates panics from `f` (the epoch barrier rejoins all workers
+/// first).
 pub(crate) fn run_indexed_with_metered<S, T, I, F>(
     threads: usize,
     len: usize,
@@ -105,21 +114,18 @@ where
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let mut lease = localsim::pool_lease(k);
     match hub {
         None => {
-            std::thread::scope(|scope| {
-                for _ in 0..k {
-                    scope.spawn(|| {
-                        let mut scratch = init();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= len {
-                                break;
-                            }
-                            let out = f(&mut scratch, i);
-                            *slots[i].lock().expect("pool slot poisoned") = Some(out);
-                        }
-                    });
+            lease.run_epoch(&|_slot| {
+                let mut scratch = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    let out = f(&mut scratch, i);
+                    *slots[i].lock().expect("pool slot poisoned") = Some(out);
                 }
             });
         }
@@ -128,50 +134,51 @@ where
             // A worker's fair share; anything claimed beyond it was
             // "stolen" from slower workers by the dynamic scheduler.
             let fair_share = len.div_ceil(k) as u64;
-            std::thread::scope(|scope| {
-                for w in 0..k {
-                    let lane = hub.worker_lane(w);
-                    let spawn_ns = hub.counter("pool.spawn_ns");
-                    let next = &next;
-                    let slots = &slots;
-                    let init = &init;
-                    let f = &f;
-                    scope.spawn(move || {
-                        spawn_ns.add(elapsed_ns(call_start));
-                        let mut scratch = init();
-                        let mut busy = 0u64;
-                        let mut idle = 0u64;
-                        let mut merge = 0u64;
-                        let mut claimed = 0u64;
-                        let mut prev = Instant::now();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= len {
-                                break;
-                            }
-                            let work_start = Instant::now();
-                            idle += ns_between(prev, work_start);
-                            let out = f(&mut scratch, i);
-                            let work_end = Instant::now();
-                            busy += ns_between(work_start, work_end);
-                            *slots[i].lock().expect("pool slot poisoned") = Some(out);
-                            prev = Instant::now();
-                            merge += ns_between(work_end, prev);
-                            claimed += 1;
-                        }
-                        lane.busy_ns.fetch_add(busy, Ordering::Relaxed);
-                        lane.idle_ns.fetch_add(idle, Ordering::Relaxed);
-                        lane.merge_ns.fetch_add(merge, Ordering::Relaxed);
-                        lane.units.fetch_add(claimed, Ordering::Relaxed);
-                        lane.steals
-                            .fetch_add(claimed.saturating_sub(fair_share), Ordering::Relaxed);
-                    });
+            let epoch_steals = AtomicU64::new(0);
+            lease.run_epoch(&|slot| {
+                let lane = hub.worker_lane(slot);
+                hub.counter("pool.spawn_ns").add(elapsed_ns(call_start));
+                let mut scratch = init();
+                let mut busy = 0u64;
+                let mut idle = 0u64;
+                let mut merge = 0u64;
+                let mut claimed = 0u64;
+                let mut prev = Instant::now();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    let work_start = Instant::now();
+                    idle += ns_between(prev, work_start);
+                    let out = f(&mut scratch, i);
+                    let work_end = Instant::now();
+                    busy += ns_between(work_start, work_end);
+                    *slots[i].lock().expect("pool slot poisoned") = Some(out);
+                    prev = Instant::now();
+                    merge += ns_between(work_end, prev);
+                    claimed += 1;
                 }
+                let steals = claimed.saturating_sub(fair_share);
+                lane.busy_ns.fetch_add(busy, Ordering::Relaxed);
+                lane.idle_ns.fetch_add(idle, Ordering::Relaxed);
+                lane.merge_ns.fetch_add(merge, Ordering::Relaxed);
+                lane.units.fetch_add(claimed, Ordering::Relaxed);
+                lane.steals.fetch_add(steals, Ordering::Relaxed);
+                epoch_steals.fetch_add(steals, Ordering::Relaxed);
             });
+            // Per-epoch steal reporting: one observation per pool call,
+            // so the histogram's count/quantiles expose how skewed each
+            // individual epoch was, not just the run total. The `_sched`
+            // suffix keeps it out of `deterministic_snapshot()` —
+            // which worker over-claims depends on OS scheduling.
+            hub.histogram("pool.steals_per_epoch_sched")
+                .observe(epoch_steals.load(Ordering::Relaxed));
             hub.histogram("pool.call_ns")
                 .observe(elapsed_ns(call_start));
         }
     }
+    drop(lease);
     let collect_start = hub.map(|_| Instant::now());
     let out: Vec<T> = slots
         .into_iter()
@@ -262,5 +269,32 @@ mod tests {
         let out: Vec<usize> = run_indexed_metered(4, 0, Some(&hub), |i| i);
         assert!(out.is_empty());
         assert_eq!(hub.counter("pool.units").get(), 0);
+    }
+
+    #[test]
+    fn steals_report_per_epoch_and_stay_out_of_deterministic_snapshot() {
+        let hub = Arc::new(MetricsHub::new());
+        // Three parallel calls = three epochs: the per-epoch histogram
+        // must carry one observation per call, not a single cumulative
+        // total.
+        for _ in 0..3 {
+            let _ = run_indexed_metered(4, 40, Some(&hub), |i| i);
+        }
+        assert_eq!(hub.histogram("pool.steals_per_epoch_sched").count(), 3);
+        let det = serde::json::to_string(&hub.deterministic_snapshot());
+        assert!(
+            !det.contains("steals_per_epoch_sched"),
+            "scheduling-dependent steal metrics must not leak into the \
+             deterministic snapshot"
+        );
+        let full = serde::json::to_string(&hub.snapshot_value());
+        assert!(full.contains("steals_per_epoch_sched"));
+    }
+
+    #[test]
+    fn sequential_calls_record_no_epoch_steals() {
+        let hub = Arc::new(MetricsHub::new());
+        let _ = run_indexed_metered(1, 40, Some(&hub), |i| i);
+        assert_eq!(hub.histogram("pool.steals_per_epoch_sched").count(), 0);
     }
 }

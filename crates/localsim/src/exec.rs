@@ -1,12 +1,61 @@
 //! The synchronous state-exchange executor.
 
 use std::fmt;
+use std::sync::Mutex;
 
 use graphgen::{Graph, NodeId};
 use telemetry::{Event, FaultKind, Probe, Registry};
 
 use crate::faults::FaultPlan;
 use crate::par;
+use crate::pool;
+
+/// Density window for the columnar port-arena (SoA) fast path: engaged
+/// only when the average degree `2m / n` lies in
+/// `[SOA_MIN_AVG_DEGREE, SOA_MAX_AVG_DEGREE]`.
+///
+/// The arena turns the per-node neighbor gather into a read of one
+/// contiguous, already-materialized slice, at the price of a scatter
+/// (each node writes its new state into every neighbor's slot once per
+/// round). That trade only pays once the gather's *random reads*
+/// actually miss cache: measured on `random_regular(4096, d)` flood
+/// runs (see docs/PERFORMANCE.md), the arena is ~25% faster at `d ∈
+/// {5, 6}` but 40-50% *slower* at `d <= 4`, where adjacency is compact
+/// enough (or, on paths/cycles, literally adjacent in memory) that
+/// gathering is near-sequential and the scatter's reverse-port lookups
+/// are pure overhead. Above the upper cutoff the arena would hold
+/// `Θ(n²)` states on cliques and blow the cache, while the plain
+/// gather out of the `n`-sized state buffer stays cache-resident.
+const SOA_MIN_AVG_DEGREE: usize = 5;
+const SOA_MAX_AVG_DEGREE: usize = 8;
+
+/// Per-worker scratch for the parallel stepping path, allocated once
+/// per run and reused across every round (epoch) — workers lock only
+/// their own slot, so the locks are never contended.
+struct SegScratch<S> {
+    nbr_buf: Vec<S>,
+    survivors: Vec<NodeId>,
+    msgs: i64,
+    dropped: i64,
+    stalled: i64,
+    seg_ns: Option<u64>,
+}
+
+/// One round's work packet for pool slot `i`: the segment of the live
+/// worklist it owns plus disjoint mutable views of the shared buffers,
+/// re-sliced every round as the worklist compacts.
+struct SegWork<'a, S, O> {
+    seg: &'a [NodeId],
+    lo: usize,
+    plo: usize,
+    nxt_s: &'a mut [S],
+    out_s: &'a mut [Option<O>],
+    seen_s: &'a mut [S],
+}
+
+/// Slot-indexed work cells for one epoch: the `Mutex<Option<_>>` lets
+/// each pool worker `take()` its packet through a shared reference.
+type WorkCells<'a, S, O> = Vec<Mutex<Option<SegWork<'a, S, O>>>>;
 
 /// Scope string under which [`Executor`] emits per-round events.
 pub const EXEC_SCOPE: &str = "localsim";
@@ -289,6 +338,52 @@ impl<'g> Executor<'g> {
             }
         }
         let mut nbr_buf: Vec<A::State> = Vec::with_capacity(max_degree);
+        let clean = self.faults.is_none();
+        // Columnar (SoA) port-arena fast path for sequential fault-free
+        // runs on sparse graphs: slot `offsets[v] + p` of the read arena
+        // holds the state of v's p-th neighbor, maintained by *scatter*
+        // (a node writes its new state into its neighbors' slots once
+        // per round) instead of gather. Stepping a node then reads one
+        // contiguous slice — no per-neighbor indexed clone, no scratch
+        // buffer — and a halted neighbor's frozen state is re-read for
+        // free instead of being re-cloned every round. The arenas are
+        // double-buffered like the node states; on halt the frozen state
+        // is scattered into the write arena so both buffers agree on the
+        // node forever (the read arena already holds it).
+        let use_soa = self.threads <= 1
+            && clean
+            && offsets[n] >= SOA_MIN_AVG_DEGREE * n
+            && offsets[n] <= SOA_MAX_AVG_DEGREE * n;
+        let rev = use_soa.then(|| graph.reverse_ports());
+        let mut cur_ports: Vec<A::State> = Vec::new();
+        let mut nxt_ports: Vec<A::State> = Vec::new();
+        if use_soa {
+            cur_ports.reserve_exact(offsets[n]);
+            for v in graph.vertices() {
+                cur_ports.extend(graph.neighbors(v).iter().map(|w| cur[w.index()].clone()));
+            }
+            nxt_ports = cur_ports.clone();
+        }
+        // Parallel stepping machinery: the worker pool is leased once
+        // per run (first parallel round) and parked between rounds; the
+        // per-slot scratch persists across rounds.
+        let mut pool_lease: Option<pool::PoolLease> = None;
+        let scratches: Vec<Mutex<SegScratch<A::State>>> = if self.threads > 1 {
+            (0..self.threads)
+                .map(|_| {
+                    Mutex::new(SegScratch {
+                        nbr_buf: Vec::with_capacity(max_degree),
+                        survivors: Vec::new(),
+                        msgs: 0,
+                        dropped: 0,
+                        stalled: 0,
+                        seg_ns: None,
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         while !live_list.is_empty() {
             if rounds >= max_rounds {
                 return Err(SimError::RoundLimitExceeded {
@@ -327,7 +422,7 @@ impl<'g> Executor<'g> {
             let mut dropped = 0i64;
             let mut stalled = 0i64;
             if self.threads > 1 && live_list.len() > 1 {
-                let segs = par::segments(&live_list, self.threads);
+                let segs = par::segments_weighted(&live_list, self.threads, offsets);
                 let ranges = par::segment_ranges(&segs);
                 // Each worker owns the contiguous port range of its node
                 // range, so the drop cache splits without overlap.
@@ -344,99 +439,190 @@ impl<'g> Executor<'g> {
                 let seen_slices = par::split_ranges(&mut seen, &port_ranges);
                 let cur_ref = &cur;
                 let plan_ref = plan;
-                #[allow(clippy::type_complexity)]
-                let results: Vec<(i64, i64, i64, Vec<NodeId>, Option<u64>)> =
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = segs
-                            .iter()
-                            .zip(ranges.iter().zip(port_ranges.iter()))
-                            .zip(
-                                nxt_slices
-                                    .into_iter()
-                                    .zip(out_slices.into_iter().zip(seen_slices)),
-                            )
-                            .map(|((seg, (&(lo, _), &(plo, _))), (nxt_s, (out_s, seen_s)))| {
-                                scope.spawn(move || {
-                                    let seg_start = meter_segments.then(std::time::Instant::now);
-                                    let mut nbr_buf: Vec<A::State> = Vec::with_capacity(max_degree);
-                                    let mut msgs = 0i64;
-                                    let mut dropped = 0i64;
-                                    let mut stalled = 0i64;
-                                    let mut survivors = Vec::with_capacity(seg.len());
-                                    for &v in *seg {
-                                        if jitter_on && plan_ref.stalls(v, rounds) {
-                                            // Keep the state across the buffer
-                                            // swap; the node stays live.
-                                            nxt_s[v.index() - lo] = cur_ref[v.index()].clone();
-                                            stalled += 1;
-                                            survivors.push(v);
-                                            continue;
-                                        }
-                                        nbr_buf.clear();
-                                        if drop_on {
-                                            let base = offsets[v.index()];
-                                            for (p, w) in graph.neighbors(v).iter().enumerate() {
-                                                let slot = base + p;
-                                                if plan_ref.drops_message(rounds, slot) {
-                                                    dropped += 1;
-                                                } else {
-                                                    seen_s[slot - plo] = cur_ref[w.index()].clone();
-                                                }
-                                            }
-                                            let deg = graph.neighbors(v).len();
-                                            nbr_buf.extend(
-                                                seen_s[base - plo..base - plo + deg]
-                                                    .iter()
-                                                    .cloned(),
-                                            );
-                                            msgs += deg as i64;
-                                        } else {
-                                            nbr_buf.extend(
-                                                graph
-                                                    .neighbors(v)
-                                                    .iter()
-                                                    .map(|w| cur_ref[w.index()].clone()),
-                                            );
-                                            msgs += nbr_buf.len() as i64;
-                                        }
-                                        let ctx = make_ctx(v, rounds);
-                                        match algo.step(&ctx, &cur_ref[v.index()], &nbr_buf) {
-                                            Transition::Continue(s) => {
-                                                nxt_s[v.index() - lo] = s;
-                                                survivors.push(v);
-                                            }
-                                            Transition::Halt(o) => {
-                                                out_s[v.index() - lo] = Some(o);
-                                                nxt_s[v.index() - lo] = cur_ref[v.index()].clone();
-                                            }
-                                        }
-                                    }
-                                    let seg_ns = seg_start.map(|s| {
-                                        u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
-                                    });
-                                    (msgs, dropped, stalled, survivors, seg_ns)
-                                })
-                            })
-                            .collect();
-                        handles
+                // Pool slot i owns segment i; slots past the segment
+                // count idle this epoch. The static assignment (plus the
+                // merge below walking scratches in slot order) keeps the
+                // schedule — and thus every counter — bit-identical to
+                // the sequential path.
+                let work: WorkCells<'_, A::State, A::Output> = segs
+                    .iter()
+                    .zip(ranges.iter().zip(port_ranges.iter()))
+                    .zip(
+                        nxt_slices
                             .into_iter()
-                            .map(|h| h.join().expect("executor worker panicked"))
-                            .collect()
-                    });
-                // Merge in segment order: counters and the compacted
-                // worklist come out identical to the sequential schedule.
+                            .zip(out_slices.into_iter().zip(seen_slices)),
+                    )
+                    .map(|((seg, (&(lo, _), &(plo, _))), (nxt_s, (out_s, seen_s)))| {
+                        Mutex::new(Some(SegWork {
+                            seg,
+                            lo,
+                            plo,
+                            nxt_s,
+                            out_s,
+                            seen_s,
+                        }))
+                    })
+                    .collect();
+                let pool = pool_lease.get_or_insert_with(|| pool::lease(self.threads));
+                pool.run_epoch(&|slot| {
+                    let Some(w) = work
+                        .get(slot)
+                        .and_then(|m| m.lock().expect("work slot poisoned").take())
+                    else {
+                        return;
+                    };
+                    let mut guard = scratches[slot].lock().expect("scratch poisoned");
+                    let sc = &mut *guard;
+                    let seg_start = meter_segments.then(std::time::Instant::now);
+                    for &v in w.seg {
+                        if jitter_on && plan_ref.stalls(v, rounds) {
+                            // Keep the state across the buffer swap; the
+                            // node stays live.
+                            w.nxt_s[v.index() - w.lo] = cur_ref[v.index()].clone();
+                            sc.stalled += 1;
+                            sc.survivors.push(v);
+                            continue;
+                        }
+                        sc.nbr_buf.clear();
+                        if drop_on {
+                            let base = offsets[v.index()];
+                            for (p, nb) in graph.neighbors(v).iter().enumerate() {
+                                let slot = base + p;
+                                if plan_ref.drops_message(rounds, slot) {
+                                    sc.dropped += 1;
+                                } else {
+                                    w.seen_s[slot - w.plo] = cur_ref[nb.index()].clone();
+                                }
+                            }
+                            let deg = graph.neighbors(v).len();
+                            sc.nbr_buf
+                                .extend(w.seen_s[base - w.plo..base - w.plo + deg].iter().cloned());
+                            sc.msgs += deg as i64;
+                        } else {
+                            sc.nbr_buf.extend(
+                                graph
+                                    .neighbors(v)
+                                    .iter()
+                                    .map(|nb| cur_ref[nb.index()].clone()),
+                            );
+                            sc.msgs += sc.nbr_buf.len() as i64;
+                        }
+                        let ctx = make_ctx(v, rounds);
+                        match algo.step(&ctx, &cur_ref[v.index()], &sc.nbr_buf) {
+                            Transition::Continue(s) => {
+                                w.nxt_s[v.index() - w.lo] = s;
+                                sc.survivors.push(v);
+                            }
+                            Transition::Halt(o) => {
+                                w.out_s[v.index() - w.lo] = Some(o);
+                                w.nxt_s[v.index() - w.lo] = cur_ref[v.index()].clone();
+                            }
+                        }
+                    }
+                    sc.seg_ns = seg_start
+                        .map(|s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                });
+                // Merge in segment (= slot) order: counters and the
+                // compacted worklist come out identical to the
+                // sequential schedule.
+                let seg_count = segs.len();
+                drop(work);
                 let before = live_list.len();
                 live_list.clear();
-                for (msgs, seg_dropped, seg_stalled, survivors, seg_ns) in results {
-                    c_msgs.add(msgs);
-                    dropped += seg_dropped;
-                    stalled += seg_stalled;
-                    live_list.extend(survivors);
-                    if let (Some(h), Some(ns)) = (&m_segment_ns, seg_ns) {
+                for m in scratches.iter().take(seg_count) {
+                    let mut guard = m.lock().expect("scratch poisoned");
+                    let sc = &mut *guard;
+                    c_msgs.add(sc.msgs);
+                    sc.msgs = 0;
+                    dropped += sc.dropped;
+                    sc.dropped = 0;
+                    stalled += sc.stalled;
+                    sc.stalled = 0;
+                    live_list.append(&mut sc.survivors);
+                    if let (Some(h), Some(ns)) = (&m_segment_ns, sc.seg_ns.take()) {
                         h.observe(ns);
                     }
                 }
                 c_halted.add((before - live_list.len()) as i64);
+            } else if use_soa {
+                // Sequential SoA arm (fault-free, sparse): read the
+                // contiguous port-arena inbox, scatter the new state into
+                // neighbors' write-arena slots.
+                let rev = rev.expect("reverse ports computed for SoA runs");
+                let mut msgs = 0i64;
+                let mut halts = 0i64;
+                // Manual compaction instead of `Vec::retain`: the retain
+                // closure boundary costs ~40% on fine-grained steps (see
+                // docs/PERFORMANCE.md), and an index loop writes the
+                // survivor list with the same single pass.
+                let mut kept = 0usize;
+                for i in 0..live_list.len() {
+                    let v = live_list[i];
+                    let base = offsets[v.index()];
+                    let deg = offsets[v.index() + 1] - base;
+                    msgs += deg as i64;
+                    let ctx = make_ctx(v, rounds);
+                    match algo.step(&ctx, &cur[v.index()], &cur_ports[base..base + deg]) {
+                        Transition::Continue(s) => {
+                            for (p, w) in graph.neighbors(v).iter().enumerate() {
+                                nxt_ports[offsets[w.index()] + rev[base + p] as usize] = s.clone();
+                            }
+                            nxt[v.index()] = s;
+                            live_list[kept] = v;
+                            kept += 1;
+                        }
+                        Transition::Halt(o) => {
+                            outputs[v.index()] = Some(o);
+                            let frozen = cur[v.index()].clone();
+                            // Freeze into the write arena too: the read
+                            // arena already holds this state, so after
+                            // this round both buffers agree on v forever.
+                            for (p, w) in graph.neighbors(v).iter().enumerate() {
+                                nxt_ports[offsets[w.index()] + rev[base + p] as usize] =
+                                    frozen.clone();
+                            }
+                            nxt[v.index()] = frozen;
+                            halts += 1;
+                        }
+                    }
+                }
+                live_list.truncate(kept);
+                c_msgs.add(msgs);
+                c_halted.add(halts);
+            } else if clean {
+                // Sequential fault-free gather arm (dense graphs, or a
+                // parallel run compacted down to one live node): no fault
+                // branches, counters accumulated locally and flushed once
+                // per round.
+                let mut msgs = 0i64;
+                let mut halts = 0i64;
+                // Manual compaction, same rationale as the SoA arm above.
+                let mut kept = 0usize;
+                for i in 0..live_list.len() {
+                    let v = live_list[i];
+                    nbr_buf.clear();
+                    nbr_buf.extend(graph.neighbors(v).iter().map(|w| cur[w.index()].clone()));
+                    // A live node observes one state per incident edge this
+                    // round: one message per edge endpoint (frozen states of
+                    // halted neighbors included — see the Event::Round docs).
+                    msgs += nbr_buf.len() as i64;
+                    let ctx = make_ctx(v, rounds);
+                    match algo.step(&ctx, &cur[v.index()], &nbr_buf) {
+                        Transition::Continue(s) => {
+                            nxt[v.index()] = s;
+                            live_list[kept] = v;
+                            kept += 1;
+                        }
+                        Transition::Halt(o) => {
+                            outputs[v.index()] = Some(o);
+                            nxt[v.index()] = cur[v.index()].clone();
+                            halts += 1;
+                        }
+                    }
+                }
+                live_list.truncate(kept);
+                c_msgs.add(msgs);
+                c_halted.add(halts);
             } else {
                 live_list.retain(|&v| {
                     if jitter_on && plan.stalls(v, rounds) {
@@ -510,6 +696,9 @@ impl<'g> Executor<'g> {
                 });
             }
             std::mem::swap(&mut cur, &mut nxt);
+            if use_soa {
+                std::mem::swap(&mut cur_ports, &mut nxt_ports);
+            }
             g_halted_frac.set((n - live_list.len()) as f64 / n as f64);
             registry.emit_round(&self.probe, EXEC_SCOPE, rounds - 1);
             if let (Some(h), Some(start)) = (&m_round_ns, round_start) {
@@ -703,6 +892,15 @@ mod tests {
         use telemetry::RecordingSink;
 
         let g = graphgen::generators::gnp(37, 0.15, 5);
+        // This graph must sit inside the SoA density window so the
+        // sequential side runs the port-arena arm and this test pins
+        // SoA-vs-gather (parallel runs always gather) equivalence.
+        let ports = g.csr_offsets()[g.n()];
+        assert!(
+            ports >= SOA_MIN_AVG_DEGREE * g.n() && ports <= SOA_MAX_AVG_DEGREE * g.n(),
+            "test graph left the SoA window (avg degree {:.2})",
+            ports as f64 / g.n() as f64
+        );
         let seq_sink = std::sync::Arc::new(RecordingSink::new());
         let seq = Executor::new(&g)
             .with_probe(Probe::new(seq_sink.clone()))

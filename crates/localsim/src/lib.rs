@@ -63,6 +63,7 @@ mod faults;
 mod ledger;
 mod msg;
 mod par;
+pub mod pool;
 
 pub use congest::{CongestError, CongestExecutor, CongestResult, RoundBits, CONGEST_SCOPE};
 pub use exec::{Executor, LocalAlgorithm, NodeCtx, RunResult, SimError, Transition, EXEC_SCOPE};
@@ -70,6 +71,11 @@ pub use faults::FaultPlan;
 pub use ledger::{LedgerEntry, RoundLedger};
 pub use msg::{broadcast, MessageExecutor, MessageProgram, MsgTransition, Outgoing, MSG_SCOPE};
 pub use par::{default_threads, set_default_threads};
+// Internal partitioning helper, re-exported (hidden) so the partition
+// property suite in `tests/partition.rs` can pin its balance guarantee.
+#[doc(hidden)]
+pub use par::segments_weighted;
+pub use pool::{lease as pool_lease, PoolLease, WorkerPool};
 
 // Re-exported so simulator users can attach probes without naming the
 // telemetry crate explicitly.

@@ -9,15 +9,23 @@
 //! *messages* (and the basis for a CONGEST mode, where per-port messages
 //! would be size-capped).
 
+use std::sync::Mutex;
+
 use graphgen::{Graph, NodeId};
 use telemetry::{Event, FaultKind, Probe, Registry};
 
 use crate::exec::{NodeCtx, RunResult, SimError};
 use crate::faults::FaultPlan;
 use crate::par;
+use crate::pool;
 
 /// Scope string under which [`MessageExecutor`] emits per-round events.
 pub const MSG_SCOPE: &str = "localsim/msg";
+
+/// Slot-indexed work cells for one parallel phase-1 epoch: each cell is
+/// `(segment, segment base index, that segment's state slice)`, taken
+/// by pool slot `i` through a shared reference.
+type MsgWorkCells<'a, S> = Vec<Mutex<Option<(&'a [NodeId], usize, &'a mut [S])>>>;
 
 /// What a node does after processing one round of messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -286,6 +294,16 @@ impl<'g> MessageExecutor<'g> {
         }
         let mut live_list: Vec<NodeId> = graph.vertices().collect();
         let mut rounds = 0u64;
+        // Parallel phase-1 machinery: the worker pool is leased once per
+        // run (first parallel round) and parked between rounds; the
+        // per-slot transition buffers persist across rounds.
+        let mut pool_lease: Option<pool::PoolLease> = None;
+        #[allow(clippy::type_complexity)]
+        let transition_bufs: Vec<
+            Mutex<Vec<(NodeId, Option<MsgTransition<P::Msg, P::Output>>)>>,
+        > = (0..if self.threads > 1 { self.threads } else { 0 })
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
         while !live_list.is_empty() {
             if rounds >= max_rounds {
                 return Err(SimError::RoundLimitExceeded {
@@ -327,8 +345,10 @@ impl<'g> MessageExecutor<'g> {
             }
             if self.threads > 1 && live_list.len() > 1 {
                 // Phase 1 (parallel): step every live node against the
-                // read-only current arena, collecting transitions.
-                let segs = par::segments(&live_list, self.threads);
+                // read-only current arena, collecting transitions. Pool
+                // slot i owns segment i; the degree-weighted split keeps
+                // hub-heavy segments from serializing the round.
+                let segs = par::segments_weighted(&live_list, self.threads, offsets);
                 let ranges = par::segment_ranges(&segs);
                 let state_slices = par::split_ranges(&mut states, &ranges);
                 let cur_ref = &cur;
@@ -336,42 +356,42 @@ impl<'g> MessageExecutor<'g> {
                 // Phase 1 collects `None` for stalled nodes so phase 2 can
                 // carry their inboxes over in the same ascending order the
                 // sequential schedule uses.
-                #[allow(clippy::type_complexity)]
-                let results: Vec<
-                    Vec<(NodeId, Option<MsgTransition<P::Msg, P::Output>>)>,
-                > = std::thread::scope(|scope| {
-                    let handles: Vec<_> = segs
-                        .iter()
-                        .zip(ranges.iter())
-                        .zip(state_slices)
-                        .map(|((seg, &(lo, _)), st_s)| {
-                            scope.spawn(move || {
-                                let mut out = Vec::with_capacity(seg.len());
-                                for &v in *seg {
-                                    if jitter_on && plan_ref.stalls(v, rounds) {
-                                        out.push((v, None));
-                                        continue;
-                                    }
-                                    let ctx = make_ctx(v, rounds);
-                                    let inbox =
-                                        &cur_ref[offsets[v.index()]..offsets[v.index() + 1]];
-                                    let t = prog.step(&ctx, &mut st_s[v.index() - lo], inbox);
-                                    out.push((v, Some(t)));
-                                }
-                                out
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("executor worker panicked"))
-                        .collect()
+                let work: MsgWorkCells<'_, P::State> = segs
+                    .iter()
+                    .zip(ranges.iter())
+                    .zip(state_slices)
+                    .map(|((seg, &(lo, _)), st_s)| Mutex::new(Some((*seg, lo, st_s))))
+                    .collect();
+                let pool = pool_lease.get_or_insert_with(|| pool::lease(self.threads));
+                pool.run_epoch(&|slot| {
+                    let Some((seg, lo, st_s)) = work
+                        .get(slot)
+                        .and_then(|m| m.lock().expect("work slot poisoned").take())
+                    else {
+                        return;
+                    };
+                    let mut out = transition_bufs[slot].lock().expect("buffer poisoned");
+                    for &v in seg {
+                        if jitter_on && plan_ref.stalls(v, rounds) {
+                            out.push((v, None));
+                            continue;
+                        }
+                        let ctx = make_ctx(v, rounds);
+                        let inbox = &cur_ref[offsets[v.index()]..offsets[v.index() + 1]];
+                        let t = prog.step(&ctx, &mut st_s[v.index() - lo], inbox);
+                        out.push((v, Some(t)));
+                    }
                 });
                 // Phase 2 (sequential, ascending node order): deliver and
-                // account, exactly as the sequential schedule would.
+                // account, exactly as the sequential schedule would —
+                // draining the slot buffers in segment order (allocations
+                // survive for the next round).
+                let seg_count = segs.len();
+                drop(work);
                 live_list.clear();
-                for seg_results in results {
-                    for (v, t) in seg_results {
+                for buf in transition_bufs.iter().take(seg_count) {
+                    let mut buf = buf.lock().expect("buffer poisoned");
+                    for (v, t) in buf.drain(..) {
                         match t {
                             None => {
                                 retain_inbox(offsets, &cur, &mut nxt, &mut dirty_nxt, v);
@@ -411,53 +431,58 @@ impl<'g> MessageExecutor<'g> {
                     }
                 }
             } else {
-                // Split borrows for the retain closure.
-                let (cur_ref, nxt_ref) = (&cur, &mut nxt);
-                let (dirty_ref, dropped_ref, stalled_ref) =
-                    (&mut dirty_nxt, &mut dropped, &mut stalled);
-                live_list.retain(|&v| {
+                // Manual compaction instead of `Vec::retain`: the retain
+                // closure boundary measurably taxes fine-grained steps
+                // (see docs/PERFORMANCE.md); an index loop writes the
+                // survivor list in the same single ascending pass.
+                let mut kept = 0usize;
+                for i in 0..live_list.len() {
+                    let v = live_list[i];
                     if jitter_on && plan.stalls(v, rounds) {
                         // Stalled: skip the step; pending messages wait on
                         // the link for the next round.
-                        retain_inbox(offsets, cur_ref, nxt_ref, dirty_ref, v);
-                        *stalled_ref += 1;
-                        return true;
+                        retain_inbox(offsets, &cur, &mut nxt, &mut dirty_nxt, v);
+                        stalled += 1;
+                        live_list[kept] = v;
+                        kept += 1;
+                        continue;
                     }
                     let ctx = make_ctx(v, rounds);
-                    let inbox = &cur_ref[offsets[v.index()]..offsets[v.index() + 1]];
+                    let inbox = &cur[offsets[v.index()]..offsets[v.index() + 1]];
                     match prog.step(&ctx, &mut states[v.index()], inbox) {
                         MsgTransition::Continue(outs) => {
                             c_msgs.add(deliver(
                                 graph,
                                 offsets,
                                 rev,
-                                nxt_ref,
-                                dirty_ref,
+                                &mut nxt,
+                                &mut dirty_nxt,
                                 v,
                                 outs,
                                 drop_ctx(rounds),
-                                dropped_ref,
+                                &mut dropped,
                             ));
-                            true
+                            live_list[kept] = v;
+                            kept += 1;
                         }
                         MsgTransition::HaltAfter(outs, o) => {
                             c_msgs.add(deliver(
                                 graph,
                                 offsets,
                                 rev,
-                                nxt_ref,
-                                dirty_ref,
+                                &mut nxt,
+                                &mut dirty_nxt,
                                 v,
                                 outs,
                                 drop_ctx(rounds),
-                                dropped_ref,
+                                &mut dropped,
                             ));
                             outputs[v.index()] = Some(o);
                             c_halted.inc();
-                            false
                         }
                     }
-                });
+                }
+                live_list.truncate(kept);
             }
             if dropped > 0 {
                 if let Some(c) = &c_dropped {

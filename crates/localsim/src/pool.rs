@@ -1,0 +1,390 @@
+//! Persistent epoch-barrier worker pool.
+//!
+//! LOCAL-model rounds are tiny — on a path graph a round is a few
+//! microseconds of work — so the per-round `std::thread::scope`
+//! spawn/join the executors used through PR 4 cost more than the round
+//! itself (`BENCH_executors.json` showed `par4` 2–3x *slower* than
+//! `seq` on every topology). This module replaces it: OS threads are
+//! spawned **once per lease** and then parked on a condvar between
+//! rounds; each round is one *epoch* — publish a job, wake the workers,
+//! run slot 0 on the caller, and block until the last worker checks in.
+//! The steady-state cost of a round is one mutex hand-off and one
+//! wake/park cycle per worker instead of a thread create/destroy pair.
+//!
+//! # Determinism
+//!
+//! The pool adds no scheduling freedom: worker `i` always receives slot
+//! index `i`, so callers that assign segment `i` to slot `i` and merge
+//! in segment order keep the bit-identity contract of the scoped path.
+//! Dynamic-scheduling callers (`core::pool`) put the shared claim
+//! counter *inside* the job, which is exactly what the scoped version
+//! did.
+//!
+//! # Thread-local reuse
+//!
+//! [`lease`] caches one pool per OS thread: a pipeline that runs
+//! hundreds of primitive executors back to back re-uses the same parked
+//! workers instead of respawning per run. The cache is keyed by slot
+//! count — leasing a different width drops the cached pool (joining its
+//! threads) and spawns a fresh one. A nested lease on the same thread
+//! (a parallel executor inside a pool job) simply spawns a transient
+//! pool, because the cached one is checked out by the outer caller.
+//!
+//! Pool width is fixed at construction. The process-wide default in
+//! [`crate::default_threads`] is resolved once and never changes, so a
+//! `set_default_threads` call mid-run cannot resize a live pool — it
+//! returns `false` and the established width stays in force (see
+//! `tests/threads_config.rs`).
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// A borrowed `Fn(usize) + Sync` job with its lifetime erased so parked
+/// workers (spawned long before the job existed) can run it.
+///
+/// # Safety
+///
+/// The pointee is only dereferenced by workers between the epoch
+/// publish and their check-in decrement, and [`WorkerPool::run_epoch`]
+/// does not return — not even by unwinding — until every worker has
+/// checked in and the job slot is cleared. The borrow therefore always
+/// outlives every dereference. The pointee is `Sync`, so sharing the
+/// pointer across worker threads is sound.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared references to it may cross
+// threads); the pointer itself is only an address.
+unsafe impl Send for Job {}
+
+struct EpochState {
+    /// Bumped once per epoch; workers use it to detect fresh work.
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers that have not yet checked in for the current epoch.
+    remaining: usize,
+    shutdown: bool,
+    /// First panic payload captured from a worker this epoch.
+    panic: Option<PanicPayload>,
+}
+
+struct Shared {
+    state: Mutex<EpochState>,
+    /// Workers park here between epochs.
+    work_cv: Condvar,
+    /// The caller parks here until `remaining` hits zero.
+    done_cv: Condvar,
+}
+
+/// A fixed-width pool of parked worker threads driven by per-round
+/// epochs. See the module docs for the design.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    slots: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("slots", &self.slots)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool with `slots` logical workers: the caller runs slot 0 in
+    /// [`run_epoch`](Self::run_epoch), and `slots - 1` OS threads are
+    /// spawned (and immediately parked) for the rest. `slots <= 1`
+    /// spawns nothing and runs epochs inline.
+    #[must_use]
+    pub fn new(slots: usize) -> Self {
+        let slots = slots.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(EpochState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+                panic: None,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (1..slots)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("localsim-pool-{slot}"))
+                    .spawn(move || worker_loop(&shared, slot))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            slots,
+        }
+    }
+
+    /// Number of logical worker slots (caller included).
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Runs one epoch: `f(0)` on the calling thread and `f(1)` …
+    /// `f(slots - 1)` on the parked workers, returning only after every
+    /// slot has finished. `f` sees each slot index exactly once per
+    /// epoch.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from any slot — after all workers have checked
+    /// in, so borrows captured by `f` are dead before unwinding reaches
+    /// the caller.
+    pub fn run_epoch<F: Fn(usize) + Sync>(&mut self, f: &F) {
+        let spawned = self.handles.len();
+        if spawned == 0 {
+            f(0);
+            return;
+        }
+        let erased: *const (dyn Fn(usize) + Sync) = f;
+        // SAFETY: erases the borrow's lifetime so parked workers can hold
+        // the pointer; see `Job` for why every dereference happens while
+        // the borrow is live.
+        let job = Job(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(erased)
+        });
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            debug_assert!(st.job.is_none() && st.remaining == 0, "epoch overlap");
+            st.job = Some(job);
+            st.epoch = st.epoch.wrapping_add(1);
+            st.remaining = spawned;
+            self.shared.work_cv.notify_all();
+        }
+        let caller = catch_unwind(AssertUnwindSafe(|| f(0)));
+        let worker_panic = {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            while st.remaining > 0 {
+                st = self.shared.done_cv.wait(st).expect("pool state poisoned");
+            }
+            st.job = None;
+            st.panic.take()
+        };
+        if let Err(p) = caller {
+            resume_unwind(p);
+        }
+        if let Some(p) = worker_panic {
+            resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, slot: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen && st.job.is_some() {
+                    break;
+                }
+                st = shared.work_cv.wait(st).expect("pool state poisoned");
+            }
+            seen = st.epoch;
+            *st.job.as_ref().expect("job present at epoch start")
+        };
+        // SAFETY: see `Job` — the caller blocks in `run_epoch` until we
+        // check in below, so the borrow behind the pointer is live.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(slot) }));
+        let mut st = shared.state.lock().expect("pool state poisoned");
+        if let Err(p) = result {
+            st.panic.get_or_insert(p);
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+thread_local! {
+    static CACHED: RefCell<Option<WorkerPool>> = const { RefCell::new(None) };
+}
+
+/// A checked-out [`WorkerPool`], returned to this thread's cache on
+/// drop so the next lease of the same width skips the spawn entirely.
+#[derive(Debug)]
+pub struct PoolLease {
+    pool: Option<WorkerPool>,
+}
+
+impl PoolLease {
+    /// See [`WorkerPool::run_epoch`].
+    pub fn run_epoch<F: Fn(usize) + Sync>(&mut self, f: &F) {
+        self.pool
+            .as_mut()
+            .expect("lease holds a pool until drop")
+            .run_epoch(f);
+    }
+
+    /// Number of logical worker slots (caller included).
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.pool.as_ref().map_or(1, WorkerPool::slots)
+    }
+}
+
+impl Drop for PoolLease {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            // Park the pool for the next lease; if the slot is occupied
+            // (nested lease returned first) or thread-local storage is
+            // gone (thread exit), just drop it — Drop joins the workers.
+            let _ = CACHED.try_with(|c| {
+                let mut slot = c.borrow_mut();
+                if slot.is_none() {
+                    *slot = Some(pool);
+                }
+            });
+        }
+    }
+}
+
+/// Checks a pool of exactly `slots` logical workers out of this
+/// thread's cache, spawning one (and dropping a mismatched cached pool)
+/// if needed. Width is fixed for the lease's lifetime — re-reads of
+/// [`crate::default_threads`] never resize a live pool.
+#[must_use]
+pub fn lease(slots: usize) -> PoolLease {
+    let cached = CACHED
+        .try_with(|c| c.borrow_mut().take())
+        .ok()
+        .flatten()
+        .filter(|p| p.slots() == slots.max(1));
+    PoolLease {
+        pool: Some(cached.unwrap_or_else(|| WorkerPool::new(slots))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_slot_runs_exactly_once_per_epoch() {
+        let mut pool = WorkerPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..100 {
+            pool.run_epoch(&|slot| {
+                hits[slot].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 100);
+        }
+    }
+
+    #[test]
+    fn epochs_see_fresh_borrows() {
+        // The job borrows round-local data; each epoch must observe the
+        // current round's buffer, not a stale one.
+        let mut pool = WorkerPool::new(3);
+        for round in 0..50u64 {
+            let inputs: Vec<u64> = (0..3).map(|s| round * 10 + s).collect();
+            let outputs: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_epoch(&|slot| {
+                outputs[slot].store(inputs[slot] as usize, Ordering::Relaxed);
+            });
+            for (s, out) in outputs.iter().enumerate() {
+                assert_eq!(out.load(Ordering::Relaxed) as u64, round * 10 + s as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn single_slot_runs_inline() {
+        let mut pool = WorkerPool::new(1);
+        let caller = std::thread::current().id();
+        let mut ran_on = None;
+        let ran = Mutex::new(&mut ran_on);
+        pool.run_epoch(&|slot| {
+            assert_eq!(slot, 0);
+            **ran.lock().unwrap() = Some(std::thread::current().id());
+        });
+        assert_eq!(ran_on, Some(caller));
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_barrier() {
+        let mut pool = WorkerPool::new(4);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_epoch(&|slot| {
+                if slot == 2 {
+                    panic!("boom in slot 2");
+                }
+            });
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("boom"), "got {msg:?}");
+        // The pool survives a panicked epoch and runs the next one.
+        let ok = AtomicUsize::new(0);
+        pool.run_epoch(&|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn lease_reuses_cached_pool_of_same_width() {
+        let first = lease(3);
+        drop(first);
+        let again = lease(3);
+        assert_eq!(again.slots(), 3);
+        drop(again);
+        // A different width replaces the cached pool.
+        let wider = lease(5);
+        assert_eq!(wider.slots(), 5);
+    }
+
+    #[test]
+    fn nested_lease_gets_its_own_pool() {
+        let mut outer = lease(2);
+        let mut inner = lease(2);
+        let count = AtomicUsize::new(0);
+        outer.run_epoch(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        inner.run_epoch(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+}

@@ -1,0 +1,78 @@
+//! The `default_threads` / `set_default_threads` resolution order, and
+//! its interaction with the persistent worker pools.
+//!
+//! The process-wide default resolves exactly once (first read of
+//! `LOCALSIM_THREADS` or first `set_default_threads`, whichever runs
+//! first) and never changes. That immutability is what makes the
+//! persistent pools safe: a pool's width is snapshotted at lease time,
+//! so a mid-run `set_default_threads` cannot resize a live pool — it
+//! returns `false` and has no effect. This file is its own test binary
+//! (hence its own process) so the `OnceLock` starts unresolved; the
+//! whole scenario lives in one `#[test]` because the lock is
+//! process-global and test functions share the process.
+
+use localsim::{
+    default_threads, set_default_threads, Executor, LocalAlgorithm, NodeCtx, Transition,
+};
+
+struct CountRounds;
+
+impl LocalAlgorithm for CountRounds {
+    type State = u64;
+    type Output = u64;
+
+    fn init(&self, _ctx: &NodeCtx) -> u64 {
+        0
+    }
+
+    fn step(&self, ctx: &NodeCtx, state: &u64, _nbrs: &[u64]) -> Transition<u64, u64> {
+        if ctx.round >= 3 {
+            Transition::Halt(*state + 1)
+        } else {
+            Transition::Continue(*state + 1)
+        }
+    }
+}
+
+#[test]
+fn default_is_immutable_after_first_resolution() {
+    // The harness does not set LOCALSIM_THREADS, but stay robust if the
+    // environment does: whatever the first read resolves to is the
+    // pinned value for the rest of the process.
+    let resolved = default_threads();
+    assert!(resolved >= 1);
+
+    // Too late: the default has been read, so pinning a *different*
+    // count must be refused and the resolved value must stay in force.
+    assert!(
+        !set_default_threads(resolved + 1),
+        "set_default_threads succeeded after default_threads resolved"
+    );
+    assert_eq!(
+        default_threads(),
+        resolved,
+        "refused set still changed the value"
+    );
+
+    // Refusal is permanent, not first-call-only.
+    assert!(!set_default_threads(resolved));
+    assert_eq!(default_threads(), resolved);
+
+    // The frozen default does not cap explicit opt-in: an executor
+    // handed `with_threads(4)` leases a 4-slot pool and still steps
+    // (bit-identically — see tests/equivalence.rs) even though the
+    // process default stayed at `resolved`.
+    let g = graphgen::generators::star(16);
+    let seq = Executor::new(&g).run(&CountRounds, 10).unwrap();
+    let par = Executor::new(&g)
+        .with_threads(4)
+        .run(&CountRounds, 10)
+        .unwrap();
+    assert_eq!(par.outputs, seq.outputs);
+    assert_eq!(par.rounds, seq.rounds);
+    assert_eq!(
+        default_threads(),
+        resolved,
+        "explicit with_threads leaked into the default"
+    );
+}

@@ -32,6 +32,7 @@
 //! Every algorithm returns its measured LOCAL round count alongside its
 //! output so callers can charge a [`localsim::RoundLedger`].
 
+pub mod bitset;
 pub mod congest_coloring;
 pub mod congest_mis;
 pub mod linial;

@@ -266,15 +266,17 @@ impl LocalAlgorithm for KwAlgo {
                     } else {
                         (c / modulus) * modulus
                     };
-                    let mut taken = vec![false; width as usize];
+                    // Blocked bitmap: widths are t = Δ+1, so the mask
+                    // lives entirely in the bitset's inline words and the
+                    // pick is a couple of `trailing_ones`, not a byte scan.
+                    let mut taken = crate::bitset::ColorBitset::new(width as usize);
                     for &nc in nbrs {
                         if nc >= base && nc < base + width {
-                            taken[(nc - base) as usize] = true;
+                            taken.mark((nc - base) as usize);
                         }
                     }
                     let slot = taken
-                        .iter()
-                        .position(|&t| !t)
+                        .first_clear()
                         .expect("at most Δ neighbors cannot fill Δ+1 slots");
                     c = base + slot as u64;
                 }

@@ -58,7 +58,11 @@ impl From<SimError> for ListColoringError {
 struct SweepAlgo {
     schedule: Vec<u32>,        // helper color per node
     palettes: Vec<Vec<Color>>, // palette per node
-    classes: u32,              // number of helper classes
+    /// Per node: `(color value, palette index)` sorted by color, so a
+    /// neighbor's color maps to the palette slots it blocks in
+    /// `O(log |palette|)` instead of a linear `contains` per candidate.
+    palette_luts: Vec<Vec<(u32, u32)>>,
+    classes: u32, // number of helper classes
 }
 
 /// State: `None` while waiting, `Some(color)` once colored.
@@ -81,11 +85,29 @@ impl LocalAlgorithm for SweepAlgo {
         }
         let my_class = self.schedule[ctx.node.index()];
         if ctx.round - 1 == my_class as u64 {
+            // Mark the palette slots blocked by colored neighbors in a
+            // bitset over palette *indices* (inline words for the
+            // deg+1-sized palettes this pipeline builds), then take the
+            // first clear slot — the same first-free-in-palette-order
+            // color the old `find(!contains)` scan picked, without the
+            // O(|palette| · deg) rescans.
             let palette = &self.palettes[ctx.node.index()];
-            let c = palette
-                .iter()
-                .copied()
-                .find(|c| !nbrs.contains(&Some(*c)))
+            let lut = &self.palette_luts[ctx.node.index()];
+            let mut taken = crate::bitset::ColorBitset::new(palette.len());
+            for nc in nbrs.iter().flatten() {
+                // Mark every slot holding this color (palettes may
+                // repeat a color; all its copies are equally blocked).
+                let lo = lut.partition_point(|&(c, _)| c < nc.0);
+                for &(c, idx) in &lut[lo..] {
+                    if c != nc.0 {
+                        break;
+                    }
+                    taken.mark(idx as usize);
+                }
+            }
+            let c = taken
+                .first_clear()
+                .map(|slot| palette[slot])
                 .expect("deg+1 palette always has a free color at schedule time");
             if my_class + 1 == self.classes {
                 Transition::Halt(c)
@@ -166,9 +188,19 @@ pub fn deg_plus_one_list_color_probed(
         .vertices()
         .map(|v| helper.value.get(v).expect("helper coloring is complete").0)
         .collect();
+    let palette_luts = palettes
+        .iter()
+        .map(|p| {
+            let mut lut: Vec<(u32, u32)> =
+                p.iter().enumerate().map(|(i, c)| (c.0, i as u32)).collect();
+            lut.sort_unstable();
+            lut
+        })
+        .collect();
     let algo = SweepAlgo {
         schedule,
         palettes: palettes.to_vec(),
+        palette_luts,
         classes,
     };
     let run = Executor::new(h)

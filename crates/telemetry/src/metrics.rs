@@ -13,13 +13,15 @@
 //!
 //! Every update is a commutative reduction — counters add, watermarks
 //! take a max, histogram buckets add — so totals are independent of
-//! thread interleaving. The only nondeterministic inputs are wall-clock
-//! observations; by convention those live in metrics whose name ends in
-//! `_ns`, and the per-worker lane table (which worker claimed which unit
-//! is scheduling-dependent). [`MetricsHub::deterministic_snapshot`]
-//! excludes exactly those, so the deterministic view of a seeded run is
-//! bit-identical at every thread count — pinned by
-//! `crates/core/tests/pipeline_parallel.rs`.
+//! thread interleaving. The nondeterministic inputs are wall-clock
+//! observations (by convention in metrics whose name ends in `_ns`),
+//! metrics derived from the dynamic schedule (suffix `_sched`, e.g. the
+//! per-epoch steal counts — *which* worker over-claims depends on OS
+//! scheduling even though the result does not), and the per-worker lane
+//! table (which worker claimed which unit is scheduling-dependent).
+//! [`MetricsHub::deterministic_snapshot`] excludes exactly those, so the
+//! deterministic view of a seeded run is bit-identical at every thread
+//! count — pinned by `crates/core/tests/pipeline_parallel.rs`.
 //!
 //! Hot loops that cannot afford even an uncontended atomic per event can
 //! observe into a plain [`LocalHistogram`] shard and merge it into the
@@ -450,17 +452,21 @@ impl MetricsHub {
     }
 
     /// The deterministic subset of the snapshot: drops every metric whose
-    /// name ends in `_ns` and the (scheduling-dependent) per-lane table,
-    /// keeping the lane-sum `worker_units_total`, which equals the number
-    /// of units submitted to the pool. For a seeded run this value is
-    /// bit-identical at every thread count.
+    /// name ends in `_ns` (wall clock) or `_sched` (derived from the
+    /// dynamic schedule, e.g. per-epoch steal counts) and the
+    /// scheduling-dependent per-lane table, keeping the lane-sum
+    /// `worker_units_total`, which equals the number of units submitted
+    /// to the pool. For a seeded run this value is bit-identical at
+    /// every thread count.
     #[must_use]
     pub fn deterministic_snapshot(&self) -> Value {
         self.snapshot_inner(true)
     }
 
     fn snapshot_inner(&self, deterministic_only: bool) -> Value {
-        let keep = |name: &str| !deterministic_only || !name.ends_with("_ns");
+        let keep = |name: &str| {
+            !deterministic_only || !(name.ends_with("_ns") || name.ends_with("_sched"))
+        };
         let mut counters: Vec<(String, Value)> = self
             .counters
             .lock()
@@ -604,6 +610,7 @@ mod tests {
         hub.counter("pool.spawn_ns").add(12345);
         hub.histogram("exec.round_ns").observe(99);
         hub.histogram("msg.inbox_bytes").observe(64);
+        hub.histogram("pool.steals_per_epoch_sched").observe(7);
         let lane = hub.worker_lane(1);
         lane.busy_ns.fetch_add(500, Ordering::Relaxed);
         lane.units.fetch_add(4, Ordering::Relaxed);
@@ -612,6 +619,7 @@ mod tests {
         assert!(det.contains("msg.inbox_bytes"));
         assert!(!det.contains("spawn_ns"));
         assert!(!det.contains("round_ns"));
+        assert!(!det.contains("_sched"));
         assert!(!det.contains("\"workers\""));
         assert!(det.contains("\"worker_units_total\":4"));
         let full = serde::json::to_string(&hub.snapshot_value());
