@@ -1,0 +1,166 @@
+//! Sharded-runtime scaling benchmark: wall-clock and rounds of a wire
+//! coloring as the shard count grows, against the in-process executor.
+//!
+//! Honest caveat, embedded in the JSON report: everything here runs on
+//! **one machine** over loopback TCP, so added shards add framing and
+//! syscall cost per round without adding compute capacity — wall-clock
+//! is *expected* to be slower than in-process. What the numbers measure
+//! is the per-round coordination overhead (the price of running the
+//! LOCAL algorithm actually distributed), not a speedup claim.
+//!
+//! Outputs are asserted bit-identical across every variant before
+//! anything is timed.
+//!
+//! ```text
+//! cargo bench -p delta-bench --bench shard                    # full, table
+//! cargo bench -p delta-bench --bench shard -- --json BENCH_shard.json
+//! cargo bench -p delta-bench --bench shard -- --smoke --json out.json  # CI
+//! ```
+
+use criterion::{measure, Measurement};
+use graphgen::generators;
+use localsim::{Executor, ShardedExecutor, WireAlgo};
+use serde::{json, Value};
+
+const MAX_ROUNDS: u64 = 100_000;
+
+struct Case {
+    variant: &'static str,
+    shards: u64,
+    m: Measurement,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    let smoke = test_mode || args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(|p| {
+            let p = std::path::Path::new(p);
+            if p.is_absolute() {
+                p.to_path_buf()
+            } else {
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .join("../..")
+                    .join(p)
+            }
+        });
+
+    let samples = if smoke { 3 } else { 5 };
+    let n = if smoke { 600 } else { 3000 };
+    let g = generators::gnp(n, 8.0 / n as f64, 17);
+    let algo = WireAlgo::Rand { seed: 7 };
+
+    // Bit-identity preflight across every shard count.
+    let reference = Executor::new(&g).run(&algo, MAX_ROUNDS).expect("reference");
+    for shards in [1usize, 2, 4] {
+        let run = ShardedExecutor::new(&g)
+            .with_shards(shards)
+            .run(algo, MAX_ROUNDS)
+            .expect("sharded run");
+        assert_eq!(
+            run.outputs, reference.outputs,
+            "{shards}-shard outputs diverged from the in-process executor"
+        );
+        assert_eq!(
+            run.rounds, reference.rounds,
+            "{shards}-shard round count diverged"
+        );
+    }
+
+    let mut cases: Vec<Case> = Vec::new();
+    let mut push = |variant: &'static str, shards: u64, rounds: u64, m: Measurement| {
+        println!(
+            "shard/n={n}/{variant}: mean {:.3} ms, min {:.3} ms ({rounds} rounds)",
+            m.mean_ns / 1e6,
+            m.min_ns / 1e6
+        );
+        cases.push(Case { variant, shards, m });
+    };
+
+    push(
+        "in-process",
+        0,
+        reference.rounds,
+        measure(test_mode, samples, |b| {
+            b.iter(|| Executor::new(&g).run(&algo, MAX_ROUNDS).unwrap())
+        }),
+    );
+    for (variant, shards) in [("shards-1", 1usize), ("shards-2", 2), ("shards-4", 4)] {
+        push(
+            variant,
+            shards as u64,
+            reference.rounds,
+            measure(test_mode, samples, |b| {
+                b.iter(|| {
+                    ShardedExecutor::new(&g)
+                        .with_shards(shards)
+                        .run(algo, MAX_ROUNDS)
+                        .unwrap()
+                })
+            }),
+        );
+    }
+
+    let base = cases[0].m.mean_ns;
+    for c in cases.iter().skip(1) {
+        println!(
+            "shard/n={n}/{}: coordination overhead {:.2}x over in-process",
+            c.variant,
+            c.m.mean_ns / base
+        );
+    }
+
+    if let Some(path) = json_path {
+        let report = Value::Map(vec![
+            (
+                "schema_version".to_string(),
+                Value::U64(delta_bench::BENCH_SCHEMA_VERSION),
+            ),
+            (
+                "mode".to_string(),
+                Value::Str(if smoke { "smoke" } else { "full" }.to_string()),
+            ),
+            ("samples".to_string(), Value::U64(samples as u64)),
+            ("n".to_string(), Value::U64(n as u64)),
+            // All variants run the same round count (bit-identity is
+            // asserted above), so it lives at report level — keeping it
+            // out of the per-case identity benchdiff matches on.
+            ("rounds".to_string(), Value::U64(reference.rounds)),
+            (
+                "caveat".to_string(),
+                Value::Str(
+                    "single-machine loopback: shards add per-round framing/syscall cost \
+                     without adding compute; numbers measure coordination overhead, \
+                     not distributed speedup"
+                        .to_string(),
+                ),
+            ),
+            (
+                "cases".to_string(),
+                Value::Seq(
+                    cases
+                        .iter()
+                        .map(|c| {
+                            Value::Map(vec![
+                                ("variant".to_string(), Value::Str(c.variant.to_string())),
+                                ("shards".to_string(), Value::U64(c.shards)),
+                                ("mean_ns".to_string(), Value::F64(c.m.mean_ns)),
+                                ("min_ns".to_string(), Value::F64(c.m.min_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&path).expect("create bench json");
+        file.write_all(json::to_string(&report).as_bytes())
+            .expect("write bench json");
+        file.write_all(b"\n").expect("write bench json");
+        println!("wrote {}", path.display());
+    }
+}

@@ -47,6 +47,10 @@
 //!   per case plus as a geometric mean. Informational: always exits
 //!   `0` when at least one pair exists (`2` when none does), so CI can
 //!   print the parallel speedup without gating on machine core count.
+//!   Pairs where either side measured `0` (smoke mode can round a
+//!   sub-resolution case down to `min_ns == 0`) are listed as
+//!   "incomparable" and excluded from the geometric mean instead of
+//!   poisoning it with `inf`/NaN.
 
 use std::collections::BTreeMap;
 
@@ -245,26 +249,38 @@ fn matches_filter(key: &str, terms: &[String]) -> bool {
     terms.iter().all(|t| components.contains(&t.as_str()))
 }
 
+/// Case pairs split by whether a ratio is meaningful. Smoke-mode runs of
+/// very fast cases can record `min_ns == 0`; a zero on either side would
+/// print `inf` or push `ln(0) = -inf` into the geometric mean, so those
+/// pairs land in `incomparable` — listed, never averaged.
+struct VariantRatios {
+    /// `(shared identity, num value, den value, num/den)`, in key order.
+    comparable: Vec<(String, f64, f64, f64)>,
+    /// `(shared identity, num value, den value)` where either side is
+    /// zero (or negative, which no well-formed report produces).
+    incomparable: Vec<(String, f64, f64)>,
+}
+
 /// The `variant=num / variant=den` ratio per case pair, in key order.
-fn variant_ratios(
-    cases: &BTreeMap<String, f64>,
-    num: &str,
-    den: &str,
-) -> Vec<(String, f64, f64, f64)> {
+fn variant_ratios(cases: &BTreeMap<String, f64>, num: &str, den: &str) -> VariantRatios {
     let num_term = format!("variant={num}");
     let den_term = format!("variant={den}");
-    let mut out = Vec::new();
+    let mut out = VariantRatios {
+        comparable: Vec::new(),
+        incomparable: Vec::new(),
+    };
     for (key, &a) in cases {
         if !matches_filter(key, std::slice::from_ref(&num_term)) {
             continue;
         }
         let twin = key.replace(&num_term, &den_term);
         let Some(&b) = cases.get(&twin) else { continue };
-        if b <= 0.0 {
-            continue;
-        }
         let label = strip_variant(key, &num_term);
-        out.push((label, a, b, a / b));
+        if a <= 0.0 || b <= 0.0 {
+            out.incomparable.push((label, a, b));
+        } else {
+            out.comparable.push((label, a, b, a / b));
+        }
     }
     out
 }
@@ -279,22 +295,38 @@ fn strip_variant(key: &str, term: &str) -> String {
 }
 
 fn run_ratio(cases: &BTreeMap<String, f64>, num: &str, den: &str, summary: bool) -> i32 {
-    let pairs = variant_ratios(cases, num, den);
-    if pairs.is_empty() {
+    let ratios = variant_ratios(cases, num, den);
+    let pairs = &ratios.comparable;
+    if pairs.is_empty() && ratios.incomparable.is_empty() {
         eprintln!("error: no case pairs with variant={num} and variant={den}");
         return 2;
     }
-    let geomean = (pairs.iter().map(|(_, _, _, r)| r.ln()).sum::<f64>() / pairs.len() as f64).exp();
+    let geomean = if pairs.is_empty() {
+        None
+    } else {
+        Some((pairs.iter().map(|(_, _, _, r)| r.ln()).sum::<f64>() / pairs.len() as f64).exp())
+    };
+    let summary_line = || {
+        let excluded = match ratios.incomparable.len() {
+            0 => String::new(),
+            k => format!(", {k} incomparable pair(s) excluded"),
+        };
+        match geomean {
+            Some(g) => format!(
+                "{num}/{den} geomean {g:.2}x over {} case pair(s){excluded}",
+                pairs.len()
+            ),
+            None => format!("{num}/{den} geomean undefined: 0 comparable case pair(s){excluded}"),
+        }
+    };
     if summary {
-        println!(
-            "{num}/{den} geomean {geomean:.2}x over {} case pair(s)",
-            pairs.len()
-        );
+        println!("{}", summary_line());
         return 0;
     }
     let width = pairs
         .iter()
         .map(|(k, ..)| k.len())
+        .chain(ratios.incomparable.iter().map(|(k, ..)| k.len()))
         .max()
         .unwrap_or(4)
         .max(4);
@@ -302,13 +334,13 @@ fn run_ratio(cases: &BTreeMap<String, f64>, num: &str, den: &str, summary: bool)
         "{:width$}  {:>14}  {:>14}  {:>7}",
         "case", num, den, "ratio"
     );
-    for (key, a, b, r) in &pairs {
+    for (key, a, b, r) in pairs {
         println!("{key:width$}  {a:>14.0}  {b:>14.0}  {r:>6.2}x");
     }
-    println!(
-        "{num}/{den} geomean {geomean:.2}x over {} case pair(s)",
-        pairs.len()
-    );
+    for (key, a, b) in &ratios.incomparable {
+        println!("{key:width$}  {a:>14.0}  {b:>14.0}  incomparable (zero measurement)");
+    }
+    println!("{}", summary_line());
     0
 }
 
@@ -634,13 +666,61 @@ mod tests {
             ("path", "par4", 4000),
             ("cycle", "par4", 700), // no seq twin: skipped
         ]);
-        let pairs = variant_ratios(&cases, "par4", "seq");
+        let ratios = variant_ratios(&cases, "par4", "seq");
+        let pairs = &ratios.comparable;
         assert_eq!(pairs.len(), 2);
+        assert!(ratios.incomparable.is_empty());
         // Keys are the shared identity with the variant stripped.
         assert_eq!(pairs[0].0, "cases/topology=clique");
         assert!((pairs[0].3 - 0.5).abs() < 1e-9);
         assert_eq!(pairs[1].0, "cases/topology=path");
         assert!((pairs[1].3 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_measurements_are_incomparable_not_inf() {
+        // Smoke-mode reports can legitimately carry min_ns == 0 for
+        // sub-nanosecond-resolution cases; the pair must be bucketed,
+        // not divided.
+        let cases = variant_report(&[
+            ("clique", "seq", 1000),
+            ("clique", "par4", 500),
+            ("path", "seq", 0), // zero denominator
+            ("path", "par4", 4000),
+            ("cycle", "seq", 800),
+            ("cycle", "par4", 0), // zero numerator
+        ]);
+        let ratios = variant_ratios(&cases, "par4", "seq");
+        assert_eq!(ratios.comparable.len(), 1);
+        assert_eq!(ratios.comparable[0].0, "cases/topology=clique");
+        let incomparable: Vec<&str> = ratios
+            .incomparable
+            .iter()
+            .map(|(k, ..)| k.as_str())
+            .collect();
+        assert_eq!(
+            incomparable,
+            ["cases/topology=cycle", "cases/topology=path"]
+        );
+        // The surviving geomean is finite and the run stays exit 0.
+        assert!(ratios
+            .comparable
+            .iter()
+            .all(|(_, _, _, r)| r.is_finite() && *r > 0.0));
+        assert_eq!(run_ratio(&cases, "par4", "seq", true), 0);
+        assert_eq!(run_ratio(&cases, "par4", "seq", false), 0);
+    }
+
+    #[test]
+    fn all_pairs_incomparable_still_reports_instead_of_nan() {
+        let cases = variant_report(&[("clique", "seq", 0), ("clique", "par4", 0)]);
+        let ratios = variant_ratios(&cases, "par4", "seq");
+        assert!(ratios.comparable.is_empty());
+        assert_eq!(ratios.incomparable.len(), 1);
+        // Pairs exist (just not comparable ones): informational exit 0,
+        // not the "no pairs at all" usage error.
+        assert_eq!(run_ratio(&cases, "par4", "seq", true), 0);
+        assert_eq!(run_ratio(&cases, "par4", "seq", false), 0);
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod phase4;
 mod pool;
 mod randomized;
 pub mod render;
+pub mod shard;
 pub mod supervisor;
 pub mod validate;
 
@@ -73,6 +74,7 @@ pub use randomized::{
     color_randomized, color_randomized_probed, color_randomized_with_faults, RandConfig,
     RandReport, RecoveryStats, ShatterStats,
 };
+pub use shard::{run_wire_coloring, DistributedConfig, DistributedError, WireColorReport};
 pub use supervisor::{
     drive_deterministic, drive_randomized, graph_digest, load_bundle, load_snapshot, replay_bundle,
     save_bundle, save_snapshot, ChaosPlan, DegradedComponent, FailureReport, PhaseCursor,

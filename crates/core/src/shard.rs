@@ -1,0 +1,204 @@
+//! Driving the sharded LOCAL runtime from the supervisor.
+//!
+//! The coloring pipelines in this crate run inside one process; this
+//! module is the bridge that runs a [`WireAlgo`] coloring *actually
+//! distributed* — graph partitioned across worker shards — while reusing
+//! the supervisor's operational policy: its checkpoint directory becomes
+//! the shard checkpoint directory, so a killed shard resumes from the
+//! same place phase snapshots live, and the run validates its output
+//! with [`verify_wire_coloring`] before reporting success.
+
+use graphgen::Graph;
+use localsim::{
+    verify_wire_coloring, ChaosKill, Executor, FaultPlan, Probe, ShardError, ShardedExecutor,
+    SimError, WireAlgo, WorkerBackend,
+};
+
+use crate::supervisor::Supervisor;
+
+/// How to run a wire coloring across shards.
+#[derive(Debug, Clone)]
+pub struct DistributedConfig {
+    /// Worker shard count; `0` selects the single-process reference
+    /// executor (useful as the equivalence baseline).
+    pub shards: usize,
+    /// The algorithm to run.
+    pub algo: WireAlgo,
+    /// Simulated network faults, shared verbatim with every shard.
+    pub faults: Option<FaultPlan>,
+    /// Round budget.
+    pub max_rounds: u64,
+    /// Checkpoint cadence in rounds (`0` = only the implicit round-0
+    /// checkpoint).
+    pub checkpoint_every: u64,
+    /// Runtime-layer shard kills to inject (testing/chaos).
+    pub chaos_kills: Vec<ChaosKill>,
+    /// Per-shard respawn budget.
+    pub max_respawns: usize,
+    /// Worker hosting backend.
+    pub backend: WorkerBackend,
+}
+
+impl DistributedConfig {
+    /// Defaults for `algo`: 4 thread-backed shards, no faults, a
+    /// generous round budget, checkpoints every 8 rounds.
+    #[must_use]
+    pub fn for_algo(algo: WireAlgo) -> Self {
+        DistributedConfig {
+            shards: 4,
+            algo,
+            faults: None,
+            max_rounds: 100_000,
+            checkpoint_every: 8,
+            chaos_kills: Vec::new(),
+            max_respawns: 4,
+            backend: WorkerBackend::Threads,
+        }
+    }
+}
+
+/// Outcome of a distributed wire-coloring run.
+#[derive(Debug, Clone)]
+pub struct WireColorReport {
+    /// Per-node outputs in vertex order.
+    pub outputs: Vec<u64>,
+    /// Synchronous rounds executed.
+    pub rounds: u64,
+    /// Distinct colors used, when the algorithm produces a coloring
+    /// (`None` for non-coloring workloads like `floodmax`).
+    pub colors_used: Option<usize>,
+}
+
+/// Why a distributed run failed.
+#[derive(Debug)]
+pub enum DistributedError {
+    /// The sharded runtime failed (simulation or transport).
+    Shard(ShardError),
+    /// The single-process reference path failed.
+    Sim(SimError),
+    /// The run completed but its output is not a proper coloring.
+    InvalidColoring(String),
+}
+
+impl std::fmt::Display for DistributedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistributedError::Shard(e) => write!(f, "{e}"),
+            DistributedError::Sim(e) => write!(f, "{e}"),
+            DistributedError::InvalidColoring(msg) => {
+                write!(f, "distributed run produced an invalid coloring: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistributedError {}
+
+impl From<ShardError> for DistributedError {
+    fn from(e: ShardError) -> Self {
+        DistributedError::Shard(e)
+    }
+}
+
+impl From<SimError> for DistributedError {
+    fn from(e: SimError) -> Self {
+        DistributedError::Sim(e)
+    }
+}
+
+/// Runs `cfg.algo` over `graph` — sharded when `cfg.shards > 0`, on the
+/// single-process executor otherwise — under `sup`'s checkpoint policy,
+/// and verifies coloring outputs before reporting.
+///
+/// # Errors
+///
+/// Simulation failures surface exactly as the underlying executor
+/// reports them; a completed run with a monochromatic edge or palette
+/// overflow returns [`DistributedError::InvalidColoring`].
+pub fn run_wire_coloring(
+    graph: &Graph,
+    cfg: &DistributedConfig,
+    sup: &Supervisor,
+    probe: Probe,
+) -> Result<WireColorReport, DistributedError> {
+    let run = if cfg.shards == 0 {
+        let mut ex = Executor::new(graph).with_probe(probe);
+        if let Some(plan) = &cfg.faults {
+            ex = ex.with_faults(plan.clone());
+        }
+        ex.run(&cfg.algo, cfg.max_rounds)?
+    } else {
+        let mut ex = ShardedExecutor::new(graph)
+            .with_shards(cfg.shards)
+            .with_probe(probe)
+            .with_backend(cfg.backend.clone())
+            .with_checkpoint_every(cfg.checkpoint_every)
+            .with_checkpoint_dir(sup.checkpoint_dir.clone())
+            .with_chaos_kills(cfg.chaos_kills.clone())
+            .with_max_respawns(cfg.max_respawns);
+        if let Some(plan) = &cfg.faults {
+            ex = ex.with_faults(plan.clone());
+        }
+        ex.run(cfg.algo, cfg.max_rounds)?
+    };
+    let colors_used = if cfg.algo.is_coloring() {
+        Some(verify_wire_coloring(graph, &run.outputs).map_err(DistributedError::InvalidColoring)?)
+    } else {
+        None
+    };
+    Ok(WireColorReport {
+        outputs: run.outputs,
+        rounds: run.rounds,
+        colors_used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervisor::Supervisor;
+
+    #[test]
+    fn sharded_and_reference_paths_agree_under_the_supervisor() {
+        let g = graphgen::generators::cycle(18);
+        let sup = Supervisor::passive();
+        let mut cfg = DistributedConfig::for_algo(WireAlgo::Greedy);
+        cfg.shards = 3;
+        let sharded = run_wire_coloring(&g, &cfg, &sup, Probe::disabled()).unwrap();
+        cfg.shards = 0;
+        let single = run_wire_coloring(&g, &cfg, &sup, Probe::disabled()).unwrap();
+        assert_eq!(sharded.outputs, single.outputs);
+        assert_eq!(sharded.rounds, single.rounds);
+        assert!(sharded.colors_used.unwrap() <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn supervisor_checkpoint_dir_receives_shard_checkpoints() {
+        let dir = std::env::temp_dir().join(format!("core-shard-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sup = Supervisor::passive();
+        sup.checkpoint_dir = Some(dir.clone());
+        let g = graphgen::generators::path(12);
+        let mut cfg = DistributedConfig::for_algo(WireAlgo::Greedy);
+        cfg.shards = 2;
+        cfg.checkpoint_every = 2;
+        run_wire_coloring(&g, &cfg, &sup, Probe::disabled()).unwrap();
+        assert!(dir.join("shard-checkpoint-0000.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_outputs_are_rejected_not_reported() {
+        // FloodMax is not a coloring; its outputs must skip verification.
+        let g = graphgen::generators::path(6);
+        let sup = Supervisor::passive();
+        let mut cfg = DistributedConfig::for_algo(WireAlgo::FloodMax { target: 3 });
+        cfg.shards = 2;
+        let report = run_wire_coloring(&g, &cfg, &sup, Probe::disabled()).unwrap();
+        assert_eq!(report.colors_used, None);
+        // After 3 rounds of flooding on a path, node 0 knows its 3-ball
+        // maximum (node 3) and node 5 knows the global maximum.
+        assert_eq!(report.outputs[0], 3);
+        assert_eq!(report.outputs[5], 5);
+    }
+}

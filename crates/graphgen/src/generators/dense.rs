@@ -217,7 +217,7 @@ fn exact_matching_blueprint(
         order.shuffle(rng);
         for &l in &order {
             let mut visited = vec![false; half];
-            if !kuhn_augment(l, &used, &mut match_of_right, &mut visited, rng) {
+            if !kuhn_augment(l, &used, &mut match_of_right, &mut visited, rng)? {
                 return Err(GraphError::InfeasibleParameters(format!(
                     "no perfect matching while building bipartite {d}-regular blueprint \
                      on {half}+{half} nodes"
@@ -225,7 +225,12 @@ fn exact_matching_blueprint(
             }
         }
         for (r, l) in match_of_right.iter().enumerate() {
-            let l = l.expect("perfect matching saturates the right side");
+            let Some(l) = *l else {
+                return Err(GraphError::InfeasibleParameters(format!(
+                    "bipartite {d}-regular blueprint left right vertex {r} unmatched \
+                     on {half}+{half} nodes"
+                )));
+            };
             used[l as usize][r] = true;
             edges.push((l, r as u32));
         }
@@ -239,22 +244,65 @@ fn kuhn_augment(
     match_of_right: &mut [Option<u32>],
     visited: &mut [bool],
     rng: &mut StdRng,
-) -> bool {
+) -> Result<bool, GraphError> {
     let half = match_of_right.len();
-    let start = rng.gen_range(0..half);
-    for i in 0..half {
-        let r = (start + i) % half;
-        if used[l as usize][r] || visited[r] {
-            continue;
+    // Iterative DFS with an explicit stack: in the tight regime an
+    // augmenting path can reach depth `half`, which the recursive form
+    // answered with a thread-stack overflow on adversarial blueprint
+    // parameters. Each frame is (left vertex, randomized scan start,
+    // candidates scanned so far); `trail[k]` is the right vertex frame
+    // `k` has committed to, so the trail doubles as the alternating path
+    // to flip on success. The scan-start draws happen in the same
+    // pre-order positions as the recursive calls did, so the RNG stream
+    // (and every generated blueprint) is unchanged.
+    let mut stack: Vec<(u32, usize, usize)> = vec![(l, rng.gen_range(0..half), 0)];
+    let mut trail: Vec<usize> = Vec::with_capacity(half);
+    while let Some(frame) = stack.last_mut() {
+        let (cur_l, start, tried) = *frame;
+        let mut chosen = None;
+        let mut i = tried;
+        while i < half {
+            let r = (start + i) % half;
+            i += 1;
+            if !used[cur_l as usize][r] && !visited[r] {
+                chosen = Some(r);
+                break;
+            }
         }
+        frame.2 = i;
+        let Some(r) = chosen else {
+            // Every candidate exhausted: backtrack, un-committing the
+            // parent's right-vertex choice.
+            stack.pop();
+            trail.pop();
+            continue;
+        };
         visited[r] = true;
-        let prev = match_of_right[r];
-        if prev.is_none() || kuhn_augment(prev.unwrap(), used, match_of_right, visited, rng) {
-            match_of_right[r] = Some(l);
-            return true;
+        trail.push(r);
+        match match_of_right[r] {
+            None => {
+                // A free right vertex ends the alternating path: flip
+                // the matching along the trail.
+                for (k, &(ll, _, _)) in stack.iter().enumerate() {
+                    match_of_right[trail[k]] = Some(ll);
+                }
+                return Ok(true);
+            }
+            Some(prev) => {
+                if stack.len() > half {
+                    // Unreachable for consistent inputs (every frame owns
+                    // a distinct `visited` right vertex); a typed guard
+                    // against corrupted matching state instead of a panic.
+                    return Err(GraphError::InfeasibleParameters(format!(
+                        "matching search exceeded depth {half} while building a \
+                         bipartite blueprint"
+                    )));
+                }
+                stack.push((prev, rng.gen_range(0..half), 0));
+            }
         }
     }
-    false
+    Ok(false)
 }
 
 /// A circulant bipartite `d`-regular blueprint: left `i` joins rights
@@ -1057,6 +1105,64 @@ mod tests {
     fn blueprint_infeasible() {
         let mut rng = StdRng::seed_from_u64(1);
         assert!(bipartite_regular_blueprint(4, 5, &mut rng).is_err());
+    }
+
+    /// Regression for the tight regime `half < 2d` that bypasses the
+    /// permutation fast path and exercises Kuhn's augmenting search
+    /// directly: the recursive form dereferenced `match_of_right[r]`
+    /// with `unwrap` and could blow the thread stack on deep alternating
+    /// paths; the iterative form must return a simple regular blueprint
+    /// (or a typed error) for every such shape.
+    #[test]
+    fn tight_regime_blueprints_are_exact_and_regular() {
+        for (half, d, seed) in [(9, 7, 77), (16, 15, 3), (64, 63, 9), (33, 32, 5)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            assert!(half < 2 * d, "shape must force the exact-matching path");
+            let edges = exact_matching_blueprint(half, d, &mut rng)
+                .unwrap_or_else(|e| panic!("half={half} d={d}: {e}"));
+            assert_eq!(edges.len(), half * d, "half={half} d={d}");
+            let mut seen = std::collections::HashSet::new();
+            let mut ldeg = vec![0usize; half];
+            let mut rdeg = vec![0usize; half];
+            for &(l, r) in &edges {
+                assert!(seen.insert((l, r)), "duplicate edge ({l},{r})");
+                ldeg[l as usize] += 1;
+                rdeg[r as usize] += 1;
+            }
+            assert!(ldeg.iter().all(|&x| x == d), "half={half} d={d}");
+            assert!(rdeg.iter().all(|&x| x == d), "half={half} d={d}");
+        }
+    }
+
+    /// Adversarial chain: left `l` may only use rights `{l, l+1}`, rights
+    /// `0..h-1` are matched to their own index, and only right `h-1` is
+    /// free, so the augmenting search must walk a path of length `h`. On
+    /// a 256 KiB thread stack the recursive form overflowed here; the
+    /// explicit-stack form stays flat.
+    #[test]
+    fn deep_augmenting_paths_do_not_overflow_the_stack() {
+        std::thread::Builder::new()
+            .stack_size(256 * 1024)
+            .spawn(|| {
+                let mut rng = StdRng::seed_from_u64(21);
+                let h = 6000usize;
+                let mut used = vec![vec![true; h]; h];
+                for (l, row) in used.iter_mut().enumerate() {
+                    row[l] = false;
+                    if l + 1 < h {
+                        row[l + 1] = false;
+                    }
+                }
+                let mut match_of_right: Vec<Option<u32>> = (0..h as u32 - 1).map(Some).collect();
+                match_of_right.push(None);
+                let mut visited = vec![false; h];
+                let ok =
+                    kuhn_augment(0, &used, &mut match_of_right, &mut visited, &mut rng).unwrap();
+                assert!(ok, "the chain has exactly one augmenting path");
+            })
+            .unwrap()
+            .join()
+            .unwrap();
     }
 
     #[test]

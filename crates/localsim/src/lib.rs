@@ -64,6 +64,7 @@ mod ledger;
 mod msg;
 mod par;
 pub mod pool;
+pub mod shard;
 
 pub use congest::{CongestError, CongestExecutor, CongestResult, RoundBits, CONGEST_SCOPE};
 pub use exec::{Executor, LocalAlgorithm, NodeCtx, RunResult, SimError, Transition, EXEC_SCOPE};
@@ -76,6 +77,9 @@ pub use par::{default_threads, set_default_threads};
 #[doc(hidden)]
 pub use par::segments_weighted;
 pub use pool::{lease as pool_lease, PoolLease, WorkerPool};
+pub use shard::{
+    verify_wire_coloring, ChaosKill, ShardError, ShardedExecutor, WireAlgo, WorkerBackend,
+};
 
 // Re-exported so simulator users can attach probes without naming the
 // telemetry crate explicitly.

@@ -38,10 +38,23 @@
 
 use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Locks the epoch state, recovering from a poisoned mutex.
+///
+/// Poisoning can only happen if a thread panicked *while holding* the
+/// state lock (the user job always runs outside it, under
+/// `catch_unwind`). The state transitions under the lock are all
+/// trivially complete-or-untouched, so the data is still consistent;
+/// recovering here means one poisoned epoch reports its original panic
+/// instead of cascading `expect` aborts through every parked worker and
+/// the next `lease` call.
+fn lock_state(m: &Mutex<EpochState>) -> MutexGuard<'_, EpochState> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A borrowed `Fn(usize) + Sync` job with its lifetime erased so parked
 /// workers (spawned long before the job existed) can run it.
@@ -86,6 +99,11 @@ pub struct WorkerPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     slots: usize,
+    /// Set once an epoch has propagated a panic (from any slot). A
+    /// tainted pool still works — the barrier contained the panic — but
+    /// [`PoolLease`] refuses to re-cache it, so thread-local reuse never
+    /// hands a pool with a panicked history to an unsuspecting caller.
+    panicked: bool,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -128,6 +146,7 @@ impl WorkerPool {
             shared,
             handles,
             slots,
+            panicked: false,
         }
     }
 
@@ -135,6 +154,13 @@ impl WorkerPool {
     #[must_use]
     pub fn slots(&self) -> usize {
         self.slots
+    }
+
+    /// Whether any past epoch propagated a panic out of
+    /// [`run_epoch`](Self::run_epoch).
+    #[must_use]
+    pub fn panicked(&self) -> bool {
+        self.panicked
     }
 
     /// Runs one epoch: `f(0)` on the calling thread and `f(1)` …
@@ -164,7 +190,7 @@ impl WorkerPool {
             >(erased)
         });
         {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let mut st = lock_state(&self.shared.state);
             debug_assert!(st.job.is_none() && st.remaining == 0, "epoch overlap");
             st.job = Some(job);
             st.epoch = st.epoch.wrapping_add(1);
@@ -173,17 +199,26 @@ impl WorkerPool {
         }
         let caller = catch_unwind(AssertUnwindSafe(|| f(0)));
         let worker_panic = {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let mut st = lock_state(&self.shared.state);
             while st.remaining > 0 {
-                st = self.shared.done_cv.wait(st).expect("pool state poisoned");
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             st.job = None;
             st.panic.take()
         };
+        // The first panic wins: a caller panic is re-raised before any
+        // worker payload, and either taints the pool so the thread-local
+        // lease cache will not silently re-issue it.
         if let Err(p) = caller {
+            self.panicked = true;
             resume_unwind(p);
         }
         if let Some(p) = worker_panic {
+            self.panicked = true;
             resume_unwind(p);
         }
     }
@@ -192,7 +227,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let mut st = lock_state(&self.shared.state);
             st.shutdown = true;
             self.shared.work_cv.notify_all();
         }
@@ -206,7 +241,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
     let mut seen = 0u64;
     loop {
         let job = {
-            let mut st = shared.state.lock().expect("pool state poisoned");
+            let mut st = lock_state(&shared.state);
             loop {
                 if st.shutdown {
                     return;
@@ -214,7 +249,10 @@ fn worker_loop(shared: &Shared, slot: usize) {
                 if st.epoch != seen && st.job.is_some() {
                     break;
                 }
-                st = shared.work_cv.wait(st).expect("pool state poisoned");
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             seen = st.epoch;
             *st.job.as_ref().expect("job present at epoch start")
@@ -222,7 +260,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
         // SAFETY: see `Job` — the caller blocks in `run_epoch` until we
         // check in below, so the borrow behind the pointer is live.
         let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(slot) }));
-        let mut st = shared.state.lock().expect("pool state poisoned");
+        let mut st = lock_state(&shared.state);
         if let Err(p) = result {
             st.panic.get_or_insert(p);
         }
@@ -263,6 +301,13 @@ impl PoolLease {
 impl Drop for PoolLease {
     fn drop(&mut self) {
         if let Some(pool) = self.pool.take() {
+            // A pool that propagated a panic is dropped here (joining
+            // its workers) instead of being re-cached: the epoch barrier
+            // contained the panic, but the cache must not hand the
+            // tainted pool to the next lease on this thread.
+            if pool.panicked() {
+                return;
+            }
             // Park the pool for the next lease; if the slot is occupied
             // (nested lease returned first) or thread-local storage is
             // gone (thread exit), just drop it — Drop joins the workers.
@@ -286,7 +331,7 @@ pub fn lease(slots: usize) -> PoolLease {
         .try_with(|c| c.borrow_mut().take())
         .ok()
         .flatten()
-        .filter(|p| p.slots() == slots.max(1));
+        .filter(|p| p.slots() == slots.max(1) && !p.panicked());
     PoolLease {
         pool: Some(cached.unwrap_or_else(|| WorkerPool::new(slots))),
     }
@@ -360,6 +405,64 @@ mod tests {
             ok.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    /// Regression for the epoch-barrier panic path under the lease
+    /// cache: a worker panic inside a leased epoch must surface the
+    /// *original* payload to the caller (not a poisoned-mutex abort),
+    /// and the next `lease` of the same width on this thread must hand
+    /// out a healthy pool that runs epochs normally.
+    #[test]
+    fn lease_again_after_contained_worker_panic() {
+        let mut leased = lease(4);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            leased.run_epoch(&|slot| {
+                if slot == 3 {
+                    panic!("leased boom in slot 3");
+                }
+            });
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(
+            msg.contains("leased boom"),
+            "original payload lost: {msg:?}"
+        );
+        // Returning the tainted lease must invalidate the cache slot…
+        drop(leased);
+        // …so the next lease gets a pool with a clean history that runs
+        // a full epoch.
+        let mut again = lease(4);
+        assert_eq!(again.slots(), 4);
+        let hits = AtomicUsize::new(0);
+        again.run_epoch(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    /// A caller-slot panic (slot 0) taints the pool the same way a
+    /// worker panic does: the lease cache refuses to re-issue it.
+    #[test]
+    fn caller_panic_also_invalidates_the_cache() {
+        let mut pool = WorkerPool::new(2);
+        assert!(!pool.panicked());
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_epoch(&|slot| {
+                if slot == 0 {
+                    panic!("caller boom");
+                }
+            });
+        }))
+        .unwrap_err();
+        assert!(pool.panicked());
+        // The pool itself still runs epochs — the flag only gates the
+        // thread-local cache, not correctness of the barrier.
+        let hits = AtomicUsize::new(0);
+        pool.run_epoch(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
     }
 
     #[test]

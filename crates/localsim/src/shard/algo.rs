@@ -1,0 +1,299 @@
+//! Wire algorithms: [`LocalAlgorithm`]s with `u64` state and output.
+//!
+//! The sharded runtime ships node states as raw little-endian `u64`s, so
+//! the algorithms it can run are the ones expressible in that envelope.
+//! Every variant here is a *pure* function of `(spec, round, uid,
+//! neighbor states)` — no evolving RNG stream, no hidden per-node
+//! scratch — which is what makes shard restarts bit-identical by
+//! construction: replaying a round from a checkpoint re-derives exactly
+//! the same transitions (the same property PR 5's snapshots exploit by
+//! excluding RNG state).
+//!
+//! [`WireAlgo`] also implements [`LocalAlgorithm`] directly, so the same
+//! value drives both the single-process [`crate::Executor`] and the
+//! sharded backend — the equivalence suite runs one against the other.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::exec::{LocalAlgorithm, NodeCtx, Transition};
+
+/// Decided flag for [`WireAlgo::Greedy`] states.
+const GREEDY_DECIDED: u64 = 1 << 63;
+
+/// Phase tag shift for [`WireAlgo::Rand`] states (top two bits).
+const RAND_TAG_SHIFT: u32 = 62;
+const RAND_UNDECIDED: u64 = 0;
+const RAND_PROPOSING: u64 = 1;
+const RAND_DECIDED: u64 = 2;
+
+/// The 64-bit finalizer of splitmix64, also used by
+/// [`crate::FaultPlan`]: a full-avalanche bijection, here the stateless
+/// randomness source for [`WireAlgo::Rand`].
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// A distributed algorithm runnable over the shard wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireAlgo {
+    /// Counts down from the node index and halts with the halt round —
+    /// the executor test workload, halting independently of neighbors
+    /// (so it terminates even under crash faults).
+    Countdown,
+    /// Every node halts with the maximum uid in its `target`-ball after
+    /// `target` rounds.
+    FloodMax {
+        /// Rounds to flood before halting.
+        target: u64,
+    },
+    /// Deterministic greedy (Δ+1)-coloring: an undecided node whose uid
+    /// is locally maximal among undecided neighbors takes the smallest
+    /// color unused by its decided neighbors. At least the globally
+    /// maximal undecided node decides each round, so the run halts
+    /// within `n + 1` rounds. Safe under message drops and jitter (a
+    /// stale neighbor view only delays decisions, never miscolors).
+    Greedy,
+    /// Randomized (Δ+1)-coloring by repeated proposals: each undecided
+    /// node proposes a round-salted pseudo-random color, keeps it unless
+    /// a decided neighbor owns it or a proposing neighbor with a higher
+    /// uid wants it, and halts once decided. Valid under jitter; under
+    /// message *drops* a stale view can admit a conflicting decision, so
+    /// validity is only guaranteed with reliable delivery (see
+    /// `docs/DISTRIBUTED.md`).
+    Rand {
+        /// Seed salting every proposal.
+        seed: u64,
+    },
+}
+
+impl fmt::Display for WireAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireAlgo::Countdown => write!(f, "countdown"),
+            WireAlgo::FloodMax { target } => write!(f, "floodmax:{target}"),
+            WireAlgo::Greedy => write!(f, "greedy"),
+            WireAlgo::Rand { seed } => write!(f, "rand:{seed}"),
+        }
+    }
+}
+
+impl FromStr for WireAlgo {
+    type Err = String;
+
+    fn from_str(spec: &str) -> Result<Self, String> {
+        match spec.split_once(':') {
+            None => match spec {
+                "countdown" => Ok(WireAlgo::Countdown),
+                "greedy" => Ok(WireAlgo::Greedy),
+                other => Err(format!(
+                    "unknown wire algorithm `{other}` \
+                     (expected countdown, floodmax:T, greedy, or rand:SEED)"
+                )),
+            },
+            Some(("floodmax", t)) => t
+                .parse()
+                .map(|target| WireAlgo::FloodMax { target })
+                .map_err(|e| format!("bad floodmax target `{t}`: {e}")),
+            Some(("rand", s)) => s
+                .parse()
+                .map(|seed| WireAlgo::Rand { seed })
+                .map_err(|e| format!("bad rand seed `{s}`: {e}")),
+            Some((other, _)) => Err(format!("unknown wire algorithm `{other}`")),
+        }
+    }
+}
+
+impl WireAlgo {
+    /// Whether this algorithm's outputs form a (Δ+1)-coloring that
+    /// `verify` should check.
+    #[must_use]
+    pub fn is_coloring(&self) -> bool {
+        matches!(self, WireAlgo::Greedy | WireAlgo::Rand { .. })
+    }
+
+    /// The smallest color in `0..=deg` not used by any decided neighbor.
+    fn greedy_mex(nbrs: &[u64]) -> u64 {
+        let deg = nbrs.len();
+        let mut used = vec![false; deg + 1];
+        for &s in nbrs {
+            if s & GREEDY_DECIDED != 0 {
+                let c = (s & !GREEDY_DECIDED) as usize;
+                if c <= deg {
+                    used[c] = true;
+                }
+            }
+        }
+        used.iter().position(|&u| !u).expect("mex <= deg exists") as u64
+    }
+}
+
+impl LocalAlgorithm for WireAlgo {
+    type State = u64;
+    type Output = u64;
+
+    fn init(&self, ctx: &NodeCtx) -> u64 {
+        match self {
+            WireAlgo::Countdown => u64::from(ctx.node.0),
+            WireAlgo::FloodMax { .. } | WireAlgo::Greedy => ctx.uid,
+            WireAlgo::Rand { .. } => (RAND_UNDECIDED << RAND_TAG_SHIFT) | ctx.uid,
+        }
+    }
+
+    fn step(&self, ctx: &NodeCtx, state: &u64, nbrs: &[u64]) -> Transition<u64, u64> {
+        match self {
+            WireAlgo::Countdown => {
+                if *state == 0 {
+                    Transition::Halt(ctx.round)
+                } else {
+                    Transition::Continue(state - 1)
+                }
+            }
+            WireAlgo::FloodMax { target } => {
+                let m = nbrs.iter().copied().chain([*state]).max().unwrap();
+                if ctx.round >= *target {
+                    Transition::Halt(m)
+                } else {
+                    Transition::Continue(m)
+                }
+            }
+            WireAlgo::Greedy => {
+                if state & GREEDY_DECIDED != 0 {
+                    return Transition::Halt(state & !GREEDY_DECIDED);
+                }
+                let blocked = nbrs.iter().any(|&s| s & GREEDY_DECIDED == 0 && s > *state);
+                if blocked {
+                    Transition::Continue(*state)
+                } else {
+                    Transition::Continue(GREEDY_DECIDED | Self::greedy_mex(nbrs))
+                }
+            }
+            WireAlgo::Rand { seed } => {
+                let tag = state >> RAND_TAG_SHIFT;
+                let uid = state & 0xFFFF_FFFF;
+                match tag {
+                    RAND_DECIDED => Transition::Halt(state & 0xFFFF_FFFF),
+                    RAND_UNDECIDED => {
+                        // Propose a round-salted candidate in 0..=Δ.
+                        let palette = ctx.max_degree as u64 + 1;
+                        let c = mix(mix(seed ^ ctx.round).wrapping_add(uid)) % palette;
+                        Transition::Continue((RAND_PROPOSING << RAND_TAG_SHIFT) | (c << 32) | uid)
+                    }
+                    _ => {
+                        let c = (state >> 32) & 0x3FFF_FFFF;
+                        let conflict = nbrs.iter().any(|&s| {
+                            let ntag = s >> RAND_TAG_SHIFT;
+                            (ntag == RAND_DECIDED && s & 0xFFFF_FFFF == c)
+                                || (ntag == RAND_PROPOSING
+                                    && (s >> 32) & 0x3FFF_FFFF == c
+                                    && s & 0xFFFF_FFFF > uid)
+                        });
+                        if conflict {
+                            Transition::Continue((RAND_UNDECIDED << RAND_TAG_SHIFT) | uid)
+                        } else {
+                            Transition::Continue((RAND_DECIDED << RAND_TAG_SHIFT) | c)
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Checks that `outputs` is a proper coloring with at most `Δ+1` colors;
+/// returns the number of distinct colors used.
+pub fn verify_wire_coloring(g: &graphgen::Graph, outputs: &[u64]) -> Result<usize, String> {
+    if outputs.len() != g.n() {
+        return Err(format!("{} outputs for {} nodes", outputs.len(), g.n()));
+    }
+    let palette = g.max_degree() as u64 + 1;
+    for (v, &c) in outputs.iter().enumerate() {
+        if c >= palette {
+            return Err(format!("node {v} has color {c} outside 0..{palette}"));
+        }
+    }
+    for (u, v) in g.edges() {
+        if outputs[u.index()] == outputs[v.index()] {
+            return Err(format!(
+                "edge ({}, {}) is monochromatic (color {})",
+                u.0,
+                v.0,
+                outputs[u.index()]
+            ));
+        }
+    }
+    let mut seen = vec![false; palette as usize];
+    for &c in outputs {
+        seen[c as usize] = true;
+    }
+    Ok(seen.iter().filter(|&&s| s).count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use graphgen::Graph;
+
+    fn clique(n: u32) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n)
+            .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+            .collect();
+        Graph::from_edges(n as usize, edges).unwrap()
+    }
+
+    #[test]
+    fn specs_round_trip_through_display_and_parse() {
+        for algo in [
+            WireAlgo::Countdown,
+            WireAlgo::FloodMax { target: 3 },
+            WireAlgo::Greedy,
+            WireAlgo::Rand { seed: 99 },
+        ] {
+            assert_eq!(algo.to_string().parse::<WireAlgo>().unwrap(), algo);
+        }
+        assert!("mis".parse::<WireAlgo>().is_err());
+        assert!("rand:x".parse::<WireAlgo>().is_err());
+    }
+
+    #[test]
+    fn greedy_colors_cliques_paths_and_random_graphs() {
+        for g in [
+            clique(8),
+            graphgen::generators::path(17),
+            graphgen::generators::gnp(40, 0.2, 3),
+        ] {
+            let run = Executor::new(&g)
+                .run(&WireAlgo::Greedy, g.n() as u64 + 2)
+                .unwrap();
+            let colors = verify_wire_coloring(&g, &run.outputs).unwrap();
+            assert!(colors <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn rand_colors_within_delta_plus_one() {
+        for seed in [1, 7, 42] {
+            let g = graphgen::generators::gnp(48, 0.15, seed);
+            let run = Executor::new(&g)
+                .run(&WireAlgo::Rand { seed }, 10_000)
+                .unwrap();
+            verify_wire_coloring(&g, &run.outputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn verify_rejects_monochromatic_edges_and_palette_overflow() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        assert!(verify_wire_coloring(&g, &[0, 0]).is_err());
+        assert!(verify_wire_coloring(&g, &[0, 9]).is_err());
+        assert!(verify_wire_coloring(&g, &[0]).is_err());
+        assert_eq!(verify_wire_coloring(&g, &[1, 0]).unwrap(), 2);
+    }
+}

@@ -1,0 +1,995 @@
+//! The shard coordinator: partitions the graph, drives the round clock
+//! over TCP loopback, aggregates telemetry, and recovers killed shards
+//! from checkpoints.
+//!
+//! The coordinator is the sharded counterpart of [`crate::Executor`]:
+//! it emits the *same* event stream (crash/drop/stall faults, per-round
+//! registry snapshots under [`EXEC_SCOPE`]) and returns the same
+//! [`RunResult`]/[`SimError`] outcomes, so an `N`-shard run is
+//! interchangeable with — and testable against — a single-process run.
+//! Per-round wire activity lands in the metrics hub instead
+//! (`shard.bytes_sent`, `shard.bytes_recv`, `shard.frames`,
+//! `shard.round_ns`, `shard.barrier_wait_ns`), because wall-clock and
+//! byte counts are not part of the simulated semantics.
+
+use std::io;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use graphgen::{Graph, NodeId};
+use serde::Value;
+use telemetry::{Event, FaultKind, Probe, Registry};
+
+use super::algo::WireAlgo;
+use super::proto::{Frame, PROTO_VERSION};
+use super::wire::{read_frame, write_frame, FrameMeter};
+use crate::exec::{LocalAlgorithm, NodeCtx, RunResult, SimError, EXEC_SCOPE};
+use crate::faults::FaultPlan;
+use crate::par::segments_weighted;
+
+/// How long to wait for a (re)spawned worker to connect back.
+const ACCEPT_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// How a worker shard is hosted.
+#[derive(Debug, Clone)]
+pub enum WorkerBackend {
+    /// Worker loops run on threads of this process, still speaking the
+    /// full TCP protocol over loopback. The default; used by tests and
+    /// benchmarks.
+    Threads,
+    /// Each worker is a separate OS process: `program` is spawned with
+    /// `args` plus the coordinator's `host:port` appended as the final
+    /// argument (the CLI's `shard-serve --connect` contract).
+    Process {
+        /// Executable to spawn (typically `std::env::current_exe`).
+        program: PathBuf,
+        /// Arguments before the appended address.
+        args: Vec<String>,
+    },
+}
+
+/// A deterministic fault injection for the *runtime* layer (as opposed
+/// to [`FaultPlan`], which injects faults into the simulated network):
+/// kill one shard after the coordinator completes a given round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosKill {
+    /// Shard index to kill.
+    pub shard: usize,
+    /// Fire after this many rounds have completed (`0` kills before the
+    /// first round). With the process backend this is a SIGKILL.
+    pub after_round: u64,
+}
+
+/// Why a sharded run failed.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The simulation itself failed, exactly as the single-process
+    /// executor would report it.
+    Sim(SimError),
+    /// A transport failure that recovery could not absorb.
+    Io(String),
+    /// A protocol violation (bad handshake, unexpected frame, worker
+    /// error report) — not retried.
+    Protocol(String),
+    /// A shard kept dying past the respawn budget.
+    RespawnBudgetExhausted {
+        /// The repeatedly failing shard.
+        shard: usize,
+        /// The exhausted budget.
+        budget: usize,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Sim(e) => write!(f, "{e}"),
+            ShardError::Io(msg) => write!(f, "shard transport error: {msg}"),
+            ShardError::Protocol(msg) => write!(f, "shard protocol error: {msg}"),
+            ShardError::RespawnBudgetExhausted { shard, budget } => {
+                write!(f, "shard {shard} exhausted its respawn budget of {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<SimError> for ShardError {
+    fn from(e: SimError) -> Self {
+        ShardError::Sim(e)
+    }
+}
+
+/// A full-cluster snapshot: everything needed to rewind every shard and
+/// the coordinator's own aggregates to a round boundary. Assembled from
+/// per-shard [`Frame::Dump`]s (plus coordinator-local outputs); round 0
+/// is an implicit checkpoint computed without any wire traffic.
+#[derive(Clone)]
+struct Checkpoint {
+    round: u64,
+    states: Vec<u64>,
+    live_bitmap: Vec<u8>,
+    seen: Vec<u64>,
+    outputs: Vec<Option<u64>>,
+    crashed: usize,
+    live_count: usize,
+}
+
+impl Checkpoint {
+    /// Renders the checkpoint as a JSON value for on-disk phase
+    /// snapshots (outputs as parallel node/value arrays).
+    fn to_value(&self) -> Value {
+        let pairs: Vec<(u32, u64)> = self
+            .outputs
+            .iter()
+            .enumerate()
+            .filter_map(|(v, o)| o.map(|o| (v as u32, o)))
+            .collect();
+        Value::Map(vec![
+            ("schema_version".to_string(), Value::U64(1)),
+            ("round".to_string(), Value::U64(self.round)),
+            ("crashed".to_string(), Value::U64(self.crashed as u64)),
+            ("live".to_string(), Value::U64(self.live_count as u64)),
+            (
+                "states".to_string(),
+                Value::Seq(self.states.iter().map(|&s| Value::U64(s)).collect()),
+            ),
+            (
+                "live_bitmap".to_string(),
+                Value::Seq(
+                    self.live_bitmap
+                        .iter()
+                        .map(|&b| Value::U64(u64::from(b)))
+                        .collect(),
+                ),
+            ),
+            (
+                "seen".to_string(),
+                Value::Seq(self.seen.iter().map(|&s| Value::U64(s)).collect()),
+            ),
+            (
+                "output_nodes".to_string(),
+                Value::Seq(
+                    pairs
+                        .iter()
+                        .map(|&(v, _)| Value::U64(u64::from(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "output_values".to_string(),
+                Value::Seq(pairs.iter().map(|&(_, o)| Value::U64(o)).collect()),
+            ),
+        ])
+    }
+}
+
+/// One shard's hosting handle.
+enum WorkerHandle {
+    Thread,
+    Process(std::process::Child),
+}
+
+/// A round-trip failure: either one shard died (recoverable by respawn
+/// + restore) or the protocol itself broke (fatal).
+enum TripFail {
+    Shard(usize),
+    Fatal(ShardError),
+}
+
+/// Aggregated results of one round across all shards, merged in shard
+/// order so every derived figure matches the sequential schedule.
+#[derive(Default)]
+struct RoundAgg {
+    msgs: u64,
+    dropped: u64,
+    stalled: u64,
+    halts: Vec<(u32, u64)>,
+    boundary: Vec<(u32, u64)>,
+}
+
+/// Runs [`WireAlgo`]s over a graph partitioned across worker shards.
+pub struct ShardedExecutor<'g> {
+    graph: &'g Graph,
+    shards: usize,
+    probe: Probe,
+    faults: Option<FaultPlan>,
+    backend: WorkerBackend,
+    checkpoint_every: u64,
+    checkpoint_dir: Option<PathBuf>,
+    max_respawns: usize,
+    kills: Vec<ChaosKill>,
+}
+
+impl<'g> ShardedExecutor<'g> {
+    /// A coordinator over `graph` with thread-backed workers, no
+    /// telemetry, no faults, and no periodic checkpoints (the implicit
+    /// round-0 checkpoint still makes every shard kill recoverable).
+    pub fn new(graph: &'g Graph) -> Self {
+        ShardedExecutor {
+            graph,
+            shards: 1,
+            probe: Probe::disabled(),
+            faults: None,
+            backend: WorkerBackend::Threads,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            max_respawns: 4,
+            kills: Vec::new(),
+        }
+    }
+
+    /// Sets the worker count; ranges are degree-weighted contiguous
+    /// vertex slices, so shards beyond the vertex count stay empty and
+    /// are not spawned.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Attaches a telemetry probe; the run then emits the identical
+    /// per-round event stream a single-process [`crate::Executor`] run
+    /// would, plus `shard.*` wire metrics into the probe's hub.
+    #[must_use]
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Injects a seed-deterministic [`FaultPlan`], exactly like
+    /// [`crate::Executor::with_faults`]. An inactive plan is a no-op.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan.is_active().then_some(plan);
+        self
+    }
+
+    /// Selects how workers are hosted.
+    #[must_use]
+    pub fn with_backend(mut self, backend: WorkerBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Takes a full-cluster checkpoint every `k` rounds (`0` disables
+    /// periodic checkpoints; round 0 is always an implicit checkpoint).
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, k: u64) -> Self {
+        self.checkpoint_every = k;
+        self
+    }
+
+    /// Also writes each checkpoint to `dir` as an atomic JSON snapshot
+    /// (`shard-checkpoint-<round>.json`), the shard analogue of the
+    /// supervisor's phase snapshots.
+    #[must_use]
+    pub fn with_checkpoint_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.checkpoint_dir = dir;
+        self
+    }
+
+    /// Caps how many times any single shard may be respawned.
+    #[must_use]
+    pub fn with_max_respawns(mut self, budget: usize) -> Self {
+        self.max_respawns = budget;
+        self
+    }
+
+    /// Injects runtime-layer shard kills (each fires once).
+    #[must_use]
+    pub fn with_chaos_kills(mut self, kills: Vec<ChaosKill>) -> Self {
+        self.kills = kills;
+        self
+    }
+
+    /// Runs `algo` across the shards until every node halts.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Sim`] carries exactly the [`SimError`] a
+    /// single-process run would return (round budget, crashes); the
+    /// other variants report runtime failures the recovery path could
+    /// not absorb.
+    pub fn run(&self, algo: WireAlgo, max_rounds: u64) -> Result<RunResult<u64>, ShardError> {
+        let n = self.graph.n();
+        if n == 0 {
+            return Ok(RunResult {
+                outputs: Vec::new(),
+                rounds: 0,
+            });
+        }
+        let mut cluster = Cluster::start(self, algo)?;
+        let result = self.drive(&mut cluster, algo, max_rounds);
+        cluster.shutdown();
+        result
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn drive(
+        &self,
+        cluster: &mut Cluster,
+        algo: WireAlgo,
+        max_rounds: u64,
+    ) -> Result<RunResult<u64>, ShardError> {
+        let graph = self.graph;
+        let n = graph.n();
+        let offsets = graph.csr_offsets();
+        let max_degree = graph.max_degree();
+        let shard_count = cluster.ranges.len();
+
+        // Which foreign nodes each shard reads: need[s][v] = shard s has
+        // an owned node adjacent to v, and v is outside s's range.
+        let mut need: Vec<Vec<bool>> = vec![vec![false; n]; shard_count];
+        for (s, &(lo, hi)) in cluster.ranges.iter().enumerate() {
+            let (lo, hi) = (lo as usize, hi as usize);
+            for v in lo..hi {
+                for w in graph.neighbors(NodeId(v as u32)) {
+                    if w.index() < lo || w.index() >= hi {
+                        need[s][w.index()] = true;
+                    }
+                }
+            }
+        }
+
+        // Registry mirroring exec.rs registration order exactly — the
+        // emitted Round events must be indistinguishable.
+        let mut registry = Registry::new();
+        let c_live = registry.counter("live_nodes");
+        let c_halted = registry.counter("halted");
+        let c_msgs = registry.counter("messages_sent");
+        let g_halted_frac = registry.gauge("halted_fraction");
+        let inert = FaultPlan::default();
+        let plan = self.faults.as_ref().unwrap_or(&inert);
+        let drop_on = plan.message_drop_p > 0.0;
+        let jitter_on = plan.round_jitter > 0;
+        let crash_sched = plan.crash_schedule();
+        let c_dropped = drop_on.then(|| registry.counter("messages_dropped"));
+        let c_stalled = jitter_on.then(|| registry.counter("stalled_nodes"));
+        let hub = self.probe.metrics();
+        let h_round = hub.map(|h| h.histogram("shard.round_ns"));
+        let h_barrier = hub.map(|h| h.histogram("shard.barrier_wait_ns"));
+
+        // The implicit round-0 checkpoint: init states are computed
+        // locally (init is pure), so recovery is possible before the
+        // first periodic dump ever happens.
+        let init_states: Vec<u64> = graph
+            .vertices()
+            .map(|v| {
+                algo.init(&NodeCtx {
+                    node: v,
+                    uid: u64::from(v.0),
+                    neighbors: graph.neighbors(v),
+                    round: 0,
+                    n,
+                    max_degree,
+                })
+            })
+            .collect();
+        let seen0 = if drop_on {
+            let mut seen = Vec::with_capacity(offsets[n]);
+            for v in graph.vertices() {
+                seen.extend(graph.neighbors(v).iter().map(|w| init_states[w.index()]));
+            }
+            seen
+        } else {
+            Vec::new()
+        };
+        let mut ckpt = Checkpoint {
+            round: 0,
+            states: init_states,
+            live_bitmap: full_bitmap(n),
+            seen: seen0,
+            outputs: vec![None; n],
+            crashed: 0,
+            live_count: n,
+        };
+        self.persist_checkpoint(&ckpt)?;
+
+        let mut alive = vec![true; n];
+        let mut outputs: Vec<Option<u64>> = vec![None; n];
+        let mut live_count = n;
+        let mut crashed = 0usize;
+        let mut rounds = 0u64;
+        // Rounds already emitted to the probe. A restore rewinds
+        // `rounds` but never `emitted`: replayed rounds recompute state
+        // silently, so the stitched stream equals an uninterrupted one.
+        let mut emitted = 0u64;
+        let mut pending_ghosts: Vec<Vec<(u32, u64)>> = vec![Vec::new(); shard_count];
+        let mut kills = self.kills.clone();
+
+        while live_count > 0 {
+            if rounds >= max_rounds {
+                return Err(SimError::RoundLimitExceeded {
+                    limit: max_rounds,
+                    still_running: live_count,
+                }
+                .into());
+            }
+            while let Some(pos) = kills.iter().position(|k| k.after_round == rounds) {
+                let kill = kills.remove(pos);
+                cluster.kill_shard(kill.shard);
+            }
+            let r = rounds + 1;
+            let crashes_now: Vec<u32> = crash_sched
+                .get(&r)
+                .map(|nodes| {
+                    nodes
+                        .iter()
+                        .filter(|v| alive[v.index()])
+                        .map(|v| v.0)
+                        .collect()
+                })
+                .unwrap_or_default();
+            let round_start = Instant::now();
+            let agg =
+                match cluster.round_trip(r, &crashes_now, &pending_ghosts, h_barrier.as_deref()) {
+                    Ok(agg) => agg,
+                    Err(TripFail::Shard(s)) => {
+                        cluster.recover(s, &ckpt)?;
+                        rounds = ckpt.round;
+                        restore_volatile(
+                            &ckpt,
+                            &mut alive,
+                            &mut outputs,
+                            &mut live_count,
+                            &mut crashed,
+                        );
+                        pending_ghosts = vec![Vec::new(); shard_count];
+                        continue;
+                    }
+                    Err(TripFail::Fatal(e)) => return Err(e),
+                };
+
+            let emitting = r > emitted;
+            for &v in &crashes_now {
+                alive[v as usize] = false;
+                crashed += 1;
+                live_count -= 1;
+                if emitting {
+                    self.probe.emit_with(|| Event::Fault {
+                        scope: EXEC_SCOPE.to_string(),
+                        round: r - 1,
+                        kind: FaultKind::Crash,
+                        node: Some(u64::from(v)),
+                        count: 1,
+                    });
+                }
+            }
+            if emitting {
+                c_live.set(live_count as i64);
+            }
+            for &(v, o) in &agg.halts {
+                alive[v as usize] = false;
+                outputs[v as usize] = Some(o);
+                live_count -= 1;
+            }
+            // Route this round's boundary states to the shards that
+            // read them next round.
+            let mut next_ghosts: Vec<Vec<(u32, u64)>> = vec![Vec::new(); shard_count];
+            for &(v, s) in &agg.boundary {
+                for (t, need_t) in need.iter().enumerate() {
+                    if need_t[v as usize] {
+                        next_ghosts[t].push((v, s));
+                    }
+                }
+            }
+            pending_ghosts = next_ghosts;
+            if emitting {
+                c_msgs.add(agg.msgs as i64);
+                c_halted.add(agg.halts.len() as i64);
+                if agg.dropped > 0 {
+                    if let Some(c) = &c_dropped {
+                        c.add(agg.dropped as i64);
+                    }
+                    self.probe.emit_with(|| Event::Fault {
+                        scope: EXEC_SCOPE.to_string(),
+                        round: r - 1,
+                        kind: FaultKind::Drop,
+                        node: None,
+                        count: agg.dropped,
+                    });
+                }
+                if agg.stalled > 0 {
+                    if let Some(c) = &c_stalled {
+                        c.add(agg.stalled as i64);
+                    }
+                    self.probe.emit_with(|| Event::Fault {
+                        scope: EXEC_SCOPE.to_string(),
+                        round: r - 1,
+                        kind: FaultKind::Stall,
+                        node: None,
+                        count: agg.stalled,
+                    });
+                }
+                g_halted_frac.set((n - live_count) as f64 / n as f64);
+                registry.emit_round(&self.probe, EXEC_SCOPE, r - 1);
+                emitted = r;
+            }
+            rounds = r;
+            if let Some(h) = &h_round {
+                h.observe(u64::try_from(round_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
+
+            if self.checkpoint_every > 0
+                && r.is_multiple_of(self.checkpoint_every)
+                && live_count > 0
+            {
+                match cluster.checkpoint_trip(r) {
+                    Ok((states, live_bitmap, seen)) => {
+                        ckpt = Checkpoint {
+                            round: r,
+                            states,
+                            live_bitmap,
+                            seen,
+                            outputs: outputs.clone(),
+                            crashed,
+                            live_count,
+                        };
+                        self.persist_checkpoint(&ckpt)?;
+                    }
+                    Err(TripFail::Shard(s)) => {
+                        cluster.recover(s, &ckpt)?;
+                        rounds = ckpt.round;
+                        restore_volatile(
+                            &ckpt,
+                            &mut alive,
+                            &mut outputs,
+                            &mut live_count,
+                            &mut crashed,
+                        );
+                        pending_ghosts = vec![Vec::new(); shard_count];
+                    }
+                    Err(TripFail::Fatal(e)) => return Err(e),
+                }
+            }
+        }
+
+        if crashed > 0 {
+            return Err(SimError::Crashed { crashed, rounds }.into());
+        }
+        Ok(RunResult {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("all nodes halted"))
+                .collect(),
+            rounds,
+        })
+    }
+
+    /// Writes `ckpt` into the checkpoint dir (atomic tmp + rename), if
+    /// one is configured.
+    fn persist_checkpoint(&self, ckpt: &Checkpoint) -> Result<(), ShardError> {
+        let Some(dir) = &self.checkpoint_dir else {
+            return Ok(());
+        };
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ShardError::Io(format!("cannot create checkpoint dir: {e}")))?;
+        let name = format!("shard-checkpoint-{:04}.json", ckpt.round);
+        let tmp = dir.join(format!(".{name}.tmp"));
+        let path = dir.join(name);
+        let json = serde::json::to_string(&ckpt.to_value());
+        std::fs::write(&tmp, json + "\n")
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(|e| ShardError::Io(format!("cannot write checkpoint {}: {e}", path.display())))
+    }
+}
+
+fn full_bitmap(n: usize) -> Vec<u8> {
+    let mut bm = vec![0u8; n.div_ceil(8)];
+    for v in 0..n {
+        bm[v / 8] |= 1 << (v % 8);
+    }
+    bm
+}
+
+fn restore_volatile(
+    ckpt: &Checkpoint,
+    alive: &mut [bool],
+    outputs: &mut Vec<Option<u64>>,
+    live_count: &mut usize,
+    crashed: &mut usize,
+) {
+    for (v, a) in alive.iter_mut().enumerate() {
+        *a = ckpt.live_bitmap[v / 8] & (1 << (v % 8)) != 0;
+    }
+    *outputs = ckpt.outputs.clone();
+    *live_count = ckpt.live_count;
+    *crashed = ckpt.crashed;
+}
+
+/// The live worker fleet: listener, per-shard connections and hosting
+/// handles, plus everything needed to re-`Init` a respawned worker.
+struct Cluster {
+    listener: TcpListener,
+    addr: String,
+    conns: Vec<Option<TcpStream>>,
+    handles: Vec<WorkerHandle>,
+    respawns: Vec<usize>,
+    ranges: Vec<(u32, u32)>,
+    backend: WorkerBackend,
+    algo_spec: String,
+    faults_json: String,
+    graph_text: String,
+    max_respawns: usize,
+    meter: FrameMeter,
+}
+
+impl Cluster {
+    /// Binds the loopback listener, spawns one worker per non-empty
+    /// partition range, and completes the Hello/Init handshake with
+    /// each.
+    fn start(exec: &ShardedExecutor, algo: WireAlgo) -> Result<Cluster, ShardError> {
+        let graph = exec.graph;
+        let all: Vec<NodeId> = graph.vertices().collect();
+        let segs = segments_weighted(&all, exec.shards, graph.csr_offsets());
+        let ranges: Vec<(u32, u32)> = segs
+            .iter()
+            .filter(|seg| !seg.is_empty())
+            .map(|seg| (seg[0].0, seg[seg.len() - 1].0 + 1))
+            .collect();
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| ShardError::Io(format!("cannot bind loopback listener: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ShardError::Io(format!("cannot read listener address: {e}")))?
+            .to_string();
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ShardError::Io(format!("cannot configure listener: {e}")))?;
+        let meter = exec
+            .probe
+            .metrics()
+            .map_or_else(FrameMeter::disabled, |hub| FrameMeter::new(hub));
+        let mut cluster = Cluster {
+            listener,
+            addr,
+            conns: (0..ranges.len()).map(|_| None).collect(),
+            handles: (0..ranges.len()).map(|_| WorkerHandle::Thread).collect(),
+            respawns: vec![0; ranges.len()],
+            ranges,
+            backend: exec.backend.clone(),
+            algo_spec: algo.to_string(),
+            faults_json: exec
+                .faults
+                .as_ref()
+                .map(serde::json::to_string)
+                .unwrap_or_default(),
+            graph_text: graphgen::io::write_edge_list(graph),
+            max_respawns: exec.max_respawns,
+            meter,
+        };
+        for s in 0..cluster.ranges.len() {
+            cluster.handles[s] = cluster.spawn_worker()?;
+            cluster.attach(s)?;
+        }
+        Ok(cluster)
+    }
+
+    fn spawn_worker(&self) -> Result<WorkerHandle, ShardError> {
+        match &self.backend {
+            WorkerBackend::Threads => {
+                let addr = self.addr.clone();
+                // Worker threads exit when their connection drops; the
+                // handle is not joined (shutdown closes every socket).
+                std::thread::spawn(move || {
+                    let _ = super::worker::serve_connect(&addr);
+                });
+                Ok(WorkerHandle::Thread)
+            }
+            WorkerBackend::Process { program, args } => std::process::Command::new(program)
+                .args(args)
+                .arg(&self.addr)
+                .stdin(std::process::Stdio::null())
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .map(WorkerHandle::Process)
+                .map_err(|e| {
+                    ShardError::Io(format!("cannot spawn worker {}: {e}", program.display()))
+                }),
+        }
+    }
+
+    /// Accepts the next incoming worker connection (bounded wait) and
+    /// runs the Hello → Init → InitAck handshake for shard `s`.
+    fn attach(&mut self, s: usize) -> Result<(), ShardError> {
+        let deadline = Instant::now() + ACCEPT_TIMEOUT;
+        let mut stream = loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => break stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(ShardError::Io(format!(
+                            "worker for shard {s} did not connect within {ACCEPT_TIMEOUT:?}"
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(ShardError::Io(format!("accept failed: {e}"))),
+            }
+        };
+        stream
+            .set_nodelay(true)
+            .map_err(|e| ShardError::Io(format!("cannot configure worker socket: {e}")))?;
+        let hello = self
+            .recv_on(&mut stream)
+            .map_err(|e| ShardError::Io(format!("shard {s} handshake failed: {e}")))?;
+        match hello {
+            Frame::Hello { version } if version == PROTO_VERSION => {}
+            Frame::Hello { version } => {
+                return Err(ShardError::Protocol(format!(
+                    "shard {s} speaks protocol {version}, expected {PROTO_VERSION}"
+                )))
+            }
+            other => {
+                return Err(ShardError::Protocol(format!(
+                    "shard {s} opened with {other:?} instead of Hello"
+                )))
+            }
+        }
+        let (start, end) = self.ranges[s];
+        let init = Frame::Init {
+            shard: s as u32,
+            shards: self.ranges.len() as u32,
+            start,
+            end,
+            algo: self.algo_spec.clone(),
+            faults: self.faults_json.clone(),
+            graph: self.graph_text.clone(),
+        };
+        let meter = self.meter.clone();
+        write_frame(&mut stream, &init.encode(), &meter)
+            .map_err(|e| ShardError::Io(format!("shard {s} init send failed: {e}")))?;
+        match self.recv_on(&mut stream) {
+            Ok(Frame::InitAck { shard }) if shard as usize == s => {}
+            Ok(Frame::Error { message }) => {
+                return Err(ShardError::Protocol(format!(
+                    "shard {s} init failed: {message}"
+                )))
+            }
+            Ok(other) => {
+                return Err(ShardError::Protocol(format!(
+                    "shard {s} replied {other:?} instead of InitAck"
+                )))
+            }
+            Err(e) => return Err(ShardError::Io(format!("shard {s} init ack failed: {e}"))),
+        }
+        self.conns[s] = Some(stream);
+        Ok(())
+    }
+
+    fn recv_on(&self, stream: &mut TcpStream) -> io::Result<Frame> {
+        Frame::decode(&read_frame(stream, &self.meter)?)
+    }
+
+    fn send(&mut self, s: usize, frame: &Frame) -> io::Result<()> {
+        let meter = self.meter.clone();
+        let stream = self.conns[s]
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "shard disconnected"))?;
+        write_frame(stream, &frame.encode(), &meter)
+    }
+
+    fn recv(&mut self, s: usize) -> io::Result<Frame> {
+        let meter = self.meter.clone();
+        let stream = self.conns[s]
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "shard disconnected"))?;
+        Frame::decode(&read_frame(stream, &meter)?)
+    }
+
+    /// One synchronous round: kick every shard, then hold the barrier
+    /// until every `RoundDone` arrives, merging in shard order.
+    fn round_trip(
+        &mut self,
+        round: u64,
+        crashes: &[u32],
+        ghosts: &[Vec<(u32, u64)>],
+        h_barrier: Option<&telemetry::Histogram>,
+    ) -> Result<RoundAgg, TripFail> {
+        for (s, shard_ghosts) in ghosts.iter().enumerate().take(self.ranges.len()) {
+            let go = Frame::RoundGo {
+                round,
+                crashes: crashes.to_vec(),
+                ghosts: shard_ghosts.clone(),
+            };
+            if self.send(s, &go).is_err() {
+                return Err(TripFail::Shard(s));
+            }
+        }
+        let barrier_start = Instant::now();
+        let mut agg = RoundAgg::default();
+        for s in 0..self.ranges.len() {
+            match self.recv(s) {
+                Ok(Frame::RoundDone {
+                    round: echo,
+                    msgs,
+                    dropped,
+                    stalled,
+                    halts,
+                    boundary,
+                }) => {
+                    if echo != round {
+                        return Err(TripFail::Fatal(ShardError::Protocol(format!(
+                            "shard {s} answered round {echo} during round {round}"
+                        ))));
+                    }
+                    agg.msgs += msgs;
+                    agg.dropped += dropped;
+                    agg.stalled += stalled;
+                    agg.halts.extend(halts);
+                    agg.boundary.extend(boundary);
+                }
+                Ok(Frame::Error { message }) => {
+                    return Err(TripFail::Fatal(ShardError::Protocol(format!(
+                        "shard {s} reported: {message}"
+                    ))))
+                }
+                Ok(other) => {
+                    return Err(TripFail::Fatal(ShardError::Protocol(format!(
+                        "shard {s} sent {other:?} instead of RoundDone"
+                    ))))
+                }
+                Err(_) => return Err(TripFail::Shard(s)),
+            }
+        }
+        if let Some(h) = h_barrier {
+            h.observe(u64::try_from(barrier_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        Ok(agg)
+    }
+
+    /// Collects a full-cluster dump after round `round`, returning the
+    /// assembled `(states, live bitmap, drop cache)`.
+    #[allow(clippy::type_complexity)]
+    fn checkpoint_trip(&mut self, round: u64) -> Result<(Vec<u64>, Vec<u8>, Vec<u64>), TripFail> {
+        for s in 0..self.ranges.len() {
+            if self.send(s, &Frame::DumpReq).is_err() {
+                return Err(TripFail::Shard(s));
+            }
+        }
+        let n = self.ranges.last().map_or(0, |&(_, end)| end as usize);
+        let mut states = Vec::with_capacity(n);
+        let mut bitmap = vec![0u8; n.div_ceil(8)];
+        let mut seen = Vec::new();
+        for s in 0..self.ranges.len() {
+            match self.recv(s) {
+                Ok(Frame::Dump {
+                    round: echo,
+                    states: shard_states,
+                    live,
+                    seen: shard_seen,
+                }) => {
+                    if echo != round {
+                        return Err(TripFail::Fatal(ShardError::Protocol(format!(
+                            "shard {s} dumped round {echo} during checkpoint of round {round}"
+                        ))));
+                    }
+                    states.extend(shard_states);
+                    for v in live {
+                        bitmap[v as usize / 8] |= 1 << (v as usize % 8);
+                    }
+                    seen.extend(shard_seen);
+                }
+                Ok(other) => {
+                    return Err(TripFail::Fatal(ShardError::Protocol(format!(
+                        "shard {s} sent {other:?} instead of Dump"
+                    ))))
+                }
+                Err(_) => return Err(TripFail::Shard(s)),
+            }
+        }
+        Ok((states, bitmap, seen))
+    }
+
+    /// Kills one shard at the transport/process level (the chaos hook):
+    /// SIGKILL for process workers, a socket shutdown for thread
+    /// workers. The next round trip will detect the corpse and recover.
+    fn kill_shard(&mut self, s: usize) {
+        if s >= self.ranges.len() {
+            return;
+        }
+        if let WorkerHandle::Process(child) = &mut self.handles[s] {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        if let Some(conn) = &self.conns[s] {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        self.conns[s] = None;
+    }
+
+    /// Respawns shard `s` and rewinds the whole cluster to `ckpt`,
+    /// retrying (within the per-shard respawn budget) if more shards
+    /// fail during the restore itself.
+    fn recover(&mut self, failed: usize, ckpt: &Checkpoint) -> Result<(), ShardError> {
+        let mut pending = vec![failed];
+        loop {
+            for s in pending.drain(..) {
+                self.respawns[s] += 1;
+                if self.respawns[s] > self.max_respawns {
+                    return Err(ShardError::RespawnBudgetExhausted {
+                        shard: s,
+                        budget: self.max_respawns,
+                    });
+                }
+                self.kill_shard(s);
+                self.handles[s] = self.spawn_worker()?;
+                self.attach(s)?;
+            }
+            match self.restore_all(ckpt) {
+                Ok(()) => return Ok(()),
+                Err(TripFail::Shard(s)) => pending.push(s),
+                Err(TripFail::Fatal(e)) => return Err(e),
+            }
+        }
+    }
+
+    /// Broadcasts a `Restore` and waits for every `RestoreAck`,
+    /// discarding any stale pre-failure frames still in flight (TCP is
+    /// FIFO per connection, so everything before the ack is stale).
+    fn restore_all(&mut self, ckpt: &Checkpoint) -> Result<(), TripFail> {
+        let frame = Frame::Restore {
+            round: ckpt.round,
+            states: ckpt.states.clone(),
+            live: ckpt.live_bitmap.clone(),
+            seen: ckpt.seen.clone(),
+        };
+        for s in 0..self.ranges.len() {
+            if self.send(s, &frame).is_err() {
+                return Err(TripFail::Shard(s));
+            }
+        }
+        for s in 0..self.ranges.len() {
+            loop {
+                match self.recv(s) {
+                    Ok(Frame::RestoreAck { round }) if round == ckpt.round => break,
+                    Ok(Frame::RoundDone { .. } | Frame::Dump { .. } | Frame::RestoreAck { .. }) => {
+                        // Stale answer from before the failure; discard.
+                    }
+                    Ok(Frame::Error { message }) => {
+                        return Err(TripFail::Fatal(ShardError::Protocol(format!(
+                            "shard {s} failed to restore: {message}"
+                        ))))
+                    }
+                    Ok(other) => {
+                        return Err(TripFail::Fatal(ShardError::Protocol(format!(
+                            "shard {s} sent {other:?} during restore"
+                        ))))
+                    }
+                    Err(_) => return Err(TripFail::Shard(s)),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Best-effort clean teardown: a `Shutdown` frame per live shard,
+    /// then reap process workers (kill any that ignore the frame).
+    fn shutdown(&mut self) {
+        for s in 0..self.ranges.len() {
+            let _ = self.send(s, &Frame::Shutdown);
+        }
+        self.conns.iter_mut().for_each(|c| *c = None);
+        for handle in &mut self.handles {
+            if let WorkerHandle::Process(child) = handle {
+                let deadline = Instant::now() + Duration::from_secs(5);
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        _ => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

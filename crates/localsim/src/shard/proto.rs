@@ -1,0 +1,367 @@
+//! The coordinator–worker frame vocabulary.
+//!
+//! One round of the sharded runtime is one `RoundGo` → `RoundDone`
+//! exchange per shard — the distributed analogue of one
+//! [`crate::pool::WorkerPool`] epoch: `RoundGo` is the epoch kick,
+//! collecting every shard's `RoundDone` is the barrier. The full wire
+//! contract (field meanings, restart protocol, versioning) is documented
+//! in `docs/DISTRIBUTED.md`.
+
+use std::io;
+
+use super::wire::{Dec, Enc};
+
+/// Protocol version carried in [`Frame::Hello`]; the coordinator refuses
+/// workers speaking any other version.
+pub const PROTO_VERSION: u32 = 1;
+
+const TAG_HELLO: u8 = 1;
+const TAG_INIT: u8 = 2;
+const TAG_INIT_ACK: u8 = 3;
+const TAG_ROUND_GO: u8 = 4;
+const TAG_ROUND_DONE: u8 = 5;
+const TAG_DUMP_REQ: u8 = 6;
+const TAG_DUMP: u8 = 7;
+const TAG_RESTORE: u8 = 8;
+const TAG_RESTORE_ACK: u8 = 9;
+const TAG_SHUTDOWN: u8 = 10;
+const TAG_ERROR: u8 = 11;
+
+/// One protocol frame. All node ids are raw `u32` indices and all states
+/// and outputs are the `u64` values of [`super::WireAlgo`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Worker → coordinator, immediately after connecting.
+    Hello {
+        /// Must equal [`PROTO_VERSION`].
+        version: u32,
+    },
+    /// Coordinator → worker: everything a (re)joining worker needs. The
+    /// whole topology travels (workers keep interior edges local and the
+    /// graph is static); only the `start..end` vertex range is owned.
+    Init {
+        /// Shard index assigned by the coordinator.
+        shard: u32,
+        /// Total shard count.
+        shards: u32,
+        /// First owned vertex (inclusive).
+        start: u32,
+        /// One past the last owned vertex.
+        end: u32,
+        /// [`super::WireAlgo`] spec, e.g. `greedy` or `rand:7`.
+        algo: String,
+        /// [`crate::FaultPlan`] as serde JSON; empty string = no plan.
+        faults: String,
+        /// The graph in `graphgen::io` edge-list format.
+        graph: String,
+    },
+    /// Worker → coordinator: init complete, ready for round 1.
+    InitAck {
+        /// Echo of the assigned shard index.
+        shard: u32,
+    },
+    /// Coordinator → worker: run one synchronous round.
+    RoundGo {
+        /// 1-based round number (matches `NodeCtx::round`).
+        round: u64,
+        /// Nodes crashing at the start of this round (global list; each
+        /// worker freezes the ones it owns).
+        crashes: Vec<u32>,
+        /// Boundary states from other shards that changed last round:
+        /// `(node, state)` ghost updates for nodes this worker reads but
+        /// does not own.
+        ghosts: Vec<(u32, u64)>,
+    },
+    /// Worker → coordinator: the round's results for one shard.
+    RoundDone {
+        /// Echo of the round number.
+        round: u64,
+        /// Messages charged by this shard's live nodes (one per incident
+        /// edge per stepped node, matching the single-process executor).
+        msgs: u64,
+        /// Dropped neighbor-state reads.
+        dropped: u64,
+        /// Nodes stalled by jitter.
+        stalled: u64,
+        /// `(node, output)` for owned nodes that halted this round, in
+        /// ascending node order.
+        halts: Vec<(u32, u64)>,
+        /// `(node, new state)` for owned *boundary* nodes (nodes with a
+        /// neighbor in another shard) that continued with a new state.
+        /// Interior states never cross the wire.
+        boundary: Vec<(u32, u64)>,
+    },
+    /// Coordinator → worker: reply with a [`Frame::Dump`].
+    DumpReq,
+    /// Worker → coordinator: this shard's slice of a checkpoint.
+    Dump {
+        /// Last completed round.
+        round: u64,
+        /// States of the owned vertex range, in order.
+        states: Vec<u64>,
+        /// Owned nodes still live, ascending.
+        live: Vec<u32>,
+        /// Drop cache for the owned directed-port range (empty when the
+        /// plan injects no drops).
+        seen: Vec<u64>,
+    },
+    /// Coordinator → worker: rewind to a checkpoint. Broadcast to every
+    /// shard after a failure so the whole cluster replays in lockstep.
+    Restore {
+        /// The checkpoint's round.
+        round: u64,
+        /// All `n` node states at that round.
+        states: Vec<u64>,
+        /// Live bitmap over all nodes, bit `v` = node `v` live, packed
+        /// little-endian into bytes.
+        live: Vec<u8>,
+        /// Full drop cache (all directed ports; empty without drops).
+        seen: Vec<u64>,
+    },
+    /// Worker → coordinator: restore applied, ready to replay.
+    RestoreAck {
+        /// Echo of the checkpoint round.
+        round: u64,
+    },
+    /// Coordinator → worker: exit cleanly.
+    Shutdown,
+    /// Worker → coordinator: fatal worker-side error.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// Serializes the frame into a wire payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Frame::Hello { version } => {
+                let mut e = Enc::tagged(TAG_HELLO);
+                e.u32(*version);
+                e.0
+            }
+            Frame::Init {
+                shard,
+                shards,
+                start,
+                end,
+                algo,
+                faults,
+                graph,
+            } => {
+                let mut e = Enc::tagged(TAG_INIT);
+                e.u32(*shard);
+                e.u32(*shards);
+                e.u32(*start);
+                e.u32(*end);
+                e.str(algo);
+                e.str(faults);
+                e.str(graph);
+                e.0
+            }
+            Frame::InitAck { shard } => {
+                let mut e = Enc::tagged(TAG_INIT_ACK);
+                e.u32(*shard);
+                e.0
+            }
+            Frame::RoundGo {
+                round,
+                crashes,
+                ghosts,
+            } => {
+                let mut e = Enc::tagged(TAG_ROUND_GO);
+                e.u64(*round);
+                e.u32s(crashes);
+                e.pairs(ghosts);
+                e.0
+            }
+            Frame::RoundDone {
+                round,
+                msgs,
+                dropped,
+                stalled,
+                halts,
+                boundary,
+            } => {
+                let mut e = Enc::tagged(TAG_ROUND_DONE);
+                e.u64(*round);
+                e.u64(*msgs);
+                e.u64(*dropped);
+                e.u64(*stalled);
+                e.pairs(halts);
+                e.pairs(boundary);
+                e.0
+            }
+            Frame::DumpReq => Enc::tagged(TAG_DUMP_REQ).0,
+            Frame::Dump {
+                round,
+                states,
+                live,
+                seen,
+            } => {
+                let mut e = Enc::tagged(TAG_DUMP);
+                e.u64(*round);
+                e.u64s(states);
+                e.u32s(live);
+                e.u64s(seen);
+                e.0
+            }
+            Frame::Restore {
+                round,
+                states,
+                live,
+                seen,
+            } => {
+                let mut e = Enc::tagged(TAG_RESTORE);
+                e.u64(*round);
+                e.u64s(states);
+                e.bytes(live);
+                e.u64s(seen);
+                e.0
+            }
+            Frame::RestoreAck { round } => {
+                let mut e = Enc::tagged(TAG_RESTORE_ACK);
+                e.u64(*round);
+                e.0
+            }
+            Frame::Shutdown => Enc::tagged(TAG_SHUTDOWN).0,
+            Frame::Error { message } => {
+                let mut e = Enc::tagged(TAG_ERROR);
+                e.str(message);
+                e.0
+            }
+        }
+    }
+
+    /// Parses a wire payload back into a frame.
+    pub fn decode(payload: &[u8]) -> io::Result<Frame> {
+        let mut d = Dec::new(payload);
+        let frame = match d.u8()? {
+            TAG_HELLO => Frame::Hello { version: d.u32()? },
+            TAG_INIT => Frame::Init {
+                shard: d.u32()?,
+                shards: d.u32()?,
+                start: d.u32()?,
+                end: d.u32()?,
+                algo: d.str()?,
+                faults: d.str()?,
+                graph: d.str()?,
+            },
+            TAG_INIT_ACK => Frame::InitAck { shard: d.u32()? },
+            TAG_ROUND_GO => Frame::RoundGo {
+                round: d.u64()?,
+                crashes: d.u32s()?,
+                ghosts: d.pairs()?,
+            },
+            TAG_ROUND_DONE => Frame::RoundDone {
+                round: d.u64()?,
+                msgs: d.u64()?,
+                dropped: d.u64()?,
+                stalled: d.u64()?,
+                halts: d.pairs()?,
+                boundary: d.pairs()?,
+            },
+            TAG_DUMP_REQ => Frame::DumpReq,
+            TAG_DUMP => Frame::Dump {
+                round: d.u64()?,
+                states: d.u64s()?,
+                live: d.u32s()?,
+                seen: d.u64s()?,
+            },
+            TAG_RESTORE => Frame::Restore {
+                round: d.u64()?,
+                states: d.u64s()?,
+                live: d.bytes()?,
+                seen: d.u64s()?,
+            },
+            TAG_RESTORE_ACK => Frame::RestoreAck { round: d.u64()? },
+            TAG_SHUTDOWN => Frame::Shutdown,
+            TAG_ERROR => Frame::Error { message: d.str()? },
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown frame tag {other}"),
+                ))
+            }
+        };
+        d.finish()?;
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_frame_round_trips() {
+        let frames = [
+            Frame::Hello {
+                version: PROTO_VERSION,
+            },
+            Frame::Init {
+                shard: 2,
+                shards: 4,
+                start: 10,
+                end: 20,
+                algo: "rand:7".to_string(),
+                faults: "{\"seed\":7}".to_string(),
+                graph: "n 3\n0 1\n1 2\n".to_string(),
+            },
+            Frame::InitAck { shard: 2 },
+            Frame::RoundGo {
+                round: 5,
+                crashes: vec![3],
+                ghosts: vec![(9, 77), (21, 0)],
+            },
+            Frame::RoundDone {
+                round: 5,
+                msgs: 40,
+                dropped: 1,
+                stalled: 2,
+                halts: vec![(11, 3)],
+                boundary: vec![(10, 8), (19, 9)],
+            },
+            Frame::DumpReq,
+            Frame::Dump {
+                round: 6,
+                states: vec![1, 2, 3],
+                live: vec![10, 12],
+                seen: vec![],
+            },
+            Frame::Restore {
+                round: 4,
+                states: vec![0; 8],
+                live: vec![0b1010_1010],
+                seen: vec![5, 6],
+            },
+            Frame::RestoreAck { round: 4 },
+            Frame::Shutdown,
+            Frame::Error {
+                message: "boom".to_string(),
+            },
+        ];
+        for f in frames {
+            let decoded = Frame::decode(&f.encode()).unwrap();
+            assert_eq!(decoded, f);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_and_truncation_are_refused() {
+        assert!(Frame::decode(&[200]).is_err());
+        let bytes = Frame::RoundGo {
+            round: 1,
+            crashes: vec![1, 2],
+            ghosts: vec![],
+        }
+        .encode();
+        assert!(Frame::decode(&bytes[..bytes.len() - 1]).is_err());
+        // Trailing garbage after a well-formed frame is also an error.
+        let mut padded = Frame::Shutdown.encode();
+        padded.push(0);
+        assert!(Frame::decode(&padded).is_err());
+    }
+}

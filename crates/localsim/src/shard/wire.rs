@@ -1,0 +1,306 @@
+//! Length-prefixed frame transport shared by the shard coordinator and
+//! workers.
+//!
+//! A frame on the wire is `[u32 payload length, little-endian][payload]`;
+//! the first payload byte is the frame tag (see [`super::proto`]). The
+//! codec below is deliberately tiny — fixed-width little-endian integers
+//! and length-prefixed strings — so both sides of the connection agree on
+//! byte layout without pulling a serialization framework into the hot
+//! per-round path.
+
+use std::io::{self, Read, Write};
+
+use telemetry::{MetricCounter, MetricsHub};
+
+/// Refuse frames larger than this (64 MiB): a corrupted length prefix
+/// must not trigger an unbounded allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Counts frames and bytes crossing the coordinator's side of the wire
+/// into a [`MetricsHub`] (`shard.bytes_sent`, `shard.bytes_recv`,
+/// `shard.frames`); a disabled meter costs nothing.
+#[derive(Clone, Default)]
+pub struct FrameMeter {
+    sent: Option<MetricCounter>,
+    recv: Option<MetricCounter>,
+    frames: Option<MetricCounter>,
+}
+
+impl FrameMeter {
+    /// A meter that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A meter feeding the shard wire counters of `hub`.
+    #[must_use]
+    pub fn new(hub: &MetricsHub) -> Self {
+        FrameMeter {
+            sent: Some(hub.counter("shard.bytes_sent")),
+            recv: Some(hub.counter("shard.bytes_recv")),
+            frames: Some(hub.counter("shard.frames")),
+        }
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], meter: &FrameMeter) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    if let Some(c) = &meter.sent {
+        c.add(4 + payload.len() as u64);
+    }
+    if let Some(c) = &meter.frames {
+        c.incr();
+    }
+    Ok(())
+}
+
+/// Reads one frame payload; blocks until the full frame arrives.
+pub fn read_frame(r: &mut impl Read, meter: &FrameMeter) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    if let Some(c) = &meter.recv {
+        c.add(4 + len as u64);
+    }
+    if let Some(c) = &meter.frames {
+        c.incr();
+    }
+    Ok(payload)
+}
+
+/// Little-endian payload builder.
+#[derive(Default)]
+pub struct Enc(pub Vec<u8>);
+
+impl Enc {
+    /// An empty payload starting with `tag`.
+    #[must_use]
+    pub fn tagged(tag: u8) -> Self {
+        Enc(vec![tag])
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `u32` sequence.
+    pub fn u32s(&mut self, vs: &[u32]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.u32(v);
+        }
+    }
+
+    /// Appends a length-prefixed `u64` sequence.
+    pub fn u64s(&mut self, vs: &[u64]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+
+    /// Appends a length-prefixed byte sequence.
+    pub fn bytes(&mut self, vs: &[u8]) {
+        self.u32(vs.len() as u32);
+        self.0.extend_from_slice(vs);
+    }
+
+    /// Appends a length-prefixed `(u32, u64)` pair sequence.
+    pub fn pairs(&mut self, vs: &[(u32, u64)]) {
+        self.u32(vs.len() as u32);
+        for &(a, b) in vs {
+            self.u32(a);
+            self.u64(b);
+        }
+    }
+}
+
+fn truncated() -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, "truncated frame payload")
+}
+
+/// Cursor over a received payload; every read is bounds-checked so a
+/// malformed frame surfaces as an error, never a panic.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A cursor over `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(truncated)?;
+        if end > self.buf.len() {
+            return Err(truncated());
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads a byte.
+    pub fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 string field"))
+    }
+
+    /// Reads a length-prefixed `u32` sequence.
+    pub fn u32s(&mut self) -> io::Result<Vec<u32>> {
+        let len = self.u32()? as usize;
+        (0..len).map(|_| self.u32()).collect()
+    }
+
+    /// Reads a length-prefixed `u64` sequence.
+    pub fn u64s(&mut self) -> io::Result<Vec<u64>> {
+        let len = self.u32()? as usize;
+        (0..len).map(|_| self.u64()).collect()
+    }
+
+    /// Reads a length-prefixed byte sequence.
+    pub fn bytes(&mut self) -> io::Result<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a length-prefixed `(u32, u64)` pair sequence.
+    pub fn pairs(&mut self) -> io::Result<Vec<(u32, u64)>> {
+        let len = self.u32()? as usize;
+        (0..len).map(|_| Ok((self.u32()?, self.u64()?))).collect()
+    }
+
+    /// Fails unless the whole payload was consumed.
+    pub fn finish(self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes after frame payload",
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips_every_field_kind() {
+        let mut e = Enc::tagged(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 1);
+        e.str("boundary ports");
+        e.u32s(&[1, 2, 3]);
+        e.u64s(&[]);
+        e.bytes(&[0xFF, 0x00]);
+        e.pairs(&[(9, 1 << 40)]);
+        let mut d = Dec::new(&e.0);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.str().unwrap(), "boundary ports");
+        assert_eq!(d.u32s().unwrap(), [1, 2, 3]);
+        assert!(d.u64s().unwrap().is_empty());
+        assert_eq!(d.bytes().unwrap(), [0xFF, 0x00]);
+        assert_eq!(d.pairs().unwrap(), [(9, 1 << 40)]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_errors_not_panics() {
+        let mut e = Enc::tagged(1);
+        e.u64(5);
+        let mut d = Dec::new(&e.0[..4]);
+        d.u8().unwrap();
+        assert!(d.u64().is_err());
+        let mut d = Dec::new(&e.0);
+        d.u8().unwrap();
+        assert!(d.finish().is_err());
+        // A declared length past the buffer end must not allocate/panic.
+        let mut d = Dec::new(&[10, 0, 0, 0, 1]);
+        assert!(d.u32s().is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_byte_stream() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", &FrameMeter::disabled()).unwrap();
+        write_frame(&mut buf, b"", &FrameMeter::disabled()).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r, &FrameMeter::disabled()).unwrap(),
+            b"hello"
+        );
+        assert!(read_frame(&mut r, &FrameMeter::disabled())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut &buf[..], &FrameMeter::disabled()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn meter_counts_bytes_and_frames() {
+        let hub = MetricsHub::new();
+        let meter = FrameMeter::new(&hub);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abc", &meter).unwrap();
+        read_frame(&mut &buf[..], &meter).unwrap();
+        assert_eq!(hub.counter("shard.bytes_sent").get(), 7);
+        assert_eq!(hub.counter("shard.bytes_recv").get(), 7);
+        assert_eq!(hub.counter("shard.frames").get(), 2);
+    }
+}

@@ -1,0 +1,344 @@
+//! The shard worker: owns a contiguous vertex range and serves the
+//! coordinator's round protocol over one TCP connection.
+//!
+//! A worker is deliberately dumb: it holds no round counter of its own
+//! and never emits telemetry. The coordinator's frames carry the round
+//! clock ([`Frame::RoundGo`]) and the worker answers each with exactly
+//! one [`Frame::RoundDone`] — which makes the worker trivially
+//! restartable: a respawned worker is indistinguishable from a fresh one
+//! once [`Frame::Init`] + [`Frame::Restore`] have replayed its state.
+//!
+//! The stepping loop below mirrors `exec.rs`'s sequential fault arm
+//! node-for-node (stall check, per-port drop cache, gather, step,
+//! halt-freeze), restricted to the owned range; the equivalence suite in
+//! `tests/shard.rs` pins that the two stay bit-identical.
+
+use std::io;
+use std::net::TcpStream;
+
+use graphgen::{Graph, NodeId};
+
+use super::algo::WireAlgo;
+use super::proto::{Frame, PROTO_VERSION};
+use super::wire::{read_frame, write_frame, FrameMeter};
+use crate::exec::{LocalAlgorithm, NodeCtx, Transition};
+use crate::faults::FaultPlan;
+
+/// Connects to a coordinator at `addr` and serves rounds until a
+/// [`Frame::Shutdown`] arrives or the connection drops.
+///
+/// # Errors
+///
+/// Returns any transport or protocol error; a killed coordinator
+/// surfaces as an I/O error here, which callers (the `shard-serve` CLI,
+/// the thread backend) treat as a normal exit path.
+pub fn serve_connect(addr: &str) -> io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    serve(stream)
+}
+
+/// Serves the worker protocol over an established connection.
+///
+/// # Errors
+///
+/// Returns transport errors and protocol violations (bad frame order,
+/// undecodable payloads). State-construction failures (bad graph text,
+/// unknown algorithm spec) are also reported to the coordinator as a
+/// [`Frame::Error`] before returning.
+pub fn serve(mut stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let meter = FrameMeter::disabled();
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: PROTO_VERSION,
+        }
+        .encode(),
+        &meter,
+    )?;
+    let init = Frame::decode(&read_frame(&mut stream, &meter)?)?;
+    let Frame::Init {
+        shard,
+        start,
+        end,
+        algo,
+        faults,
+        graph,
+        ..
+    } = init
+    else {
+        return Err(protocol(format!("expected Init, got {init:?}")));
+    };
+    let mut state = match ShardState::build(start, end, &algo, &faults, &graph) {
+        Ok(s) => s,
+        Err(msg) => {
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Error {
+                    message: msg.clone(),
+                }
+                .encode(),
+                &meter,
+            );
+            return Err(protocol(msg));
+        }
+    };
+    write_frame(&mut stream, &Frame::InitAck { shard }.encode(), &meter)?;
+
+    loop {
+        let frame = Frame::decode(&read_frame(&mut stream, &meter)?)?;
+        let reply = match frame {
+            Frame::RoundGo {
+                round,
+                crashes,
+                ghosts,
+            } => state.run_round(round, &crashes, &ghosts),
+            Frame::DumpReq => state.dump(),
+            Frame::Restore {
+                round,
+                states,
+                live,
+                seen,
+            } => state.restore(round, states, &live, seen),
+            Frame::Shutdown => return Ok(()),
+            other => return Err(protocol(format!("unexpected frame {other:?}"))),
+        };
+        write_frame(&mut stream, &reply.encode(), &meter)?;
+    }
+}
+
+fn protocol(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// One shard's executor state: the full (static) topology, the full
+/// state vector (authoritative on `start..end`, ghost copies elsewhere),
+/// and the owned slices of the live worklist and drop cache.
+struct ShardState {
+    graph: Graph,
+    algo: WireAlgo,
+    plan: FaultPlan,
+    start: usize,
+    end: usize,
+    /// States of all `n` nodes as of the last completed round. Entries
+    /// outside `start..end` are ghosts, updated only by `RoundGo`.
+    cur: Vec<u64>,
+    /// Write buffer for the owned range (`end - start` entries).
+    nxt: Vec<u64>,
+    /// Owned nodes still live, ascending.
+    live: Vec<NodeId>,
+    /// Per-directed-port "last heard" drop cache, full length but only
+    /// the owned port range `offsets[start]..offsets[end]` is touched.
+    seen: Vec<u64>,
+    /// Owned nodes with at least one neighbor outside the owned range.
+    boundary: Vec<bool>,
+    /// Last completed round, echoed into `Dump`.
+    last_round: u64,
+    drop_on: bool,
+    jitter_on: bool,
+}
+
+impl ShardState {
+    fn build(
+        start: u32,
+        end: u32,
+        algo: &str,
+        faults: &str,
+        graph_text: &str,
+    ) -> Result<ShardState, String> {
+        let graph = graphgen::io::parse_edge_list(graph_text)
+            .map_err(|e| format!("shard init: bad graph: {e}"))?;
+        let algo: WireAlgo = algo
+            .parse()
+            .map_err(|e| format!("shard init: bad algorithm spec: {e}"))?;
+        let plan: FaultPlan = if faults.is_empty() {
+            FaultPlan::default()
+        } else {
+            serde::json::from_str(faults).map_err(|e| format!("shard init: bad fault plan: {e}"))?
+        };
+        let (start, end) = (start as usize, end as usize);
+        let n = graph.n();
+        if start > end || end > n {
+            return Err(format!("shard init: range {start}..{end} outside 0..{n}"));
+        }
+        // Init states are a pure function of the topology, so every
+        // worker computes the full vector locally — no round-0 exchange.
+        let cur: Vec<u64> = graph
+            .vertices()
+            .map(|v| algo.init(&ctx(&graph, v, 0)))
+            .collect();
+        let nxt = cur[start..end].to_vec();
+        let drop_on = plan.message_drop_p > 0.0;
+        let offsets = graph.csr_offsets();
+        // Seed the owned port range from the init states (the setup
+        // exchange is reliable), exactly like the single-process seeding.
+        let mut seen = Vec::new();
+        if drop_on {
+            seen = vec![0; offsets[n]];
+            for v in graph.vertices().skip(start).take(end - start) {
+                let base = offsets[v.index()];
+                for (p, w) in graph.neighbors(v).iter().enumerate() {
+                    seen[base + p] = cur[w.index()];
+                }
+            }
+        }
+        let boundary: Vec<bool> = (start..end)
+            .map(|v| {
+                graph
+                    .neighbors(NodeId(v as u32))
+                    .iter()
+                    .any(|w| w.index() < start || w.index() >= end)
+            })
+            .collect();
+        let jitter_on = plan.round_jitter > 0;
+        Ok(ShardState {
+            graph,
+            algo,
+            plan,
+            start,
+            end,
+            cur,
+            nxt,
+            live: (start..end).map(|v| NodeId(v as u32)).collect(),
+            seen,
+            boundary,
+            last_round: 0,
+            drop_on,
+            jitter_on,
+        })
+    }
+
+    fn run_round(&mut self, round: u64, crashes: &[u32], ghosts: &[(u32, u64)]) -> Frame {
+        for &(v, s) in ghosts {
+            self.cur[v as usize] = s;
+        }
+        // Crashes freeze at the start of the round, before any step.
+        for &v in crashes {
+            let v = NodeId(v);
+            if v.index() < self.start || v.index() >= self.end {
+                continue;
+            }
+            if let Ok(pos) = self.live.binary_search(&v) {
+                self.live.remove(pos);
+                self.nxt[v.index() - self.start] = self.cur[v.index()];
+            }
+        }
+        let offsets = self.graph.csr_offsets();
+        let n = self.graph.n();
+        let max_degree = self.graph.max_degree();
+        let mut msgs = 0u64;
+        let mut dropped = 0u64;
+        let mut stalled = 0u64;
+        let mut halts: Vec<(u32, u64)> = Vec::new();
+        let mut boundary_out: Vec<(u32, u64)> = Vec::new();
+        let mut nbr_buf: Vec<u64> = Vec::with_capacity(max_degree);
+        let mut kept = 0usize;
+        for i in 0..self.live.len() {
+            let v = self.live[i];
+            let vi = v.index();
+            if self.jitter_on && self.plan.stalls(v, round) {
+                // Stalled: skip the step, keep the state, stay live.
+                self.nxt[vi - self.start] = self.cur[vi];
+                stalled += 1;
+                self.live[kept] = v;
+                kept += 1;
+                continue;
+            }
+            nbr_buf.clear();
+            if self.drop_on {
+                let base = offsets[vi];
+                for (p, w) in self.graph.neighbors(v).iter().enumerate() {
+                    let slot = base + p;
+                    if self.plan.drops_message(round, slot) {
+                        dropped += 1;
+                    } else {
+                        self.seen[slot] = self.cur[w.index()];
+                    }
+                }
+                let deg = self.graph.neighbors(v).len();
+                nbr_buf.extend_from_slice(&self.seen[base..base + deg]);
+                msgs += deg as u64;
+            } else {
+                nbr_buf.extend(self.graph.neighbors(v).iter().map(|w| self.cur[w.index()]));
+                msgs += nbr_buf.len() as u64;
+            }
+            let ctx = NodeCtx {
+                node: v,
+                uid: u64::from(v.0),
+                neighbors: self.graph.neighbors(v),
+                round,
+                n,
+                max_degree,
+            };
+            match self.algo.step(&ctx, &self.cur[vi], &nbr_buf) {
+                Transition::Continue(s) => {
+                    self.nxt[vi - self.start] = s;
+                    if self.boundary[vi - self.start] {
+                        boundary_out.push((v.0, s));
+                    }
+                    self.live[kept] = v;
+                    kept += 1;
+                }
+                Transition::Halt(o) => {
+                    halts.push((v.0, o));
+                    // Freeze the pre-round state, like a halted node in
+                    // the single-process executor; neighbors already hold
+                    // this value, so no boundary update is needed.
+                    self.nxt[vi - self.start] = self.cur[vi];
+                }
+            }
+        }
+        self.live.truncate(kept);
+        self.cur[self.start..self.end].copy_from_slice(&self.nxt);
+        self.last_round = round;
+        Frame::RoundDone {
+            round,
+            msgs,
+            dropped,
+            stalled,
+            halts,
+            boundary: boundary_out,
+        }
+    }
+
+    fn dump(&self) -> Frame {
+        let offsets = self.graph.csr_offsets();
+        let seen = if self.drop_on {
+            self.seen[offsets[self.start]..offsets[self.end]].to_vec()
+        } else {
+            Vec::new()
+        };
+        Frame::Dump {
+            round: self.last_round,
+            states: self.cur[self.start..self.end].to_vec(),
+            live: self.live.iter().map(|v| v.0).collect(),
+            seen,
+        }
+    }
+
+    fn restore(&mut self, round: u64, states: Vec<u64>, live: &[u8], seen: Vec<u64>) -> Frame {
+        self.cur = states;
+        self.nxt.copy_from_slice(&self.cur[self.start..self.end]);
+        self.live = (self.start..self.end)
+            .filter(|&v| live.get(v / 8).is_some_and(|b| b & (1 << (v % 8)) != 0))
+            .map(|v| NodeId(v as u32))
+            .collect();
+        if self.drop_on {
+            self.seen = seen;
+        }
+        self.last_round = round;
+        Frame::RestoreAck { round }
+    }
+}
+
+/// Node context for init (round 0) with default uids.
+fn ctx<'a>(graph: &'a Graph, v: NodeId, round: u64) -> NodeCtx<'a> {
+    NodeCtx {
+        node: v,
+        uid: u64::from(v.0),
+        neighbors: graph.neighbors(v),
+        round,
+        n: graph.n(),
+        max_degree: graph.max_degree(),
+    }
+}

@@ -1,0 +1,227 @@
+//! Equivalence suite for the sharded backend (thread-hosted workers over
+//! loopback TCP): an `N`-shard run must be bit-identical to the
+//! single-process executor — same outputs, same round count, same
+//! normalized telemetry event stream — on every topology × algorithm ×
+//! clean/faulted combination, including after a shard is killed mid-run
+//! and resumed from a checkpoint. The multi-*process* variant of these
+//! checks (real SIGKILL) lives in the workspace-root `tests/shard.rs`.
+
+use std::sync::Arc;
+
+use graphgen::{generators, Graph};
+use localsim::{
+    ChaosKill, Event, Executor, FaultPlan, Probe, RecordingSink, ShardError, ShardedExecutor,
+    SimError, WireAlgo,
+};
+
+const MAX_ROUNDS: u64 = 10_000;
+
+fn clique(n: u32) -> Graph {
+    let edges: Vec<(u32, u32)> = (0..n)
+        .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+        .collect();
+    Graph::from_edges(n as usize, edges).unwrap()
+}
+
+fn topologies() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("path", generators::path(24)),
+        ("cycle", generators::cycle(24)),
+        ("clique", clique(10)),
+    ]
+}
+
+type Outcome = Result<(Vec<u64>, u64), SimError>;
+
+/// Runs `algo` on the single-process executor, returning the outcome and
+/// the normalized event stream.
+fn run_single(g: &Graph, algo: WireAlgo, plan: Option<&FaultPlan>) -> (Outcome, Vec<Event>) {
+    let sink = Arc::new(RecordingSink::new());
+    let mut ex = Executor::new(g).with_probe(Probe::new(sink.clone()));
+    if let Some(plan) = plan {
+        ex = ex.with_faults(plan.clone());
+    }
+    let res = ex.run(&algo, MAX_ROUNDS).map(|r| (r.outputs, r.rounds));
+    let events = sink.take().into_iter().map(|e| e.normalized()).collect();
+    (res, events)
+}
+
+/// Runs `algo` on the sharded backend (thread workers), returning the
+/// outcome and the normalized event stream. Non-simulation failures
+/// (transport, protocol, budget) panic: the suite treats them as bugs.
+fn run_sharded(
+    g: &Graph,
+    algo: WireAlgo,
+    plan: Option<&FaultPlan>,
+    shards: usize,
+    kills: Vec<ChaosKill>,
+    checkpoint_every: u64,
+) -> (Outcome, Vec<Event>) {
+    let sink = Arc::new(RecordingSink::new());
+    let mut ex = ShardedExecutor::new(g)
+        .with_shards(shards)
+        .with_probe(Probe::new(sink.clone()))
+        .with_checkpoint_every(checkpoint_every)
+        .with_chaos_kills(kills);
+    if let Some(plan) = plan {
+        ex = ex.with_faults(plan.clone());
+    }
+    let res = match ex.run(algo, MAX_ROUNDS) {
+        Ok(r) => Ok((r.outputs, r.rounds)),
+        Err(ShardError::Sim(e)) => Err(e),
+        Err(other) => panic!("sharded run failed outside the simulation: {other}"),
+    };
+    let events = sink.take().into_iter().map(|e| e.normalized()).collect();
+    (res, events)
+}
+
+fn faulted_plan() -> FaultPlan {
+    "seed=7,drop=0.05,jitter=2".parse().unwrap()
+}
+
+#[test]
+fn sharded_matches_single_process_on_every_topology_and_plan() {
+    for (name, g) in topologies() {
+        for algo in [WireAlgo::Greedy, WireAlgo::Rand { seed: 5 }] {
+            for (plan_name, plan) in [("clean", None), ("faulted", Some(faulted_plan()))] {
+                let (want, want_events) = run_single(&g, algo, plan.as_ref());
+                for shards in [2, 4] {
+                    let (got, got_events) = run_sharded(&g, algo, plan.as_ref(), shards, vec![], 0);
+                    assert_eq!(
+                        got, want,
+                        "{name}/{algo}/{plan_name}: {shards}-shard outcome diverged"
+                    );
+                    assert_eq!(
+                        got_events, want_events,
+                        "{name}/{algo}/{plan_name}: {shards}-shard event stream diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_faults_fail_identically_across_backends() {
+    let plan: FaultPlan = "seed=3,crash=2@2+5@3".parse().unwrap();
+    for (name, g) in topologies() {
+        let (want, want_events) = run_single(&g, WireAlgo::Countdown, Some(&plan));
+        assert!(
+            matches!(want, Err(SimError::Crashed { crashed: 2, .. })),
+            "{name}: expected a crash failure, got {want:?}"
+        );
+        for shards in [2, 4] {
+            let (got, got_events) =
+                run_sharded(&g, WireAlgo::Countdown, Some(&plan), shards, vec![], 0);
+            assert_eq!(got, want, "{name}: {shards}-shard crash outcome diverged");
+            assert_eq!(
+                got_events, want_events,
+                "{name}: {shards}-shard crash event stream diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn killed_shard_resumes_bit_identical_from_checkpoint() {
+    let g = generators::cycle(24);
+    for algo in [WireAlgo::Rand { seed: 9 }, WireAlgo::Greedy] {
+        for (plan_name, plan) in [("clean", None), ("faulted", Some(faulted_plan()))] {
+            let (want, want_events) = run_single(&g, algo, plan.as_ref());
+            // Kill at a checkpoint boundary (after round 2 with k=2) and
+            // mid-interval (after round 3): both must stitch to the same
+            // stream — the replayed rounds re-emit nothing.
+            for after_round in [2, 3] {
+                let kills = vec![ChaosKill {
+                    shard: 1,
+                    after_round,
+                }];
+                let (got, got_events) = run_sharded(&g, algo, plan.as_ref(), 3, kills, 2);
+                assert_eq!(
+                    got, want,
+                    "{algo}/{plan_name}: outcome diverged after kill at round {after_round}"
+                );
+                assert_eq!(
+                    got_events, want_events,
+                    "{algo}/{plan_name}: stream diverged after kill at round {after_round}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kill_before_first_round_recovers_from_the_implicit_checkpoint() {
+    let g = generators::path(16);
+    let (want, want_events) = run_single(&g, WireAlgo::Greedy, None);
+    let kills = vec![ChaosKill {
+        shard: 0,
+        after_round: 0,
+    }];
+    // checkpoint_every = 0: only the implicit round-0 checkpoint exists.
+    let (got, got_events) = run_sharded(&g, WireAlgo::Greedy, None, 4, kills, 0);
+    assert_eq!(got, want);
+    assert_eq!(got_events, want_events);
+}
+
+#[test]
+fn more_shards_than_nodes_collapses_to_nonempty_ranges() {
+    let g = generators::path(5);
+    let (want, _) = run_single(&g, WireAlgo::Greedy, None);
+    let (got, _) = run_sharded(&g, WireAlgo::Greedy, None, 64, vec![], 0);
+    assert_eq!(got, want);
+}
+
+#[test]
+fn round_limit_is_reported_like_the_single_process_executor() {
+    let g = generators::path(8);
+    let sink = Arc::new(RecordingSink::new());
+    let err = ShardedExecutor::new(&g)
+        .with_shards(2)
+        .with_probe(Probe::new(sink))
+        .run(WireAlgo::FloodMax { target: 50 }, 3)
+        .unwrap_err();
+    match err {
+        ShardError::Sim(SimError::RoundLimitExceeded {
+            limit,
+            still_running,
+        }) => {
+            assert_eq!(limit, 3);
+            assert_eq!(still_running, 8);
+        }
+        other => panic!("expected a round-limit failure, got {other}"),
+    }
+}
+
+#[test]
+fn checkpoint_files_are_written_at_phase_boundaries() {
+    let dir = std::env::temp_dir().join(format!("shard-ckpt-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let g = generators::cycle(12);
+    let run = ShardedExecutor::new(&g)
+        .with_shards(2)
+        .with_checkpoint_every(2)
+        .with_checkpoint_dir(Some(dir.clone()))
+        .run(WireAlgo::Greedy, MAX_ROUNDS)
+        .unwrap();
+    assert!(run.rounds >= 2, "greedy on a cycle needs multiple rounds");
+    let ckpt0 = dir.join("shard-checkpoint-0000.json");
+    let ckpt2 = dir.join("shard-checkpoint-0002.json");
+    for path in [&ckpt0, &ckpt2] {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("missing checkpoint {}: {e}", path.display()));
+        let value = serde::json::parse(&text).unwrap();
+        let states = value.field("states").unwrap();
+        let count = match states {
+            serde::Value::Seq(items) => items.len(),
+            other => panic!("states should be a sequence, got {other:?}"),
+        };
+        assert_eq!(
+            count,
+            12,
+            "checkpoint {} should carry all 12 states",
+            path.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -38,21 +38,30 @@
 //! `--chaos-panic I,J` / `--chaos-skip I,J` inject supervisor-level
 //! failures for testing. `replay <bundle>` re-executes a repro bundle and
 //! reports whether the recorded failure reproduced.
+//!
+//! Sharded mode (see `docs/DISTRIBUTED.md`): `shard-color <file>
+//! --shards N` partitions the graph across `N` worker *processes* (this
+//! binary re-invoked as `shard-serve`, connected over loopback TCP) and
+//! runs a wire algorithm (`--algo greedy|rand:S|countdown|floodmax:T`)
+//! actually distributed — bit-identical to `--shards 0`, the
+//! single-process reference, even after `--chaos-kill S@R` SIGKILLs a
+//! worker mid-run and it resumes from a checkpoint.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use delta_coloring::coloring::{
     color_sparse_dense_probed, drive_deterministic, drive_randomized, load_bundle, load_snapshot,
-    replay_bundle, validate_coloring, ChaosPlan, Config, DegradedComponent, FailureReport,
-    PhaseCursor, PipelineKind, RandConfig, RunOutcome, Supervisor,
+    replay_bundle, run_wire_coloring, validate_coloring, ChaosPlan, Config, DegradedComponent,
+    DistributedConfig, FailureReport, PhaseCursor, PipelineKind, RandConfig, RunOutcome,
+    Supervisor,
 };
 use delta_coloring::graphs::coloring::verify_delta_coloring;
 use delta_coloring::graphs::generators::{hard_cliques, HardCliqueParams};
 use delta_coloring::graphs::io;
 use delta_coloring::local::{
-    set_default_threads, Event, FanoutSink, FaultPlan, FlightRecorder, JsonlSink, MetricsHub,
-    Probe, RecordingSink, Sink,
+    set_default_threads, ChaosKill, Event, FanoutSink, FaultPlan, FlightRecorder, JsonlSink,
+    MetricsHub, Probe, RecordingSink, Sink, WireAlgo, WorkerBackend,
 };
 
 fn main() {
@@ -75,6 +84,27 @@ fn parse_index_list(key: &str, spec: &str) -> Result<Vec<usize>, String> {
             s.trim()
                 .parse()
                 .map_err(|e| format!("invalid {key} entry `{s}`: {e}"))
+        })
+        .collect()
+}
+
+/// Parses a `--chaos-kill` spec: `SHARD@ROUND` entries, comma-separated
+/// (`1@2,0@5` kills shard 1 after round 2 and shard 0 after round 5).
+fn parse_chaos_kills(spec: &str) -> Result<Vec<ChaosKill>, String> {
+    spec.split(',')
+        .map(|s| {
+            let entry = s.trim();
+            let (shard, round) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("invalid --chaos-kill entry `{entry}`: expected S@R"))?;
+            Ok(ChaosKill {
+                shard: shard
+                    .parse()
+                    .map_err(|e| format!("invalid --chaos-kill shard `{shard}`: {e}"))?,
+                after_round: round
+                    .parse()
+                    .map_err(|e| format!("invalid --chaos-kill round `{round}`: {e}"))?,
+            })
         })
         .collect()
 }
@@ -329,6 +359,122 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             print!("{}", io::write_coloring(&coloring));
             Ok(())
         }
+        Some("shard-serve") => {
+            // A worker shard: dial the coordinator and serve rounds until
+            // a Shutdown frame (or the coordinator's death) ends the run.
+            // Spawned by `shard-color`'s process backend; the coordinator
+            // appends the address as the final argument.
+            let addr = arg_value(&args, "--connect")
+                .ok_or("usage: delta-color shard-serve --connect HOST:PORT")?;
+            delta_coloring::local::shard::serve_connect(&addr)?;
+            Ok(())
+        }
+        Some("shard-color") => {
+            let path = args.get(1).filter(|p| !p.starts_with("--")).ok_or(
+                "usage: delta-color shard-color <file> [--shards N] \
+                 [--algo greedy|rand:S|countdown|floodmax:T] [--seed S] [--faults SPEC] \
+                 [--max-rounds M] [--checkpoint-every K] [--checkpoint-dir DIR] \
+                 [--chaos-kill S@R,...] [--max-respawns N] [--trace-out PATH] \
+                 [--metrics-out PATH]\n  (--shards 0 runs the single-process \
+                 reference executor)",
+            )?;
+            let g = io::read_edge_list(path)
+                .map_err(|e| format!("cannot read graph file `{path}`: {e}"))?;
+            eprintln!(
+                "read {} vertices / {} edges, Δ = {}",
+                g.n(),
+                g.m(),
+                g.max_degree()
+            );
+            let algo: WireAlgo = match (arg_value(&args, "--algo"), arg_value(&args, "--seed")) {
+                (Some(spec), _) => spec.parse()?,
+                (None, Some(s)) => WireAlgo::Rand {
+                    seed: s
+                        .parse()
+                        .map_err(|e| format!("invalid --seed `{s}`: {e}"))?,
+                },
+                (None, None) => WireAlgo::Greedy,
+            };
+            let mut cfg = DistributedConfig::for_algo(algo);
+            if let Some(n) = arg_value(&args, "--shards") {
+                cfg.shards = n
+                    .parse()
+                    .map_err(|e| format!("invalid --shards value `{n}`: {e}"))?;
+            }
+            cfg.faults = arg_value(&args, "--faults")
+                .map(|spec| {
+                    spec.parse::<FaultPlan>()
+                        .map_err(|e| format!("invalid --faults spec `{spec}`: {e}"))
+                })
+                .transpose()?;
+            if let Some(m) = arg_value(&args, "--max-rounds") {
+                cfg.max_rounds = m
+                    .parse()
+                    .map_err(|e| format!("invalid --max-rounds value `{m}`: {e}"))?;
+            }
+            if let Some(k) = arg_value(&args, "--checkpoint-every") {
+                cfg.checkpoint_every = k
+                    .parse()
+                    .map_err(|e| format!("invalid --checkpoint-every value `{k}`: {e}"))?;
+            }
+            if let Some(n) = arg_value(&args, "--max-respawns") {
+                cfg.max_respawns = n
+                    .parse()
+                    .map_err(|e| format!("invalid --max-respawns value `{n}`: {e}"))?;
+            }
+            if let Some(spec) = arg_value(&args, "--chaos-kill") {
+                cfg.chaos_kills = parse_chaos_kills(&spec)?;
+            }
+            // Workers are real OS processes: this same binary, re-invoked
+            // in shard-serve mode. A killed worker (--chaos-kill sends a
+            // real SIGKILL) is respawned and restored from the latest
+            // checkpoint, bit-identically.
+            cfg.backend = WorkerBackend::Process {
+                program: std::env::current_exe()
+                    .map_err(|e| format!("cannot locate own executable: {e}"))?,
+                args: vec!["shard-serve".to_string(), "--connect".to_string()],
+            };
+            let mut sup = Supervisor::passive();
+            if let Some(dir) = arg_value(&args, "--checkpoint-dir") {
+                sup.checkpoint_dir = Some(PathBuf::from(dir));
+            }
+            let metrics_out = arg_value(&args, "--metrics-out");
+            let hub = metrics_out.is_some().then(|| Arc::new(MetricsHub::new()));
+            let mut probe = match arg_value(&args, "--trace-out") {
+                Some(trace_path) => {
+                    let sink = JsonlSink::create(&trace_path)
+                        .map_err(|e| format!("cannot open trace file `{trace_path}`: {e}"))?;
+                    eprintln!("tracing to {trace_path}");
+                    Probe::from_sink(sink)
+                }
+                None => Probe::disabled(),
+            };
+            if let Some(hub) = &hub {
+                probe = probe.with_metrics(hub.clone());
+            }
+            let report = run_wire_coloring(&g, &cfg, &sup, probe)?;
+            if let (Some(hub), Some(path)) = (&hub, &metrics_out) {
+                let json = serde::json::to_string(&hub.snapshot_value());
+                std::fs::write(path, json + "\n")
+                    .map_err(|e| format!("cannot write metrics file `{path}`: {e}"))?;
+                eprintln!("metrics written to {path}");
+            }
+            match report.colors_used {
+                Some(colors) => eprintln!(
+                    "{} shard(s): {} rounds, {colors} colors (palette Δ+1 = {})",
+                    cfg.shards,
+                    report.rounds,
+                    g.max_degree() + 1
+                ),
+                None => eprintln!("{} shard(s): {} rounds", cfg.shards, report.rounds),
+            }
+            let mut out = String::new();
+            for (v, o) in report.outputs.iter().enumerate() {
+                out.push_str(&format!("{v} {o}\n"));
+            }
+            print!("{out}");
+            Ok(())
+        }
         Some("replay") => {
             let path = args
                 .get(1)
@@ -369,6 +515,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                  [--resume SNAPSHOT] [--stop-after PHASE] [--bundle-dir DIR] [--degrade] \
                  [--component-round-budget N] [--component-wall-budget-ms N] \
                  [--chaos-panic I,J] [--chaos-skip I,J]\n  \
+                 delta-color shard-color <file> [--shards N] [--algo SPEC] [--seed S] \
+                 [--faults SPEC] [--max-rounds M] [--checkpoint-every K] \
+                 [--checkpoint-dir DIR] [--chaos-kill S@R,...] [--max-respawns N] \
+                 [--trace-out PATH] [--metrics-out PATH]\n  \
+                 delta-color shard-serve --connect HOST:PORT\n  \
                  delta-color replay <bundle.json>"
             );
             Err("unknown command".into())

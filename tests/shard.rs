@@ -1,0 +1,169 @@
+//! Multi-process shard recovery suite, driven through the real CLI:
+//! `shard-color --shards 4` spawns four `shard-serve` worker *processes*
+//! over loopback TCP, `--chaos-kill S@R` SIGKILLs one of them (no
+//! graceful handoff), and the stitched run must be bit-identical —
+//! stdout coloring and JSONL trace — to the `--shards 0` single-process
+//! reference. Kills are injected at *every* checkpoint boundary of the
+//! run and at a mid-interval round, on clean and faulted plans: the
+//! process analogue of `crates/core/tests/supervisor.rs`'s
+//! kill-and-resume checks (and of `crates/localsim/tests/shard.rs`,
+//! which covers the same protocol with thread-hosted workers).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use delta_coloring::graphs::{generators, io};
+
+const BIN: &str = env!("CARGO_BIN_EXE_delta-color");
+const FAULT_SPEC: &str = "seed=7,drop=0.05,jitter=2";
+
+struct TestDir(PathBuf);
+
+impl TestDir {
+    fn new(tag: &str) -> TestDir {
+        let dir = std::env::temp_dir().join(format!("shard-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TestDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Runs `shard-color` and returns `(stdout, stderr)`; panics on failure.
+fn shard_color(graph: &Path, trace: &Path, extra: &[&str]) -> (String, String) {
+    let out = Command::new(BIN)
+        .arg("shard-color")
+        .arg(graph)
+        .arg("--trace-out")
+        .arg(trace)
+        .args(extra)
+        .output()
+        .expect("spawn delta-color");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        out.status.success(),
+        "shard-color {extra:?} failed:\n{stderr}"
+    );
+    (String::from_utf8_lossy(&out.stdout).into_owned(), stderr)
+}
+
+/// Extracts the round count from the `N shard(s): R rounds...` line.
+fn rounds_from_stderr(stderr: &str) -> u64 {
+    stderr
+        .lines()
+        .find_map(|line| {
+            let (head, _) = line.split_once(" rounds")?;
+            let (_, r) = head.rsplit_once(' ')?;
+            r.parse().ok()
+        })
+        .unwrap_or_else(|| panic!("no round count in stderr:\n{stderr}"))
+}
+
+/// The full matrix for one graph × algorithm × plan: reference run,
+/// no-kill 4-shard run, then a SIGKILL at every checkpoint boundary and
+/// one mid-interval round — all bit-identical in stdout and trace.
+fn assert_kill_matrix(tag: &str, algo: &str, faults: Option<&str>) {
+    let dir = TestDir::new(tag);
+    let graph_path = dir.path("graph.txt");
+    std::fs::write(&graph_path, io::write_edge_list(&generators::cycle(16))).unwrap();
+    let mut base: Vec<&str> = vec!["--algo", algo, "--checkpoint-every", "2"];
+    if let Some(spec) = faults {
+        base.extend(["--faults", spec]);
+    }
+
+    let ref_trace = dir.path("ref.jsonl");
+    let mut args = base.clone();
+    args.extend(["--shards", "0"]);
+    let (want_stdout, ref_stderr) = shard_color(&graph_path, &ref_trace, &args);
+    let want_trace = std::fs::read_to_string(&ref_trace).unwrap();
+    let rounds = rounds_from_stderr(&ref_stderr);
+    assert!(rounds >= 4, "{tag}: run too short to exercise checkpoints");
+
+    let no_kill_trace = dir.path("shards4.jsonl");
+    let mut args = base.clone();
+    args.extend(["--shards", "4"]);
+    let (got_stdout, _) = shard_color(&graph_path, &no_kill_trace, &args);
+    assert_eq!(got_stdout, want_stdout, "{tag}: 4-shard stdout diverged");
+    assert_eq!(
+        std::fs::read_to_string(&no_kill_trace).unwrap(),
+        want_trace,
+        "{tag}: 4-shard trace diverged"
+    );
+
+    // Every checkpoint boundary (0, 2, 4, …) plus mid-interval round 3.
+    let mut kill_rounds: Vec<u64> = (0..rounds).step_by(2).collect();
+    kill_rounds.push(3);
+    for (i, after_round) in kill_rounds.into_iter().enumerate() {
+        let shard = i % 4;
+        let kill = format!("{shard}@{after_round}");
+        let trace = dir.path(&format!("kill-{after_round}-{shard}.jsonl"));
+        let mut args = base.clone();
+        args.extend(["--shards", "4", "--chaos-kill", &kill]);
+        let (got_stdout, _) = shard_color(&graph_path, &trace, &args);
+        assert_eq!(
+            got_stdout, want_stdout,
+            "{tag}: stdout diverged after SIGKILL of shard {shard} at round {after_round}"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&trace).unwrap(),
+            want_trace,
+            "{tag}: trace diverged after SIGKILL of shard {shard} at round {after_round}"
+        );
+    }
+}
+
+#[test]
+fn sigkill_at_every_checkpoint_boundary_is_invisible_clean() {
+    assert_kill_matrix("clean", "rand:9", None);
+}
+
+#[test]
+fn sigkill_at_every_checkpoint_boundary_is_invisible_faulted() {
+    assert_kill_matrix("faulted", "rand:9", Some(FAULT_SPEC));
+}
+
+#[test]
+fn sigkill_during_greedy_run_is_invisible() {
+    assert_kill_matrix("greedy", "greedy", None);
+}
+
+#[test]
+fn checkpoint_dir_receives_shard_checkpoints_through_the_cli() {
+    let dir = TestDir::new("ckptdir");
+    let graph_path = dir.path("graph.txt");
+    std::fs::write(&graph_path, io::write_edge_list(&generators::path(12))).unwrap();
+    let ckpt_dir = dir.path("ckpts");
+    let trace = dir.path("trace.jsonl");
+    let ckpt_arg = ckpt_dir.to_str().unwrap().to_string();
+    shard_color(
+        &graph_path,
+        &trace,
+        &[
+            "--shards",
+            "2",
+            "--algo",
+            "greedy",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-dir",
+            &ckpt_arg,
+        ],
+    );
+    assert!(
+        ckpt_dir.join("shard-checkpoint-0000.json").exists(),
+        "implicit round-0 checkpoint missing"
+    );
+    assert!(
+        ckpt_dir.join("shard-checkpoint-0002.json").exists(),
+        "round-2 checkpoint missing"
+    );
+}
