@@ -11,15 +11,25 @@
 //! Outputs are asserted bit-identical across every variant before
 //! anything is timed.
 //!
+//! Alongside wall-clock, the report carries a deterministic
+//! **wire-traffic series** (`wire_cases`): exact byte counts of the v2
+//! wire protocol on a clique — `Init` bytes, steady-state bytes per
+//! round, and the delta ghost exchange's sent/suppressed update counts.
+//! These are byte-exact across runs, so CI gates them with
+//! `benchdiff --metric bytes --threshold 0`: any accidental protocol
+//! growth fails the gate.
+//!
 //! ```text
 //! cargo bench -p delta-bench --bench shard                    # full, table
 //! cargo bench -p delta-bench --bench shard -- --json BENCH_shard.json
 //! cargo bench -p delta-bench --bench shard -- --smoke --json out.json  # CI
 //! ```
 
+use std::sync::Arc;
+
 use criterion::{measure, Measurement};
 use graphgen::generators;
-use localsim::{Executor, ShardedExecutor, WireAlgo};
+use localsim::{Executor, MetricsHub, Probe, ShardedExecutor, WireAlgo};
 use serde::{json, Value};
 
 const MAX_ROUNDS: u64 = 100_000;
@@ -28,6 +38,45 @@ struct Case {
     variant: &'static str,
     shards: u64,
     m: Measurement,
+}
+
+struct WireCase {
+    algo: String,
+    shards: u64,
+    rounds: u64,
+    init_bytes: u64,
+    round_bytes: u64,
+    total_sent_bytes: u64,
+    total_recv_bytes: u64,
+    ghost_updates: u64,
+    ghost_suppressed: u64,
+}
+
+/// One deterministic sharded run with a metrics hub attached; byte
+/// counts come straight off the `shard.*` counters. Steady-state bytes
+/// per round excludes the one-time `Init` payload (integer division —
+/// exact, reproducible, gateable at threshold 0).
+fn measure_wire(g: &graphgen::Graph, algo: WireAlgo, shards: usize) -> WireCase {
+    let hub = Arc::new(MetricsHub::new());
+    let run = ShardedExecutor::new(g)
+        .with_shards(shards)
+        .with_probe(Probe::disabled().with_metrics(hub.clone()))
+        .run(algo, MAX_ROUNDS)
+        .expect("wire measurement run");
+    let sent = hub.counter("shard.bytes_sent").get();
+    let recv = hub.counter("shard.bytes_recv").get();
+    let init = hub.counter("shard.init_bytes").get();
+    WireCase {
+        algo: algo.to_string(),
+        shards: shards as u64,
+        rounds: run.rounds,
+        init_bytes: init,
+        round_bytes: (sent + recv - init) / run.rounds.max(1),
+        total_sent_bytes: sent,
+        total_recv_bytes: recv,
+        ghost_updates: hub.counter("shard.ghost_updates_sent").get(),
+        ghost_suppressed: hub.counter("shard.ghost_suppressed").get(),
+    }
 }
 
 fn main() {
@@ -114,6 +163,30 @@ fn main() {
         );
     }
 
+    // Deterministic wire-traffic series: a clique is the worst case for
+    // the delta ghost exchange (every vertex is a boundary vertex), so
+    // byte counts here bound the protocol's per-round footprint.
+    let wn = if smoke { 400 } else { 2000 };
+    let wg = generators::complete(wn);
+    let mut wire_cases: Vec<WireCase> = Vec::new();
+    for algo in [WireAlgo::Rand { seed: 7 }, WireAlgo::Greedy] {
+        for shards in [2usize, 4] {
+            let w = measure_wire(&wg, algo, shards);
+            println!(
+                "wire/clique/n={wn}/{}/shards={}: init {} B, {} B/round over {} rounds \
+                 ({} ghost update(s), {} suppressed)",
+                w.algo,
+                w.shards,
+                w.init_bytes,
+                w.round_bytes,
+                w.rounds,
+                w.ghost_updates,
+                w.ghost_suppressed
+            );
+            wire_cases.push(w);
+        }
+    }
+
     if let Some(path) = json_path {
         let report = Value::Map(vec![
             (
@@ -150,6 +223,38 @@ fn main() {
                                 ("shards".to_string(), Value::U64(c.shards)),
                                 ("mean_ns".to_string(), Value::F64(c.m.mean_ns)),
                                 ("min_ns".to_string(), Value::F64(c.m.min_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "wire_cases".to_string(),
+                Value::Seq(
+                    wire_cases
+                        .iter()
+                        .map(|w| {
+                            Value::Map(vec![
+                                ("topology".to_string(), Value::Str("clique".to_string())),
+                                ("n".to_string(), Value::U64(wn as u64)),
+                                ("algo".to_string(), Value::Str(w.algo.clone())),
+                                ("shards".to_string(), Value::U64(w.shards)),
+                                ("rounds".to_string(), Value::U64(w.rounds)),
+                                ("init_bytes".to_string(), Value::U64(w.init_bytes)),
+                                ("round_bytes".to_string(), Value::U64(w.round_bytes)),
+                                (
+                                    "total_sent_bytes".to_string(),
+                                    Value::U64(w.total_sent_bytes),
+                                ),
+                                (
+                                    "total_recv_bytes".to_string(),
+                                    Value::U64(w.total_recv_bytes),
+                                ),
+                                ("ghost_updates".to_string(), Value::U64(w.ghost_updates)),
+                                (
+                                    "ghost_suppressed".to_string(),
+                                    Value::U64(w.ghost_suppressed),
+                                ),
                             ])
                         })
                         .collect(),

@@ -63,7 +63,32 @@ const USAGE: &str = "usage: benchdiff [--threshold PCT] [--metric mean_ns|min_ns
                      <report.json>";
 
 /// Fields that hold measurements rather than case identity.
-const MEASUREMENT_FIELDS: [&str; 2] = ["mean_ns", "min_ns"];
+const MEASUREMENT_FIELDS: [&str; 9] = [
+    "mean_ns",
+    "min_ns",
+    "init_bytes",
+    "round_bytes",
+    "total_sent_bytes",
+    "total_recv_bytes",
+    "ghost_updates",
+    "ghost_suppressed",
+    "rounds",
+];
+
+/// What `--metric bytes` expands to: every deterministic wire-traffic
+/// field the shard bench records, plus the round count (byte figures
+/// are only comparable at equal rounds). Each expands to its own case
+/// key (`...#field`), so one invocation gates the whole series — at
+/// `--threshold 0` any byte-level protocol drift fails the gate.
+const BYTES_FIELDS: [&str; 7] = [
+    "init_bytes",
+    "round_bytes",
+    "total_sent_bytes",
+    "total_recv_bytes",
+    "ghost_updates",
+    "ghost_suppressed",
+    "rounds",
+];
 
 fn main() {
     std::process::exit(run(&std::env::args().skip(1).collect::<Vec<_>>()));
@@ -86,13 +111,17 @@ fn run(args: &[String]) -> i32 {
                     return 2;
                 }
             },
-            "--metric" => match it.next() {
-                Some(m) if MEASUREMENT_FIELDS.contains(&m.as_str()) => metric = m.clone(),
-                _ => {
-                    eprintln!("invalid --metric value (mean_ns or min_ns)\n{USAGE}");
-                    return 2;
+            "--metric" => {
+                match it.next() {
+                    Some(m) if m == "bytes" || MEASUREMENT_FIELDS.contains(&m.as_str()) => {
+                        metric = m.clone();
+                    }
+                    _ => {
+                        eprintln!("invalid --metric value (mean_ns, min_ns, a byte field, or bytes)\n{USAGE}");
+                        return 2;
+                    }
                 }
-            },
+            }
             "--filter" => match it.next().map(|v| parse_filter(v)) {
                 Some(Ok(terms)) => filter.extend(terms),
                 _ => {
@@ -240,12 +269,16 @@ fn parse_filter(raw: &str) -> Result<Vec<String>, ()> {
 
 /// A case key (`cases/topology=clique,n=2000,executor=state,variant=seq`)
 /// matches when every filter term appears among its `K=V` components.
-/// Metrics-snapshot keys have no components, so any filter excludes them.
+/// A `#field` suffix (from `--metric bytes` expansion) is not part of
+/// the identity. Metrics-snapshot keys have no components, so any
+/// filter excludes them.
 fn matches_filter(key: &str, terms: &[String]) -> bool {
     if terms.is_empty() {
         return true;
     }
-    let components: Vec<&str> = key.rsplit('/').next().unwrap_or(key).split(',').collect();
+    let tail = key.rsplit('/').next().unwrap_or(key);
+    let tail = tail.split_once('#').map_or(tail, |(t, _)| t);
+    let components: Vec<&str> = tail.split(',').collect();
     terms.iter().all(|t| components.contains(&t.as_str()))
 }
 
@@ -379,13 +412,25 @@ fn scalar(v: &Value) -> Option<f64> {
 
 /// Flattens a report into `case key -> value`. Metrics snapshots (maps
 /// with `counters` and `histograms`) use the deterministic metric names;
-/// anything else is scanned for bench cases carrying `metric`.
+/// anything else is scanned for bench cases carrying `metric` — or, for
+/// `--metric bytes`, any of [`BYTES_FIELDS`], each under its own
+/// `#field`-suffixed key.
 fn extract(report: &Value, metric: &str) -> BTreeMap<String, f64> {
     let mut out = BTreeMap::new();
     if report.field("counters").is_ok() && report.field("histograms").is_ok() {
         collect_metrics(report, &mut out);
     } else {
-        collect_cases("", report, metric, &mut out);
+        let fields: &[&str] = if metric == "bytes" {
+            &BYTES_FIELDS
+        } else {
+            std::slice::from_ref(
+                MEASUREMENT_FIELDS
+                    .iter()
+                    .find(|f| **f == metric)
+                    .expect("metric validated at parse time"),
+            )
+        };
+        collect_cases("", report, fields, &mut out);
     }
     out
 }
@@ -413,9 +458,11 @@ fn collect_metrics(report: &Value, out: &mut BTreeMap<String, f64>) {
 }
 
 /// Walks a bench report: a map object inside any sequence that carries
-/// the measurement field is a case, keyed by its path and identifying
-/// scalar fields in report order.
-fn collect_cases(prefix: &str, v: &Value, metric: &str, out: &mut BTreeMap<String, f64>) {
+/// at least one of the measurement fields is a case, keyed by its path
+/// and identifying scalar fields in report order. With a single field
+/// the key is the bare identity; with several (`--metric bytes`) each
+/// present field gets its own `#field`-suffixed key.
+fn collect_cases(prefix: &str, v: &Value, metrics: &[&str], out: &mut BTreeMap<String, f64>) {
     match v {
         Value::Map(entries) => {
             for (k, child) in entries {
@@ -424,18 +471,25 @@ fn collect_cases(prefix: &str, v: &Value, metric: &str, out: &mut BTreeMap<Strin
                 } else {
                     format!("{prefix}.{k}")
                 };
-                collect_cases(&path, child, metric, out);
+                collect_cases(&path, child, metrics, out);
             }
         }
         Value::Seq(items) => {
             for item in items {
                 let Value::Map(fields) = item else { continue };
-                let Some((_, measured)) = fields.iter().find(|(k, _)| k == metric) else {
+                let present: Vec<(&str, f64)> = metrics
+                    .iter()
+                    .filter_map(|m| {
+                        fields
+                            .iter()
+                            .find(|(k, _)| k == m)
+                            .and_then(|(_, v)| scalar(v))
+                            .map(|x| (*m, x))
+                    })
+                    .collect();
+                if present.is_empty() {
                     continue;
-                };
-                let Some(value) = scalar(measured) else {
-                    continue;
-                };
+                }
                 let identity: Vec<String> = fields
                     .iter()
                     .filter(|(k, _)| !MEASUREMENT_FIELDS.contains(&k.as_str()))
@@ -445,7 +499,14 @@ fn collect_cases(prefix: &str, v: &Value, metric: &str, out: &mut BTreeMap<Strin
                         other => scalar(other).map(|x| format!("{k}={x}")),
                     })
                     .collect();
-                out.insert(format!("{prefix}/{}", identity.join(",")), value);
+                let key = format!("{prefix}/{}", identity.join(","));
+                if let [(_, value)] = present.as_slice() {
+                    out.insert(key, *value);
+                } else {
+                    for (m, value) in present {
+                        out.insert(format!("{key}#{m}"), value);
+                    }
+                }
             }
         }
         _ => {}
@@ -619,6 +680,57 @@ mod tests {
         // A behavior change is caught even at a generous threshold.
         let diff = compare(&cases, &extract(&snap(2000), "mean_ns"), 100.0);
         assert!(diff.rows.iter().any(|r| r.regressed));
+    }
+
+    fn wire_report(init: u64, round: u64, rounds: u64) -> Value {
+        Value::Map(vec![
+            ("schema_version".to_string(), Value::U64(1)),
+            (
+                "wire_cases".to_string(),
+                Value::Seq(vec![Value::Map(vec![
+                    ("topology".to_string(), Value::Str("clique".to_string())),
+                    ("n".to_string(), Value::U64(2000)),
+                    ("algo".to_string(), Value::Str("rand:7".to_string())),
+                    ("shards".to_string(), Value::U64(4)),
+                    ("rounds".to_string(), Value::U64(rounds)),
+                    ("init_bytes".to_string(), Value::U64(init)),
+                    ("round_bytes".to_string(), Value::U64(round)),
+                    (
+                        "total_sent_bytes".to_string(),
+                        Value::U64(init + round * rounds),
+                    ),
+                    ("total_recv_bytes".to_string(), Value::U64(round * rounds)),
+                    ("ghost_updates".to_string(), Value::U64(64)),
+                    ("ghost_suppressed".to_string(), Value::U64(32)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn bytes_metric_expands_every_wire_field_and_gates_exactly() {
+        let cases = extract(&wire_report(900, 70, 2873), "bytes");
+        assert_eq!(cases.len(), BYTES_FIELDS.len(), "{cases:?}");
+        let key = "wire_cases/topology=clique,n=2000,algo=rand:7,shards=4";
+        assert_eq!(cases[&format!("{key}#init_bytes")], 900.0);
+        assert_eq!(cases[&format!("{key}#round_bytes")], 70.0);
+        assert_eq!(cases[&format!("{key}#rounds")], 2873.0);
+        // Identical reports diff clean at threshold 0...
+        let diff = compare(&cases, &extract(&wire_report(900, 70, 2873), "bytes"), 0.0);
+        assert!(diff.rows.iter().all(|r| !r.regressed));
+        // ...and a single extra byte per round fails the exact gate.
+        let diff = compare(&cases, &extract(&wire_report(900, 71, 2873), "bytes"), 0.0);
+        assert!(diff.rows.iter().any(|r| r.regressed));
+        // Timing cases don't leak into bytes mode and vice versa.
+        assert!(extract(&bench_report(&[("clique", 1000, 900)]), "bytes").is_empty());
+        assert!(extract(&wire_report(900, 70, 2873), "mean_ns").is_empty());
+        // Filters see the identity through the #field suffix.
+        let terms = parse_filter("shards=4").unwrap();
+        assert!(matches_filter(&format!("{key}#init_bytes"), &terms));
+        assert!(!matches_filter(
+            &format!("{key}#init_bytes"),
+            &parse_filter("shards=2").unwrap()
+        ));
     }
 
     #[test]

@@ -74,7 +74,9 @@ pub use randomized::{
     color_randomized, color_randomized_probed, color_randomized_with_faults, RandConfig,
     RandReport, RecoveryStats, ShatterStats,
 };
-pub use shard::{run_wire_coloring, DistributedConfig, DistributedError, WireColorReport};
+pub use shard::{
+    run_wire_coloring, DistributedConfig, DistributedError, WireColorReport, WireTraffic,
+};
 pub use supervisor::{
     drive_deterministic, drive_randomized, graph_digest, load_bundle, load_snapshot, replay_bundle,
     save_bundle, save_snapshot, ChaosPlan, DegradedComponent, FailureReport, PhaseCursor,

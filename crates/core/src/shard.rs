@@ -67,6 +67,39 @@ pub struct WireColorReport {
     /// Distinct colors used, when the algorithm produces a coloring
     /// (`None` for non-coloring workloads like `floodmax`).
     pub colors_used: Option<usize>,
+    /// Wire-level traffic of the sharded run; `None` on the
+    /// single-process path or when no metrics hub is attached.
+    pub traffic: Option<WireTraffic>,
+}
+
+/// Wire traffic of a sharded run, read back from the probe's metrics
+/// hub (`shard.*` counters) after the run completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTraffic {
+    /// Total bytes the coordinator put on the wire (framing included).
+    pub bytes_sent: u64,
+    /// Total bytes the coordinator read off the wire.
+    pub bytes_recv: u64,
+    /// Frames in either direction.
+    pub frames: u64,
+    /// Bytes of cached `Init` frames sent, counting respawn replays.
+    pub init_bytes: u64,
+    /// Changed (node, state) ghost updates shipped in `RoundGo` kicks.
+    pub ghost_updates: u64,
+    /// Unchanged boundary states the delta exchange kept off the wire.
+    pub ghost_suppressed: u64,
+}
+
+impl WireTraffic {
+    /// Steady-state payload traffic per round: everything sent after
+    /// the `Init` frames, averaged over `rounds`.
+    #[must_use]
+    pub fn round_bytes(&self, rounds: u64) -> u64 {
+        self.bytes_sent
+            .saturating_sub(self.init_bytes)
+            .checked_div(rounds)
+            .unwrap_or(0)
+    }
 }
 
 /// Why a distributed run failed.
@@ -121,6 +154,7 @@ pub fn run_wire_coloring(
     sup: &Supervisor,
     probe: Probe,
 ) -> Result<WireColorReport, DistributedError> {
+    let hub = probe.metrics().cloned();
     let run = if cfg.shards == 0 {
         let mut ex = Executor::new(graph).with_probe(probe);
         if let Some(plan) = &cfg.faults {
@@ -146,10 +180,22 @@ pub fn run_wire_coloring(
     } else {
         None
     };
+    let traffic = (cfg.shards > 0)
+        .then_some(hub)
+        .flatten()
+        .map(|hub| WireTraffic {
+            bytes_sent: hub.counter("shard.bytes_sent").get(),
+            bytes_recv: hub.counter("shard.bytes_recv").get(),
+            frames: hub.counter("shard.frames").get(),
+            init_bytes: hub.counter("shard.init_bytes").get(),
+            ghost_updates: hub.counter("shard.ghost_updates_sent").get(),
+            ghost_suppressed: hub.counter("shard.ghost_suppressed").get(),
+        });
     Ok(WireColorReport {
         outputs: run.outputs,
         rounds: run.rounds,
         colors_used,
+        traffic,
     })
 }
 
@@ -185,6 +231,26 @@ mod tests {
         run_wire_coloring(&g, &cfg, &sup, Probe::disabled()).unwrap();
         assert!(dir.join("shard-checkpoint-0000.json").exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traffic_figures_surface_when_a_metrics_hub_is_attached() {
+        let g = graphgen::generators::gnp(40, 0.2, 5);
+        let sup = Supervisor::passive();
+        let mut cfg = DistributedConfig::for_algo(WireAlgo::Greedy);
+        cfg.shards = 2;
+        let hub = std::sync::Arc::new(localsim::MetricsHub::new());
+        let probe = Probe::disabled().with_metrics(hub);
+        let report = run_wire_coloring(&g, &cfg, &sup, probe).unwrap();
+        let traffic = report.traffic.expect("hub attached, shards > 0");
+        assert!(traffic.init_bytes > 0);
+        assert!(traffic.bytes_sent > traffic.init_bytes);
+        assert!(traffic.frames > 0);
+        assert!(traffic.round_bytes(report.rounds) > 0);
+        // No hub, or the single-process path: no traffic report.
+        cfg.shards = 0;
+        let single = run_wire_coloring(&g, &cfg, &sup, Probe::disabled()).unwrap();
+        assert!(single.traffic.is_none());
     }
 
     #[test]

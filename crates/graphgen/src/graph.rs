@@ -190,6 +190,25 @@ impl Graph {
         })
     }
 
+    /// Assembles a graph directly from already-validated CSR parts
+    /// (`offsets.len() == n + 1`, per-vertex slices sorted, symmetric).
+    /// Used by the binary codec in [`crate::io`], which guarantees those
+    /// invariants structurally during decoding.
+    pub(crate) fn from_csr_parts(
+        offsets: Vec<usize>,
+        adj: Vec<NodeId>,
+        m: usize,
+        max_degree: usize,
+    ) -> Self {
+        Graph {
+            offsets,
+            adj,
+            m,
+            max_degree,
+            rev_ports: OnceLock::new(),
+        }
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn n(&self) -> usize {

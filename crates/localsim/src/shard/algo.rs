@@ -26,6 +26,13 @@ const RAND_TAG_SHIFT: u32 = 62;
 const RAND_UNDECIDED: u64 = 0;
 const RAND_PROPOSING: u64 = 1;
 const RAND_DECIDED: u64 = 2;
+/// Payload bits of a [`WireAlgo::Rand`] state: the proposed or decided
+/// color. Uids never live in the state — a neighbor's identity is its
+/// port's node id, which is stable whether the state arrived fresh or
+/// from the drop cache — so undecided is plain `0` and every state is
+/// tag bits plus a small color, which the wire codec compresses to a
+/// byte or two.
+const RAND_VAL_MASK: u64 = (1 << RAND_TAG_SHIFT) - 1;
 
 /// The 64-bit finalizer of splitmix64, also used by
 /// [`crate::FaultPlan`]: a full-avalanche bijection, here the stateless
@@ -142,7 +149,7 @@ impl LocalAlgorithm for WireAlgo {
         match self {
             WireAlgo::Countdown => u64::from(ctx.node.0),
             WireAlgo::FloodMax { .. } | WireAlgo::Greedy => ctx.uid,
-            WireAlgo::Rand { .. } => (RAND_UNDECIDED << RAND_TAG_SHIFT) | ctx.uid,
+            WireAlgo::Rand { .. } => RAND_UNDECIDED << RAND_TAG_SHIFT,
         }
     }
 
@@ -174,34 +181,33 @@ impl LocalAlgorithm for WireAlgo {
                     Transition::Continue(GREEDY_DECIDED | Self::greedy_mex(nbrs))
                 }
             }
-            WireAlgo::Rand { seed } => {
-                let tag = state >> RAND_TAG_SHIFT;
-                let uid = state & 0xFFFF_FFFF;
-                match tag {
-                    RAND_DECIDED => Transition::Halt(state & 0xFFFF_FFFF),
-                    RAND_UNDECIDED => {
-                        // Propose a round-salted candidate in 0..=Δ.
-                        let palette = ctx.max_degree as u64 + 1;
-                        let c = mix(mix(seed ^ ctx.round).wrapping_add(uid)) % palette;
-                        Transition::Continue((RAND_PROPOSING << RAND_TAG_SHIFT) | (c << 32) | uid)
-                    }
-                    _ => {
-                        let c = (state >> 32) & 0x3FFF_FFFF;
-                        let conflict = nbrs.iter().any(|&s| {
-                            let ntag = s >> RAND_TAG_SHIFT;
-                            (ntag == RAND_DECIDED && s & 0xFFFF_FFFF == c)
-                                || (ntag == RAND_PROPOSING
-                                    && (s >> 32) & 0x3FFF_FFFF == c
-                                    && s & 0xFFFF_FFFF > uid)
-                        });
-                        if conflict {
-                            Transition::Continue((RAND_UNDECIDED << RAND_TAG_SHIFT) | uid)
-                        } else {
-                            Transition::Continue((RAND_DECIDED << RAND_TAG_SHIFT) | c)
-                        }
+            WireAlgo::Rand { seed } => match state >> RAND_TAG_SHIFT {
+                RAND_DECIDED => Transition::Halt(state & RAND_VAL_MASK),
+                RAND_UNDECIDED => {
+                    // Propose a round-salted candidate in 0..=Δ.
+                    let palette = ctx.max_degree as u64 + 1;
+                    let c = mix(mix(seed ^ ctx.round).wrapping_add(ctx.uid)) % palette;
+                    Transition::Continue((RAND_PROPOSING << RAND_TAG_SHIFT) | c)
+                }
+                _ => {
+                    let c = state & RAND_VAL_MASK;
+                    // A proposing neighbor's identity is its port's node
+                    // id (`nbrs` is port-aligned with `ctx.neighbors`,
+                    // drop cache included — a stale state still belongs
+                    // to the same neighbor).
+                    let conflict = ctx.neighbors.iter().zip(nbrs).any(|(w, &s)| {
+                        let ntag = s >> RAND_TAG_SHIFT;
+                        s & RAND_VAL_MASK == c
+                            && (ntag == RAND_DECIDED
+                                || (ntag == RAND_PROPOSING && u64::from(w.0) > ctx.uid))
+                    });
+                    if conflict {
+                        Transition::Continue(RAND_UNDECIDED << RAND_TAG_SHIFT)
+                    } else {
+                        Transition::Continue((RAND_DECIDED << RAND_TAG_SHIFT) | c)
                     }
                 }
-            }
+            },
         }
     }
 }

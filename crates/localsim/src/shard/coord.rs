@@ -9,21 +9,31 @@
 //! interchangeable with — and testable against — a single-process run.
 //! Per-round wire activity lands in the metrics hub instead
 //! (`shard.bytes_sent`, `shard.bytes_recv`, `shard.frames`,
-//! `shard.round_ns`, `shard.barrier_wait_ns`), because wall-clock and
-//! byte counts are not part of the simulated semantics.
+//! `shard.round_ns`, `shard.barrier_wait_ns`, `shard.init_bytes`,
+//! `shard.ghost_updates_sent`, `shard.ghost_suppressed`), because
+//! wall-clock and byte counts are not part of the simulated semantics.
+//!
+//! The wire path is built for throughput: `Init` frames are encoded
+//! once (binary CSR or per-shard sub-topology, whichever is smaller)
+//! and the cached bytes are replayed verbatim on every respawn; ghost
+//! routing uses scatter lists built once per run ([`GhostPlan`]); and
+//! the round barrier drains `RoundDone` frames by readiness-polling
+//! every shard instead of serial blocking reads, so a slow shard never
+//! delays reading the others.
 
 use std::io;
-use std::net::{Shutdown, TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use graphgen::{Graph, NodeId};
 use serde::Value;
-use telemetry::{Event, FaultKind, Probe, Registry};
+use telemetry::{Event, FaultKind, MetricCounter, Probe, Registry};
 
 use super::algo::WireAlgo;
-use super::proto::{Frame, PROTO_VERSION};
-use super::wire::{read_frame, write_frame, FrameMeter};
+use super::proto::{encode_fault_plan, Frame, GhostUpdates, PROTO_VERSION};
+use super::topology::{encode_full, encode_sub};
+use super::wire::{frame_bytes, FrameConn, FrameMeter};
 use crate::exec::{LocalAlgorithm, NodeCtx, RunResult, SimError, EXEC_SCOPE};
 use crate::faults::FaultPlan;
 use crate::par::segments_weighted;
@@ -179,6 +189,69 @@ enum TripFail {
     Fatal(ShardError),
 }
 
+/// The ghost-routing plan, built once per run instead of per round:
+/// the per-shard ghost and boundary id universes (shared with the
+/// workers, which derive identical lists from their topology), and for
+/// every boundary node the scatter list of shards reading it.
+struct GhostPlan {
+    /// `ghost_ids[s]`: sorted foreign neighbors of shard `s`'s range —
+    /// the universe `RoundGo` ghosts are packed against.
+    ghost_ids: Vec<Vec<u32>>,
+    /// `boundary_ids[s]`: sorted owned vertices of shard `s` with a
+    /// foreign neighbor — the universe `RoundDone` boundary updates are
+    /// packed against.
+    boundary_ids: Vec<Vec<u32>>,
+    /// `readers[s][i]`: shards whose ghost set contains
+    /// `boundary_ids[s][i]`.
+    readers: Vec<Vec<Vec<usize>>>,
+}
+
+impl GhostPlan {
+    fn build(graph: &Graph, ranges: &[(u32, u32)]) -> GhostPlan {
+        let shard_count = ranges.len();
+        let mut ghost_ids: Vec<Vec<u32>> = vec![Vec::new(); shard_count];
+        let mut boundary_ids: Vec<Vec<u32>> = vec![Vec::new(); shard_count];
+        for (s, &(lo, hi)) in ranges.iter().enumerate() {
+            let (lo, hi) = (lo as usize, hi as usize);
+            for v in lo..hi {
+                let mut foreign = false;
+                for w in graph.neighbors(NodeId(v as u32)) {
+                    if w.index() < lo || w.index() >= hi {
+                        foreign = true;
+                        ghost_ids[s].push(w.0);
+                    }
+                }
+                if foreign {
+                    boundary_ids[s].push(v as u32);
+                }
+            }
+            ghost_ids[s].sort_unstable();
+            ghost_ids[s].dedup();
+        }
+        let mut readers: Vec<Vec<Vec<usize>>> = boundary_ids
+            .iter()
+            .map(|b| vec![Vec::new(); b.len()])
+            .collect();
+        for (t, ghosts) in ghost_ids.iter().enumerate() {
+            for &g in ghosts {
+                // Ranges are contiguous and cover every vertex, so the
+                // owner is the first range ending past g; a ghost is by
+                // construction a boundary node of its owner.
+                let owner = ranges.partition_point(|&(_, end)| end <= g);
+                let idx = boundary_ids[owner]
+                    .binary_search(&g)
+                    .expect("a ghost is a boundary node of its owning shard");
+                readers[owner][idx].push(t);
+            }
+        }
+        GhostPlan {
+            ghost_ids,
+            boundary_ids,
+            readers,
+        }
+    }
+}
+
 /// Aggregated results of one round across all shards, merged in shard
 /// order so every derived figure matches the sequential schedule.
 #[derive(Default)]
@@ -187,7 +260,10 @@ struct RoundAgg {
     dropped: u64,
     stalled: u64,
     halts: Vec<(u32, u64)>,
-    boundary: Vec<(u32, u64)>,
+    /// Changed boundary states routed to the shards reading them,
+    /// becoming the next round's `RoundGo` ghosts. Per-shard lists stay
+    /// ascending because sources are merged in shard (= id) order.
+    next_ghosts: Vec<Vec<(u32, u64)>>,
 }
 
 /// Runs [`WireAlgo`]s over a graph partitioned across worker shards.
@@ -320,19 +396,9 @@ impl<'g> ShardedExecutor<'g> {
         let max_degree = graph.max_degree();
         let shard_count = cluster.ranges.len();
 
-        // Which foreign nodes each shard reads: need[s][v] = shard s has
-        // an owned node adjacent to v, and v is outside s's range.
-        let mut need: Vec<Vec<bool>> = vec![vec![false; n]; shard_count];
-        for (s, &(lo, hi)) in cluster.ranges.iter().enumerate() {
-            let (lo, hi) = (lo as usize, hi as usize);
-            for v in lo..hi {
-                for w in graph.neighbors(NodeId(v as u32)) {
-                    if w.index() < lo || w.index() >= hi {
-                        need[s][w.index()] = true;
-                    }
-                }
-            }
-        }
+        // Scatter lists and pack universes, built once; per-round ghost
+        // routing is then pure index arithmetic.
+        let gplan = GhostPlan::build(graph, &cluster.ranges);
 
         // Registry mirroring exec.rs registration order exactly — the
         // emitted Round events must be indistinguishable.
@@ -393,6 +459,18 @@ impl<'g> ShardedExecutor<'g> {
         let mut live_count = n;
         let mut crashed = 0usize;
         let mut rounds = 0u64;
+        // Live owned nodes per shard, kept in lockstep with `alive`: a
+        // shard at zero is idle and round trips skip it entirely.
+        let ranges = cluster.ranges.clone();
+        let owner = |v: u32| ranges.partition_point(|&(_, end)| end <= v);
+        let count_live = |alive: &[bool]| -> Vec<usize> {
+            ranges
+                .iter()
+                .map(|&(lo, hi)| (lo..hi).filter(|&v| alive[v as usize]).count())
+                .collect()
+        };
+        let mut shard_live: Vec<usize> =
+            ranges.iter().map(|&(lo, hi)| (hi - lo) as usize).collect();
         // Rounds already emitted to the probe. A restore rewinds
         // `rounds` but never `emitted`: replayed rounds recompute state
         // silently, so the stitched stream equals an uninterrupted one.
@@ -413,6 +491,8 @@ impl<'g> ShardedExecutor<'g> {
                 cluster.kill_shard(kill.shard);
             }
             let r = rounds + 1;
+            // Plan order drives event emission; the wire wants the list
+            // sorted (crash application is order-independent).
             let crashes_now: Vec<u32> = crash_sched
                 .get(&r)
                 .map(|nodes| {
@@ -423,31 +503,48 @@ impl<'g> ShardedExecutor<'g> {
                         .collect()
                 })
                 .unwrap_or_default();
+            let mut crashes_wire = crashes_now.clone();
+            crashes_wire.sort_unstable();
+            crashes_wire.dedup();
             let round_start = Instant::now();
-            let agg =
-                match cluster.round_trip(r, &crashes_now, &pending_ghosts, h_barrier.as_deref()) {
-                    Ok(agg) => agg,
-                    Err(TripFail::Shard(s)) => {
-                        cluster.recover(s, &ckpt)?;
-                        rounds = ckpt.round;
-                        restore_volatile(
-                            &ckpt,
-                            &mut alive,
-                            &mut outputs,
-                            &mut live_count,
-                            &mut crashed,
-                        );
-                        pending_ghosts = vec![Vec::new(); shard_count];
-                        continue;
-                    }
-                    Err(TripFail::Fatal(e)) => return Err(e),
-                };
+            let active: Vec<bool> = shard_live.iter().map(|&c| c > 0).collect();
+            let agg = match cluster.round_trip(
+                r,
+                &crashes_wire,
+                &mut pending_ghosts,
+                &gplan,
+                &active,
+                h_barrier.as_deref(),
+            ) {
+                Ok(agg) => agg,
+                Err(TripFail::Shard(s)) => {
+                    cluster.recover(s, &ckpt)?;
+                    rounds = ckpt.round;
+                    restore_volatile(
+                        &ckpt,
+                        &mut alive,
+                        &mut outputs,
+                        &mut live_count,
+                        &mut crashed,
+                    );
+                    // A rewind can revive nodes on shards that had gone
+                    // idle; recount liveness from the restored bitmap.
+                    shard_live = count_live(&alive);
+                    // The Restore carried every node's state, so the
+                    // delta exchange restarts from a synchronized
+                    // baseline with nothing pending.
+                    pending_ghosts = vec![Vec::new(); shard_count];
+                    continue;
+                }
+                Err(TripFail::Fatal(e)) => return Err(e),
+            };
 
             let emitting = r > emitted;
             for &v in &crashes_now {
                 alive[v as usize] = false;
                 crashed += 1;
                 live_count -= 1;
+                shard_live[owner(v)] -= 1;
                 if emitting {
                     self.probe.emit_with(|| Event::Fault {
                         scope: EXEC_SCOPE.to_string(),
@@ -465,18 +562,9 @@ impl<'g> ShardedExecutor<'g> {
                 alive[v as usize] = false;
                 outputs[v as usize] = Some(o);
                 live_count -= 1;
+                shard_live[owner(v)] -= 1;
             }
-            // Route this round's boundary states to the shards that
-            // read them next round.
-            let mut next_ghosts: Vec<Vec<(u32, u64)>> = vec![Vec::new(); shard_count];
-            for &(v, s) in &agg.boundary {
-                for (t, need_t) in need.iter().enumerate() {
-                    if need_t[v as usize] {
-                        next_ghosts[t].push((v, s));
-                    }
-                }
-            }
-            pending_ghosts = next_ghosts;
+            pending_ghosts = agg.next_ghosts;
             if emitting {
                 c_msgs.add(agg.msgs as i64);
                 c_halted.add(agg.halts.len() as i64);
@@ -540,6 +628,7 @@ impl<'g> ShardedExecutor<'g> {
                             &mut live_count,
                             &mut crashed,
                         );
+                        shard_live = count_live(&alive);
                         pending_ghosts = vec![Vec::new(); shard_count];
                     }
                     Err(TripFail::Fatal(e)) => return Err(e),
@@ -600,21 +689,41 @@ fn restore_volatile(
     *crashed = ckpt.crashed;
 }
 
+/// Checks a worker's opening frame: it must be a [`Frame::Hello`]
+/// carrying exactly [`PROTO_VERSION`]. An old worker binary gets a
+/// clear version-mismatch error instead of undecodable garbage later.
+fn validate_hello(s: usize, hello: &Frame) -> Result<(), ShardError> {
+    match hello {
+        Frame::Hello { version } if *version == PROTO_VERSION => Ok(()),
+        Frame::Hello { version } => Err(ShardError::Protocol(format!(
+            "shard {s} speaks protocol {version}, expected {PROTO_VERSION} \
+             (coordinator and worker binaries must match)"
+        ))),
+        other => Err(ShardError::Protocol(format!(
+            "shard {s} opened with {other:?} instead of Hello"
+        ))),
+    }
+}
+
 /// The live worker fleet: listener, per-shard connections and hosting
-/// handles, plus everything needed to re-`Init` a respawned worker.
+/// handles, plus the cached per-shard `Init` frames that re-`Init` a
+/// respawned worker without re-encoding the graph.
 struct Cluster {
     listener: TcpListener,
     addr: String,
-    conns: Vec<Option<TcpStream>>,
+    conns: Vec<Option<FrameConn>>,
     handles: Vec<WorkerHandle>,
     respawns: Vec<usize>,
     ranges: Vec<(u32, u32)>,
     backend: WorkerBackend,
-    algo_spec: String,
-    faults_json: String,
-    graph_text: String,
+    /// Fully framed (length prefix included) `Init` bytes per shard,
+    /// encoded once at startup and replayed verbatim on respawn.
+    init_frames: Vec<Vec<u8>>,
     max_respawns: usize,
     meter: FrameMeter,
+    c_init_bytes: Option<MetricCounter>,
+    c_ghost_sent: Option<MetricCounter>,
+    c_ghost_suppressed: Option<MetricCounter>,
 }
 
 impl Cluster {
@@ -643,6 +752,50 @@ impl Cluster {
             .probe
             .metrics()
             .map_or_else(FrameMeter::disabled, |hub| FrameMeter::new(hub));
+        let algo_spec = algo.to_string();
+        let faults_bytes = exec
+            .faults
+            .as_ref()
+            .map(encode_fault_plan)
+            .unwrap_or_default();
+        let drop_on = exec.faults.as_ref().is_some_and(|p| p.message_drop_p > 0.0);
+        // The full-graph payload is shared by every shard that picks
+        // it; each shard takes its sub-topology instead when that
+        // encodes smaller.
+        let full_payload = encode_full(graph);
+        let mut init_frames = Vec::with_capacity(ranges.len());
+        for (s, &(lo, hi)) in ranges.iter().enumerate() {
+            let sub_payload = encode_sub(graph, lo as usize, hi as usize, drop_on);
+            let graph_payload = if sub_payload.len() < full_payload.len() {
+                sub_payload
+            } else {
+                full_payload.clone()
+            };
+            let init = Frame::Init {
+                shard: s as u32,
+                shards: ranges.len() as u32,
+                start: lo,
+                end: hi,
+                algo: algo_spec.clone(),
+                faults: faults_bytes.clone(),
+                graph: graph_payload,
+            };
+            let mut framed = Vec::new();
+            frame_bytes(&init.encode(), &mut framed)
+                .map_err(|e| ShardError::Io(format!("shard {s} init frame: {e}")))?;
+            init_frames.push(framed);
+        }
+        let counters = exec.probe.metrics().map(|h| {
+            (
+                h.counter("shard.init_bytes"),
+                h.counter("shard.ghost_updates_sent"),
+                h.counter("shard.ghost_suppressed"),
+            )
+        });
+        let (c_init_bytes, c_ghost_sent, c_ghost_suppressed) = match counters {
+            Some((a, b, c)) => (Some(a), Some(b), Some(c)),
+            None => (None, None, None),
+        };
         let mut cluster = Cluster {
             listener,
             addr,
@@ -651,15 +804,12 @@ impl Cluster {
             respawns: vec![0; ranges.len()],
             ranges,
             backend: exec.backend.clone(),
-            algo_spec: algo.to_string(),
-            faults_json: exec
-                .faults
-                .as_ref()
-                .map(serde::json::to_string)
-                .unwrap_or_default(),
-            graph_text: graphgen::io::write_edge_list(graph),
+            init_frames,
             max_respawns: exec.max_respawns,
             meter,
+            c_init_bytes,
+            c_ghost_sent,
+            c_ghost_suppressed,
         };
         for s in 0..cluster.ranges.len() {
             cluster.handles[s] = cluster.spawn_worker()?;
@@ -693,10 +843,11 @@ impl Cluster {
     }
 
     /// Accepts the next incoming worker connection (bounded wait) and
-    /// runs the Hello → Init → InitAck handshake for shard `s`.
+    /// runs the Hello → Init → InitAck handshake for shard `s`, sending
+    /// the cached pre-framed `Init` bytes.
     fn attach(&mut self, s: usize) -> Result<(), ShardError> {
         let deadline = Instant::now() + ACCEPT_TIMEOUT;
-        let mut stream = loop {
+        let stream: TcpStream = loop {
             match self.listener.accept() {
                 Ok((stream, _)) => break stream,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -713,36 +864,20 @@ impl Cluster {
         stream
             .set_nodelay(true)
             .map_err(|e| ShardError::Io(format!("cannot configure worker socket: {e}")))?;
-        let hello = self
-            .recv_on(&mut stream)
-            .map_err(|e| ShardError::Io(format!("shard {s} handshake failed: {e}")))?;
-        match hello {
-            Frame::Hello { version } if version == PROTO_VERSION => {}
-            Frame::Hello { version } => {
-                return Err(ShardError::Protocol(format!(
-                    "shard {s} speaks protocol {version}, expected {PROTO_VERSION}"
-                )))
-            }
-            other => {
-                return Err(ShardError::Protocol(format!(
-                    "shard {s} opened with {other:?} instead of Hello"
-                )))
-            }
-        }
-        let (start, end) = self.ranges[s];
-        let init = Frame::Init {
-            shard: s as u32,
-            shards: self.ranges.len() as u32,
-            start,
-            end,
-            algo: self.algo_spec.clone(),
-            faults: self.faults_json.clone(),
-            graph: self.graph_text.clone(),
-        };
+        let mut conn = FrameConn::new(stream)
+            .map_err(|e| ShardError::Io(format!("cannot configure worker socket: {e}")))?;
         let meter = self.meter.clone();
-        write_frame(&mut stream, &init.encode(), &meter)
+        let hello = conn
+            .recv_blocking(&meter)
+            .and_then(|p| Frame::decode(&p))
+            .map_err(|e| ShardError::Io(format!("shard {s} handshake failed: {e}")))?;
+        validate_hello(s, &hello)?;
+        conn.send_framed(&self.init_frames[s], &meter)
             .map_err(|e| ShardError::Io(format!("shard {s} init send failed: {e}")))?;
-        match self.recv_on(&mut stream) {
+        if let Some(c) = &self.c_init_bytes {
+            c.add(self.init_frames[s].len() as u64);
+        }
+        match conn.recv_blocking(&meter).and_then(|p| Frame::decode(&p)) {
             Ok(Frame::InitAck { shard }) if shard as usize == s => {}
             Ok(Frame::Error { message }) => {
                 return Err(ShardError::Protocol(format!(
@@ -756,61 +891,141 @@ impl Cluster {
             }
             Err(e) => return Err(ShardError::Io(format!("shard {s} init ack failed: {e}"))),
         }
-        self.conns[s] = Some(stream);
+        self.conns[s] = Some(conn);
         Ok(())
     }
 
-    fn recv_on(&self, stream: &mut TcpStream) -> io::Result<Frame> {
-        Frame::decode(&read_frame(stream, &self.meter)?)
-    }
-
-    fn send(&mut self, s: usize, frame: &Frame) -> io::Result<()> {
+    /// Sends an encoded payload to shard `s`.
+    fn send_payload(&mut self, s: usize, payload: &[u8]) -> io::Result<()> {
         let meter = self.meter.clone();
-        let stream = self.conns[s]
+        let conn = self.conns[s]
             .as_mut()
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "shard disconnected"))?;
-        write_frame(stream, &frame.encode(), &meter)
+        conn.send(payload, &meter)
     }
 
     fn recv(&mut self, s: usize) -> io::Result<Frame> {
         let meter = self.meter.clone();
-        let stream = self.conns[s]
+        let conn = self.conns[s]
             .as_mut()
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "shard disconnected"))?;
-        Frame::decode(&read_frame(stream, &meter)?)
+        Frame::decode(&conn.recv_blocking(&meter)?)
     }
 
-    /// One synchronous round: kick every shard, then hold the barrier
-    /// until every `RoundDone` arrives, merging in shard order.
+    /// Drains one reply frame from every shard with `want[s]` set, by
+    /// readiness-polling all wanted connections — a shard that answers
+    /// late never blocks reading the ones that answered early. Unwanted
+    /// shards (idle, not kicked this trip) stay `None`.
+    fn collect_replies(&mut self, want: &[bool]) -> Result<Vec<Option<Frame>>, TripFail> {
+        let meter = self.meter.clone();
+        let shard_count = self.ranges.len();
+        let mut results: Vec<Option<Frame>> = (0..shard_count).map(|_| None).collect();
+        let target = want.iter().filter(|&&w| w).count();
+        let mut got = 0usize;
+        let mut spins = 0u32;
+        while got < target {
+            let mut progress = false;
+            for s in 0..shard_count {
+                if !want[s] || results[s].is_some() {
+                    continue;
+                }
+                let Some(conn) = self.conns[s].as_mut() else {
+                    return Err(TripFail::Shard(s));
+                };
+                match conn.poll(&meter) {
+                    Ok(Some(payload)) => match Frame::decode(&payload) {
+                        Ok(frame) => {
+                            results[s] = Some(frame);
+                            got += 1;
+                            progress = true;
+                        }
+                        // Undecodable bytes mean the shard is gone or
+                        // corrupt either way; recover it.
+                        Err(_) => return Err(TripFail::Shard(s)),
+                    },
+                    Ok(None) => {}
+                    Err(_) => return Err(TripFail::Shard(s)),
+                }
+            }
+            if progress {
+                spins = 0;
+            } else {
+                // Single-core friendliness: let worker threads run, and
+                // back off once the barrier is clearly not ready.
+                spins += 1;
+                if spins < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// One synchronous round: kick every **active** shard with its
+    /// packed ghost deltas, then hold the barrier until each kicked
+    /// shard's `RoundDone` arrives, merging in shard order.
+    ///
+    /// An idle shard — every owned node halted or crashed — is elided
+    /// entirely: no `RoundGo`, no `RoundDone`, zero wire bytes. That is
+    /// semantically free because dead nodes never step and contribute
+    /// zero to every aggregate, and it is what keeps the long
+    /// few-live-nodes tail of a coloring run cheap: a round's cost
+    /// tracks the shards that still have work, not the fleet size.
     fn round_trip(
         &mut self,
         round: u64,
         crashes: &[u32],
-        ghosts: &[Vec<(u32, u64)>],
+        pending: &mut [Vec<(u32, u64)>],
+        gplan: &GhostPlan,
+        active: &[bool],
         h_barrier: Option<&telemetry::Histogram>,
     ) -> Result<RoundAgg, TripFail> {
-        for (s, shard_ghosts) in ghosts.iter().enumerate().take(self.ranges.len()) {
+        let shard_count = self.ranges.len();
+        let mut ghost_sent = 0u64;
+        for s in 0..shard_count {
+            if !active[s] {
+                // Updates routed at an idle shard are dropped, not
+                // sent: nothing there will ever read a ghost again.
+                pending[s].clear();
+                continue;
+            }
+            let updates = std::mem::take(&mut pending[s]);
+            ghost_sent += updates.len() as u64;
             let go = Frame::RoundGo {
                 round,
                 crashes: crashes.to_vec(),
-                ghosts: shard_ghosts.clone(),
+                ghosts: GhostUpdates::pack(updates, &gplan.ghost_ids[s]),
             };
-            if self.send(s, &go).is_err() {
+            if self.send_payload(s, &go.encode()).is_err() {
                 return Err(TripFail::Shard(s));
             }
         }
+        if let Some(c) = &self.c_ghost_sent {
+            c.add(ghost_sent);
+        }
         let barrier_start = Instant::now();
-        let mut agg = RoundAgg::default();
-        for s in 0..self.ranges.len() {
-            match self.recv(s) {
-                Ok(Frame::RoundDone {
+        let replies = self.collect_replies(active)?;
+        let mut agg = RoundAgg {
+            next_ghosts: vec![Vec::new(); shard_count],
+            ..RoundAgg::default()
+        };
+        let mut suppressed_total = 0u64;
+        for (s, frame) in replies.into_iter().enumerate() {
+            let Some(frame) = frame else {
+                continue; // idle shard, not kicked
+            };
+            match frame {
+                Frame::RoundDone {
                     round: echo,
                     msgs,
                     dropped,
                     stalled,
+                    suppressed,
                     halts,
                     boundary,
-                }) => {
+                } => {
                     if echo != round {
                         return Err(TripFail::Fatal(ShardError::Protocol(format!(
                             "shard {s} answered round {echo} during round {round}"
@@ -819,21 +1034,35 @@ impl Cluster {
                     agg.msgs += msgs;
                     agg.dropped += dropped;
                     agg.stalled += stalled;
+                    suppressed_total += suppressed;
                     agg.halts.extend(halts);
-                    agg.boundary.extend(boundary);
+                    // Scatter the changed boundary states to every shard
+                    // reading them; a malformed delta is treated like a
+                    // dead shard (respawn + restore resynchronizes).
+                    let Ok(resolved) = boundary.resolve(&gplan.boundary_ids[s]) else {
+                        return Err(TripFail::Shard(s));
+                    };
+                    for (idx, state) in resolved {
+                        let node = gplan.boundary_ids[s][idx];
+                        for &t in &gplan.readers[s][idx] {
+                            agg.next_ghosts[t].push((node, state));
+                        }
+                    }
                 }
-                Ok(Frame::Error { message }) => {
+                Frame::Error { message } => {
                     return Err(TripFail::Fatal(ShardError::Protocol(format!(
                         "shard {s} reported: {message}"
                     ))))
                 }
-                Ok(other) => {
+                other => {
                     return Err(TripFail::Fatal(ShardError::Protocol(format!(
                         "shard {s} sent {other:?} instead of RoundDone"
                     ))))
                 }
-                Err(_) => return Err(TripFail::Shard(s)),
             }
+        }
+        if let Some(c) = &self.c_ghost_suppressed {
+            c.add(suppressed_total);
         }
         if let Some(h) = h_barrier {
             h.observe(u64::try_from(barrier_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
@@ -845,8 +1074,13 @@ impl Cluster {
     /// assembled `(states, live bitmap, drop cache)`.
     #[allow(clippy::type_complexity)]
     fn checkpoint_trip(&mut self, round: u64) -> Result<(Vec<u64>, Vec<u8>, Vec<u64>), TripFail> {
+        // Checkpoints poll every shard, idle ones included: an idle
+        // shard's states are still part of the snapshot. The request
+        // names the round because an idle shard, never kicked, has no
+        // local round clock to echo.
+        let dump_req = Frame::DumpReq { round }.encode();
         for s in 0..self.ranges.len() {
-            if self.send(s, &Frame::DumpReq).is_err() {
+            if self.send_payload(s, &dump_req).is_err() {
                 return Err(TripFail::Shard(s));
             }
         }
@@ -854,14 +1088,18 @@ impl Cluster {
         let mut states = Vec::with_capacity(n);
         let mut bitmap = vec![0u8; n.div_ceil(8)];
         let mut seen = Vec::new();
-        for s in 0..self.ranges.len() {
-            match self.recv(s) {
-                Ok(Frame::Dump {
+        let all = vec![true; self.ranges.len()];
+        for (s, frame) in self.collect_replies(&all)?.into_iter().enumerate() {
+            let Some(frame) = frame else {
+                continue;
+            };
+            match frame {
+                Frame::Dump {
                     round: echo,
                     states: shard_states,
                     live,
                     seen: shard_seen,
-                }) => {
+                } => {
                     if echo != round {
                         return Err(TripFail::Fatal(ShardError::Protocol(format!(
                             "shard {s} dumped round {echo} during checkpoint of round {round}"
@@ -873,12 +1111,11 @@ impl Cluster {
                     }
                     seen.extend(shard_seen);
                 }
-                Ok(other) => {
+                other => {
                     return Err(TripFail::Fatal(ShardError::Protocol(format!(
                         "shard {s} sent {other:?} instead of Dump"
                     ))))
                 }
-                Err(_) => return Err(TripFail::Shard(s)),
             }
         }
         Ok((states, bitmap, seen))
@@ -896,7 +1133,7 @@ impl Cluster {
             let _ = child.wait();
         }
         if let Some(conn) = &self.conns[s] {
-            let _ = conn.shutdown(Shutdown::Both);
+            conn.shutdown();
         }
         self.conns[s] = None;
     }
@@ -931,14 +1168,16 @@ impl Cluster {
     /// discarding any stale pre-failure frames still in flight (TCP is
     /// FIFO per connection, so everything before the ack is stale).
     fn restore_all(&mut self, ckpt: &Checkpoint) -> Result<(), TripFail> {
-        let frame = Frame::Restore {
+        // Encode once; the same payload goes to every shard.
+        let payload = Frame::Restore {
             round: ckpt.round,
             states: ckpt.states.clone(),
             live: ckpt.live_bitmap.clone(),
             seen: ckpt.seen.clone(),
-        };
+        }
+        .encode();
         for s in 0..self.ranges.len() {
-            if self.send(s, &frame).is_err() {
+            if self.send_payload(s, &payload).is_err() {
                 return Err(TripFail::Shard(s));
             }
         }
@@ -969,8 +1208,9 @@ impl Cluster {
     /// Best-effort clean teardown: a `Shutdown` frame per live shard,
     /// then reap process workers (kill any that ignore the frame).
     fn shutdown(&mut self) {
+        let payload = Frame::Shutdown.encode();
         for s in 0..self.ranges.len() {
-            let _ = self.send(s, &Frame::Shutdown);
+            let _ = self.send_payload(s, &payload);
         }
         self.conns.iter_mut().for_each(|c| *c = None);
         for handle in &mut self.handles {
@@ -991,5 +1231,30 @@ impl Cluster {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_mismatch_is_a_clear_protocol_error() {
+        validate_hello(
+            3,
+            &Frame::Hello {
+                version: PROTO_VERSION,
+            },
+        )
+        .unwrap();
+        let err = validate_hello(3, &Frame::Hello { version: 1 }).unwrap_err();
+        match err {
+            ShardError::Protocol(msg) => {
+                assert!(msg.contains("protocol 1"), "{msg}");
+                assert!(msg.contains(&format!("expected {PROTO_VERSION}")), "{msg}");
+            }
+            other => panic!("expected Protocol error, got {other:?}"),
+        }
+        assert!(validate_hello(0, &Frame::Shutdown).is_err());
     }
 }

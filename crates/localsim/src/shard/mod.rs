@@ -22,11 +22,12 @@
 mod algo;
 mod coord;
 mod proto;
+mod topology;
 mod wire;
 pub mod worker;
 
 pub use algo::{verify_wire_coloring, WireAlgo};
 pub use coord::{ChaosKill, ShardError, ShardedExecutor, WorkerBackend};
-pub use proto::{Frame, PROTO_VERSION};
+pub use proto::{Frame, GhostUpdates, PROTO_VERSION};
 pub use wire::{FrameMeter, MAX_FRAME};
 pub use worker::{serve, serve_connect};

@@ -1,20 +1,72 @@
 //! Length-prefixed frame transport shared by the shard coordinator and
 //! workers.
 //!
-//! A frame on the wire is `[u32 payload length, little-endian][payload]`;
-//! the first payload byte is the frame tag (see [`super::proto`]). The
-//! codec below is deliberately tiny — fixed-width little-endian integers
-//! and length-prefixed strings — so both sides of the connection agree on
-//! byte layout without pulling a serialization framework into the hot
-//! per-round path.
+//! A frame on the wire is `[varint payload length][payload]`; the first
+//! payload byte is the frame tag (see [`super::proto`]). All integers
+//! inside payloads are LEB128 varints, node-id lists travel as ascending
+//! deltas, and algorithm states go through [`rot`]/[`unrot`] so their
+//! tag bits (parked in the *top* bits of the `u64` by every
+//! [`super::WireAlgo`]) move into the low byte and a typical state
+//! varint is 1–3 bytes instead of 9–10. The codec is still deliberately
+//! tiny — no serialization framework in the hot per-round path.
+//!
+//! [`FrameConn`] is the coordinator's side of a connection: nonblocking,
+//! with a pull-parsed receive buffer (so `RoundDone` frames from all
+//! shards are drained by readiness polling, not serial blocking reads)
+//! and single-syscall assembled writes.
 
 use std::io::{self, Read, Write};
+use std::net::TcpStream;
 
 use telemetry::{MetricCounter, MetricsHub};
 
 /// Refuse frames larger than this (64 MiB): a corrupted length prefix
-/// must not trigger an unbounded allocation.
+/// must not trigger an unbounded allocation, and a worker must not jam
+/// the protocol with a reply the coordinator would refuse to read.
 pub const MAX_FRAME: usize = 64 << 20;
+
+/// How many bytes the varint length prefix of a `len`-byte payload
+/// occupies (the 64 MiB cap keeps this at most 4).
+fn prefix_len(len: usize) -> usize {
+    varint_len(len as u64)
+}
+
+/// Bytes needed to encode `v` as a LEB128 varint.
+#[must_use]
+pub fn varint_len(v: u64) -> usize {
+    (64 - (v | 1).leading_zeros() as usize).div_ceil(7)
+}
+
+/// Appends `v` as a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Maps an algorithm state to its wire form: rotating left by two moves
+/// the top-of-word phase tags (`Greedy`'s decided bit, `Rand`'s two-bit
+/// phase) into the low bits, so small payloads stay small varints. A
+/// pure bijection — the transport neither knows nor cares which
+/// algorithm produced the state.
+#[inline]
+#[must_use]
+pub fn rot(state: u64) -> u64 {
+    state.rotate_left(2)
+}
+
+/// Inverse of [`rot`].
+#[inline]
+#[must_use]
+pub fn unrot(wire: u64) -> u64 {
+    wire.rotate_right(2)
+}
 
 /// Counts frames and bytes crossing the coordinator's side of the wire
 /// into a [`MetricsHub`] (`shard.bytes_sent`, `shard.bytes_recv`,
@@ -42,47 +94,110 @@ impl FrameMeter {
             frames: Some(hub.counter("shard.frames")),
         }
     }
+
+    fn count_sent(&self, wire_bytes: usize) {
+        if let Some(c) = &self.sent {
+            c.add(wire_bytes as u64);
+        }
+        if let Some(c) = &self.frames {
+            c.incr();
+        }
+    }
+
+    fn count_recv(&self, wire_bytes: usize) {
+        if let Some(c) = &self.recv {
+            c.add(wire_bytes as u64);
+        }
+        if let Some(c) = &self.frames {
+            c.incr();
+        }
+    }
 }
 
-/// Writes one frame (length prefix + payload) and flushes.
-pub fn write_frame(w: &mut impl Write, payload: &[u8], meter: &FrameMeter) -> io::Result<()> {
-    let len = u32::try_from(payload.len())
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()?;
-    if let Some(c) = &meter.sent {
-        c.add(4 + payload.len() as u64);
-    }
-    if let Some(c) = &meter.frames {
-        c.incr();
+/// Checks a payload against [`MAX_FRAME`] (at the cap is allowed,
+/// matching the read side).
+fn check_cap(len: usize) -> io::Result<()> {
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
     }
     Ok(())
 }
 
-/// Reads one frame payload; blocks until the full frame arrives.
+/// Assembles `[varint len][payload]` into `frame`, replacing its
+/// contents, after enforcing the frame cap.
+pub fn frame_bytes(payload: &[u8], frame: &mut Vec<u8>) -> io::Result<()> {
+    check_cap(payload.len())?;
+    frame.clear();
+    frame.reserve(prefix_len(payload.len()) + payload.len());
+    put_varint(frame, payload.len() as u64);
+    frame.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Writes one frame (length prefix + payload) as a single `write_all`
+/// and flushes. Allocates a frame buffer per call — fine for handshakes
+/// and tests; hot paths reuse a scratch via [`write_frame_buf`] or go
+/// through [`FrameConn::send`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8], meter: &FrameMeter) -> io::Result<()> {
+    let mut frame = Vec::new();
+    write_frame_buf(w, payload, &mut frame, meter)
+}
+
+/// [`write_frame`] with a caller-provided scratch buffer, so the
+/// per-round worker reply costs one buffer reuse and one syscall.
+pub fn write_frame_buf(
+    w: &mut impl Write,
+    payload: &[u8],
+    frame: &mut Vec<u8>,
+    meter: &FrameMeter,
+) -> io::Result<()> {
+    frame_bytes(payload, frame)?;
+    w.write_all(frame)?;
+    w.flush()?;
+    meter.count_sent(frame.len());
+    Ok(())
+}
+
+/// Reads one frame payload; blocks until the full frame arrives. Pair
+/// with a buffered reader — the varint prefix is read byte by byte.
 pub fn read_frame(r: &mut impl Read, meter: &FrameMeter) -> io::Result<Vec<u8>> {
-    let mut len = [0u8; 4];
-    r.read_exact(&mut len)?;
-    let len = u32::from_le_bytes(len) as usize;
+    let mut len = 0u64;
+    let mut shift = 0u32;
+    let mut prefix = 0usize;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        prefix += 1;
+        len |= u64::from(byte[0] & 0x7F) << shift;
+        if byte[0] & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift > 28 {
+            // 5 continuation groups already exceed the 64 MiB cap.
+            return Err(invalid("frame length prefix too long"));
+        }
+    }
+    let len = usize::try_from(len).map_err(|_| invalid("frame length overflows usize"))?;
     if len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
-        ));
+        return Err(invalid(&format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte cap"
+        )));
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    if let Some(c) = &meter.recv {
-        c.add(4 + len as u64);
-    }
-    if let Some(c) = &meter.frames {
-        c.incr();
-    }
+    meter.count_recv(prefix + len);
     Ok(payload)
 }
 
-/// Little-endian payload builder.
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Varint payload builder.
 #[derive(Default)]
 pub struct Enc(pub Vec<u8>);
 
@@ -93,14 +208,33 @@ impl Enc {
         Enc(vec![tag])
     }
 
-    /// Appends a `u32`.
-    pub fn u32(&mut self, v: u32) {
-        self.0.extend_from_slice(&v.to_le_bytes());
+    /// [`Enc::tagged`] with capacity reserved from a frame-length hint,
+    /// so large frames (Init, Restore) build without regrowth.
+    #[must_use]
+    pub fn with_hint(tag: u8, hint: usize) -> Self {
+        let mut buf = Vec::with_capacity(hint + 1);
+        buf.push(tag);
+        Enc(buf)
     }
 
-    /// Appends a `u64`.
+    /// Appends a raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    /// Appends a `u32` as a varint.
+    pub fn u32(&mut self, v: u32) {
+        put_varint(&mut self.0, u64::from(v));
+    }
+
+    /// Appends a `u64` as a varint.
     pub fn u64(&mut self, v: u64) {
-        self.0.extend_from_slice(&v.to_le_bytes());
+        put_varint(&mut self.0, v);
+    }
+
+    /// Appends an algorithm state ([`rot`]-transformed varint).
+    pub fn state(&mut self, s: u64) {
+        put_varint(&mut self.0, rot(s));
     }
 
     /// Appends a length-prefixed UTF-8 string.
@@ -109,40 +243,61 @@ impl Enc {
         self.0.extend_from_slice(s.as_bytes());
     }
 
-    /// Appends a length-prefixed `u32` sequence.
-    pub fn u32s(&mut self, vs: &[u32]) {
-        self.u32(vs.len() as u32);
-        for &v in vs {
-            self.u32(v);
-        }
-    }
-
-    /// Appends a length-prefixed `u64` sequence.
-    pub fn u64s(&mut self, vs: &[u64]) {
-        self.u32(vs.len() as u32);
-        for &v in vs {
-            self.u64(v);
-        }
-    }
-
     /// Appends a length-prefixed byte sequence.
     pub fn bytes(&mut self, vs: &[u8]) {
         self.u32(vs.len() as u32);
         self.0.extend_from_slice(vs);
     }
 
-    /// Appends a length-prefixed `(u32, u64)` pair sequence.
-    pub fn pairs(&mut self, vs: &[(u32, u64)]) {
+    /// Appends a strictly ascending id list as deltas: count, first id,
+    /// then gaps (`id[i] - id[i-1]`, always >= 1).
+    pub fn ids(&mut self, vs: &[u32]) {
         self.u32(vs.len() as u32);
-        for &(a, b) in vs {
-            self.u32(a);
-            self.u64(b);
+        let mut prev = 0u32;
+        for (i, &v) in vs.iter().enumerate() {
+            debug_assert!(i == 0 || v > prev, "id list must be strictly ascending");
+            self.u32(if i == 0 { v } else { v - prev });
+            prev = v;
+        }
+    }
+
+    /// Appends a length-prefixed state sequence (each [`Enc::state`]).
+    pub fn states(&mut self, vs: &[u64]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.state(v);
+        }
+    }
+
+    /// Appends `(node, state)` pairs with strictly ascending node ids:
+    /// delta-encoded ids, [`rot`]-varint states.
+    pub fn pairs_states(&mut self, vs: &[(u32, u64)]) {
+        self.u32(vs.len() as u32);
+        let mut prev = 0u32;
+        for (i, &(v, s)) in vs.iter().enumerate() {
+            debug_assert!(i == 0 || v > prev, "pair ids must be strictly ascending");
+            self.u32(if i == 0 { v } else { v - prev });
+            self.state(s);
+            prev = v;
+        }
+    }
+
+    /// Appends `(node, value)` pairs with strictly ascending node ids
+    /// and plain varint values (outputs — small, untagged).
+    pub fn pairs_vals(&mut self, vs: &[(u32, u64)]) {
+        self.u32(vs.len() as u32);
+        let mut prev = 0u32;
+        for (i, &(v, o)) in vs.iter().enumerate() {
+            debug_assert!(i == 0 || v > prev, "pair ids must be strictly ascending");
+            self.u32(if i == 0 { v } else { v - prev });
+            self.u64(o);
+            prev = v;
         }
     }
 }
 
 fn truncated() -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, "truncated frame payload")
+    invalid("truncated frame payload")
 }
 
 /// Cursor over a received payload; every read is bounds-checked so a
@@ -174,33 +329,44 @@ impl<'a> Dec<'a> {
         Ok(self.take(1)?[0])
     }
 
-    /// Reads a `u32`.
-    pub fn u32(&mut self) -> io::Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    /// Reads a `u64`.
+    /// Reads a varint `u64`.
     pub fn u64(&mut self) -> io::Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8().map_err(|_| truncated())?;
+            if shift == 63 && byte > 1 {
+                return Err(invalid("varint overflows u64"));
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(invalid("varint longer than 10 bytes"));
+            }
+        }
     }
 
-    /// Reads a length-prefixed UTF-8 string.
+    /// Reads a varint that must fit a `u32`.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        u32::try_from(self.u64()?).map_err(|_| invalid("varint overflows u32"))
+    }
+
+    /// Reads an algorithm state (inverse of [`Enc::state`]).
+    pub fn state(&mut self) -> io::Result<u64> {
+        Ok(unrot(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string with a single copy: the
+    /// bytes are validated in place as borrowed UTF-8, then copied once
+    /// into the owned result.
     pub fn str(&mut self) -> io::Result<String> {
         let len = self.u32()? as usize;
-        String::from_utf8(self.take(len)?.to_vec())
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 string field"))
-    }
-
-    /// Reads a length-prefixed `u32` sequence.
-    pub fn u32s(&mut self) -> io::Result<Vec<u32>> {
-        let len = self.u32()? as usize;
-        (0..len).map(|_| self.u32()).collect()
-    }
-
-    /// Reads a length-prefixed `u64` sequence.
-    pub fn u64s(&mut self) -> io::Result<Vec<u64>> {
-        let len = self.u32()? as usize;
-        (0..len).map(|_| self.u64()).collect()
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| invalid("non-UTF-8 string field"))?;
+        Ok(s.to_owned())
     }
 
     /// Reads a length-prefixed byte sequence.
@@ -209,10 +375,69 @@ impl<'a> Dec<'a> {
         Ok(self.take(len)?.to_vec())
     }
 
-    /// Reads a length-prefixed `(u32, u64)` pair sequence.
-    pub fn pairs(&mut self) -> io::Result<Vec<(u32, u64)>> {
+    /// Reads a delta-encoded strictly ascending id list.
+    pub fn ids(&mut self) -> io::Result<Vec<u32>> {
         let len = self.u32()? as usize;
-        (0..len).map(|_| Ok((self.u32()?, self.u64()?))).collect()
+        if len > self.buf.len() - self.pos.min(self.buf.len()) {
+            return Err(truncated());
+        }
+        let mut out = Vec::with_capacity(len);
+        let mut prev = 0u32;
+        for i in 0..len {
+            let d = self.u32()?;
+            if i > 0 && d == 0 {
+                return Err(invalid("id list not strictly ascending"));
+            }
+            prev = prev.checked_add(d).ok_or_else(|| invalid("id overflow"))?;
+            out.push(prev);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed state sequence.
+    pub fn states(&mut self) -> io::Result<Vec<u64>> {
+        let len = self.u32()? as usize;
+        if len > self.buf.len() - self.pos.min(self.buf.len()) {
+            return Err(truncated());
+        }
+        (0..len).map(|_| self.state()).collect()
+    }
+
+    /// Reads pairs written by [`Enc::pairs_states`].
+    pub fn pairs_states(&mut self) -> io::Result<Vec<(u32, u64)>> {
+        self.pairs_with(Dec::state)
+    }
+
+    /// Reads pairs written by [`Enc::pairs_vals`].
+    pub fn pairs_vals(&mut self) -> io::Result<Vec<(u32, u64)>> {
+        self.pairs_with(Dec::u64)
+    }
+
+    fn pairs_with(
+        &mut self,
+        read_val: impl Fn(&mut Self) -> io::Result<u64>,
+    ) -> io::Result<Vec<(u32, u64)>> {
+        let len = self.u32()? as usize;
+        if len > self.buf.len() - self.pos.min(self.buf.len()) {
+            return Err(truncated());
+        }
+        let mut out = Vec::with_capacity(len);
+        let mut prev = 0u32;
+        for i in 0..len {
+            let d = self.u32()?;
+            if i > 0 && d == 0 {
+                return Err(invalid("pair ids not strictly ascending"));
+            }
+            prev = prev.checked_add(d).ok_or_else(|| invalid("id overflow"))?;
+            out.push((prev, read_val(self)?));
+        }
+        Ok(out)
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     /// Fails unless the whole payload was consumed.
@@ -220,11 +445,189 @@ impl<'a> Dec<'a> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
-            Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "trailing bytes after frame payload",
-            ))
+            Err(invalid("trailing bytes after frame payload"))
         }
+    }
+}
+
+/// The coordinator's half of one worker connection: nonblocking, with a
+/// parse-as-you-go receive buffer and whole-frame single-write sends.
+///
+/// Reads never block — [`FrameConn::poll`] returns `Ok(None)` until a
+/// complete frame is buffered, which lets the coordinator sweep all
+/// shards for `RoundDone`s instead of waiting on each in turn. Writes
+/// spin on `WouldBlock` (loopback buffers make that rare) but always
+/// land the whole frame.
+pub struct FrameConn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    wbuf: Vec<u8>,
+}
+
+impl FrameConn {
+    /// Wraps an established (blocking) stream, switching it to
+    /// nonblocking mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `set_nonblocking` failure.
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        Ok(FrameConn {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+        })
+    }
+
+    /// Sends one frame: assembles `[varint len][payload]` in the write
+    /// scratch and pushes it out with as few syscalls as the socket
+    /// allows.
+    ///
+    /// # Errors
+    ///
+    /// Frame-cap violations and transport failures.
+    pub fn send(&mut self, payload: &[u8], meter: &FrameMeter) -> io::Result<()> {
+        check_cap(payload.len())?;
+        self.wbuf.clear();
+        put_varint(&mut self.wbuf, payload.len() as u64);
+        self.wbuf.extend_from_slice(payload);
+        let mut off = 0usize;
+        while off < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[off..]) {
+                Ok(0) => return Err(io::Error::from(io::ErrorKind::WriteZero)),
+                Ok(k) => off += k,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::yield_now(),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        meter.count_sent(self.wbuf.len());
+        Ok(())
+    }
+
+    /// Sends pre-framed bytes (already `[varint len][payload]`, e.g. the
+    /// cached `Init` frame) without re-assembly.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn send_framed(&mut self, frame: &[u8], meter: &FrameMeter) -> io::Result<()> {
+        let mut off = 0usize;
+        while off < frame.len() {
+            match self.stream.write(&frame[off..]) {
+                Ok(0) => return Err(io::Error::from(io::ErrorKind::WriteZero)),
+                Ok(k) => off += k,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::yield_now(),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        meter.count_sent(frame.len());
+        Ok(())
+    }
+
+    /// Pumps the socket without blocking; returns a complete frame
+    /// payload if one is buffered, `Ok(None)` if the worker has not
+    /// answered yet, and an error on EOF or transport failure.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the peer hung up, cap/format violations,
+    /// and transport failures.
+    pub fn poll(&mut self, meter: &FrameMeter) -> io::Result<Option<Vec<u8>>> {
+        loop {
+            if let Some(payload) = self.try_parse(meter)? {
+                return Ok(Some(payload));
+            }
+            let mut tmp = [0u8; 64 * 1024];
+            match self.stream.read(&mut tmp) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "worker connection closed",
+                    ))
+                }
+                Ok(k) => {
+                    if self.rpos > 0 && self.rpos == self.rbuf.len() {
+                        self.rbuf.clear();
+                        self.rpos = 0;
+                    }
+                    self.rbuf.extend_from_slice(&tmp[..k]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Blocking receive built from [`FrameConn::poll`], yielding the
+    /// CPU between sweeps (workers may share the cores).
+    ///
+    /// # Errors
+    ///
+    /// As [`FrameConn::poll`].
+    pub fn recv_blocking(&mut self, meter: &FrameMeter) -> io::Result<Vec<u8>> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(payload) = self.poll(meter)? {
+                return Ok(payload);
+            }
+            spins += 1;
+            if spins < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+        }
+    }
+
+    /// Attempts to parse one complete frame from the receive buffer.
+    fn try_parse(&mut self, meter: &FrameMeter) -> io::Result<Option<Vec<u8>>> {
+        let avail = &self.rbuf[self.rpos..];
+        let mut len = 0u64;
+        let mut shift = 0u32;
+        let mut used = 0usize;
+        loop {
+            let Some(&byte) = avail.get(used) else {
+                return Ok(None); // prefix itself incomplete
+            };
+            used += 1;
+            len |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift > 28 {
+                return Err(invalid("frame length prefix too long"));
+            }
+        }
+        let len = usize::try_from(len).map_err(|_| invalid("frame length overflows usize"))?;
+        if len > MAX_FRAME {
+            return Err(invalid(&format!(
+                "frame length {len} exceeds the {MAX_FRAME}-byte cap"
+            )));
+        }
+        if avail.len() < used + len {
+            return Ok(None);
+        }
+        let payload = avail[used..used + len].to_vec();
+        self.rpos += used + len;
+        if self.rpos == self.rbuf.len() || self.rpos > 64 * 1024 {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+        meter.count_recv(used + len);
+        Ok(Some(payload))
+    }
+
+    /// Shuts down both directions of the underlying socket (used by the
+    /// chaos kill hook).
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -233,31 +636,75 @@ mod tests {
     use super::*;
 
     #[test]
+    fn varints_round_trip_boundary_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "length of {v}");
+            let mut d = Dec::new(&buf);
+            assert_eq!(d.u64().unwrap(), v);
+            d.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn state_rotation_shrinks_tagged_states() {
+        // Greedy decided flag (bit 63) and Rand phase tags (bits 62–63)
+        // must land in the low bits on the wire.
+        for (state, max_bytes) in [
+            (0u64, 1usize),
+            ((1 << 63) | 5, 1 + 1),   // greedy decided color 5
+            ((2 << 62) | 17, 1 + 1),  // rand decided color 17
+            ((1 << 62) | 300, 2 + 1), // rand proposing color 300
+            (u64::MAX, 10),
+        ] {
+            assert_eq!(unrot(rot(state)), state);
+            assert!(
+                varint_len(rot(state)) <= max_bytes,
+                "state {state:#x} took {} wire bytes",
+                varint_len(rot(state))
+            );
+        }
+    }
+
+    #[test]
     fn codec_round_trips_every_field_kind() {
         let mut e = Enc::tagged(7);
         e.u32(0xDEAD_BEEF);
         e.u64(u64::MAX - 1);
         e.str("boundary ports");
-        e.u32s(&[1, 2, 3]);
-        e.u64s(&[]);
+        e.ids(&[1, 2, 3, 900]);
+        e.states(&[(1 << 63) | 4, 0]);
         e.bytes(&[0xFF, 0x00]);
-        e.pairs(&[(9, 1 << 40)]);
+        e.pairs_states(&[(9, 1 << 62), (40, 3)]);
+        e.pairs_vals(&[(2, 7)]);
         let mut d = Dec::new(&e.0);
         assert_eq!(d.u8().unwrap(), 7);
         assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
         assert_eq!(d.u64().unwrap(), u64::MAX - 1);
         assert_eq!(d.str().unwrap(), "boundary ports");
-        assert_eq!(d.u32s().unwrap(), [1, 2, 3]);
-        assert!(d.u64s().unwrap().is_empty());
+        assert_eq!(d.ids().unwrap(), [1, 2, 3, 900]);
+        assert_eq!(d.states().unwrap(), [(1 << 63) | 4, 0]);
         assert_eq!(d.bytes().unwrap(), [0xFF, 0x00]);
-        assert_eq!(d.pairs().unwrap(), [(9, 1 << 40)]);
+        assert_eq!(d.pairs_states().unwrap(), [(9, 1 << 62), (40, 3)]);
+        assert_eq!(d.pairs_vals().unwrap(), [(2, 7)]);
         d.finish().unwrap();
     }
 
     #[test]
     fn truncated_and_trailing_payloads_are_errors_not_panics() {
         let mut e = Enc::tagged(1);
-        e.u64(5);
+        e.u64(u64::MAX);
         let mut d = Dec::new(&e.0[..4]);
         d.u8().unwrap();
         assert!(d.u64().is_err());
@@ -265,8 +712,16 @@ mod tests {
         d.u8().unwrap();
         assert!(d.finish().is_err());
         // A declared length past the buffer end must not allocate/panic.
-        let mut d = Dec::new(&[10, 0, 0, 0, 1]);
-        assert!(d.u32s().is_err());
+        let mut d = Dec::new(&[0xFF, 0xFF, 0xFF, 0xFF, 1]);
+        assert!(d.ids().is_err());
+        // Non-ascending id lists are refused.
+        let mut e = Enc::tagged(1);
+        e.u32(2); // count
+        e.u32(5); // first id
+        e.u32(0); // zero gap
+        let mut d = Dec::new(&e.0);
+        d.u8().unwrap();
+        assert!(d.ids().is_err());
     }
 
     #[test]
@@ -285,9 +740,35 @@ mod tests {
     }
 
     #[test]
-    fn oversized_length_prefix_is_refused() {
+    fn frame_cap_is_enforced_at_exactly_one_byte_over() {
+        let meter = FrameMeter::disabled();
+        // At the cap and one under: round trip.
+        for len in [MAX_FRAME - 1, MAX_FRAME] {
+            let payload = vec![0x5Au8; len];
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &payload, &meter).unwrap();
+            let got = read_frame(&mut &buf[..], &meter).unwrap();
+            assert_eq!(got.len(), len);
+            assert_eq!(got[len / 2], 0x5A);
+        }
+        // One over: the writer refuses before any bytes hit the wire.
+        let over = vec![0u8; MAX_FRAME + 1];
         let mut buf = Vec::new();
-        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = write_frame(&mut buf, &over, &meter).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(buf.is_empty(), "no partial frame may be written");
+        // ... and the reader refuses a forged oversized prefix.
+        let mut forged = Vec::new();
+        put_varint(&mut forged, (MAX_FRAME + 1) as u64);
+        let err = read_frame(&mut &forged[..], &meter).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused() {
+        // An absurdly long varint prefix (> 5 bytes) is refused without
+        // allocating.
+        let buf = [0xFFu8; 10];
         let err = read_frame(&mut &buf[..], &FrameMeter::disabled()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
@@ -299,8 +780,45 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(&mut buf, b"abc", &meter).unwrap();
         read_frame(&mut &buf[..], &meter).unwrap();
-        assert_eq!(hub.counter("shard.bytes_sent").get(), 7);
-        assert_eq!(hub.counter("shard.bytes_recv").get(), 7);
+        // 1-byte varint prefix + 3 payload bytes.
+        assert_eq!(hub.counter("shard.bytes_sent").get(), 4);
+        assert_eq!(hub.counter("shard.bytes_recv").get(), 4);
         assert_eq!(hub.counter("shard.frames").get(), 2);
+    }
+
+    #[test]
+    fn frame_conn_round_trips_over_loopback_including_at_cap() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let worker = std::thread::spawn(move || {
+            let mut stream = std::net::TcpStream::connect(addr).unwrap();
+            let meter = FrameMeter::disabled();
+            // Echo frames back until the coordinator hangs up.
+            loop {
+                match read_frame(&mut stream, &meter) {
+                    Ok(payload) => write_frame(&mut stream, &payload, &meter).unwrap(),
+                    Err(_) => return,
+                }
+            }
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = FrameConn::new(stream).unwrap();
+        let meter = FrameMeter::disabled();
+        // Small frame, empty frame, multi-frame pipelining, and a frame
+        // exactly at the cap all survive the nonblocking path.
+        conn.send(b"ping", &meter).unwrap();
+        conn.send(b"", &meter).unwrap();
+        assert_eq!(conn.recv_blocking(&meter).unwrap(), b"ping");
+        assert!(conn.recv_blocking(&meter).unwrap().is_empty());
+        let big = vec![0xA5u8; MAX_FRAME];
+        conn.send(&big, &meter).unwrap();
+        let echoed = conn.recv_blocking(&meter).unwrap();
+        assert_eq!(echoed.len(), MAX_FRAME);
+        assert!(echoed == big);
+        // One byte over the cap is refused locally.
+        let over = vec![0u8; MAX_FRAME + 1];
+        assert!(conn.send(&over, &meter).is_err());
+        drop(conn);
+        worker.join().unwrap();
     }
 }

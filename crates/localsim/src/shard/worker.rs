@@ -6,21 +6,27 @@
 //! clock ([`Frame::RoundGo`]) and the worker answers each with exactly
 //! one [`Frame::RoundDone`] — which makes the worker trivially
 //! restartable: a respawned worker is indistinguishable from a fresh one
-//! once [`Frame::Init`] + [`Frame::Restore`] have replayed its state.
+//! once [`Frame::Init`] + [`Frame::Restore`] have replayed its state
+//! (`Restore` carries every node's state, so no ghost delta survives a
+//! restart).
 //!
 //! The stepping loop below mirrors `exec.rs`'s sequential fault arm
 //! node-for-node (stall check, per-port drop cache, gather, step,
 //! halt-freeze), restricted to the owned range; the equivalence suite in
-//! `tests/shard.rs` pins that the two stay bit-identical.
+//! `tests/shard.rs` pins that the two stay bit-identical. On the wire
+//! the worker is a delta endpoint: it only reports boundary states that
+//! *changed* this round (counting the rest into `suppressed`) and only
+//! receives ghost states that changed on their owning shard.
 
-use std::io;
+use std::io::{self, BufReader};
 use std::net::TcpStream;
 
-use graphgen::{Graph, NodeId};
+use graphgen::NodeId;
 
 use super::algo::WireAlgo;
-use super::proto::{Frame, PROTO_VERSION};
-use super::wire::{read_frame, write_frame, FrameMeter};
+use super::proto::{decode_fault_plan, Frame, GhostUpdates, PROTO_VERSION};
+use super::topology::Topology;
+use super::wire::{read_frame, write_frame, write_frame_buf, FrameMeter, MAX_FRAME};
 use crate::exec::{LocalAlgorithm, NodeCtx, Transition};
 use crate::faults::FaultPlan;
 
@@ -42,12 +48,13 @@ pub fn serve_connect(addr: &str) -> io::Result<()> {
 /// # Errors
 ///
 /// Returns transport errors and protocol violations (bad frame order,
-/// undecodable payloads). State-construction failures (bad graph text,
-/// unknown algorithm spec) are also reported to the coordinator as a
-/// [`Frame::Error`] before returning.
+/// undecodable payloads). State-construction failures (bad graph
+/// payload, unknown algorithm spec) are also reported to the
+/// coordinator as a [`Frame::Error`] before returning.
 pub fn serve(mut stream: TcpStream) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let meter = FrameMeter::disabled();
+    let mut reader = BufReader::new(stream.try_clone()?);
     write_frame(
         &mut stream,
         &Frame::Hello {
@@ -56,7 +63,7 @@ pub fn serve(mut stream: TcpStream) -> io::Result<()> {
         .encode(),
         &meter,
     )?;
-    let init = Frame::decode(&read_frame(&mut stream, &meter)?)?;
+    let init = Frame::decode(&read_frame(&mut reader, &meter)?)?;
     let Frame::Init {
         shard,
         start,
@@ -85,55 +92,90 @@ pub fn serve(mut stream: TcpStream) -> io::Result<()> {
     };
     write_frame(&mut stream, &Frame::InitAck { shard }.encode(), &meter)?;
 
+    // Per-connection scratch: every reply is assembled into `frame_buf`
+    // and hits the socket as one `write_all`.
+    let mut frame_buf: Vec<u8> = Vec::new();
     loop {
-        let frame = Frame::decode(&read_frame(&mut stream, &meter)?)?;
+        let frame = Frame::decode(&read_frame(&mut reader, &meter)?)?;
         let reply = match frame {
             Frame::RoundGo {
                 round,
                 crashes,
                 ghosts,
-            } => state.run_round(round, &crashes, &ghosts),
-            Frame::DumpReq => state.dump(),
+            } => state.run_round(round, &crashes, &ghosts)?,
+            Frame::DumpReq { round } => state.dump(round),
             Frame::Restore {
                 round,
                 states,
                 live,
                 seen,
-            } => state.restore(round, states, &live, seen),
+            } => state.restore(round, states, &live, seen)?,
             Frame::Shutdown => return Ok(()),
             other => return Err(protocol(format!("unexpected frame {other:?}"))),
         };
-        write_frame(&mut stream, &reply.encode(), &meter)?;
+        write_frame_buf(&mut stream, &reply_payload(&reply), &mut frame_buf, &meter)?;
     }
+}
+
+/// Encodes a reply, substituting a clean [`Frame::Error`] when the
+/// encoded reply would blow the frame cap (a 64 MiB-plus `Dump` must
+/// fail loudly, not jam the connection).
+fn reply_payload(reply: &Frame) -> Vec<u8> {
+    let payload = reply.encode();
+    if payload.len() <= MAX_FRAME {
+        return payload;
+    }
+    Frame::Error {
+        message: format!(
+            "reply frame of {} bytes exceeds the {MAX_FRAME}-byte cap",
+            payload.len()
+        ),
+    }
+    .encode()
 }
 
 fn protocol(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-/// One shard's executor state: the full (static) topology, the full
-/// state vector (authoritative on `start..end`, ghost copies elsewhere),
-/// and the owned slices of the live worklist and drop cache.
+/// One shard's executor state: the topology view shipped by `Init`
+/// (full graph or owned-range slice), the full-length state vector
+/// (authoritative on `start..end`, ghost copies for foreign neighbors,
+/// untouched init zeros elsewhere), and the owned slices of the live
+/// worklist and drop cache.
 struct ShardState {
-    graph: Graph,
+    topo: Topology,
     algo: WireAlgo,
     plan: FaultPlan,
     start: usize,
     end: usize,
-    /// States of all `n` nodes as of the last completed round. Entries
-    /// outside `start..end` are ghosts, updated only by `RoundGo`.
+    /// States as of the last completed round. Only entries for owned
+    /// vertices and ghosts (foreign neighbors of owned vertices) are
+    /// ever read; ghost entries update only when a `RoundGo` carries a
+    /// change or a `Restore` resets everything.
     cur: Vec<u64>,
     /// Write buffer for the owned range (`end - start` entries).
     nxt: Vec<u64>,
     /// Owned nodes still live, ascending.
     live: Vec<NodeId>,
-    /// Per-directed-port "last heard" drop cache, full length but only
-    /// the owned port range `offsets[start]..offsets[end]` is touched.
+    /// Per-directed-port "last heard" drop cache covering exactly the
+    /// owned port range (local index; add `port_base` for the global
+    /// drop-stream slot).
     seen: Vec<u64>,
-    /// Owned nodes with at least one neighbor outside the owned range.
+    /// Global port index of `seen[0]` (`csr_offsets()[start]` of the
+    /// full graph); 0 when drops are off.
+    port_base: usize,
+    /// Local port offsets over the owned range: vertex `start + i` owns
+    /// ports `local_off[i]..local_off[i + 1]` of `seen`.
+    local_off: Vec<usize>,
+    /// `boundary[v - start]` = owned `v` has a foreign neighbor.
     boundary: Vec<bool>,
-    /// Last completed round, echoed into `Dump`.
-    last_round: u64,
+    /// Sorted foreign neighbors of the owned range — the universe the
+    /// coordinator packs `RoundGo` ghosts against.
+    ghost_ids: Vec<u32>,
+    /// Sorted owned vertices with a foreign neighbor — the universe
+    /// `RoundDone` boundary updates are packed against.
+    boundary_ids: Vec<u32>,
     drop_on: bool,
     jitter_on: bool,
 }
@@ -143,56 +185,85 @@ impl ShardState {
         start: u32,
         end: u32,
         algo: &str,
-        faults: &str,
-        graph_text: &str,
+        faults: &[u8],
+        graph: &[u8],
     ) -> Result<ShardState, String> {
-        let graph = graphgen::io::parse_edge_list(graph_text)
-            .map_err(|e| format!("shard init: bad graph: {e}"))?;
+        let (start, end) = (start as usize, end as usize);
+        let topo = Topology::decode(graph, start, end)
+            .map_err(|e| format!("shard init: bad graph payload: {e}"))?;
         let algo: WireAlgo = algo
             .parse()
             .map_err(|e| format!("shard init: bad algorithm spec: {e}"))?;
-        let plan: FaultPlan = if faults.is_empty() {
-            FaultPlan::default()
-        } else {
-            serde::json::from_str(faults).map_err(|e| format!("shard init: bad fault plan: {e}"))?
-        };
-        let (start, end) = (start as usize, end as usize);
-        let n = graph.n();
-        if start > end || end > n {
-            return Err(format!("shard init: range {start}..{end} outside 0..{n}"));
+        let plan =
+            decode_fault_plan(faults).map_err(|e| format!("shard init: bad fault plan: {e}"))?;
+        let n = topo.n();
+        let max_degree = topo.max_degree();
+        let mut local_off = Vec::with_capacity(end - start + 1);
+        local_off.push(0usize);
+        let mut boundary = Vec::with_capacity(end - start);
+        let mut ghost_ids: Vec<u32> = Vec::new();
+        for v in start..end {
+            let nbrs = topo.neighbors(NodeId(v as u32));
+            local_off.push(local_off.last().unwrap() + nbrs.len());
+            let mut foreign = false;
+            for w in nbrs {
+                if w.index() < start || w.index() >= end {
+                    foreign = true;
+                    ghost_ids.push(w.0);
+                }
+            }
+            boundary.push(foreign);
         }
-        // Init states are a pure function of the topology, so every
-        // worker computes the full vector locally — no round-0 exchange.
-        let cur: Vec<u64> = graph
-            .vertices()
-            .map(|v| algo.init(&ctx(&graph, v, 0)))
+        ghost_ids.sort_unstable();
+        ghost_ids.dedup();
+        let boundary_ids: Vec<u32> = (start..end)
+            .filter(|&v| boundary[v - start])
+            .map(|v| v as u32)
             .collect();
+        // Init states are a pure function of (id, n, Δ) for every wire
+        // algorithm — no neighbor reads — so the worker computes them
+        // for exactly the vertices it will ever look at (owned range
+        // plus ghosts) and never needs ghost adjacency or a round-0
+        // exchange.
+        let init_ctx = |v: usize| NodeCtx {
+            node: NodeId(v as u32),
+            uid: v as u64,
+            neighbors: &[],
+            round: 0,
+            n,
+            max_degree,
+        };
+        let mut cur = vec![0u64; n];
+        for (v, c) in cur.iter_mut().enumerate().take(end).skip(start) {
+            *c = algo.init(&init_ctx(v));
+        }
+        for &g in &ghost_ids {
+            cur[g as usize] = algo.init(&init_ctx(g as usize));
+        }
         let nxt = cur[start..end].to_vec();
         let drop_on = plan.message_drop_p > 0.0;
-        let offsets = graph.csr_offsets();
-        // Seed the owned port range from the init states (the setup
-        // exchange is reliable), exactly like the single-process seeding.
+        let mut port_base = 0usize;
         let mut seen = Vec::new();
         if drop_on {
-            seen = vec![0; offsets[n]];
-            for v in graph.vertices().skip(start).take(end - start) {
-                let base = offsets[v.index()];
-                for (p, w) in graph.neighbors(v).iter().enumerate() {
+            port_base = topo.global_port_base(start).ok_or_else(|| {
+                "shard init: fault plan drops messages but the graph payload \
+                 carries no port information"
+                    .to_string()
+            })?;
+            // Seed the owned port range from the init states (the setup
+            // exchange is reliable), exactly like the single-process
+            // seeding.
+            seen = vec![0u64; local_off[end - start]];
+            for v in start..end {
+                let base = local_off[v - start];
+                for (p, w) in topo.neighbors(NodeId(v as u32)).iter().enumerate() {
                     seen[base + p] = cur[w.index()];
                 }
             }
         }
-        let boundary: Vec<bool> = (start..end)
-            .map(|v| {
-                graph
-                    .neighbors(NodeId(v as u32))
-                    .iter()
-                    .any(|w| w.index() < start || w.index() >= end)
-            })
-            .collect();
         let jitter_on = plan.round_jitter > 0;
         Ok(ShardState {
-            graph,
+            topo,
             algo,
             plan,
             start,
@@ -201,16 +272,24 @@ impl ShardState {
             nxt,
             live: (start..end).map(|v| NodeId(v as u32)).collect(),
             seen,
+            port_base,
+            local_off,
             boundary,
-            last_round: 0,
+            ghost_ids,
+            boundary_ids,
             drop_on,
             jitter_on,
         })
     }
 
-    fn run_round(&mut self, round: u64, crashes: &[u32], ghosts: &[(u32, u64)]) -> Frame {
-        for &(v, s) in ghosts {
-            self.cur[v as usize] = s;
+    fn run_round(
+        &mut self,
+        round: u64,
+        crashes: &[u32],
+        ghosts: &GhostUpdates,
+    ) -> io::Result<Frame> {
+        for (idx, s) in ghosts.resolve(&self.ghost_ids)? {
+            self.cur[self.ghost_ids[idx] as usize] = s;
         }
         // Crashes freeze at the start of the round, before any step.
         for &v in crashes {
@@ -223,12 +302,12 @@ impl ShardState {
                 self.nxt[v.index() - self.start] = self.cur[v.index()];
             }
         }
-        let offsets = self.graph.csr_offsets();
-        let n = self.graph.n();
-        let max_degree = self.graph.max_degree();
+        let n = self.topo.n();
+        let max_degree = self.topo.max_degree();
         let mut msgs = 0u64;
         let mut dropped = 0u64;
         let mut stalled = 0u64;
+        let mut suppressed = 0u64;
         let mut halts: Vec<(u32, u64)> = Vec::new();
         let mut boundary_out: Vec<(u32, u64)> = Vec::new();
         let mut nbr_buf: Vec<u64> = Vec::with_capacity(max_degree);
@@ -245,27 +324,28 @@ impl ShardState {
                 continue;
             }
             nbr_buf.clear();
+            let nbrs = self.topo.neighbors(v);
             if self.drop_on {
-                let base = offsets[vi];
-                for (p, w) in self.graph.neighbors(v).iter().enumerate() {
-                    let slot = base + p;
-                    if self.plan.drops_message(round, slot) {
+                let base = self.local_off[vi - self.start];
+                for (p, w) in nbrs.iter().enumerate() {
+                    // The drop stream is indexed by *global* port slot so
+                    // every shard count draws identical drop decisions.
+                    if self.plan.drops_message(round, self.port_base + base + p) {
                         dropped += 1;
                     } else {
-                        self.seen[slot] = self.cur[w.index()];
+                        self.seen[base + p] = self.cur[w.index()];
                     }
                 }
-                let deg = self.graph.neighbors(v).len();
-                nbr_buf.extend_from_slice(&self.seen[base..base + deg]);
-                msgs += deg as u64;
+                nbr_buf.extend_from_slice(&self.seen[base..base + nbrs.len()]);
+                msgs += nbrs.len() as u64;
             } else {
-                nbr_buf.extend(self.graph.neighbors(v).iter().map(|w| self.cur[w.index()]));
+                nbr_buf.extend(nbrs.iter().map(|w| self.cur[w.index()]));
                 msgs += nbr_buf.len() as u64;
             }
             let ctx = NodeCtx {
                 node: v,
                 uid: u64::from(v.0),
-                neighbors: self.graph.neighbors(v),
+                neighbors: nbrs,
                 round,
                 n,
                 max_degree,
@@ -274,7 +354,13 @@ impl ShardState {
                 Transition::Continue(s) => {
                     self.nxt[vi - self.start] = s;
                     if self.boundary[vi - self.start] {
-                        boundary_out.push((v.0, s));
+                        if s == self.cur[vi] {
+                            // Neighboring shards already hold this state;
+                            // the delta exchange sends nothing.
+                            suppressed += 1;
+                        } else {
+                            boundary_out.push((v.0, s));
+                        }
                     }
                     self.live[kept] = v;
                     kept += 1;
@@ -290,33 +376,47 @@ impl ShardState {
         }
         self.live.truncate(kept);
         self.cur[self.start..self.end].copy_from_slice(&self.nxt);
-        self.last_round = round;
-        Frame::RoundDone {
+        Ok(Frame::RoundDone {
             round,
             msgs,
             dropped,
             stalled,
+            suppressed,
             halts,
-            boundary: boundary_out,
-        }
+            boundary: GhostUpdates::pack(boundary_out, &self.boundary_ids),
+        })
     }
 
-    fn dump(&self) -> Frame {
-        let offsets = self.graph.csr_offsets();
-        let seen = if self.drop_on {
-            self.seen[offsets[self.start]..offsets[self.end]].to_vec()
-        } else {
-            Vec::new()
-        };
+    /// The coordinator names the checkpoint round (an idle shard is not
+    /// kicked, so it cannot know it); this shard's states are current
+    /// for that round either way — an unkicked shard's states have not
+    /// changed since its last live round.
+    fn dump(&self, round: u64) -> Frame {
         Frame::Dump {
-            round: self.last_round,
+            round,
             states: self.cur[self.start..self.end].to_vec(),
             live: self.live.iter().map(|v| v.0).collect(),
-            seen,
+            seen: self.seen.clone(),
         }
     }
 
-    fn restore(&mut self, round: u64, states: Vec<u64>, live: &[u8], seen: Vec<u64>) -> Frame {
+    fn restore(
+        &mut self,
+        round: u64,
+        states: Vec<u64>,
+        live: &[u8],
+        seen: Vec<u64>,
+    ) -> io::Result<Frame> {
+        if states.len() != self.cur.len() {
+            return Err(protocol(format!(
+                "restore with {} states for {} nodes",
+                states.len(),
+                self.cur.len()
+            )));
+        }
+        // The full state vector resets owned *and* ghost entries, so the
+        // delta exchange restarts from a synchronized baseline — no
+        // explicit full-sync round is needed after a restore.
         self.cur = states;
         self.nxt.copy_from_slice(&self.cur[self.start..self.end]);
         self.live = (self.start..self.end)
@@ -324,21 +424,43 @@ impl ShardState {
             .map(|v| NodeId(v as u32))
             .collect();
         if self.drop_on {
-            self.seen = seen;
+            let hi = self.port_base + self.local_off[self.end - self.start];
+            if seen.len() < hi {
+                return Err(protocol(format!(
+                    "restore drop cache has {} ports, owned range needs {hi}",
+                    seen.len()
+                )));
+            }
+            self.seen = seen[self.port_base..hi].to_vec();
         }
-        self.last_round = round;
-        Frame::RestoreAck { round }
+        Ok(Frame::RestoreAck { round })
     }
 }
 
-/// Node context for init (round 0) with default uids.
-fn ctx<'a>(graph: &'a Graph, v: NodeId, round: u64) -> NodeCtx<'a> {
-    NodeCtx {
-        node: v,
-        uid: u64::from(v.0),
-        neighbors: graph.neighbors(v),
-        round,
-        n: graph.n(),
-        max_degree: graph.max_degree(),
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oversized_replies_become_clean_error_frames() {
+        // A Dump whose encoding tops the 64 MiB cap (u64::MAX states are
+        // 10 wire bytes each) must degrade into an Error frame the
+        // coordinator can decode, never a jammed oversized write.
+        let dump = Frame::Dump {
+            round: 1,
+            states: vec![u64::MAX; 8 << 20],
+            live: vec![],
+            seen: vec![],
+        };
+        assert!(dump.encode().len() > MAX_FRAME);
+        let payload = reply_payload(&dump);
+        assert!(payload.len() <= MAX_FRAME);
+        match Frame::decode(&payload).unwrap() {
+            Frame::Error { message } => assert!(message.contains("exceeds")),
+            other => panic!("expected Error frame, got {other:?}"),
+        }
+        // Ordinary replies pass through untouched.
+        let small = Frame::RestoreAck { round: 3 };
+        assert_eq!(reply_payload(&small), small.encode());
     }
 }

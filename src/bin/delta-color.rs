@@ -468,6 +468,16 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 ),
                 None => eprintln!("{} shard(s): {} rounds", cfg.shards, report.rounds),
             }
+            if let Some(t) = &report.traffic {
+                eprintln!(
+                    "wire: {} B init, {} B/round steady-state, {} ghost update(s) sent, \
+                     {} suppressed",
+                    t.init_bytes,
+                    t.round_bytes(report.rounds),
+                    t.ghost_updates,
+                    t.ghost_suppressed
+                );
+            }
             let mut out = String::new();
             for (v, o) in report.outputs.iter().enumerate() {
                 out.push_str(&format!("{v} {o}\n"));
