@@ -185,6 +185,23 @@ fn run(args: &[String]) -> i32 {
 
     let mut base_cases = extract(&baseline, &metric);
     let mut cand_cases = extract(&candidate, &metric);
+    // Distinguish "the series is absent from the report" (pre-filter)
+    // from "the filter matched nothing" (post-filter): the fixes differ.
+    if metric == "bytes" {
+        let mut absent = false;
+        for (role, path, report, cases) in [
+            ("baseline", baseline_path, &baseline, &base_cases),
+            ("candidate", candidate_path, &candidate, &cand_cases),
+        ] {
+            if cases.is_empty() {
+                eprintln!("error: {}", missing_bytes_series(role, path, report));
+                absent = true;
+            }
+        }
+        if absent {
+            return 2;
+        }
+    }
     base_cases.retain(|k, _| matches_filter(k, &filter));
     cand_cases.retain(|k, _| matches_filter(k, &filter));
     if base_cases.is_empty() || cand_cases.is_empty() {
@@ -433,6 +450,23 @@ fn extract(report: &Value, metric: &str) -> BTreeMap<String, f64> {
         collect_cases("", report, fields, &mut out);
     }
     out
+}
+
+/// Diagnostic for `--metric bytes` when a report extracts to zero
+/// cases: says *which* file lacks the wire byte series and why —
+/// typically a baseline written before the shard bench recorded
+/// `wire_cases`, or a report from a different bench entirely — and how
+/// to regenerate it, instead of the generic comparable-case count.
+fn missing_bytes_series(role: &str, path: &str, report: &Value) -> String {
+    let why = match report.field("wire_cases") {
+        Ok(_) => "its `wire_cases` entries carry no byte fields",
+        Err(_) => "it has no `wire_cases` series at all",
+    };
+    format!(
+        "{role} report `{path}` lacks the wire byte series — {why}; regenerate it with \
+         `cargo bench -p delta-bench --bench shard -- --json <out>` before diffing with \
+         --metric bytes"
+    )
 }
 
 /// Deterministic slice of a `--metrics-out` snapshot: counters and
@@ -731,6 +765,63 @@ mod tests {
             &format!("{key}#init_bytes"),
             &parse_filter("shards=2").unwrap()
         ));
+    }
+
+    #[test]
+    fn absent_wire_series_is_named_not_counted() {
+        // A pre-wire-series baseline (bench cases only): the diagnostic
+        // names the file, the missing series, and the regeneration step.
+        let msg = missing_bytes_series(
+            "baseline",
+            "old.json",
+            &bench_report(&[("clique", 1000, 900)]),
+        );
+        assert!(msg.contains("baseline report `old.json`"), "{msg}");
+        assert!(msg.contains("no `wire_cases` series at all"), "{msg}");
+        assert!(msg.contains("bench shard"), "{msg}");
+        // A present-but-empty series gets the other explanation.
+        let hollow = Value::Map(vec![("wire_cases".to_string(), Value::Seq(vec![]))]);
+        let msg = missing_bytes_series("candidate", "new.json", &hollow);
+        assert!(msg.contains("candidate report `new.json`"), "{msg}");
+        assert!(msg.contains("carry no byte fields"), "{msg}");
+    }
+
+    #[test]
+    fn bytes_diff_against_a_baseline_without_the_series_exits_2() {
+        let dir = std::env::temp_dir().join(format!("benchdiff-absent-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cand = dir.join("cand.json");
+        std::fs::write(
+            &base,
+            r#"{"schema_version":1,"cases":[{"topology":"clique","n":64,"mean_ns":100}]}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &cand,
+            r#"{"schema_version":1,"wire_cases":[{"topology":"clique","n":64,"shards":4,
+                "rounds":3,"init_bytes":900,"round_bytes":70,"total_sent_bytes":1110,
+                "total_recv_bytes":210,"ghost_updates":4,"ghost_suppressed":2}]}"#,
+        )
+        .unwrap();
+        let args: Vec<String> = [
+            "--metric",
+            "bytes",
+            base.to_str().unwrap(),
+            cand.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(run(&args), 2, "series-absent diff must refuse, not pass");
+        // The same pair under the default timing metric still takes the
+        // generic no-comparable-cases exit (candidate has no mean_ns).
+        let args: Vec<String> = [base.to_str().unwrap(), cand.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(run(&args), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

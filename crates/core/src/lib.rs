@@ -75,11 +75,12 @@ pub use randomized::{
     RandReport, RecoveryStats, ShatterStats,
 };
 pub use shard::{
-    run_wire_coloring, DistributedConfig, DistributedError, WireColorReport, WireTraffic,
+    run_shard_case, run_wire_coloring, DistributedConfig, DistributedError, ShardRunSpec,
+    WireColorReport, WireTraffic,
 };
 pub use supervisor::{
     drive_deterministic, drive_randomized, graph_digest, load_bundle, load_snapshot, replay_bundle,
-    save_bundle, save_snapshot, ChaosPlan, DegradedComponent, FailureReport, PhaseCursor,
-    PipelineKind, ReplayReport, ReproBundle, RunOutcome, Snapshot, Supervisor,
+    save_bundle, save_snapshot, shard_bundle, ChaosPlan, DegradedComponent, FailureReport,
+    PhaseCursor, PipelineKind, ReplayReport, ReproBundle, RunOutcome, Snapshot, Supervisor,
 };
 pub use validate::{validate_coloring, ValidationReport, Violation};

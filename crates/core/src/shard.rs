@@ -8,11 +8,14 @@
 //! same place phase snapshots live, and the run validates its output
 //! with [`verify_wire_coloring`] before reporting success.
 
+use std::time::Duration;
+
 use graphgen::Graph;
 use localsim::{
-    verify_wire_coloring, ChaosKill, Executor, FaultPlan, Probe, ShardError, ShardedExecutor,
-    SimError, WireAlgo, WorkerBackend,
+    verify_wire_coloring, ChaosKill, Executor, FaultPlan, Liveness, NetFaultPlan, Probe,
+    ShardError, ShardedExecutor, SimError, WireAlgo, WorkerBackend,
 };
+use serde::{Deserialize, Serialize};
 
 use crate::supervisor::Supervisor;
 
@@ -37,6 +40,12 @@ pub struct DistributedConfig {
     pub max_respawns: usize,
     /// Worker hosting backend.
     pub backend: WorkerBackend,
+    /// Wire-level chaos plan (frame delay/dup/corrupt, connection
+    /// resets, worker hangs); `None` injects nothing.
+    pub net_faults: Option<NetFaultPlan>,
+    /// Coordinator liveness policy (connect/barrier timeouts, heartbeat
+    /// cadence, worker read timeout).
+    pub liveness: Liveness,
 }
 
 impl DistributedConfig {
@@ -53,6 +62,8 @@ impl DistributedConfig {
             chaos_kills: Vec::new(),
             max_respawns: 4,
             backend: WorkerBackend::Threads,
+            net_faults: None,
+            liveness: Liveness::default(),
         }
     }
 }
@@ -88,6 +99,9 @@ pub struct WireTraffic {
     pub ghost_updates: u64,
     /// Unchanged boundary states the delta exchange kept off the wire.
     pub ghost_suppressed: u64,
+    /// Shard ranges the coordinator adopted in-process after their
+    /// respawn budget ran out (graceful degradation; 0 is the norm).
+    pub adopted_ranges: u64,
 }
 
 impl WireTraffic {
@@ -169,9 +183,13 @@ pub fn run_wire_coloring(
             .with_checkpoint_every(cfg.checkpoint_every)
             .with_checkpoint_dir(sup.checkpoint_dir.clone())
             .with_chaos_kills(cfg.chaos_kills.clone())
-            .with_max_respawns(cfg.max_respawns);
+            .with_max_respawns(cfg.max_respawns)
+            .with_liveness(cfg.liveness);
         if let Some(plan) = &cfg.faults {
             ex = ex.with_faults(plan.clone());
+        }
+        if let Some(plan) = &cfg.net_faults {
+            ex = ex.with_net_faults(plan.clone());
         }
         ex.run(cfg.algo, cfg.max_rounds)?
     };
@@ -190,6 +208,7 @@ pub fn run_wire_coloring(
             init_bytes: hub.counter("shard.init_bytes").get(),
             ghost_updates: hub.counter("shard.ghost_updates_sent").get(),
             ghost_suppressed: hub.counter("shard.ghost_suppressed").get(),
+            adopted_ranges: hub.counter("shard.adopted_ranges").get(),
         });
     Ok(WireColorReport {
         outputs: run.outputs,
@@ -197,6 +216,135 @@ pub fn run_wire_coloring(
         colors_used,
         traffic,
     })
+}
+
+/// A self-contained, serializable description of one sharded chaos case
+/// — the unit the `delta-color soak` campaign executes and a captured
+/// repro bundle replays. Everything that shapes the run's behavior is in
+/// here (plus the graph and simulated-fault plan the bundle carries
+/// separately), so a failure reproduces from the bundle alone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardRunSpec {
+    /// Worker shard count (at least 1).
+    pub shards: usize,
+    /// Wire algorithm, in [`WireAlgo`] display form (e.g. `rand:7`).
+    pub algo: String,
+    /// Round budget.
+    pub max_rounds: u64,
+    /// Checkpoint cadence in rounds.
+    pub checkpoint_every: u64,
+    /// Per-shard respawn budget.
+    pub max_respawns: usize,
+    /// Runtime-layer `(shard, after_round)` kills to inject.
+    pub kills: Vec<(u64, u64)>,
+    /// Wire-level chaos plan; `None` injects nothing.
+    pub net: Option<NetFaultPlan>,
+    /// Barrier timeout override in milliseconds (`None` = default).
+    pub barrier_timeout_ms: Option<u64>,
+    /// Heartbeat cadence override in milliseconds (`None` = default).
+    pub heartbeat_ms: Option<u64>,
+}
+
+impl ShardRunSpec {
+    /// Thread-backed defaults for `algo` over `shards` shards: chaos-free,
+    /// checkpointing every 2 rounds with a respawn budget of 4.
+    #[must_use]
+    pub fn new(shards: usize, algo: &WireAlgo) -> Self {
+        ShardRunSpec {
+            shards,
+            algo: algo.to_string(),
+            max_rounds: 100_000,
+            checkpoint_every: 2,
+            max_respawns: 4,
+            kills: Vec::new(),
+            net: None,
+            barrier_timeout_ms: None,
+            heartbeat_ms: None,
+        }
+    }
+
+    /// The liveness policy this spec selects: defaults with the
+    /// millisecond overrides applied.
+    #[must_use]
+    pub fn liveness(&self) -> Liveness {
+        let mut l = Liveness::default();
+        if let Some(ms) = self.barrier_timeout_ms {
+            l.barrier_timeout = Some(Duration::from_millis(ms));
+        }
+        if let Some(ms) = self.heartbeat_ms {
+            l.heartbeat_every = Duration::from_millis(ms);
+        }
+        l
+    }
+}
+
+/// Runs one sharded chaos case and checks it against the single-process
+/// reference: same graph, same algorithm, same simulated `faults`, but
+/// no kills or wire chaos. Returns `None` when the sharded run matches
+/// the reference bit-for-bit (outputs and round count), or a
+/// deterministic divergence/failure description.
+///
+/// Both the soak campaign and `delta-color replay` call this, so a
+/// captured failure replays to the *same string* — that equality is the
+/// "reproduced" check.
+#[must_use]
+pub fn run_shard_case(
+    graph: &Graph,
+    spec: &ShardRunSpec,
+    faults: Option<&FaultPlan>,
+) -> Option<String> {
+    let algo: WireAlgo = match spec.algo.parse() {
+        Ok(a) => a,
+        Err(e) => return Some(format!("bad algo spec: {e}")),
+    };
+    let sup = Supervisor::passive();
+    let mut reference = DistributedConfig::for_algo(algo);
+    reference.shards = 0;
+    reference.faults = faults.cloned();
+    reference.max_rounds = spec.max_rounds;
+    let expect = match run_wire_coloring(graph, &reference, &sup, Probe::disabled()) {
+        Ok(r) => r,
+        Err(e) => return Some(format!("reference run failed: {e}")),
+    };
+    let mut cfg = DistributedConfig::for_algo(algo);
+    cfg.shards = spec.shards;
+    cfg.faults = faults.cloned();
+    cfg.max_rounds = spec.max_rounds;
+    cfg.checkpoint_every = spec.checkpoint_every;
+    cfg.max_respawns = spec.max_respawns;
+    cfg.chaos_kills = spec
+        .kills
+        .iter()
+        .map(|&(shard, after_round)| ChaosKill {
+            shard: shard as usize,
+            after_round,
+        })
+        .collect();
+    cfg.net_faults = spec.net.clone();
+    cfg.liveness = spec.liveness();
+    let got = match run_wire_coloring(graph, &cfg, &sup, Probe::disabled()) {
+        Ok(r) => r,
+        Err(e) => return Some(format!("sharded run failed: {e}")),
+    };
+    if got.rounds != expect.rounds {
+        return Some(format!(
+            "round count diverged: sharded ran {} rounds, reference ran {}",
+            got.rounds, expect.rounds
+        ));
+    }
+    if got.outputs != expect.outputs {
+        let v = got
+            .outputs
+            .iter()
+            .zip(&expect.outputs)
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        return Some(format!(
+            "outputs diverged first at node {v}: sharded {} vs reference {}",
+            got.outputs[v], expect.outputs[v]
+        ));
+    }
+    None
 }
 
 #[cfg(test)]
@@ -251,6 +399,26 @@ mod tests {
         cfg.shards = 0;
         let single = run_wire_coloring(&g, &cfg, &sup, Probe::disabled()).unwrap();
         assert!(single.traffic.is_none());
+    }
+
+    #[test]
+    fn shard_cases_replay_to_stable_verdicts() {
+        let g = graphgen::generators::gnp(30, 0.2, 11);
+        let mut spec = ShardRunSpec::new(2, &WireAlgo::Greedy);
+        spec.kills = vec![(0, 1)];
+        spec.net = Some(localsim::NetFaultPlan {
+            seed: 5,
+            dup_p: 0.2,
+            ..localsim::NetFaultPlan::default()
+        });
+        assert_eq!(run_shard_case(&g, &spec, None), None);
+        // The spec round-trips through JSON unchanged (bundle capture).
+        let json = serde::json::to_string(&spec);
+        assert_eq!(serde::json::from_str::<ShardRunSpec>(&json).unwrap(), spec);
+        // A broken spec yields a deterministic diagnostic, not a panic.
+        spec.algo = "mis".to_string();
+        let verdict = run_shard_case(&g, &spec, None).unwrap();
+        assert!(verdict.starts_with("bad algo spec"), "{verdict}");
     }
 
     #[test]

@@ -56,6 +56,7 @@ use crate::randomized::{
     color_large_delta, rand_phase_easy, rand_phase_postprocess, rand_phase_postshatter,
     rand_phase_preshatter, RandConfig, RandReport, RecoveryStats, ShatterStats,
 };
+use crate::shard::{run_shard_case, ShardRunSpec};
 use graphgen::Color;
 
 /// On-disk snapshot format version; bumped on incompatible layout changes.
@@ -71,6 +72,9 @@ pub enum PipelineKind {
     Deterministic,
     /// Theorem 2's randomized shattering pipeline.
     Randomized,
+    /// The sharded wire runtime under chaos (a `delta-color soak` case,
+    /// replayed through [`crate::shard::run_shard_case`]).
+    Shard,
 }
 
 /// A phase boundary: the last *completed* phase a snapshot captures.
@@ -367,11 +371,14 @@ pub struct ReproBundle {
     /// Flight-recorder tail at capture time, oldest first (empty when the
     /// run had no recorder attached).
     pub flight: Vec<Event>,
+    /// Sharded-run spec (`pipeline == Shard`).
+    pub shard_config: Option<ShardRunSpec>,
 }
 
-// Deserialized by hand so bundles written before the `flight` field
-// existed (still format version 1 — the addition is purely additive)
-// load with an empty tail instead of failing on the missing key.
+// Deserialized by hand so bundles written before the `flight` and
+// `shard_config` fields existed (still format version 1 — both
+// additions are purely additive) load with empty defaults instead of
+// failing on the missing keys.
 impl<'de> Deserialize<'de> for ReproBundle {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         Ok(ReproBundle {
@@ -391,7 +398,41 @@ impl<'de> Deserialize<'de> for ReproBundle {
                 Ok(f) => Deserialize::from_value(f)?,
                 Err(_) => Vec::new(),
             },
+            shard_config: match v.field("shard_config") {
+                Ok(f) => Deserialize::from_value(f)?,
+                Err(_) => None,
+            },
         })
+    }
+}
+
+/// Builds a [`ReproBundle`] capturing one failed sharded chaos case —
+/// the `delta-color soak` campaign's unit of capture. `cursor` becomes
+/// the bundle filename stem (e.g. `soak-017`), `error` the verdict
+/// string [`crate::shard::run_shard_case`] produced.
+#[must_use]
+pub fn shard_bundle(
+    graph: &Graph,
+    spec: &ShardRunSpec,
+    faults: Option<&FaultPlan>,
+    error: String,
+    cursor: Option<String>,
+) -> ReproBundle {
+    ReproBundle {
+        version: BUNDLE_VERSION,
+        pipeline: PipelineKind::Shard,
+        graph: graph.clone(),
+        rand_config: None,
+        det_config: None,
+        faults: faults.cloned(),
+        chaos: ChaosPlan::default(),
+        degrade: false,
+        cursor,
+        error,
+        violations: Vec::new(),
+        degraded: Vec::new(),
+        flight: Vec::new(),
+        shard_config: Some(spec.clone()),
     }
 }
 
@@ -734,6 +775,7 @@ pub fn drive_randomized(
                 violations: violations.clone(),
                 degraded: st.degraded.clone(),
                 flight: sup.flight_tail(),
+                shard_config: None,
             };
             let path = match &sup.bundle_dir {
                 Some(dir) => Some(save_bundle(dir, &bundle)?),
@@ -1030,6 +1072,7 @@ pub fn drive_deterministic(
                 violations: violations.clone(),
                 degraded: Vec::new(),
                 flight: sup.flight_tail(),
+                shard_config: None,
             };
             let path = match &sup.bundle_dir {
                 Some(dir) => Some(save_bundle(dir, &bundle)?),
@@ -1237,6 +1280,17 @@ pub fn replay_bundle(path: &Path, probe: &Probe) -> Result<ReplayReport, DeltaCo
                 _ => (None, Vec::new()),
             }
         }
+        PipelineKind::Shard => {
+            let spec = bundle.shard_config.as_ref().ok_or_else(|| {
+                DeltaColoringError::Supervisor("shard bundle is missing its run spec".to_string())
+            })?;
+            // `run_shard_case` owns the comparison against the reference
+            // run; its verdict string is the replay's observed error.
+            (
+                run_shard_case(&bundle.graph, spec, bundle.faults.as_ref()),
+                Vec::new(),
+            )
+        }
     };
     let reproduced = observed_error.as_deref() == Some(bundle.error.as_str())
         && observed_violations == bundle.violations;
@@ -1281,6 +1335,34 @@ mod tests {
         assert_ne!(graph_digest(&a), graph_digest(&b));
         assert_ne!(graph_digest(&a), graph_digest(&c));
         assert_eq!(graph_digest(&a), graph_digest(&generators::complete(6)));
+    }
+
+    #[test]
+    fn shard_bundles_round_trip_and_replay() {
+        let g = generators::gnp(24, 0.2, 3);
+        let mut spec = ShardRunSpec::new(2, &localsim::WireAlgo::Greedy);
+        spec.kills = vec![(1, 1)];
+        let dir = std::env::temp_dir().join(format!("shard-bundle-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let bundle = shard_bundle(
+            &g,
+            &spec,
+            None,
+            "synthetic failure".to_string(),
+            Some("soak-000".to_string()),
+        );
+        let path = save_bundle(&dir, &bundle).unwrap();
+        assert!(path.ends_with("bundle-after-soak-000.json"));
+        let loaded = load_bundle(&path).unwrap();
+        assert_eq!(loaded.pipeline, PipelineKind::Shard);
+        assert_eq!(loaded.shard_config, Some(spec));
+        // The captured case is actually healthy, so the replay observes
+        // no divergence and reports the failure as not reproduced.
+        let rep = replay_bundle(&path, &Probe::disabled()).unwrap();
+        assert!(!rep.reproduced);
+        assert_eq!(rep.observed_error, None);
+        assert_eq!(rep.recorded_error, "synthetic failure");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

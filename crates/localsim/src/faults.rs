@@ -26,8 +26,10 @@ const STREAM_DROP: u64 = 0xD09F_5CEE_D15A_57E5;
 const STREAM_STALL: u64 = 0x57A1_1BAD_CAFE_F00D;
 
 /// The 64-bit finalizer of splitmix64: a full-avalanche bijection.
+/// Shared with the wire-level chaos plan (`shard::netfault`) so every
+/// fault layer draws from the same deterministic primitive.
 #[inline]
-fn mix(mut x: u64) -> u64 {
+pub(crate) fn mix(mut x: u64) -> u64 {
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^= x >> 27;

@@ -78,7 +78,8 @@ pub use par::{default_threads, set_default_threads};
 pub use par::segments_weighted;
 pub use pool::{lease as pool_lease, PoolLease, WorkerPool};
 pub use shard::{
-    verify_wire_coloring, ChaosKill, ShardError, ShardedExecutor, WireAlgo, WorkerBackend,
+    verify_wire_coloring, ChaosKill, Liveness, NetDir, NetFaultPlan, ShardError, ShardedExecutor,
+    WireAlgo, WorkerBackend,
 };
 
 // Re-exported so simulator users can attach probes without naming the

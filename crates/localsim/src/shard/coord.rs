@@ -21,9 +21,11 @@
 //! every shard instead of serial blocking reads, so a slow shard never
 //! delays reading the others.
 
+use std::collections::VecDeque;
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use graphgen::{Graph, NodeId};
@@ -31,18 +33,17 @@ use serde::Value;
 use telemetry::{Event, FaultKind, MetricCounter, Probe, Registry};
 
 use super::algo::WireAlgo;
+use super::netfault::{Liveness, NetDir, NetFaultPlan, NET_DELAY};
 use super::proto::{encode_fault_plan, Frame, GhostUpdates, PROTO_VERSION};
 use super::topology::{encode_full, encode_sub};
-use super::wire::{frame_bytes, FrameConn, FrameMeter};
+use super::wire::{self, frame_bytes, Dec, FrameConn, FrameMeter, TxFault};
+use super::worker::ShardState;
 use crate::exec::{LocalAlgorithm, NodeCtx, RunResult, SimError, EXEC_SCOPE};
 use crate::faults::FaultPlan;
 use crate::par::segments_weighted;
 
-/// How long to wait for a (re)spawned worker to connect back.
-const ACCEPT_TIMEOUT: Duration = Duration::from_secs(20);
-
 /// How a worker shard is hosted.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub enum WorkerBackend {
     /// Worker loops run on threads of this process, still speaking the
     /// full TCP protocol over loopback. The default; used by tests and
@@ -57,6 +58,26 @@ pub enum WorkerBackend {
         /// Arguments before the appended address.
         args: Vec<String>,
     },
+    /// Test hook: each "worker" is whatever the closure does with the
+    /// coordinator's `host:port`, run on a fresh thread. Lets the
+    /// liveness tests interpose byte-level proxies or deliberately
+    /// half-dead workers without a process boundary.
+    #[doc(hidden)]
+    Custom(Arc<dyn Fn(String) + Send + Sync>),
+}
+
+impl std::fmt::Debug for WorkerBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerBackend::Threads => f.write_str("Threads"),
+            WorkerBackend::Process { program, args } => f
+                .debug_struct("Process")
+                .field("program", program)
+                .field("args", args)
+                .finish(),
+            WorkerBackend::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
 }
 
 /// A deterministic fault injection for the *runtime* layer (as opposed
@@ -82,7 +103,10 @@ pub enum ShardError {
     /// A protocol violation (bad handshake, unexpected frame, worker
     /// error report) — not retried.
     Protocol(String),
-    /// A shard kept dying past the respawn budget.
+    /// A shard kept dying past the respawn budget. Since protocol v3
+    /// the coordinator *adopts* such a shard in-process instead of
+    /// failing; the variant remains for API stability and for callers
+    /// matching historical traces.
     RespawnBudgetExhausted {
         /// The repeatedly failing shard.
         shard: usize,
@@ -277,6 +301,8 @@ pub struct ShardedExecutor<'g> {
     checkpoint_dir: Option<PathBuf>,
     max_respawns: usize,
     kills: Vec<ChaosKill>,
+    net_faults: Option<NetFaultPlan>,
+    liveness: Liveness,
 }
 
 impl<'g> ShardedExecutor<'g> {
@@ -294,6 +320,8 @@ impl<'g> ShardedExecutor<'g> {
             checkpoint_dir: None,
             max_respawns: 4,
             kills: Vec::new(),
+            net_faults: None,
+            liveness: Liveness::default(),
         }
     }
 
@@ -358,6 +386,26 @@ impl<'g> ShardedExecutor<'g> {
     #[must_use]
     pub fn with_chaos_kills(mut self, kills: Vec<ChaosKill>) -> Self {
         self.kills = kills;
+        self
+    }
+
+    /// Injects a seed-deterministic *wire-level* [`NetFaultPlan`]:
+    /// per-frame delay, duplication, and corruption, plus scheduled
+    /// connection resets and worker hangs. An inactive plan is a no-op.
+    /// Every decision is keyed by a per-connection counter of
+    /// chaos-eligible frames, so the same plan replays bit-identically.
+    #[must_use]
+    pub fn with_net_faults(mut self, plan: NetFaultPlan) -> Self {
+        self.net_faults = plan.is_active().then_some(plan);
+        self
+    }
+
+    /// Overrides the coordinator's [`Liveness`] policy: connect and
+    /// barrier timeouts, heartbeat cadence, and the read timeout handed
+    /// to thread-backed workers.
+    #[must_use]
+    pub fn with_liveness(mut self, liveness: Liveness) -> Self {
+        self.liveness = liveness;
         self
     }
 
@@ -477,6 +525,17 @@ impl<'g> ShardedExecutor<'g> {
         let mut emitted = 0u64;
         let mut pending_ghosts: Vec<Vec<(u32, u64)>> = vec![Vec::new(); shard_count];
         let mut kills = self.kills.clone();
+        // Scheduled wire faults fire once each, like chaos kills.
+        let mut resets: Vec<(u64, u64)> = self
+            .net_faults
+            .as_ref()
+            .map(|p| p.resets.clone())
+            .unwrap_or_default();
+        let mut hangs: Vec<(u64, u64)> = self
+            .net_faults
+            .as_ref()
+            .map(|p| p.hangs.clone())
+            .unwrap_or_default();
 
         while live_count > 0 {
             if rounds >= max_rounds {
@@ -489,6 +548,14 @@ impl<'g> ShardedExecutor<'g> {
             while let Some(pos) = kills.iter().position(|k| k.after_round == rounds) {
                 let kill = kills.remove(pos);
                 cluster.kill_shard(kill.shard);
+            }
+            while let Some(pos) = resets.iter().position(|&(_, r)| r == rounds) {
+                let (s, _) = resets.remove(pos);
+                cluster.reset_shard(s as usize);
+            }
+            while let Some(pos) = hangs.iter().position(|&(_, r)| r == rounds) {
+                let (s, _) = hangs.remove(pos);
+                cluster.mute_shard(s as usize);
             }
             let r = rounds + 1;
             // Plan order drives event emission; the wire wants the list
@@ -518,7 +585,7 @@ impl<'g> ShardedExecutor<'g> {
             ) {
                 Ok(agg) => agg,
                 Err(TripFail::Shard(s)) => {
-                    cluster.recover(s, &ckpt)?;
+                    self.recover_and_report(cluster, s, &ckpt)?;
                     rounds = ckpt.round;
                     restore_volatile(
                         &ckpt,
@@ -619,7 +686,7 @@ impl<'g> ShardedExecutor<'g> {
                         self.persist_checkpoint(&ckpt)?;
                     }
                     Err(TripFail::Shard(s)) => {
-                        cluster.recover(s, &ckpt)?;
+                        self.recover_and_report(cluster, s, &ckpt)?;
                         rounds = ckpt.round;
                         restore_volatile(
                             &ckpt,
@@ -646,6 +713,30 @@ impl<'g> ShardedExecutor<'g> {
                 .collect(),
             rounds,
         })
+    }
+
+    /// Runs recovery for `failed` and surfaces every shard the cluster
+    /// adopted along the way (respawn budget exhausted) as an
+    /// [`Event::Degraded`] — the run continues with those ranges served
+    /// in-process from the checkpoint instead of aborting.
+    fn recover_and_report(
+        &self,
+        cluster: &mut Cluster,
+        failed: usize,
+        ckpt: &Checkpoint,
+    ) -> Result<(), ShardError> {
+        for s in cluster.recover(failed, ckpt)? {
+            self.probe.emit_with(|| Event::Degraded {
+                scope: "shard".to_string(),
+                unit: s as u64,
+                reason: format!(
+                    "respawn budget of {} exhausted; range adopted in-process",
+                    cluster.max_respawns
+                ),
+                rounds: ckpt.round,
+            });
+        }
+        Ok(())
     }
 
     /// Writes `ckpt` into the checkpoint dir (atomic tmp + rename), if
@@ -721,9 +812,30 @@ struct Cluster {
     init_frames: Vec<Vec<u8>>,
     max_respawns: usize,
     meter: FrameMeter,
+    liveness: Liveness,
+    chaos: Option<NetFaultPlan>,
+    /// Hang injection: replies from a muted shard are read and
+    /// discarded, simulating a worker that is alive but wedged. Only the
+    /// barrier deadline clears it (via kill + respawn).
+    muted: Vec<bool>,
+    /// Shards served in-process after exhausting their respawn budget
+    /// (graceful degradation). `None` = still remote.
+    adopted: Vec<Option<ShardState>>,
+    /// Replies produced by adopted shards, drained in FIFO order —
+    /// exactly the delivery order a connection would give.
+    local_replies: Vec<VecDeque<Frame>>,
+    /// When the coordinator last wrote to each shard; drives the idle
+    /// heartbeat that keeps worker read timeouts from firing.
+    last_send: Vec<Instant>,
+    /// Per-connection counters of chaos-eligible frames (reset on every
+    /// attach): the chaos plan keys on these, never on wall-clock-driven
+    /// traffic like heartbeats, so decisions replay bit-identically.
+    chaos_tx: Vec<u64>,
+    chaos_rx: Vec<u64>,
     c_init_bytes: Option<MetricCounter>,
     c_ghost_sent: Option<MetricCounter>,
     c_ghost_suppressed: Option<MetricCounter>,
+    c_adopted: Option<MetricCounter>,
 }
 
 impl Cluster {
@@ -781,7 +893,9 @@ impl Cluster {
                 graph: graph_payload,
             };
             let mut framed = Vec::new();
-            frame_bytes(&init.encode(), &mut framed)
+            // The cached bytes always open a fresh connection, so they
+            // carry sequence 0 on every (re)spawn.
+            frame_bytes(&init.encode(), 0, &mut framed)
                 .map_err(|e| ShardError::Io(format!("shard {s} init frame: {e}")))?;
             init_frames.push(framed);
         }
@@ -790,26 +904,37 @@ impl Cluster {
                 h.counter("shard.init_bytes"),
                 h.counter("shard.ghost_updates_sent"),
                 h.counter("shard.ghost_suppressed"),
+                h.counter("shard.adopted_ranges"),
             )
         });
-        let (c_init_bytes, c_ghost_sent, c_ghost_suppressed) = match counters {
-            Some((a, b, c)) => (Some(a), Some(b), Some(c)),
-            None => (None, None, None),
+        let (c_init_bytes, c_ghost_sent, c_ghost_suppressed, c_adopted) = match counters {
+            Some((a, b, c, d)) => (Some(a), Some(b), Some(c), Some(d)),
+            None => (None, None, None, None),
         };
+        let shard_count = ranges.len();
         let mut cluster = Cluster {
             listener,
             addr,
-            conns: (0..ranges.len()).map(|_| None).collect(),
-            handles: (0..ranges.len()).map(|_| WorkerHandle::Thread).collect(),
-            respawns: vec![0; ranges.len()],
+            conns: (0..shard_count).map(|_| None).collect(),
+            handles: (0..shard_count).map(|_| WorkerHandle::Thread).collect(),
+            respawns: vec![0; shard_count],
             ranges,
             backend: exec.backend.clone(),
             init_frames,
             max_respawns: exec.max_respawns,
             meter,
+            liveness: exec.liveness,
+            chaos: exec.net_faults.clone(),
+            muted: vec![false; shard_count],
+            adopted: (0..shard_count).map(|_| None).collect(),
+            local_replies: (0..shard_count).map(|_| VecDeque::new()).collect(),
+            last_send: vec![Instant::now(); shard_count],
+            chaos_tx: vec![0; shard_count],
+            chaos_rx: vec![0; shard_count],
             c_init_bytes,
             c_ghost_sent,
             c_ghost_suppressed,
+            c_adopted,
         };
         for s in 0..cluster.ranges.len() {
             cluster.handles[s] = cluster.spawn_worker()?;
@@ -822,11 +947,18 @@ impl Cluster {
         match &self.backend {
             WorkerBackend::Threads => {
                 let addr = self.addr.clone();
+                let read_timeout = self.liveness.worker_read_timeout;
                 // Worker threads exit when their connection drops; the
                 // handle is not joined (shutdown closes every socket).
                 std::thread::spawn(move || {
-                    let _ = super::worker::serve_connect(&addr);
+                    let _ = super::worker::serve_connect_with(&addr, read_timeout);
                 });
+                Ok(WorkerHandle::Thread)
+            }
+            WorkerBackend::Custom(run) => {
+                let addr = self.addr.clone();
+                let run = Arc::clone(run);
+                std::thread::spawn(move || run(addr));
                 Ok(WorkerHandle::Thread)
             }
             WorkerBackend::Process { program, args } => std::process::Command::new(program)
@@ -846,14 +978,15 @@ impl Cluster {
     /// runs the Hello → Init → InitAck handshake for shard `s`, sending
     /// the cached pre-framed `Init` bytes.
     fn attach(&mut self, s: usize) -> Result<(), ShardError> {
-        let deadline = Instant::now() + ACCEPT_TIMEOUT;
+        let timeout = self.liveness.connect_timeout;
+        let deadline = Instant::now() + timeout;
         let stream: TcpStream = loop {
             match self.listener.accept() {
                 Ok((stream, _)) => break stream,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     if Instant::now() >= deadline {
                         return Err(ShardError::Io(format!(
-                            "worker for shard {s} did not connect within {ACCEPT_TIMEOUT:?}"
+                            "worker for shard {s} did not connect within {timeout:?}"
                         )));
                     }
                     std::thread::sleep(Duration::from_millis(20));
@@ -867,8 +1000,11 @@ impl Cluster {
         let mut conn = FrameConn::new(stream)
             .map_err(|e| ShardError::Io(format!("cannot configure worker socket: {e}")))?;
         let meter = self.meter.clone();
+        // The whole handshake shares the connect deadline: a worker that
+        // connects and then wedges mid-handshake is detected, not waited
+        // on forever.
         let hello = conn
-            .recv_blocking(&meter)
+            .recv_deadline(&meter, Some(deadline))
             .and_then(|p| Frame::decode(&p))
             .map_err(|e| ShardError::Io(format!("shard {s} handshake failed: {e}")))?;
         validate_hello(s, &hello)?;
@@ -877,7 +1013,10 @@ impl Cluster {
         if let Some(c) = &self.c_init_bytes {
             c.add(self.init_frames[s].len() as u64);
         }
-        match conn.recv_blocking(&meter).and_then(|p| Frame::decode(&p)) {
+        match conn
+            .recv_deadline(&meter, Some(deadline))
+            .and_then(|p| Frame::decode(&p))
+        {
             Ok(Frame::InitAck { shard }) if shard as usize == s => {}
             Ok(Frame::Error { message }) => {
                 return Err(ShardError::Protocol(format!(
@@ -892,35 +1031,153 @@ impl Cluster {
             Err(e) => return Err(ShardError::Io(format!("shard {s} init ack failed: {e}"))),
         }
         self.conns[s] = Some(conn);
+        // Fresh connection, fresh chaos/liveness state: the plan keys on
+        // per-connection frame counters, and the worker just heard from
+        // us (the Init frame).
+        self.muted[s] = false;
+        self.chaos_tx[s] = 0;
+        self.chaos_rx[s] = 0;
+        self.last_send[s] = Instant::now();
         Ok(())
     }
 
-    /// Sends an encoded payload to shard `s`.
+    /// Sends an encoded payload to shard `s` — through its connection
+    /// (with any chaos the plan injects), or straight into in-process
+    /// frame handling for an adopted shard.
     fn send_payload(&mut self, s: usize, payload: &[u8]) -> io::Result<()> {
+        if self.adopted[s].is_some() {
+            return self.process_local(s, payload);
+        }
         let meter = self.meter.clone();
+        let fault = self.next_tx_fault(s);
         let conn = self.conns[s]
             .as_mut()
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "shard disconnected"))?;
-        conn.send(payload, &meter)
+        let sent = conn.send_with(payload, &meter, &fault);
+        self.last_send[s] = Instant::now();
+        sent
     }
 
-    fn recv(&mut self, s: usize) -> io::Result<Frame> {
+    /// Chaos decision for the next coordinator→worker frame on shard
+    /// `s`'s connection, keyed by the per-connection counter of
+    /// chaos-eligible frames. Heartbeats and the cached `Init` bytes
+    /// never pass through here, so wall-clock-driven keepalives cannot
+    /// shift the decision stream.
+    fn next_tx_fault(&mut self, s: usize) -> TxFault {
+        let Some(plan) = &self.chaos else {
+            return TxFault::default();
+        };
+        let f = self.chaos_tx[s];
+        self.chaos_tx[s] += 1;
+        TxFault {
+            delay: plan.delays(s, NetDir::Send, f).then_some(NET_DELAY),
+            dup: plan.dups(s, NetDir::Send, f),
+            corrupt: plan.corrupts(s, NetDir::Send, f),
+        }
+    }
+
+    /// Chaos decision for a frame received from shard `s`: an injected
+    /// receive delay stalls the coordinator briefly; injected receive
+    /// corruption discards the frame and fails the shard — exactly what
+    /// a corrupted wire frame does via the checksum.
+    fn rx_fault(&mut self, s: usize) -> Option<TripFail> {
+        let plan = self.chaos.as_ref()?;
+        let f = self.chaos_rx[s];
+        self.chaos_rx[s] += 1;
+        if plan.delays(s, NetDir::Recv, f) {
+            std::thread::sleep(NET_DELAY);
+        }
+        plan.corrupts(s, NetDir::Recv, f)
+            .then_some(TripFail::Shard(s))
+    }
+
+    /// Serves one frame of an adopted shard's protocol in-process,
+    /// queueing the reply (when the frame warrants one) in the order a
+    /// connection would deliver it.
+    fn process_local(&mut self, s: usize, payload: &[u8]) -> io::Result<()> {
+        let frame = Frame::decode(payload)?;
+        let state = self.adopted[s].as_mut().expect("adopted shard has state");
+        let reply = match frame {
+            Frame::RoundGo {
+                round,
+                crashes,
+                ghosts,
+            } => state.run_round(round, &crashes, &ghosts)?,
+            Frame::DumpReq { round } => state.dump(round),
+            Frame::Restore {
+                round,
+                states,
+                live,
+                seen,
+            } => state.restore(round, states, &live, seen)?,
+            Frame::Shutdown | Frame::Heartbeat => return Ok(()),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("adopted shard {s} cannot serve {other:?}"),
+                ))
+            }
+        };
+        self.local_replies[s].push_back(reply);
+        Ok(())
+    }
+
+    /// Receives one frame from shard `s` (bounded wait), or pops the
+    /// next queued in-process reply for an adopted shard.
+    fn recv(&mut self, s: usize, deadline: Option<Instant>) -> io::Result<Frame> {
+        if self.adopted[s].is_some() {
+            return self.local_replies[s].pop_front().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "adopted shard has no queued reply",
+                )
+            });
+        }
         let meter = self.meter.clone();
         let conn = self.conns[s]
             .as_mut()
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "shard disconnected"))?;
-        Frame::decode(&conn.recv_blocking(&meter)?)
+        Frame::decode(&conn.recv_deadline(&meter, deadline)?)
+    }
+
+    /// Sends a `Heartbeat` to every connected shard the coordinator has
+    /// not written to for `heartbeat_every`, so idle-elided shards and
+    /// shards behind a long barrier never trip their read timeout.
+    /// Heartbeats bypass both the meter and the chaos plan: they are
+    /// wall-clock-driven, and must perturb neither the deterministic
+    /// byte counters nor the chaos decision stream.
+    fn heartbeat_idle(&mut self) {
+        let quiet = self.liveness.heartbeat_every;
+        let payload = Frame::Heartbeat.encode();
+        for s in 0..self.ranges.len() {
+            if self.adopted[s].is_some() || self.last_send[s].elapsed() < quiet {
+                continue;
+            }
+            if let Some(conn) = self.conns[s].as_mut() {
+                // A failed heartbeat is not an error here: the next real
+                // exchange detects the corpse and recovers it.
+                let _ = conn.send(&payload, &FrameMeter::disabled());
+                self.last_send[s] = Instant::now();
+            }
+        }
     }
 
     /// Drains one reply frame from every shard with `want[s]` set, by
     /// readiness-polling all wanted connections — a shard that answers
     /// late never blocks reading the ones that answered early. Unwanted
-    /// shards (idle, not kicked this trip) stay `None`.
+    /// shards (idle, not kicked this trip) stay `None`. Adopted shards
+    /// answer from their in-process reply queue.
+    ///
+    /// The wait is bounded by `Liveness::barrier_timeout`: past it, the
+    /// first still-unanswered shard is declared hung (alive but wedged —
+    /// a dead one would have failed its connection already) and handed
+    /// to recovery like any other failure.
     fn collect_replies(&mut self, want: &[bool]) -> Result<Vec<Option<Frame>>, TripFail> {
         let meter = self.meter.clone();
         let shard_count = self.ranges.len();
         let mut results: Vec<Option<Frame>> = (0..shard_count).map(|_| None).collect();
         let target = want.iter().filter(|&&w| w).count();
+        let deadline = self.liveness.barrier_timeout.map(|t| Instant::now() + t);
         let mut got = 0usize;
         let mut spins = 0u32;
         while got < target {
@@ -929,35 +1186,62 @@ impl Cluster {
                 if !want[s] || results[s].is_some() {
                     continue;
                 }
+                if self.adopted[s].is_some() {
+                    if let Some(frame) = self.local_replies[s].pop_front() {
+                        results[s] = Some(frame);
+                        got += 1;
+                        progress = true;
+                    }
+                    continue;
+                }
                 let Some(conn) = self.conns[s].as_mut() else {
                     return Err(TripFail::Shard(s));
                 };
                 match conn.poll(&meter) {
-                    Ok(Some(payload)) => match Frame::decode(&payload) {
-                        Ok(frame) => {
-                            results[s] = Some(frame);
-                            got += 1;
-                            progress = true;
+                    Ok(Some(payload)) => {
+                        if self.muted[s] {
+                            // Injected hang: the reply arrived, but the
+                            // coordinator acts as if it never did; only
+                            // the barrier deadline clears this state.
+                            continue;
                         }
-                        // Undecodable bytes mean the shard is gone or
-                        // corrupt either way; recover it.
-                        Err(_) => return Err(TripFail::Shard(s)),
-                    },
+                        if let Some(fail) = self.rx_fault(s) {
+                            return Err(fail);
+                        }
+                        match Frame::decode(&payload) {
+                            Ok(frame) => {
+                                results[s] = Some(frame);
+                                got += 1;
+                                progress = true;
+                            }
+                            // Undecodable bytes mean the shard is gone or
+                            // corrupt either way; recover it.
+                            Err(_) => return Err(TripFail::Shard(s)),
+                        }
+                    }
                     Ok(None) => {}
+                    // A muted shard's transport errors are swallowed too:
+                    // the hang simulation ends at the deadline, not early.
+                    Err(_) if self.muted[s] => {}
                     Err(_) => return Err(TripFail::Shard(s)),
                 }
             }
             if progress {
                 spins = 0;
             } else {
-                // Single-core friendliness: let worker threads run, and
-                // back off once the barrier is clearly not ready.
-                spins += 1;
-                if spins < 64 {
-                    std::thread::yield_now();
-                } else {
-                    std::thread::sleep(Duration::from_micros(100));
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        let hung = (0..shard_count)
+                            .find(|&s| want[s] && results[s].is_none())
+                            .expect("an unanswered shard exists while under target");
+                        return Err(TripFail::Shard(hung));
+                    }
                 }
+                self.heartbeat_idle();
+                // Single-core friendliness: let worker threads run, and
+                // back off (bounded, jittered) once the barrier is
+                // clearly not ready.
+                wire::backoff(&mut spins);
             }
         }
         Ok(results)
@@ -1124,10 +1408,12 @@ impl Cluster {
     /// Kills one shard at the transport/process level (the chaos hook):
     /// SIGKILL for process workers, a socket shutdown for thread
     /// workers. The next round trip will detect the corpse and recover.
+    /// A no-op for adopted shards — there is nothing left to kill.
     fn kill_shard(&mut self, s: usize) {
-        if s >= self.ranges.len() {
+        if s >= self.ranges.len() || self.adopted[s].is_some() {
             return;
         }
+        self.muted[s] = false;
         if let WorkerHandle::Process(child) = &mut self.handles[s] {
             let _ = child.kill();
             let _ = child.wait();
@@ -1138,36 +1424,129 @@ impl Cluster {
         self.conns[s] = None;
     }
 
+    /// Injected connection reset: drops shard `s`'s socket cold without
+    /// touching the worker or the connection slot — the next frame
+    /// exchange fails and drives the ordinary recovery path, exactly
+    /// like a mid-run network partition.
+    fn reset_shard(&mut self, s: usize) {
+        if s >= self.ranges.len() || self.adopted[s].is_some() {
+            return;
+        }
+        if let Some(conn) = &self.conns[s] {
+            conn.shutdown();
+        }
+    }
+
+    /// Injected hang: the worker stays alive and keeps answering, but
+    /// the coordinator discards everything it says until the barrier
+    /// deadline declares it hung and recovery respawns it.
+    fn mute_shard(&mut self, s: usize) {
+        if s < self.ranges.len() && self.adopted[s].is_none() {
+            self.muted[s] = true;
+        }
+    }
+
     /// Respawns shard `s` and rewinds the whole cluster to `ckpt`,
     /// retrying (within the per-shard respawn budget) if more shards
-    /// fail during the restore itself.
-    fn recover(&mut self, failed: usize, ckpt: &Checkpoint) -> Result<(), ShardError> {
+    /// fail during the respawn handshake or the restore itself. A shard
+    /// that exhausts its budget is *adopted* instead of failing the run:
+    /// the coordinator rebuilds its state in-process from the cached
+    /// `Init` frame and serves its range itself from then on. Returns
+    /// the shards this recovery adopted.
+    fn recover(&mut self, failed: usize, ckpt: &Checkpoint) -> Result<Vec<usize>, ShardError> {
+        let mut adopted_now = Vec::new();
         let mut pending = vec![failed];
+        // Shards that already acked *this* recovery's restore. A shard
+        // must never be sent the same `Restore` twice: the duplicate ack
+        // would linger in its connection and surface later where the
+        // round loop expects a `RoundDone`.
+        let mut restored = vec![false; self.ranges.len()];
         loop {
-            for s in pending.drain(..) {
+            while let Some(s) = pending.pop() {
+                if self.adopted[s].is_some() {
+                    // In-process handling cannot die of transport
+                    // failures; reaching here is a logic error.
+                    return Err(ShardError::Protocol(format!(
+                        "adopted shard {s} failed while served in-process"
+                    )));
+                }
+                restored[s] = false;
                 self.respawns[s] += 1;
                 if self.respawns[s] > self.max_respawns {
-                    return Err(ShardError::RespawnBudgetExhausted {
-                        shard: s,
-                        budget: self.max_respawns,
-                    });
+                    self.adopt(s)?;
+                    adopted_now.push(s);
+                    continue;
                 }
                 self.kill_shard(s);
-                self.handles[s] = self.spawn_worker()?;
-                self.attach(s)?;
+                // A worker that dies mid-handshake (or never connects)
+                // burns one respawn and is retried, never hung on.
+                let attached = self.spawn_worker().and_then(|handle| {
+                    self.handles[s] = handle;
+                    self.attach(s)
+                });
+                if attached.is_err() {
+                    pending.push(s);
+                }
             }
-            match self.restore_all(ckpt) {
-                Ok(()) => return Ok(()),
+            match self.restore_all(ckpt, &mut restored) {
+                Ok(()) => return Ok(adopted_now),
                 Err(TripFail::Shard(s)) => pending.push(s),
                 Err(TripFail::Fatal(e)) => return Err(e),
             }
         }
     }
 
-    /// Broadcasts a `Restore` and waits for every `RestoreAck`,
+    /// Graceful degradation: rebuilds shard `s`'s worker state from the
+    /// cached pre-framed `Init` bytes and marks the shard adopted. From
+    /// here on `send_payload`/`collect_replies` route its frames through
+    /// [`ShardState`] directly — no socket, no process, no respawns.
+    fn adopt(&mut self, s: usize) -> Result<(), ShardError> {
+        self.kill_shard(s);
+        // The cached bytes are a full v3 frame: length prefix, sequence
+        // varint, 4 checksum bytes, then the Init payload.
+        let framed = &self.init_frames[s];
+        let mut d = Dec::new(framed);
+        let init = d
+            .u64()
+            .and_then(|_| d.u64())
+            .map(|_| framed.len() - d.remaining() + 4)
+            .and_then(|skip| Frame::decode(&framed[skip..]))
+            .map_err(|e| {
+                ShardError::Protocol(format!("shard {s} cached init frame unreadable: {e}"))
+            })?;
+        let Frame::Init {
+            start,
+            end,
+            algo,
+            faults,
+            graph,
+            ..
+        } = init
+        else {
+            return Err(ShardError::Protocol(format!(
+                "shard {s} cached init decoded to {init:?}"
+            )));
+        };
+        let state = ShardState::build(start, end, &algo, &faults, &graph)
+            .map_err(|e| ShardError::Protocol(format!("shard {s} adoption failed: {e}")))?;
+        self.adopted[s] = Some(state);
+        self.local_replies[s].clear();
+        if let Some(c) = &self.c_adopted {
+            c.incr();
+        }
+        Ok(())
+    }
+
+    /// Sends a `Restore` and waits for its `RestoreAck` shard by shard,
     /// discarding any stale pre-failure frames still in flight (TCP is
     /// FIFO per connection, so everything before the ack is stale).
-    fn restore_all(&mut self, ckpt: &Checkpoint) -> Result<(), TripFail> {
+    /// Shards already marked in `restored` are skipped: a second
+    /// `Restore` for the same checkpoint would draw a second ack that
+    /// later reads as a bogus reply to `RoundGo`. Send and ack are kept
+    /// in one loop for the same reason — if a later shard fails after an
+    /// earlier one was merely *sent* to, the retry could not tell
+    /// "restored" from "restore in flight".
+    fn restore_all(&mut self, ckpt: &Checkpoint, restored: &mut [bool]) -> Result<(), TripFail> {
         // Encode once; the same payload goes to every shard.
         let payload = Frame::Restore {
             round: ckpt.round,
@@ -1176,15 +1555,23 @@ impl Cluster {
             seen: ckpt.seen.clone(),
         }
         .encode();
+        #[allow(clippy::needless_range_loop)] // `restored[s] = true` below needs the index
         for s in 0..self.ranges.len() {
+            if restored[s] {
+                continue;
+            }
             if self.send_payload(s, &payload).is_err() {
                 return Err(TripFail::Shard(s));
             }
-        }
-        for s in 0..self.ranges.len() {
+            // Each ack gets its own bounded wait — restoring is
+            // handshake-like traffic, so the connect timeout governs it.
+            let deadline = Some(Instant::now() + self.liveness.connect_timeout);
             loop {
-                match self.recv(s) {
-                    Ok(Frame::RestoreAck { round }) if round == ckpt.round => break,
+                match self.recv(s, deadline) {
+                    Ok(Frame::RestoreAck { round }) if round == ckpt.round => {
+                        restored[s] = true;
+                        break;
+                    }
                     Ok(Frame::RoundDone { .. } | Frame::Dump { .. } | Frame::RestoreAck { .. }) => {
                         // Stale answer from before the failure; discard.
                     }

@@ -21,6 +21,7 @@
 
 mod algo;
 mod coord;
+mod netfault;
 mod proto;
 mod topology;
 mod wire;
@@ -28,6 +29,7 @@ pub mod worker;
 
 pub use algo::{verify_wire_coloring, WireAlgo};
 pub use coord::{ChaosKill, ShardError, ShardedExecutor, WorkerBackend};
+pub use netfault::{Liveness, NetDir, NetFaultPlan, NET_DELAY};
 pub use proto::{Frame, GhostUpdates, PROTO_VERSION};
-pub use wire::{FrameMeter, MAX_FRAME};
-pub use worker::{serve, serve_connect};
+pub use wire::{read_frame, write_frame, FrameMeter, FrameSeq, TxFault, MAX_FRAME};
+pub use worker::{serve, serve_connect, serve_connect_with, serve_with, DEFAULT_READ_TIMEOUT};

@@ -1,0 +1,395 @@
+//! Seed-deterministic *wire-level* fault injection and liveness policy
+//! for the sharded runtime.
+//!
+//! [`NetFaultPlan`] is the transport-layer sibling of
+//! [`crate::FaultPlan`]: where a `FaultPlan` perturbs the simulated
+//! algorithm (message drops, crashes, jitter), a `NetFaultPlan` perturbs
+//! the *real* coordinator↔worker byte stream — frame delays,
+//! duplication, corruption (caught by the v3 frame checksum), scheduled
+//! connection resets, and hung workers. Every decision is a pure
+//! function of `(seed, stream, shard, direction, frame index)`, so a
+//! chaotic run replays bit-identically and any failure it provokes is
+//! reproducible from the spec string alone.
+//!
+//! [`Liveness`] bundles the coordinator-side timeout policy: connect
+//! and barrier deadlines, the heartbeat cadence that keeps idle workers
+//! from tripping their own read timeout, and the worker read timeout
+//! itself (so orphaned workers exit instead of leaking).
+
+use std::str::FromStr;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::faults::mix;
+
+/// Distinct hash streams so delay/dup/corrupt decisions for the same
+/// frame never correlate, and never correlate with `FaultPlan` streams.
+const STREAM_NET_DELAY: u64 = 0xD31A_7ED0_F4A3_11CE;
+const STREAM_NET_DUP: u64 = 0xD0B1_E5E7_5EA1_ED21;
+const STREAM_NET_CORRUPT: u64 = 0xC0DE_C0FF_EE15_BAD1;
+
+/// Which way a frame is travelling, from the coordinator's viewpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetDir {
+    /// Coordinator → worker.
+    Send,
+    /// Worker → coordinator.
+    Recv,
+}
+
+impl NetDir {
+    #[inline]
+    fn bit(self) -> u64 {
+        match self {
+            NetDir::Send => 0,
+            NetDir::Recv => 1,
+        }
+    }
+}
+
+/// How long an injected frame delay stalls the coordinator. Kept small
+/// and constant: the point is to shake frame *timing*, not to trip the
+/// liveness deadlines that [`Liveness`] governs.
+pub const NET_DELAY: Duration = Duration::from_micros(500);
+
+/// A reproducible description of wire-level faults for one sharded run.
+///
+/// The default plan injects nothing; the coordinator treats it exactly
+/// like no plan at all.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct NetFaultPlan {
+    /// Seed for all probabilistic fault decisions.
+    pub seed: u64,
+    /// Probability that any single frame is delayed by [`NET_DELAY`]
+    /// before hitting the wire (send) or being processed (recv), in
+    /// `[0, 1)`.
+    pub delay_p: f64,
+    /// Probability that a coordinator-sent frame is written twice, in
+    /// `[0, 1)`. The duplicate carries the same sequence number, so the
+    /// receiver must drop it for the run to stay bit-identical.
+    pub dup_p: f64,
+    /// Probability that a frame is corrupted in flight (one byte
+    /// flipped inside the checksummed region), in `[0, 1)`. The
+    /// receiver's checksum rejects the frame, which surfaces as a
+    /// worker failure and drives the recovery path.
+    pub corrupt_p: f64,
+    /// Scheduled connection resets, as `(shard, after_round)` pairs:
+    /// once the given round count has completed, the coordinator drops
+    /// that shard's socket cold (half-open from the worker's side).
+    pub resets: Vec<(u64, u64)>,
+    /// Scheduled worker hangs, as `(shard, after_round)` pairs: the
+    /// coordinator stops *reading* that shard's replies, simulating a
+    /// worker that is alive but wedged. Only the barrier timeout can
+    /// clear it, so plans with hangs need `Liveness::barrier_timeout`.
+    pub hangs: Vec<(u64, u64)>,
+}
+
+impl NetFaultPlan {
+    /// Whether this plan injects anything at all.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.delay_p > 0.0
+            || self.dup_p > 0.0
+            || self.corrupt_p > 0.0
+            || !self.resets.is_empty()
+            || !self.hangs.is_empty()
+    }
+
+    /// A uniform value in `[0, 1)` keyed by
+    /// `(seed, stream, shard, dir, frame index)`.
+    #[must_use]
+    fn unit(&self, stream: u64, shard: usize, dir: NetDir, frame: u64) -> f64 {
+        let key = ((shard as u64) << 1) | dir.bit();
+        let h = mix(mix(mix(self.seed ^ stream) ^ key).wrapping_add(frame));
+        // The top 53 bits, scaled to [0, 1).
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Whether the `frame`-th chaos-eligible frame on `shard`'s
+    /// connection, travelling `dir`, is delayed by [`NET_DELAY`].
+    #[inline]
+    #[must_use]
+    pub fn delays(&self, shard: usize, dir: NetDir, frame: u64) -> bool {
+        self.delay_p > 0.0 && self.unit(STREAM_NET_DELAY, shard, dir, frame) < self.delay_p
+    }
+
+    /// Whether that frame is duplicated (send direction only).
+    #[inline]
+    #[must_use]
+    pub fn dups(&self, shard: usize, dir: NetDir, frame: u64) -> bool {
+        self.dup_p > 0.0 && self.unit(STREAM_NET_DUP, shard, dir, frame) < self.dup_p
+    }
+
+    /// Whether that frame is corrupted in flight.
+    #[inline]
+    #[must_use]
+    pub fn corrupts(&self, shard: usize, dir: NetDir, frame: u64) -> bool {
+        self.corrupt_p > 0.0 && self.unit(STREAM_NET_CORRUPT, shard, dir, frame) < self.corrupt_p
+    }
+}
+
+/// Parses the CLI spec format: comma-separated `key=value` pairs with
+/// keys `seed`, `delay`, `dup`, `corrupt`, `reset`, and `hang` (the
+/// latter two `+`-separated lists of `shard@round` entries, firing
+/// after the given number of completed rounds).
+///
+/// ```
+/// use localsim::NetFaultPlan;
+/// let plan: NetFaultPlan = "seed=7,delay=0.01,corrupt=0.001,reset=3@12".parse()?;
+/// assert_eq!(plan.seed, 7);
+/// assert_eq!(plan.resets, vec![(3, 12)]);
+/// # Ok::<(), String>(())
+/// ```
+impl FromStr for NetFaultPlan {
+    type Err = String;
+
+    fn from_str(spec: &str) -> Result<Self, String> {
+        const KEYS: &str = "`seed`, `delay`, `dup`, `corrupt`, `reset`, `hang`";
+        fn probability(key: &str, value: &str) -> Result<f64, String> {
+            let p: f64 = value
+                .parse()
+                .map_err(|e| format!("key `{key}`: bad probability `{value}`: {e}"))?;
+            if !(0.0..1.0).contains(&p) {
+                return Err(format!("key `{key}`: probability `{value}` outside [0, 1)"));
+            }
+            Ok(p)
+        }
+        fn schedule(key: &str, value: &str) -> Result<Vec<(u64, u64)>, String> {
+            let mut entries = Vec::new();
+            for entry in value.split('+') {
+                let (shard, round) = entry.split_once('@').ok_or_else(|| {
+                    format!(
+                        "key `{key}`: entry `{entry}` is not `shard@round` \
+                         (example: `{key}=3@12`)"
+                    )
+                })?;
+                let shard: u64 = shard.parse().map_err(|e| {
+                    format!("key `{key}`: bad shard `{shard}` in entry `{entry}`: {e}")
+                })?;
+                let round: u64 = round.parse().map_err(|e| {
+                    format!("key `{key}`: bad round `{round}` in entry `{entry}`: {e}")
+                })?;
+                entries.push((shard, round));
+            }
+            Ok(entries)
+        }
+
+        let mut plan = NetFaultPlan::default();
+        let mut seen: Vec<&str> = Vec::new();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                format!(
+                    "chaos-net spec entry `{}` is not a `key=value` pair (valid keys: {KEYS})",
+                    part.trim()
+                )
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            if value.is_empty() {
+                return Err(format!("chaos-net spec key `{key}` has an empty value"));
+            }
+            if let Some(&dup) = seen.iter().find(|&&k| k == key) {
+                return Err(format!("chaos-net spec key `{dup}` given more than once"));
+            }
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|e| format!("key `seed`: bad value `{value}`: {e}"))?;
+                    seen.push("seed");
+                }
+                "delay" => {
+                    plan.delay_p = probability("delay", value)?;
+                    seen.push("delay");
+                }
+                "dup" => {
+                    plan.dup_p = probability("dup", value)?;
+                    seen.push("dup");
+                }
+                "corrupt" => {
+                    plan.corrupt_p = probability("corrupt", value)?;
+                    seen.push("corrupt");
+                }
+                "reset" => {
+                    plan.resets = schedule("reset", value)?;
+                    seen.push("reset");
+                }
+                "hang" => {
+                    plan.hangs = schedule("hang", value)?;
+                    seen.push("hang");
+                }
+                other => {
+                    return Err(format!(
+                        "unknown chaos-net spec key `{other}` (valid keys: {KEYS})"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Coordinator-side liveness policy for a sharded run.
+///
+/// All timeouts bound how long the coordinator waits before declaring a
+/// worker failed and driving it through the kill → respawn → `Restore`
+/// recovery path. The defaults are generous enough that a healthy
+/// loopback fleet never trips them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Liveness {
+    /// How long to wait for a (re)spawned worker to connect and finish
+    /// the `Hello`/`Init`/`InitAck` handshake.
+    pub connect_timeout: Duration,
+    /// How long a round or checkpoint barrier may wait without *any*
+    /// shard making progress before the slowest unanswered shard is
+    /// declared hung and recovered. `None` waits forever (the pre-v3
+    /// behavior).
+    pub barrier_timeout: Option<Duration>,
+    /// Idle keepalive cadence: the coordinator sends a `Heartbeat`
+    /// frame to any worker it has not written to for this long, so
+    /// idle-elided shards never trip their read timeout.
+    pub heartbeat_every: Duration,
+    /// Worker-side read timeout (applied by thread-backed workers
+    /// spawned from this coordinator; process workers configure it via
+    /// `shard-serve --read-timeout-ms`). A worker whose coordinator
+    /// goes silent for this long exits with a clear error instead of
+    /// leaking. `Duration::ZERO` disables it.
+    pub worker_read_timeout: Duration,
+}
+
+impl Default for Liveness {
+    fn default() -> Self {
+        Liveness {
+            connect_timeout: Duration::from_secs(20),
+            barrier_timeout: Some(Duration::from_secs(60)),
+            heartbeat_every: Duration::from_secs(2),
+            worker_read_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = NetFaultPlan::default();
+        assert!(!plan.is_active());
+        assert!(!plan.delays(0, NetDir::Send, 0));
+        assert!(!plan.dups(0, NetDir::Send, 0));
+        assert!(!plan.corrupts(0, NetDir::Recv, 0));
+    }
+
+    #[test]
+    fn decisions_are_reproducible_and_direction_sensitive() {
+        let plan = NetFaultPlan {
+            seed: 42,
+            delay_p: 0.5,
+            dup_p: 0.5,
+            corrupt_p: 0.5,
+            ..NetFaultPlan::default()
+        };
+        for shard in 0..8 {
+            for frame in 0..64 {
+                for dir in [NetDir::Send, NetDir::Recv] {
+                    assert_eq!(
+                        plan.delays(shard, dir, frame),
+                        plan.delays(shard, dir, frame)
+                    );
+                }
+            }
+        }
+        // Send and recv streams disagree somewhere, as do distinct seeds.
+        assert!(
+            (0..256).any(|f| plan.delays(1, NetDir::Send, f) != plan.delays(1, NetDir::Recv, f))
+        );
+        let other = NetFaultPlan {
+            seed: 43,
+            ..plan.clone()
+        };
+        assert!((0..256)
+            .any(|f| plan.corrupts(0, NetDir::Send, f) != other.corrupts(0, NetDir::Send, f)));
+    }
+
+    #[test]
+    fn fault_rate_tracks_probability() {
+        let plan = NetFaultPlan {
+            seed: 1,
+            dup_p: 0.2,
+            ..NetFaultPlan::default()
+        };
+        let trials = 20_000u64;
+        let hits = (0..trials)
+            .filter(|&f| plan.dups((f % 7) as usize, NetDir::Send, f))
+            .count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed dup rate {rate}");
+    }
+
+    #[test]
+    fn spec_parsing_round_trips_the_issue_example() {
+        let plan: NetFaultPlan = "seed=7,delay=0.01,corrupt=0.001,reset=3@12"
+            .parse()
+            .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert!((plan.delay_p - 0.01).abs() < 1e-12);
+        assert!((plan.corrupt_p - 0.001).abs() < 1e-12);
+        assert_eq!(plan.resets, vec![(3, 12)]);
+        assert!(plan.hangs.is_empty());
+        let plan: NetFaultPlan = "dup=0.05,hang=1@4+0@9".parse().unwrap();
+        assert_eq!(plan.hangs, vec![(1, 4), (0, 9)]);
+        assert!("".parse::<NetFaultPlan>().unwrap() == NetFaultPlan::default());
+    }
+
+    /// Every error path names the offending key and value, matching the
+    /// `FaultPlan` spec convention, so a bad `--chaos-net` argument is
+    /// diagnosable without reading this source file.
+    #[test]
+    fn spec_errors_name_the_offending_key_and_value() {
+        let err = |spec: &str| spec.parse::<NetFaultPlan>().unwrap_err();
+
+        let e = err("seed");
+        assert!(e.contains("`seed`") && e.contains("key=value"), "{e}");
+        let e = err("seed=abc");
+        assert!(e.contains("`seed`") && e.contains("`abc`"), "{e}");
+        let e = err("delay=oops");
+        assert!(e.contains("`delay`") && e.contains("`oops`"), "{e}");
+        let e = err("delay=1.5");
+        assert!(e.contains("`delay`") && e.contains("outside [0, 1)"), "{e}");
+        let e = err("dup=-0.1");
+        assert!(e.contains("`dup`") && e.contains("outside [0, 1)"), "{e}");
+        let e = err("corrupt=yes");
+        assert!(e.contains("`corrupt`") && e.contains("`yes`"), "{e}");
+        let e = err("reset=5");
+        assert!(e.contains("`reset`") && e.contains("shard@round"), "{e}");
+        let e = err("reset=x@3");
+        assert!(e.contains("`reset`") && e.contains("`x`"), "{e}");
+        let e = err("hang=3@y");
+        assert!(e.contains("`hang`") && e.contains("`y`"), "{e}");
+        let e = err("warp=9");
+        assert!(e.contains("`warp`") && e.contains("valid keys"), "{e}");
+        let e = err("delay=");
+        assert!(e.contains("`delay`") && e.contains("empty value"), "{e}");
+        let e = err("dup=0.1,dup=0.2");
+        assert!(e.contains("`dup`") && e.contains("more than once"), "{e}");
+    }
+
+    #[test]
+    fn plan_round_trips_through_serde() {
+        let plan: NetFaultPlan = "seed=9,delay=0.02,dup=0.01,corrupt=0.005,reset=1@3,hang=2@7"
+            .parse()
+            .unwrap();
+        let json = serde::json::to_string(&plan);
+        let back: NetFaultPlan = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn liveness_defaults_are_generous() {
+        let live = Liveness::default();
+        assert!(live.connect_timeout >= Duration::from_secs(5));
+        assert!(live.barrier_timeout.unwrap() >= Duration::from_secs(10));
+        assert!(live.heartbeat_every < live.worker_read_timeout);
+    }
+}

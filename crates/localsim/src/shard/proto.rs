@@ -1,14 +1,19 @@
-//! The coordinator–worker frame vocabulary (PROTO_VERSION 2).
+//! The coordinator–worker frame vocabulary (PROTO_VERSION 3).
 //!
 //! One round of the sharded runtime is one `RoundGo` → `RoundDone`
 //! exchange per shard — the distributed analogue of one
 //! [`crate::pool::WorkerPool`] epoch: `RoundGo` is the epoch kick,
-//! collecting every shard's `RoundDone` is the barrier. Version 2 is a
-//! bandwidth protocol: the topology travels as the `graphgen::io`
+//! collecting every shard's `RoundDone` is the barrier. Version 2 made
+//! it a bandwidth protocol: the topology travels as the `graphgen::io`
 //! binary CSR payload instead of a text edge-list, ghost state crosses
 //! the wire only when it changed ([`GhostUpdates`]), and every integer
-//! is a varint. The full wire contract (field meanings, restart
-//! protocol, versioning) is documented in `docs/DISTRIBUTED.md`.
+//! is a varint. Version 3 makes it a *robustness* protocol: every frame
+//! carries a per-connection sequence number and an FNV-1a checksum in
+//! its header (see `super::wire`), so duplicated frames are idempotent
+//! and corruption is detected instead of decoded, and the new
+//! [`Frame::Heartbeat`] keepalive lets liveness timeouts distinguish an
+//! idle peer from a hung one. The full wire contract (field meanings,
+//! restart protocol, versioning) is documented in `docs/DISTRIBUTED.md`.
 
 use std::io;
 
@@ -21,7 +26,7 @@ use crate::faults::FaultPlan;
 /// workers speaking any other version (see `validate_hello` in the
 /// coordinator — an old worker gets a clear mismatch error, not silent
 /// garbage).
-pub const PROTO_VERSION: u32 = 2;
+pub const PROTO_VERSION: u32 = 3;
 
 const TAG_HELLO: u8 = 1;
 const TAG_INIT: u8 = 2;
@@ -34,6 +39,7 @@ const TAG_RESTORE: u8 = 8;
 const TAG_RESTORE_ACK: u8 = 9;
 const TAG_SHUTDOWN: u8 = 10;
 const TAG_ERROR: u8 = 11;
+const TAG_HEARTBEAT: u8 = 12;
 
 const GHOSTS_PAIRS: u8 = 0;
 const GHOSTS_PACKED: u8 = 1;
@@ -378,6 +384,12 @@ pub enum Frame {
         /// Human-readable description.
         message: String,
     },
+    /// Coordinator → worker keepalive: expects no reply; its only job
+    /// is to keep an idle worker's read timeout from firing (and to let
+    /// a half-open connection surface as a send error). Sent outside
+    /// the metered byte counters so chaos timing never perturbs the
+    /// deterministic traffic figures.
+    Heartbeat,
 }
 
 impl Frame {
@@ -489,6 +501,7 @@ impl Frame {
                 e.str(message);
                 e.0
             }
+            Frame::Heartbeat => Enc::tagged(TAG_HEARTBEAT).0,
         }
     }
 
@@ -541,6 +554,7 @@ impl Frame {
             TAG_RESTORE_ACK => Frame::RestoreAck { round: d.u64()? },
             TAG_SHUTDOWN => Frame::Shutdown,
             TAG_ERROR => Frame::Error { message: d.str()? },
+            TAG_HEARTBEAT => Frame::Heartbeat,
             other => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -618,6 +632,7 @@ mod tests {
             Frame::Error {
                 message: "boom".to_string(),
             },
+            Frame::Heartbeat,
         ];
         for f in frames {
             let decoded = Frame::decode(&f.encode()).unwrap();

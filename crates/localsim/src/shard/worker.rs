@@ -20,18 +20,26 @@
 
 use std::io::{self, BufReader};
 use std::net::TcpStream;
+use std::time::Duration;
 
 use graphgen::NodeId;
 
 use super::algo::WireAlgo;
 use super::proto::{decode_fault_plan, Frame, GhostUpdates, PROTO_VERSION};
 use super::topology::Topology;
-use super::wire::{read_frame, write_frame, write_frame_buf, FrameMeter, MAX_FRAME};
+use super::wire::{read_frame, write_frame, write_frame_buf, FrameMeter, FrameSeq, MAX_FRAME};
 use crate::exec::{LocalAlgorithm, NodeCtx, Transition};
 use crate::faults::FaultPlan;
 
+/// Default worker read timeout: a coordinator that goes silent this
+/// long is presumed dead, and the worker exits instead of leaking.
+/// Generous because an idle worker normally hears a `Heartbeat` every
+/// couple of seconds (see `netfault::Liveness::heartbeat_every`).
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(60);
+
 /// Connects to a coordinator at `addr` and serves rounds until a
-/// [`Frame::Shutdown`] arrives or the connection drops.
+/// [`Frame::Shutdown`] arrives or the connection drops, with the
+/// default read timeout.
 ///
 /// # Errors
 ///
@@ -39,11 +47,23 @@ use crate::faults::FaultPlan;
 /// surfaces as an I/O error here, which callers (the `shard-serve` CLI,
 /// the thread backend) treat as a normal exit path.
 pub fn serve_connect(addr: &str) -> io::Result<()> {
-    let stream = TcpStream::connect(addr)?;
-    serve(stream)
+    serve_connect_with(addr, DEFAULT_READ_TIMEOUT)
 }
 
-/// Serves the worker protocol over an established connection.
+/// [`serve_connect`] with an explicit read timeout
+/// (`Duration::ZERO` disables it and restores the block-forever
+/// pre-v3 behavior).
+///
+/// # Errors
+///
+/// As [`serve_connect`].
+pub fn serve_connect_with(addr: &str, read_timeout: Duration) -> io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    serve_with(stream, read_timeout)
+}
+
+/// Serves the worker protocol over an established connection with the
+/// default read timeout.
 ///
 /// # Errors
 ///
@@ -51,9 +71,43 @@ pub fn serve_connect(addr: &str) -> io::Result<()> {
 /// undecodable payloads). State-construction failures (bad graph
 /// payload, unknown algorithm spec) are also reported to the
 /// coordinator as a [`Frame::Error`] before returning.
-pub fn serve(mut stream: TcpStream) -> io::Result<()> {
+pub fn serve(stream: TcpStream) -> io::Result<()> {
+    serve_with(stream, DEFAULT_READ_TIMEOUT)
+}
+
+/// Maps a read-timeout error into the orphaned-worker diagnosis; every
+/// other error passes through untouched.
+fn orphaned(e: io::Error, read_timeout: Duration) -> io::Error {
+    if matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    ) {
+        return io::Error::new(
+            e.kind(),
+            format!(
+                "no frame from the coordinator in {read_timeout:?}: \
+                 presuming it dead, orphaned worker exiting"
+            ),
+        );
+    }
+    e
+}
+
+/// [`serve`] with an explicit read timeout.
+///
+/// # Errors
+///
+/// As [`serve`]; additionally, when the coordinator sends nothing for
+/// `read_timeout` (not even a heartbeat), the worker exits with a
+/// clear `TimedOut`/`WouldBlock` error naming the orphan condition
+/// instead of blocking forever on a vanished peer.
+pub fn serve_with(mut stream: TcpStream, read_timeout: Duration) -> io::Result<()> {
     stream.set_nodelay(true)?;
+    if !read_timeout.is_zero() {
+        stream.set_read_timeout(Some(read_timeout))?;
+    }
     let meter = FrameMeter::disabled();
+    let mut seq = FrameSeq::default();
     let mut reader = BufReader::new(stream.try_clone()?);
     write_frame(
         &mut stream,
@@ -62,8 +116,11 @@ pub fn serve(mut stream: TcpStream) -> io::Result<()> {
         }
         .encode(),
         &meter,
+        &mut seq,
     )?;
-    let init = Frame::decode(&read_frame(&mut reader, &meter)?)?;
+    let payload =
+        read_frame(&mut reader, &meter, &mut seq).map_err(|e| orphaned(e, read_timeout))?;
+    let init = Frame::decode(&payload)?;
     let Frame::Init {
         shard,
         start,
@@ -86,17 +143,25 @@ pub fn serve(mut stream: TcpStream) -> io::Result<()> {
                 }
                 .encode(),
                 &meter,
+                &mut seq,
             );
             return Err(protocol(msg));
         }
     };
-    write_frame(&mut stream, &Frame::InitAck { shard }.encode(), &meter)?;
+    write_frame(
+        &mut stream,
+        &Frame::InitAck { shard }.encode(),
+        &meter,
+        &mut seq,
+    )?;
 
     // Per-connection scratch: every reply is assembled into `frame_buf`
     // and hits the socket as one `write_all`.
     let mut frame_buf: Vec<u8> = Vec::new();
     loop {
-        let frame = Frame::decode(&read_frame(&mut reader, &meter)?)?;
+        let payload =
+            read_frame(&mut reader, &meter, &mut seq).map_err(|e| orphaned(e, read_timeout))?;
+        let frame = Frame::decode(&payload)?;
         let reply = match frame {
             Frame::RoundGo {
                 round,
@@ -111,9 +176,17 @@ pub fn serve(mut stream: TcpStream) -> io::Result<()> {
                 seen,
             } => state.restore(round, states, &live, seen)?,
             Frame::Shutdown => return Ok(()),
+            // Keepalive: resets the read timeout by arriving; no reply.
+            Frame::Heartbeat => continue,
             other => return Err(protocol(format!("unexpected frame {other:?}"))),
         };
-        write_frame_buf(&mut stream, &reply_payload(&reply), &mut frame_buf, &meter)?;
+        write_frame_buf(
+            &mut stream,
+            &reply_payload(&reply),
+            &mut frame_buf,
+            &meter,
+            &mut seq,
+        )?;
     }
 }
 
@@ -143,7 +216,12 @@ fn protocol(msg: String) -> io::Error {
 /// (authoritative on `start..end`, ghost copies for foreign neighbors,
 /// untouched init zeros elsewhere), and the owned slices of the live
 /// worklist and drop cache.
-struct ShardState {
+///
+/// Crate-visible because the coordinator *adopts* a shard whose respawn
+/// budget is exhausted: it builds this same state from the cached
+/// `Init` frame and serves the shard's frames in-process (graceful
+/// degradation instead of aborting the run).
+pub(crate) struct ShardState {
     topo: Topology,
     algo: WireAlgo,
     plan: FaultPlan,
@@ -181,7 +259,7 @@ struct ShardState {
 }
 
 impl ShardState {
-    fn build(
+    pub(crate) fn build(
         start: u32,
         end: u32,
         algo: &str,
@@ -282,7 +360,7 @@ impl ShardState {
         })
     }
 
-    fn run_round(
+    pub(crate) fn run_round(
         &mut self,
         round: u64,
         crashes: &[u32],
@@ -391,7 +469,7 @@ impl ShardState {
     /// kicked, so it cannot know it); this shard's states are current
     /// for that round either way — an unkicked shard's states have not
     /// changed since its last live round.
-    fn dump(&self, round: u64) -> Frame {
+    pub(crate) fn dump(&self, round: u64) -> Frame {
         Frame::Dump {
             round,
             states: self.cur[self.start..self.end].to_vec(),
@@ -400,7 +478,7 @@ impl ShardState {
         }
     }
 
-    fn restore(
+    pub(crate) fn restore(
         &mut self,
         round: u64,
         states: Vec<u64>,

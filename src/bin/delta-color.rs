@@ -49,19 +49,20 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use delta_coloring::coloring::{
     color_sparse_dense_probed, drive_deterministic, drive_randomized, load_bundle, load_snapshot,
-    replay_bundle, run_wire_coloring, validate_coloring, ChaosPlan, Config, DegradedComponent,
-    DistributedConfig, FailureReport, PhaseCursor, PipelineKind, RandConfig, RunOutcome,
-    Supervisor,
+    replay_bundle, run_shard_case, run_wire_coloring, save_bundle, shard_bundle, validate_coloring,
+    ChaosPlan, Config, DegradedComponent, DistributedConfig, FailureReport, PhaseCursor,
+    PipelineKind, RandConfig, RunOutcome, ShardRunSpec, Supervisor,
 };
 use delta_coloring::graphs::coloring::verify_delta_coloring;
-use delta_coloring::graphs::generators::{hard_cliques, HardCliqueParams};
+use delta_coloring::graphs::generators::{gnp, hard_cliques, HardCliqueParams};
 use delta_coloring::graphs::io;
 use delta_coloring::local::{
     set_default_threads, ChaosKill, Event, FanoutSink, FaultPlan, FlightRecorder, JsonlSink,
-    MetricsHub, Probe, RecordingSink, Sink, WireAlgo, WorkerBackend,
+    MetricsHub, NetFaultPlan, Probe, RecordingSink, Sink, WireAlgo, WorkerBackend,
 };
 
 fn main() {
@@ -292,6 +293,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                         let report = report?;
                         (report.coloring, report.ledger)
                     }
+                    // Sharded runs checkpoint through their own files
+                    // (shard-checkpoint-*.json), never phase snapshots.
+                    PipelineKind::Shard => {
+                        return Err("snapshot belongs to the sharded runtime; \
+                                    shard runs resume from their own checkpoints"
+                            .into())
+                    }
                 }
             } else if faults.is_some() || arg_value(&args, "--randomized").is_some() {
                 // Fault injection runs the randomized pipeline (the only
@@ -364,9 +372,20 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             // a Shutdown frame (or the coordinator's death) ends the run.
             // Spawned by `shard-color`'s process backend; the coordinator
             // appends the address as the final argument.
-            let addr = arg_value(&args, "--connect")
-                .ok_or("usage: delta-color shard-serve --connect HOST:PORT")?;
-            delta_coloring::local::shard::serve_connect(&addr)?;
+            let addr = arg_value(&args, "--connect").ok_or(
+                "usage: delta-color shard-serve --connect HOST:PORT [--read-timeout-ms N]",
+            )?;
+            // The read timeout bounds how long an orphaned worker (its
+            // coordinator dead or wedged without closing the socket)
+            // lingers before exiting with a clear error. 0 disables it.
+            let timeout = match arg_value(&args, "--read-timeout-ms") {
+                Some(ms) => Duration::from_millis(
+                    ms.parse()
+                        .map_err(|e| format!("invalid --read-timeout-ms value `{ms}`: {e}"))?,
+                ),
+                None => delta_coloring::local::shard::DEFAULT_READ_TIMEOUT,
+            };
+            delta_coloring::local::shard::serve_connect_with(&addr, timeout)?;
             Ok(())
         }
         Some("shard-color") => {
@@ -374,7 +393,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 "usage: delta-color shard-color <file> [--shards N] \
                  [--algo greedy|rand:S|countdown|floodmax:T] [--seed S] [--faults SPEC] \
                  [--max-rounds M] [--checkpoint-every K] [--checkpoint-dir DIR] \
-                 [--chaos-kill S@R,...] [--max-respawns N] [--trace-out PATH] \
+                 [--chaos-kill S@R,...] [--chaos-net SPEC] [--barrier-timeout-ms N] \
+                 [--max-respawns N] [--trace-out PATH] \
                  [--metrics-out PATH]\n  (--shards 0 runs the single-process \
                  reference executor)",
             )?;
@@ -424,6 +444,18 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             }
             if let Some(spec) = arg_value(&args, "--chaos-kill") {
                 cfg.chaos_kills = parse_chaos_kills(&spec)?;
+            }
+            if let Some(spec) = arg_value(&args, "--chaos-net") {
+                cfg.net_faults = Some(
+                    spec.parse::<NetFaultPlan>()
+                        .map_err(|e| format!("invalid --chaos-net spec `{spec}`: {e}"))?,
+                );
+            }
+            if let Some(ms) = arg_value(&args, "--barrier-timeout-ms") {
+                cfg.liveness.barrier_timeout =
+                    Some(Duration::from_millis(ms.parse().map_err(|e| {
+                        format!("invalid --barrier-timeout-ms value `{ms}`: {e}")
+                    })?));
             }
             // Workers are real OS processes: this same binary, re-invoked
             // in shard-serve mode. A killed worker (--chaos-kill sends a
@@ -477,6 +509,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     t.ghost_updates,
                     t.ghost_suppressed
                 );
+                if t.adopted_ranges > 0 {
+                    eprintln!(
+                        "degraded: {} shard range(s) adopted in-process after \
+                         exhausting their respawn budget",
+                        t.adopted_ranges
+                    );
+                }
             }
             let mut out = String::new();
             for (v, o) in report.outputs.iter().enumerate() {
@@ -484,6 +523,129 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             }
             print!("{out}");
             Ok(())
+        }
+        Some("soak") => {
+            // Randomized chaos campaign over the sharded runtime: each
+            // iteration derives a graph, a simulated-fault plan, a wire
+            // chaos plan, and a kill from one case seed, runs the sharded
+            // case against the single-process reference, and captures any
+            // divergence as a replayable repro bundle (which is replayed
+            // on the spot to confirm it reproduces).
+            let seconds: Option<u64> = arg_value(&args, "--seconds")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|e| format!("invalid --seconds value `{v}`: {e}"))
+                })
+                .transpose()?;
+            let iterations: u64 = arg_value(&args, "--iterations")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|e| format!("invalid --iterations value `{v}`: {e}"))
+                })
+                .transpose()?
+                .unwrap_or(if seconds.is_some() { u64::MAX } else { 20 });
+            let shards: usize = arg_value(&args, "--shards").map_or(Ok(3), |v| v.parse())?;
+            let algo: WireAlgo = arg_value(&args, "--algo").map_or(Ok(WireAlgo::Greedy), |v| {
+                v.parse()
+                    .map_err(|e| format!("invalid --algo spec `{v}`: {e}"))
+            })?;
+            let seed0: u64 = arg_value(&args, "--seed").map_or(Ok(1), |v| v.parse())?;
+            let max_rounds: u64 =
+                arg_value(&args, "--max-rounds").map_or(Ok(10_000), |v| v.parse())?;
+            let bundle_dir = PathBuf::from(
+                arg_value(&args, "--bundle-dir").unwrap_or_else(|| "soak-bundles".to_string()),
+            );
+            // The splitmix64 finalizer: one case seed fans out into every
+            // chaos decision below, so `--seed` reproduces the campaign.
+            let mix = |mut x: u64| {
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^ (x >> 31)
+            };
+            let start = Instant::now();
+            let (mut ran, mut failures, mut unreproduced) = (0u64, 0u64, 0u64);
+            for i in 0..iterations {
+                if let Some(s) = seconds {
+                    if start.elapsed() >= Duration::from_secs(s) {
+                        break;
+                    }
+                }
+                let cs = mix(seed0 ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let n = 24 + (cs % 33) as usize;
+                let g = gnp(n, 0.15, cs);
+                // Simulated faults: jitter is safe for every wire algo;
+                // message drops only for greedy (rand requires reliable
+                // delivery — see docs/DISTRIBUTED.md).
+                let drop_p = if matches!(algo, WireAlgo::Greedy) {
+                    0.02 * ((cs >> 8) % 4) as f64
+                } else {
+                    0.0
+                };
+                let jitter = (cs >> 16) % 3;
+                let fault_spec = format!("seed={cs},drop={drop_p},jitter={jitter}");
+                let faults: FaultPlan = fault_spec
+                    .parse()
+                    .map_err(|e| format!("internal fault spec `{fault_spec}`: {e}"))?;
+                let mut net = NetFaultPlan {
+                    seed: cs,
+                    delay_p: 0.02,
+                    dup_p: 0.05,
+                    corrupt_p: 0.002,
+                    ..NetFaultPlan::default()
+                };
+                let mut spec = ShardRunSpec::new(shards, &algo);
+                spec.max_rounds = max_rounds;
+                spec.max_respawns = 6;
+                spec.kills = vec![((cs >> 32) % shards as u64, 1 + (cs >> 24) % 3)];
+                if i % 3 == 0 {
+                    net.resets.push(((cs >> 40) % shards as u64, 2));
+                }
+                if i % 5 == 4 {
+                    // A hung worker: detection needs a barrier deadline.
+                    net.hangs.push(((cs >> 48) % shards as u64, 3));
+                    spec.barrier_timeout_ms = Some(750);
+                    spec.heartbeat_ms = Some(250);
+                }
+                spec.net = Some(net);
+                if let Some(verdict) = run_shard_case(&g, &spec, Some(&faults)) {
+                    failures += 1;
+                    let bundle = shard_bundle(
+                        &g,
+                        &spec,
+                        Some(&faults),
+                        verdict.clone(),
+                        Some(format!("soak-{i:03}")),
+                    );
+                    let path = save_bundle(&bundle_dir, &bundle)?;
+                    eprintln!(
+                        "soak case {i}: FAILED — {verdict}\n  bundle saved to {} \
+                         (replay with: delta-color replay)",
+                        path.display()
+                    );
+                    let rep = replay_bundle(&path, &Probe::disabled())?;
+                    if rep.reproduced {
+                        eprintln!("  replay: failure reproduced");
+                    } else {
+                        unreproduced += 1;
+                        eprintln!(
+                            "  replay: NOT reproduced (observed: {})",
+                            rep.observed_error.as_deref().unwrap_or("run was clean")
+                        );
+                    }
+                }
+                ran += 1;
+            }
+            eprintln!(
+                "soak: {ran} case(s) in {:.1}s, {failures} failure(s), {unreproduced} unreproduced",
+                start.elapsed().as_secs_f64()
+            );
+            if failures > 0 {
+                Err(format!("soak campaign found {failures} diverging case(s)").into())
+            } else {
+                Ok(())
+            }
         }
         Some("replay") => {
             let path = args
@@ -527,9 +689,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                  [--chaos-panic I,J] [--chaos-skip I,J]\n  \
                  delta-color shard-color <file> [--shards N] [--algo SPEC] [--seed S] \
                  [--faults SPEC] [--max-rounds M] [--checkpoint-every K] \
-                 [--checkpoint-dir DIR] [--chaos-kill S@R,...] [--max-respawns N] \
+                 [--checkpoint-dir DIR] [--chaos-kill S@R,...] [--chaos-net SPEC] \
+                 [--barrier-timeout-ms N] [--max-respawns N] \
                  [--trace-out PATH] [--metrics-out PATH]\n  \
-                 delta-color shard-serve --connect HOST:PORT\n  \
+                 delta-color shard-serve --connect HOST:PORT [--read-timeout-ms N]\n  \
+                 delta-color soak [--iterations N | --seconds S] [--shards N] [--algo SPEC] \
+                 [--seed S] [--max-rounds M] [--bundle-dir DIR]\n  \
                  delta-color replay <bundle.json>"
             );
             Err("unknown command".into())

@@ -137,6 +137,170 @@ fn sigkill_during_greedy_run_is_invisible() {
 }
 
 #[test]
+fn chaos_net_run_with_process_workers_is_invisible() {
+    // Wire-level chaos against *real* worker processes: delayed,
+    // duplicated and corrupted frames plus one cold connection reset
+    // and one SIGKILL, all on the same run. Output and trace must still
+    // match the single-process reference bit for bit.
+    let dir = TestDir::new("chaosnet");
+    let graph_path = dir.path("graph.txt");
+    std::fs::write(&graph_path, io::write_edge_list(&generators::cycle(16))).unwrap();
+    let base: Vec<&str> = vec!["--algo", "greedy", "--checkpoint-every", "2"];
+
+    let ref_trace = dir.path("ref.jsonl");
+    let mut args = base.clone();
+    args.extend(["--shards", "0"]);
+    let (want_stdout, _) = shard_color(&graph_path, &ref_trace, &args);
+    let want_trace = std::fs::read_to_string(&ref_trace).unwrap();
+
+    let trace = dir.path("chaos.jsonl");
+    let mut args = base.clone();
+    args.extend([
+        "--shards",
+        "4",
+        "--chaos-net",
+        "seed=7,delay=0.05,dup=0.1,corrupt=0.005,reset=1@2",
+        "--chaos-kill",
+        "2@3",
+        "--max-respawns",
+        "6",
+    ]);
+    let (got_stdout, _) = shard_color(&graph_path, &trace, &args);
+    assert_eq!(got_stdout, want_stdout, "chaos-net stdout diverged");
+    assert_eq!(
+        std::fs::read_to_string(&trace).unwrap(),
+        want_trace,
+        "chaos-net trace diverged"
+    );
+}
+
+#[test]
+fn hung_worker_is_detected_and_replaced_through_the_cli() {
+    // `hang=S@R` mutes the shard without killing it: only the barrier
+    // deadline can notice. The run must recover and stay bit-identical.
+    let dir = TestDir::new("hang");
+    let graph_path = dir.path("graph.txt");
+    std::fs::write(&graph_path, io::write_edge_list(&generators::cycle(16))).unwrap();
+    let base: Vec<&str> = vec!["--algo", "greedy", "--checkpoint-every", "2"];
+
+    let ref_trace = dir.path("ref.jsonl");
+    let mut args = base.clone();
+    args.extend(["--shards", "0"]);
+    let (want_stdout, _) = shard_color(&graph_path, &ref_trace, &args);
+    let want_trace = std::fs::read_to_string(&ref_trace).unwrap();
+
+    let trace = dir.path("hang.jsonl");
+    let mut args = base.clone();
+    args.extend([
+        "--shards",
+        "3",
+        "--chaos-net",
+        "hang=1@3",
+        "--barrier-timeout-ms",
+        "750",
+    ]);
+    let (got_stdout, _) = shard_color(&graph_path, &trace, &args);
+    assert_eq!(got_stdout, want_stdout, "hang-recovery stdout diverged");
+    assert_eq!(
+        std::fs::read_to_string(&trace).unwrap(),
+        want_trace,
+        "hang-recovery trace diverged"
+    );
+}
+
+#[test]
+fn exhausted_respawn_budget_degrades_instead_of_aborting() {
+    // --max-respawns 0 plus a kill: the shard's range must be adopted
+    // in-process (reported on stderr and as a Degraded trace event) and
+    // the coloring must still match the reference.
+    let dir = TestDir::new("degrade");
+    let graph_path = dir.path("graph.txt");
+    std::fs::write(&graph_path, io::write_edge_list(&generators::cycle(16))).unwrap();
+    let base: Vec<&str> = vec!["--algo", "greedy", "--checkpoint-every", "2"];
+
+    let ref_trace = dir.path("ref.jsonl");
+    let mut args = base.clone();
+    args.extend(["--shards", "0"]);
+    let (want_stdout, _) = shard_color(&graph_path, &ref_trace, &args);
+
+    let trace = dir.path("degraded.jsonl");
+    let metrics = dir.path("metrics.json");
+    let metrics_arg = metrics.to_str().unwrap().to_string();
+    let mut args = base.clone();
+    args.extend([
+        "--shards",
+        "3",
+        "--chaos-kill",
+        "2@2",
+        "--max-respawns",
+        "0",
+        "--metrics-out",
+        &metrics_arg,
+    ]);
+    let (got_stdout, stderr) = shard_color(&graph_path, &trace, &args);
+    assert_eq!(got_stdout, want_stdout, "degraded stdout diverged");
+    assert!(
+        stderr.contains("degraded:"),
+        "stderr should report the adoption:\n{stderr}"
+    );
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(
+        trace_text.contains("\"type\":\"degraded\""),
+        "trace should carry the Degraded event:\n{trace_text}"
+    );
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        metrics_text.contains("shard.adopted_ranges"),
+        "metrics snapshot should carry the adoption counter:\n{metrics_text}"
+    );
+}
+
+#[test]
+fn bad_chaos_net_spec_names_the_offending_key() {
+    let dir = TestDir::new("badspec");
+    let graph_path = dir.path("graph.txt");
+    std::fs::write(&graph_path, io::write_edge_list(&generators::path(8))).unwrap();
+    let out = Command::new(BIN)
+        .arg("shard-color")
+        .arg(&graph_path)
+        .args(["--shards", "2", "--chaos-net", "seed=7,dup=1.5"])
+        .output()
+        .expect("spawn delta-color");
+    assert!(!out.status.success(), "bogus --chaos-net spec must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("dup"),
+        "error should name the offending key:\n{stderr}"
+    );
+}
+
+#[test]
+fn soak_campaign_runs_clean_through_the_cli() {
+    let dir = TestDir::new("soak");
+    let bundles = dir.path("bundles");
+    let out = Command::new(BIN)
+        .arg("soak")
+        .args([
+            "--iterations",
+            "2",
+            "--shards",
+            "2",
+            "--seed",
+            "3",
+            "--bundle-dir",
+            bundles.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn delta-color");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "soak failed:\n{stderr}");
+    assert!(
+        stderr.contains("0 failure(s)"),
+        "soak summary missing:\n{stderr}"
+    );
+}
+
+#[test]
 fn checkpoint_dir_receives_shard_checkpoints_through_the_cli() {
     let dir = TestDir::new("ckptdir");
     let graph_path = dir.path("graph.txt");
